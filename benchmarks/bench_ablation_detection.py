@@ -1,0 +1,38 @@
+"""Ablation: failure-detection parameters (keepalive period / timeout).
+
+Section 5.1 reports ~40 ms to switch upstream replicas plus up to one
+keepalive period (100 ms by default) to detect that the current upstream
+neighbor stopped responding.  The reproduction models the switch cost as a
+constant, so this benchmark sweeps the keepalive period and shows the
+detection component of the reaction time: larger periods widen the largest
+gap in new data and, once the detection timeout approaches the delay budget,
+start to erode the availability bound.
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import detection_sweep
+
+PERIODS_QUICK = (0.1, 0.5)
+PERIODS_FULL = (0.05, 0.1, 0.25, 0.5)
+
+
+def test_ablation_detection_parameters(run_once):
+    periods = PERIODS_FULL if full_sweep() else PERIODS_QUICK
+    results = run_once(detection_sweep, periods, failure_duration=10.0)
+    print_results(
+        "Ablation: keepalive period and detection timeout",
+        [result.row() for result in results],
+    )
+    for result in results:
+        assert result.eventually_consistent
+
+    fastest = results[0]
+    slowest = results[-1]
+    # With the paper's default (100 ms keepalive or faster) the bound holds.
+    assert fastest.proc_new < 3.75
+    # Slower detection can only delay the reaction to the failure.
+    assert slowest.max_gap >= fastest.max_gap - 0.3
+    assert slowest.proc_new >= fastest.proc_new - 0.3

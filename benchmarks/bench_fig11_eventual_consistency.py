@@ -1,0 +1,61 @@
+"""Figure 11: eventual consistency under simultaneous failures.
+
+Reproduces the two traces of Section 5.1: a single (unreplicated) processing
+node whose input streams 1 and 3 fail either overlapping in time
+(Figure 11(a)) or back-to-back, with the second failure starting during the
+recovery from the first (Figure 11(b)).  The paper's claim is qualitative:
+all tentative tuples are eventually corrected, no stable tuple is duplicated,
+and a REC_DONE marks the end of each correction burst.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import eventual_consistency_trace
+
+from conftest import print_results
+
+
+def _summarize(result):
+    points = result.series()
+    tentative = [p for p in points if p[2] == "tentative"]
+    stable = [p for p in points if p[2] == "insertion"]
+    rec_done = [p for p in points if p[2] == "rec_done"]
+    lines = [
+        f"eventually consistent: {result.eventually_consistent}",
+        f"tentative tuples: {result.n_tentative}",
+        f"undo tuples: {result.n_undos}",
+        f"REC_DONE markers: {result.n_rec_done} at t={[round(p[0], 2) for p in rec_done]}",
+        f"stable points: {len(stable)}, tentative points: {len(tentative)}",
+        f"reconciliations: {result.reconciliations}",
+        "trace sample (time, seq, type):",
+    ]
+    step = max(len(points) // 12, 1)
+    for point in points[::step][:12]:
+        lines.append(f"  t={point[0]:7.2f}  seq={point[1]!s:>8}  {point[2]}")
+    return lines
+
+
+def test_fig11a_overlapping_failures(run_once):
+    result = run_once(
+        eventual_consistency_trace,
+        overlapping=True,
+        aggregate_rate=150.0,
+        first_failure_duration=10.0,
+    )
+    print_results("Figure 11(a): overlapping failures", _summarize(result))
+    assert result.eventually_consistent
+    assert result.n_tentative > 0
+    assert result.n_rec_done >= 1
+
+
+def test_fig11b_failure_during_recovery(run_once):
+    result = run_once(
+        eventual_consistency_trace,
+        overlapping=False,
+        aggregate_rate=150.0,
+        first_failure_duration=10.0,
+    )
+    print_results("Figure 11(b): failure during recovery", _summarize(result))
+    assert result.eventually_consistent
+    assert result.n_tentative > 0
+    assert result.n_rec_done >= 1

@@ -1,0 +1,65 @@
+"""Figure 13: availability/consistency trade-offs of the six delay policies.
+
+A single replicated node with D = X = 3 s.  The paper's findings:
+
+* every variant fully masks failures shorter than D (no tentative tuples);
+* Process & Process and Delay & Delay meet the availability bound for every
+  failure duration; Delay & Delay produces the fewest tentative tuples;
+* Delay & Suspend breaks the availability requirement, and Process & Suspend
+  breaks it once reconciliation takes longer than D (failures around 8 s and
+  beyond).
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.config import DelayPolicy
+from repro.experiments import fig13, format_table
+
+POLICIES_QUICK = {
+    "Process & Process": DelayPolicy.process_process(),
+    "Delay & Delay": DelayPolicy.delay_delay(),
+    "Process & Suspend": DelayPolicy.process_suspend(),
+    "Delay & Suspend": DelayPolicy.delay_suspend(),
+}
+DURATIONS_QUICK = (2.0, 10.0, 30.0)
+DURATIONS_FULL = (2.0, 6.0, 10.0, 14.0, 30.0, 60.0)
+RATE = 300.0
+
+
+def test_fig13_policy_tradeoffs(run_once):
+    durations = DURATIONS_FULL if full_sweep() else DURATIONS_QUICK
+    policies = None if full_sweep() else POLICIES_QUICK
+    results = run_once(fig13, durations, policies, aggregate_rate=RATE)
+    print_results(
+        "Figure 13: Proc_new and N_tentative per delay policy (D = 3 s)",
+        [format_table("per-policy results", results)],
+    )
+    by_policy = {}
+    for result in results:
+        by_policy.setdefault(result.label, {})[result.failure_duration] = result
+
+    # (1) Failures shorter than D are fully masked by every policy.
+    for label, rows in by_policy.items():
+        assert rows[2.0].n_tentative == 0, f"{label} did not mask a 2 s failure"
+        assert rows[2.0].eventually_consistent
+
+    # (2) Process & Process and Delay & Delay always meet the availability bound.
+    for label in ("Process & Process", "Delay & Delay"):
+        for duration, row in by_policy[label].items():
+            assert row.proc_new < 4.0, f"{label} broke availability at {duration}s"
+            assert row.eventually_consistent
+
+    # (3) Delaying produces no more tentative tuples than processing eagerly.
+    for duration in durations:
+        if duration <= 3.0:
+            continue
+        delay = by_policy["Delay & Delay"][duration].n_tentative
+        process = by_policy["Process & Process"][duration].n_tentative
+        assert delay <= process, f"Delay & Delay should not exceed Process & Process at {duration}s"
+
+    # (4) Suspending during stabilization violates availability for long failures.
+    if "Delay & Suspend" in by_policy:
+        longest = max(by_policy["Delay & Suspend"])
+        assert by_policy["Delay & Suspend"][longest].proc_new > 4.0

@@ -1,0 +1,42 @@
+"""Figure 15: Proc_new for a chain of replicated nodes (D = 2 s per node).
+
+Paper findings: both policies meet the (2 s x depth) availability bound;
+Process & Process is close to the latency of a single node (all nodes suspend
+simultaneously, then tuples stream through with only a small per-node extra
+delay), whereas Delay & Delay adds the full D per node in the chain.
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import fig15, format_table
+
+DEPTHS_QUICK = (1, 2, 4)
+DEPTHS_FULL = (1, 2, 3, 4)
+
+
+def test_fig15_chain_latency(run_once):
+    depths = DEPTHS_FULL if full_sweep() else DEPTHS_QUICK
+    results = run_once(fig15, depths, failure_duration=30.0)
+    print_results(
+        "Figure 15: Proc_new vs chain depth (D = 2 s per node, 30 s failure)",
+        [format_table("paper: Delay&Delay grows ~2 s per node; Process&Process stays near one node's delay", results)],
+    )
+    by = {(r.label, r.chain_depth): r for r in results}
+
+    for result in results:
+        depth = result.chain_depth
+        assert result.eventually_consistent, result.label
+        # Availability requirement: Delay_new < 2 s * depth (plus the normal
+        # per-hop processing latency of the simulated deployment).
+        assert result.proc_new < 2.0 * depth + 1.5, result.label
+
+    deepest = max(depths)
+    process = by[(f"Process & Process (depth {deepest})", deepest)]
+    delay = by[(f"Delay & Delay (depth {deepest})", deepest)]
+    # Process & Process gives significantly better availability on deep chains.
+    assert process.proc_new < delay.proc_new
+    # Delay & Delay latency grows with depth (roughly additive per node).
+    shallow_delay = by[(f"Delay & Delay (depth {min(depths)})", min(depths))]
+    assert delay.proc_new > shallow_delay.proc_new + 1.0

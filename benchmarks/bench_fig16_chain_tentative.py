@@ -1,0 +1,51 @@
+"""Figure 16: N_tentative vs chain depth for short-duration failures.
+
+Paper findings: for short failures (5-30 s), continuously delaying tuples
+(Delay & Delay) produces fewer tentative tuples than processing them eagerly
+(Process & Process), and the savings are roughly proportional to the total
+delay through the chain.
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import fig16, format_table
+
+DURATIONS_QUICK = (5.0, 15.0)
+DURATIONS_FULL = (5.0, 10.0, 15.0, 30.0)
+DEPTHS_QUICK = (1, 2, 4)
+DEPTHS_FULL = (1, 2, 3, 4)
+
+
+def test_fig16_tentative_vs_depth(run_once):
+    durations = DURATIONS_FULL if full_sweep() else DURATIONS_QUICK
+    depths = DEPTHS_FULL if full_sweep() else DEPTHS_QUICK
+    results = run_once(fig16, durations, depths)
+    print_results(
+        "Figure 16: N_tentative vs chain depth (D = 2 s per node)",
+        [format_table("paper: delaying reduces N_tentative for short failures", results)],
+    )
+    by = {(r.label, r.failure_duration): r for r in results}
+    for result in results:
+        assert result.eventually_consistent, result.label
+
+    for duration in durations:
+        for depth in depths:
+            process = by[(f"Process & Process (depth {depth})", duration)]
+            delay = by[(f"Delay & Delay (depth {depth})", duration)]
+            # Delaying never produces *more* tentative tuples for short failures.
+            assert delay.n_tentative <= process.n_tentative, (duration, depth)
+
+    # The savings grow with the depth of the chain (total delay through it).
+    deepest, shallowest = max(depths), min(depths)
+    duration = durations[0]
+    saving_deep = (
+        by[(f"Process & Process (depth {deepest})", duration)].n_tentative
+        - by[(f"Delay & Delay (depth {deepest})", duration)].n_tentative
+    )
+    saving_shallow = (
+        by[(f"Process & Process (depth {shallowest})", duration)].n_tentative
+        - by[(f"Delay & Delay (depth {shallowest})", duration)].n_tentative
+    )
+    assert saving_deep >= saving_shallow

@@ -1,0 +1,40 @@
+"""Figure 20: N_tentative for the delay-assignment strategies of Section 6.3.
+
+Paper finding: giving each SUnion the whole incremental budget (6.5 s of the
+8 s requirement) is the only strategy that completely masks a 5-second failure
+(zero tentative tuples) while performing no worse than the others for longer
+failures.
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import fig19_20, format_table
+
+DURATIONS_QUICK = (5.0, 15.0)
+DURATIONS_FULL = (5.0, 10.0, 15.0, 30.0)
+
+
+def test_fig20_delay_assignment_tentative(run_once):
+    durations = DURATIONS_FULL if full_sweep() else DURATIONS_QUICK
+    results = run_once(fig19_20, durations, depth=4)
+    print_results(
+        "Figure 20: N_tentative for delay assignments on a 4-node chain (X = 8 s)",
+        [format_table("paper: whole-budget assignment masks the 5 s failure entirely", results)],
+    )
+    by = {(r.label, r.failure_duration): r for r in results}
+    for result in results:
+        assert result.eventually_consistent, result.label
+
+    # The whole-budget assignment masks the 5-second failure completely.
+    assert by[("Process & Process, D=6.5s each", 5.0)].n_tentative == 0
+    # The uniform 2-second assignment does not.
+    assert by[("Process & Process, D=2s each", 5.0)].n_tentative > 0
+
+    # For longer failures the whole-budget assignment is not (much) worse than
+    # the per-node assignment with eager processing.
+    longest = durations[-1]
+    full_budget = by[("Process & Process, D=6.5s each", longest)].n_tentative
+    uniform = by[("Process & Process, D=2s each", longest)].n_tentative
+    assert full_budget <= uniform * 1.25 + 100

@@ -1,0 +1,43 @@
+"""Table III: Proc_new for different failure durations (one replicated node).
+
+The paper reports that, with two replicas and X = 3 s, Proc_new stays at
+roughly 2.8 s regardless of failure duration (2 s to 60 s): the replicas take
+turns reconciling so the client always has access to recent data.  We check
+the same flatness: Proc_new must stay below the 3 s + normal-processing
+envelope for every failure duration and must not grow with it.
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import format_table, table3
+
+DURATIONS_QUICK = (2, 8, 16, 30, 60)
+DURATIONS_FULL = (2, 4, 6, 8, 10, 12, 14, 16, 30, 45, 60)
+
+
+def test_table3_proc_new_constant_under_failures(run_once):
+    durations = DURATIONS_FULL if full_sweep() else DURATIONS_QUICK
+    results = run_once(table3, durations)
+    print_results(
+        "Table III: Proc_new vs failure duration (X = 3 s, 1 replicated node)",
+        [format_table("paper: Proc_new ~= 2.8 s for all durations", results)],
+    )
+    for result in results:
+        assert result.eventually_consistent, f"not consistent for {result.failure_duration}s"
+        # Availability: Delay_new < X.  Normal processing latency in this
+        # deployment is a few hundred milliseconds, so Proc_new must stay
+        # below X + 0.75 s for every failure duration.
+        assert result.proc_new < 3.75, f"availability violated for {result.failure_duration}s"
+    # The defining property of Table III: latency does not grow with failure
+    # duration.  In the paper a 2-second failure is fully masked by the
+    # initial suspension (Proc_new = 2.2 s) while every longer failure costs
+    # the same 2.8 s; we therefore check flatness over the failures that
+    # exceed the availability bound X and that short failures never cost more
+    # than long ones.
+    unmasked = [r.proc_new for r in results if r.failure_duration > 3.0]
+    masked = [r.proc_new for r in results if r.failure_duration <= 3.0]
+    assert max(unmasked) <= min(unmasked) * 1.2 + 0.3
+    if masked:
+        assert max(masked) <= max(unmasked) + 0.1

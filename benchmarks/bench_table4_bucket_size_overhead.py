@@ -1,0 +1,41 @@
+"""Table IV: serialization latency overhead as a function of SUnion bucket size.
+
+One source at ~100 tuples/s feeds ``SUnion -> SOutput``; the boundary interval
+is fixed at 10 ms and the bucket size varies.  The paper's observation: the
+maximum and average per-tuple latency grow roughly linearly with the bucket
+size, while a plain Union (no serialization, no boundaries) provides the
+baseline floor.
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import table4
+
+BUCKETS_QUICK = (0.01, 0.1, 0.2, 0.5)
+BUCKETS_FULL = (0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5)
+
+
+def test_table4_bucket_size_overhead(run_once):
+    buckets = BUCKETS_FULL if full_sweep() else BUCKETS_QUICK
+    rows = run_once(table4, buckets, duration=20.0)
+    print_results(
+        "Table IV: latency overhead vs bucket size (boundary interval = 10 ms)",
+        [row.row("bucket") for row in rows],
+    )
+    baseline, measured = rows[0], rows[1:]
+    # Serialization always costs something compared to the plain Union.
+    for row in measured:
+        assert row.latency.average >= baseline.latency.average
+
+    # Average and maximum latency grow monotonically with the bucket size, and
+    # the growth is roughly proportional to it (the paper's linear trend).
+    averages = [row.latency.average for row in measured]
+    assert averages == sorted(averages)
+    maxima = [row.latency.maximum for row in measured]
+    assert maxima == sorted(maxima)
+    small, large = measured[0], measured[-1]
+    assert large.latency.maximum - small.latency.maximum > 0.5 * (
+        large.parameter_ms - small.parameter_ms
+    ) / 1000.0

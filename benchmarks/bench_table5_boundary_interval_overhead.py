@@ -1,0 +1,37 @@
+"""Table V: serialization latency overhead as a function of the boundary interval.
+
+Same setup as Table IV but with the bucket size fixed at 10 ms and the
+boundary-tuple interval varying: a bucket only becomes stable when a boundary
+with a sufficiently large stime arrives, so the latency grows roughly linearly
+with the boundary interval as well.
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import table5
+
+INTERVALS_QUICK = (0.01, 0.1, 0.2, 0.5)
+INTERVALS_FULL = (0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5)
+
+
+def test_table5_boundary_interval_overhead(run_once):
+    intervals = INTERVALS_FULL if full_sweep() else INTERVALS_QUICK
+    rows = run_once(table5, intervals, duration=20.0)
+    print_results(
+        "Table V: latency overhead vs boundary interval (bucket size = 10 ms)",
+        [row.row("interval") for row in rows],
+    )
+    baseline, measured = rows[0], rows[1:]
+    for row in measured:
+        assert row.latency.average >= baseline.latency.average
+
+    averages = [row.latency.average for row in measured]
+    assert averages == sorted(averages)
+    maxima = [row.latency.maximum for row in measured]
+    assert maxima == sorted(maxima)
+    small, large = measured[0], measured[-1]
+    assert large.latency.maximum - small.latency.maximum > 0.5 * (
+        large.parameter_ms - small.parameter_ms
+    ) / 1000.0

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper by running the
+corresponding experiment once (``benchmark.pedantic`` with a single round --
+the interesting output is the reproduced table, not the wall-clock time of
+the simulation) and printing the rows so they can be compared against the
+paper and recorded in EXPERIMENTS.md.
+
+Set ``REPRO_BENCH_SCALE=full`` in the environment to run the full parameter
+sweeps from the paper instead of the reduced (but shape-preserving) defaults.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_sweep() -> bool:
+    return os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full"
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+def print_results(title: str, lines) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+    for line in lines:
+        print(line)

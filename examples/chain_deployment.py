@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""A four-node chain: delay policies and delay assignment in a distributed SPE.
+
+This example reproduces, at example scale, the Section 6.2/6.3 story:
+
+1. deploy a chain of four replicated processing nodes (Figure 14);
+2. fail one input stream for 10 seconds;
+3. compare three configurations:
+   * ``Process & Process`` with the end-to-end budget split uniformly
+     (D = 2 s per node),
+   * ``Delay & Delay`` with the same uniform split,
+   * ``Process & Process`` with the whole budget (minus a queuing allowance)
+     assigned to every SUnion -- the paper's recommendation;
+4. print the availability (Proc_new) and inconsistency (N_tentative) of each,
+   as a small pivot table.
+
+Run with::
+
+    python examples/chain_deployment.py
+"""
+
+from repro.analysis.tables import pivot_results, render_text
+from repro.config import DelayAssignment, DelayPolicy
+from repro.core import DelayPlanner
+from repro.experiments import availability_run
+
+CHAIN_DEPTH = 4
+BUDGET = 8.0  # end-to-end incremental latency bound X, in seconds
+FAILURE_DURATION = 10.0
+RATE = 120.0  # aggregate tuples per simulated second (kept low for a quick run)
+
+
+def main() -> None:
+    # The DelayPlanner shows what each strategy assigns before running anything.
+    planner = DelayPlanner.for_chain(CHAIN_DEPTH, total_budget=BUDGET)
+    for strategy in (DelayAssignment.UNIFORM, DelayAssignment.FULL):
+        plan = planner.plan(strategy)
+        print(
+            f"{strategy.value:>8}: D = {plan.per_node['node1']:.1f} s per node, "
+            f"masks failures up to {plan.masked_failure:.1f} s"
+        )
+    print()
+
+    variants = {
+        "Process & Process, D=2s": dict(
+            policy=DelayPolicy.process_process(),
+            per_node_delay=2.0,
+            delay_assignment=DelayAssignment.UNIFORM,
+        ),
+        "Delay & Delay, D=2s": dict(
+            policy=DelayPolicy.delay_delay(),
+            per_node_delay=2.0,
+            delay_assignment=DelayAssignment.UNIFORM,
+        ),
+        "Process & Process, D=6.5s": dict(
+            policy=DelayPolicy.process_process(),
+            per_node_delay=6.5,
+            delay_assignment=DelayAssignment.FULL,
+        ),
+    }
+
+    results = []
+    for label, variant in variants.items():
+        print(f"running {label} ...")
+        results.append(
+            availability_run(
+                failure_duration=FAILURE_DURATION,
+                label=label,
+                chain_depth=CHAIN_DEPTH,
+                replicas_per_node=2,
+                aggregate_rate=RATE,
+                max_incremental_latency=BUDGET,
+                failure_kind="silence",
+                settle=35.0,
+                join_state_size=None,
+                **variant,
+            )
+        )
+
+    print()
+    table = pivot_results(
+        results,
+        title=f"{CHAIN_DEPTH}-node chain, {FAILURE_DURATION:.0f} s failure, X = {BUDGET:.0f} s",
+        row=lambda r: r.label,
+        column=lambda r: "Proc_new (s)",
+        value=lambda r: r.proc_new,
+        row_label="configuration",
+        column_label="metric",
+    )
+    for result in results:
+        table.set(result.label, "N_tentative", result.n_tentative)
+        table.set(result.label, "consistent", result.eventually_consistent)
+    print(render_text(table))
+    print()
+    print("All three configurations stay eventually consistent.  The whole-budget")
+    print("assignment still meets the 8-second bound even though every SUnion may")
+    print("delay for 6.5 s, because all of them suspend at the same time; failures")
+    print("shorter than 6.5 s would be masked entirely (run with FAILURE_DURATION=5")
+    print("to see zero tentative tuples) -- the Section 6.3 result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Fail-stop crash of a processing-node replica, masked by replication.
+
+The availability experiments of the paper fail input streams; this example
+exercises the other failure mode DPC handles (Section 4.5): the replica a
+client is reading from crashes outright.  The client's consistency manager
+stops receiving heartbeat responses, consults the replica set, and switches
+to the surviving replica -- which processed the same input all along, so the
+output stream continues seamlessly, with no tentative tuples at all.
+
+Run with::
+
+    python examples/crash_failover.py
+"""
+
+from repro import DPCConfig, build_chain_cluster
+from repro.analysis.traces import analyze_trace, output_gaps
+from repro.experiments import check_eventual_consistency
+from repro.workloads import FailureSpec, Scenario
+
+CRASH_START = 5.0
+CRASH_DURATION = 15.0
+
+
+def main() -> None:
+    config = DPCConfig(max_incremental_latency=3.0)
+    cluster = build_chain_cluster(
+        chain_depth=1,
+        replicas_per_node=2,
+        aggregate_rate=120.0,
+        config=config,
+    )
+    crashed = cluster.node(0, 0)
+    survivor = cluster.node(0, 1)
+
+    scenario = Scenario(
+        warmup=CRASH_START,
+        settle=30.0,
+        failures=[
+            FailureSpec(
+                kind="crash",
+                start=CRASH_START,
+                duration=CRASH_DURATION,
+                node_level=0,
+                node_replica=0,
+            )
+        ],
+    )
+    scenario.run(cluster)
+
+    client = cluster.client
+    analysis = analyze_trace(client.metrics.trace)
+    gaps = output_gaps(client.metrics.trace, threshold=0.5)
+
+    print(f"crashed replica:   {crashed.name} (down {CRASH_DURATION:.0f} s, then restarted)")
+    print(f"surviving replica: {survivor.name}")
+    print()
+    print("=== client view ===")
+    print(f"upstream switches performed:        {client.cm.switches_performed}")
+    print(f"maximum latency of new results:     {client.proc_new:.2f} s (bound: 3 s + processing)")
+    print(f"tentative results received:         {client.n_tentative}")
+    print(f"gaps > 0.5 s in new data:           {len(gaps)}")
+    print(f"eventually consistent:              {check_eventual_consistency(cluster)}")
+    print(f"trace shows a failure episode:      {analysis.had_failure}")
+    print()
+    print("A crash of one replica is invisible to the application: the other replica")
+    print("has the same state (replicas stay mutually consistent in the absence of")
+    print("failures), so the switch introduces no inconsistency whatsoever.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Sensor-based environment monitoring across a chain of processing nodes.
+
+The paper's second motivating application: building/pipeline sensors feed a
+distributed SPE; when part of the sensor network disconnects, the system keeps
+producing (tentative) air-quality alerts from the sensors that remain, and
+corrects them once the disconnection heals -- technicians dispatched on
+tentative alerts can be re-assigned quickly when the stable results arrive.
+
+This example uses a two-node chain (aggregation close to the sensors, alerting
+closer to the operations center), each node replicated, and compares two
+configurations of the availability/consistency trade-off: eager processing
+(Process & Process) versus maximal delaying (Delay & Delay).
+
+Run with::
+
+    python examples/sensor_monitoring.py
+"""
+
+from repro import DelayPolicy, DPCConfig, build_chain_cluster
+from repro.experiments import check_eventual_consistency
+from repro.workloads import FailureSpec, Scenario
+from repro.workloads.generators import sensor_readings
+
+
+def run(policy: DelayPolicy) -> dict:
+    config = DPCConfig(
+        max_incremental_latency=4.0,  # the operations center tolerates 4 s end-to-end
+        delay_policy=policy,
+    )
+    cluster = build_chain_cluster(
+        chain_depth=2,
+        replicas_per_node=2,
+        n_input_streams=3,
+        aggregate_rate=150.0,
+        config=config,
+        join_state_size=None,
+        payload_factory=lambda index, total: sensor_readings(index, total, seed=3),
+    )
+    # One sensor gateway stops sending heartbeats (boundary tuples) for 12 s.
+    scenario = Scenario(
+        warmup=8.0,
+        settle=30.0,
+        failures=[FailureSpec(kind="silence", start=8.0, duration=12.0, stream_index=0)],
+    )
+    scenario.run(cluster)
+    client = cluster.client
+    return {
+        "policy": policy.name,
+        "proc_new": client.proc_new,
+        "tentative": client.n_tentative,
+        "stable": client.metrics.consistency.total_stable,
+        "consistent": check_eventual_consistency(cluster),
+    }
+
+
+def main() -> None:
+    print("sensor monitoring: 2-node replicated chain, 12 s gateway outage\n")
+    print(f"{'policy':<22} {'Proc_new':>9} {'tentative':>10} {'stable':>8} {'consistent':>11}")
+    for policy in (DelayPolicy.process_process(), DelayPolicy.delay_delay()):
+        result = run(policy)
+        print(
+            f"{result['policy']:<22} {result['proc_new']:>8.2f}s {result['tentative']:>10d} "
+            f"{result['stable']:>8d} {str(result['consistent']):>11}"
+        )
+    print(
+        "\nDelay & Delay trades a higher (but still bounded) latency for fewer"
+        " tentative alerts; both configurations converge to the same stable output."
+    )
+
+
+if __name__ == "__main__":
+    main()

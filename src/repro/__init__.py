@@ -1,0 +1,131 @@
+"""Reproduction of "Fault-Tolerance in the Borealis Distributed Stream Processing System".
+
+The package implements three layers (see DESIGN.md):
+
+* :mod:`repro.spe` -- a Borealis-like stream processing engine with the
+  DPC-extended data model and operators;
+* :mod:`repro.sim` -- a deterministic discrete-event substrate standing in for
+  the paper's physical cluster (network, failures, sources, clients);
+* :mod:`repro.core` -- DPC itself: the state machine, consistency manager,
+  upstream switching, checkpoint/redo reconciliation, and delay policies.
+
+Quick start::
+
+    from repro import build_chain_cluster, single_failure
+
+    cluster = build_chain_cluster(chain_depth=1, replicas_per_node=2,
+                                  aggregate_rate=150.0)
+    scenario = single_failure(kind="disconnect", start=5.0, duration=10.0)
+    scenario.run(cluster)
+    print(cluster.client.summary())
+"""
+
+from .config import (
+    BufferPolicy,
+    DelayAssignment,
+    DelayPolicy,
+    DPCConfig,
+    ProcessingPolicy,
+    SimulationConfig,
+)
+from .errors import (
+    BufferOverflowError,
+    CheckpointError,
+    ConfigurationError,
+    DiagramError,
+    NetworkError,
+    OperatorError,
+    ProtocolError,
+    ReproError,
+    SchemaError,
+    SimulationError,
+    StreamError,
+)
+# Note: repro.sim must be imported before repro.core -- the core package's
+# modules import the simulator primitives, while repro.sim.client imports the
+# ConsistencyManager; loading sim first keeps the import graph acyclic.
+from .sim import (
+    ClientApplication,
+    Cluster,
+    DataSource,
+    FailureInjector,
+    Network,
+    Simulator,
+    build_chain_cluster,
+    build_single_node_cluster,
+)
+from .core import NodeState, ProcessingNode, choose_upstream
+from .spe import (
+    Aggregate,
+    Filter,
+    Join,
+    LocalEngine,
+    Map,
+    QueryDiagram,
+    Schema,
+    SJoin,
+    SOutput,
+    StreamTuple,
+    SUnion,
+    TupleType,
+    Union,
+    WindowSpec,
+)
+from .workloads import Scenario, FailureSpec, single_failure
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "BufferPolicy",
+    "DelayAssignment",
+    "DelayPolicy",
+    "DPCConfig",
+    "ProcessingPolicy",
+    "SimulationConfig",
+    # errors
+    "ReproError",
+    "SchemaError",
+    "DiagramError",
+    "OperatorError",
+    "StreamError",
+    "CheckpointError",
+    "SimulationError",
+    "NetworkError",
+    "ConfigurationError",
+    "ProtocolError",
+    "BufferOverflowError",
+    # DPC core
+    "NodeState",
+    "ProcessingNode",
+    "choose_upstream",
+    # simulation substrate
+    "ClientApplication",
+    "Cluster",
+    "DataSource",
+    "FailureInjector",
+    "Network",
+    "Simulator",
+    "build_chain_cluster",
+    "build_single_node_cluster",
+    # SPE
+    "StreamTuple",
+    "TupleType",
+    "Schema",
+    "WindowSpec",
+    "QueryDiagram",
+    "LocalEngine",
+    "Filter",
+    "Map",
+    "Union",
+    "Aggregate",
+    "Join",
+    "SUnion",
+    "SJoin",
+    "SOutput",
+    # workloads
+    "Scenario",
+    "FailureSpec",
+    "single_failure",
+]

@@ -1,0 +1,313 @@
+"""Command-line interface of the reproduction.
+
+``python -m repro`` exposes the experiment runners so every table and figure
+of the paper can be regenerated (and exported as text, Markdown, or CSV)
+without writing any code::
+
+    python -m repro list
+    python -m repro run table3
+    python -m repro run fig16 --scale quick --format markdown
+    python -m repro run replicas --output replicas.csv --format csv
+    python -m repro claims
+    python -m repro plan-delays --depth 4 --budget 8 --strategy full
+
+The CLI is a thin layer over :mod:`repro.experiments` and
+:mod:`repro.analysis`; everything it prints can also be produced
+programmatically (see the examples).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .analysis.paper import PAPER_CLAIMS
+from .analysis.tables import (
+    ResultTable,
+    metric_by_duration,
+    proc_new_by_depth,
+    render_csv,
+    render_markdown,
+    render_text,
+    tentative_by_depth,
+)
+from .config import DelayAssignment
+from .core.delay_planner import DelayPlanner
+from .experiments import ablations, chains, overhead, single_node
+from .experiments.harness import ExperimentResult
+
+#: Renderers selectable with ``--format``.
+_RENDERERS: dict[str, Callable[[ResultTable], str]] = {
+    "text": render_text,
+    "markdown": render_markdown,
+    "csv": render_csv,
+}
+
+
+# --------------------------------------------------------------------------- experiment registry
+class ExperimentCommand:
+    """One runnable experiment: produces a list of tables."""
+
+    def __init__(self, name: str, description: str, runner: Callable[[str], list[ResultTable]]):
+        self.name = name
+        self.description = description
+        self.runner = runner
+
+    def run(self, scale: str) -> list[ResultTable]:
+        return self.runner(scale)
+
+
+def _durations(scale: str, quick: Sequence[float], full: Sequence[float]) -> Sequence[float]:
+    return full if scale == "full" else quick
+
+
+def _results_to_tables(results: list[ExperimentResult], title: str, by: str) -> list[ResultTable]:
+    if by == "depth":
+        return [proc_new_by_depth(results, f"{title}: Proc_new (s)"),
+                tentative_by_depth(results, f"{title}: N_tentative")]
+    return [
+        metric_by_duration(results, f"{title}: Proc_new (s)", lambda r: r.proc_new),
+        metric_by_duration(results, f"{title}: N_tentative", lambda r: r.n_tentative),
+    ]
+
+
+def _run_table3(scale: str) -> list[ResultTable]:
+    durations = _durations(scale, (2, 8, 16, 30, 60), (2, 4, 6, 8, 10, 12, 14, 16, 30, 45, 60))
+    return _results_to_tables(single_node.table3(durations), "Table III", by="duration")
+
+
+def _run_fig11(overlapping: bool) -> Callable[[str], list[ResultTable]]:
+    def runner(scale: str) -> list[ResultTable]:
+        result = single_node.eventual_consistency_trace(overlapping=overlapping)
+        table = ResultTable(
+            title=result.label, row_label="metric", column_label="value"
+        )
+        table.set("eventually consistent", "value", result.eventually_consistent)
+        table.set("tentative tuples", "value", result.n_tentative)
+        table.set("undo tuples", "value", result.n_undos)
+        table.set("REC_DONE markers", "value", result.n_rec_done)
+        table.set("reconciliations", "value", result.reconciliations)
+        return [table]
+
+    return runner
+
+
+def _run_fig13(scale: str) -> list[ResultTable]:
+    durations = _durations(scale, (2, 10, 30), (2, 6, 10, 14, 30, 60))
+    return _results_to_tables(single_node.fig13(durations), "Figure 13", by="duration")
+
+
+def _run_fig15(scale: str) -> list[ResultTable]:
+    depths = _durations(scale, (1, 2, 4), (1, 2, 3, 4))
+    return _results_to_tables(chains.fig15([int(d) for d in depths]), "Figure 15", by="depth")
+
+
+def _run_fig16(scale: str) -> list[ResultTable]:
+    durations = _durations(scale, (5, 30), (5, 10, 15, 30))
+    depths = (1, 2, 4) if scale != "full" else (1, 2, 3, 4)
+    results = chains.fig16([float(d) for d in durations], depths=[int(d) for d in depths])
+    tables = []
+    for duration in durations:
+        subset = [r for r in results if r.failure_duration == duration]
+        tables.extend(_results_to_tables(subset, f"Figure 16 ({duration:g} s failure)", by="depth"))
+    return tables
+
+
+def _run_fig18(scale: str) -> list[ResultTable]:
+    depths = _durations(scale, (1, 2, 4), (1, 2, 3, 4))
+    return _results_to_tables(chains.fig18([int(d) for d in depths]), "Figure 18", by="depth")
+
+
+def _run_fig19_20(scale: str) -> list[ResultTable]:
+    durations = _durations(scale, (5, 30), (5, 10, 15, 30))
+    results = chains.fig19_20([float(d) for d in durations])
+    return _results_to_tables(results, "Figures 19-20", by="duration")
+
+
+def _overhead_table(rows, parameter: str, title: str) -> ResultTable:
+    table = ResultTable(title=title, row_label=parameter, column_label="latency (ms)")
+    for row in rows:
+        ms = row.latency.scaled(1000.0)
+        table.set(f"{row.parameter_ms:.0f} ms", "min", ms.minimum)
+        table.set(f"{row.parameter_ms:.0f} ms", "max", ms.maximum)
+        table.set(f"{row.parameter_ms:.0f} ms", "avg", ms.average)
+        table.set(f"{row.parameter_ms:.0f} ms", "std", ms.stddev)
+    return table
+
+
+def _run_table4(scale: str) -> list[ResultTable]:
+    sizes = (0.05, 0.1, 0.3) if scale != "full" else (0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5)
+    return [_overhead_table(overhead.table4(sizes), "bucket size", "Table IV: overhead vs bucket size")]
+
+
+def _run_table5(scale: str) -> list[ResultTable]:
+    intervals = (0.05, 0.1, 0.3) if scale != "full" else (0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5)
+    return [
+        _overhead_table(
+            overhead.table5(intervals), "boundary interval", "Table V: overhead vs boundary interval"
+        )
+    ]
+
+
+def _run_replicas(scale: str) -> list[ResultTable]:
+    counts = (1, 2) if scale != "full" else (1, 2, 3)
+    results = ablations.replica_sweep(counts)
+    return _results_to_tables(results, "Ablation: replicas per node", by="duration")
+
+
+def _run_detection(scale: str) -> list[ResultTable]:
+    periods = (0.1, 0.5) if scale != "full" else (0.05, 0.1, 0.25, 0.5)
+    results = ablations.detection_sweep(periods)
+    table = ResultTable(
+        title="Ablation: failure detection parameters", row_label="keepalive", column_label="metric"
+    )
+    for result in results:
+        key = f"{result.keepalive_period * 1000:.0f} ms"
+        table.set(key, "Proc_new (s)", result.proc_new)
+        table.set(key, "max gap (s)", result.max_gap)
+        table.set(key, "N_tentative", result.n_tentative)
+        table.set(key, "switches", result.switches)
+    return [table]
+
+
+def _run_crash(scale: str) -> list[ResultTable]:
+    result = ablations.crash_failover()
+    table = ResultTable(title="Ablation: crash failover", row_label="metric", column_label="value")
+    table.set("Proc_new (s)", "value", result.proc_new)
+    table.set("max gap (s)", "value", result.max_gap)
+    table.set("N_tentative", "value", result.n_tentative)
+    table.set("eventually consistent", "value", result.eventually_consistent)
+    table.set("upstream switches", "value", result.extra.get("switches"))
+    return [table]
+
+
+def _run_granularity(scale: str) -> list[ResultTable]:
+    results = [ablations.granularity_run(False), ablations.granularity_run(True)]
+    return _results_to_tables(results, "Ablation: failure granularity", by="duration")
+
+
+EXPERIMENTS: dict[str, ExperimentCommand] = {
+    "table3": ExperimentCommand("table3", "Table III: Proc_new vs failure duration", _run_table3),
+    "fig11a": ExperimentCommand("fig11a", "Figure 11(a): overlapping failures", _run_fig11(True)),
+    "fig11b": ExperimentCommand("fig11b", "Figure 11(b): failure during recovery", _run_fig11(False)),
+    "fig13": ExperimentCommand("fig13", "Figure 13: six delay-policy variants", _run_fig13),
+    "fig15": ExperimentCommand("fig15", "Figure 15: Proc_new vs chain depth", _run_fig15),
+    "fig16": ExperimentCommand("fig16", "Figure 16: N_tentative vs depth, short failures", _run_fig16),
+    "fig18": ExperimentCommand("fig18", "Figure 18: N_tentative, 60 s failure", _run_fig18),
+    "fig19": ExperimentCommand("fig19", "Figures 19-20: delay assignment strategies", _run_fig19_20),
+    "fig20": ExperimentCommand("fig20", "Figures 19-20: delay assignment strategies", _run_fig19_20),
+    "table4": ExperimentCommand("table4", "Table IV: overhead vs bucket size", _run_table4),
+    "table5": ExperimentCommand("table5", "Table V: overhead vs boundary interval", _run_table5),
+    "replicas": ExperimentCommand("replicas", "Ablation: replicas per node", _run_replicas),
+    "detection": ExperimentCommand("detection", "Ablation: detection parameters", _run_detection),
+    "crash": ExperimentCommand("crash", "Ablation: crash failover", _run_crash),
+    "granularity": ExperimentCommand("granularity", "Ablation: failure granularity", _run_granularity),
+}
+
+
+# --------------------------------------------------------------------------- commands
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    print("Available experiments:")
+    for name, command in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {command.description}")
+    return 0
+
+
+def _cmd_claims(_args: argparse.Namespace) -> int:
+    for claim in PAPER_CLAIMS:
+        print(f"{claim.experiment_id} (Section {claim.section}) -- {claim.title}")
+        print(f"  {claim.claim}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        command = EXPERIMENTS[args.experiment]
+    except KeyError:
+        print(f"unknown experiment {args.experiment!r}; run 'python -m repro list'", file=sys.stderr)
+        return 2
+    renderer = _RENDERERS[args.format]
+    tables = command.run(args.scale)
+    rendered = "\n\n".join(renderer(table) for table in tables)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.builders import build_quick_report
+
+    print("running reduced sweeps of the headline experiments (a few minutes) ...")
+    report = build_quick_report(aggregate_rate=args.rate)
+    report.write(args.output)
+    passed = sum(1 for section in report.sections if section.passed)
+    print(f"wrote {args.output}: {passed}/{len(report.sections)} sections match the paper's shape")
+    return 0 if report.all_passed else 1
+
+
+def _cmd_plan_delays(args: argparse.Namespace) -> int:
+    planner = DelayPlanner.for_chain(
+        args.depth, total_budget=args.budget, queuing_allowance=args.queuing_allowance
+    )
+    strategy = DelayAssignment(args.strategy)
+    plan = planner.plan(strategy)
+    print(f"strategy: {plan.strategy.value}")
+    print(f"end-to-end budget X: {plan.total_budget:g} s")
+    print(f"masked failure duration: {plan.masked_failure:g} s")
+    for node, delay in plan.per_node.items():
+        print(f"  {node}: D = {delay:g} s")
+    for note in plan.notes:
+        print(f"note: {note}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of DPC fault-tolerance in the Borealis stream processing engine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available experiments").set_defaults(func=_cmd_list)
+    sub.add_parser("claims", help="print the paper claims behind each experiment").set_defaults(
+        func=_cmd_claims
+    )
+
+    run = sub.add_parser("run", help="run one experiment and print its tables")
+    run.add_argument("experiment", help="experiment id (see 'list')")
+    run.add_argument("--scale", choices=("quick", "full"), default="quick",
+                     help="quick runs a reduced sweep; full matches the paper's parameter grid")
+    run.add_argument("--format", choices=sorted(_RENDERERS), default="text")
+    run.add_argument("--output", help="write the rendered tables to this file instead of stdout")
+    run.set_defaults(func=_cmd_run)
+
+    report = sub.add_parser(
+        "report", help="run reduced sweeps and write a paper-vs-measured Markdown report"
+    )
+    report.add_argument("--output", default="report.md", help="path of the Markdown report")
+    report.add_argument("--rate", type=float, default=120.0,
+                        help="aggregate tuple rate used by the reduced sweeps")
+    report.set_defaults(func=_cmd_report)
+
+    plan = sub.add_parser("plan-delays", help="plan per-node delay budgets for a chain")
+    plan.add_argument("--depth", type=int, default=4, help="number of nodes in the chain")
+    plan.add_argument("--budget", type=float, default=8.0, help="end-to-end bound X in seconds")
+    plan.add_argument("--queuing-allowance", type=float, default=1.5,
+                      help="allowance subtracted by the FULL strategy")
+    plan.add_argument("--strategy", choices=[s.value for s in DelayAssignment], default="full")
+    plan.set_defaults(func=_cmd_plan_delays)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` (and by the CLI tests)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

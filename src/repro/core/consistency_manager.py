@@ -1,0 +1,445 @@
+"""The Consistency Manager (Figure 4(b) of the paper).
+
+One :class:`ConsistencyManager` runs inside every DPC participant that
+consumes streams (processing nodes and client proxies).  It carries out the
+inter-node runtime communication and the intra-node state monitoring the paper
+assigns to this component:
+
+* it sends periodic keep-alive (heartbeat) requests to every producer of every
+  input stream and records the per-stream consistency states they advertise;
+* it detects input-stream failures (missing boundary tuples / heartbeats, or
+  tentative tuples arriving) and applies the Table II condition-action rules
+  to switch between upstream replicas;
+* it tracks the node's own DPC state machine (Figure 5) and advertises the
+  node's state to downstream neighbors through heartbeat responses;
+* it runs the inter-replica protocol that staggers state reconciliations so
+  that at least one replica keeps processing recent input at all times
+  (Figure 9).
+
+The manager is deliberately mechanism-only: *what to do* when a failure is
+detected or healed (checkpointing, delaying tuples, reconciling) is delegated
+to its owner through the :class:`ConsistencyOwner` callback interface, which
+:class:`repro.core.node.ProcessingNode` and
+:class:`repro.sim.client.ClientApplication` implement.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Protocol, Sequence
+
+from ..config import DPCConfig
+from ..errors import ProtocolError
+from ..sim.event_loop import Simulator
+from ..sim.events import EventKind
+from ..sim.network import Message, Network
+from ..spe.tuples import StreamTuple
+from .input_streams import InputStreamMonitor
+from .protocol import (
+    HEARTBEAT_REQUEST,
+    HEARTBEAT_RESPONSE,
+    RECONCILE_REPLY,
+    RECONCILE_REQUEST,
+    SUBSCRIBE,
+    UNSUBSCRIBE,
+    HeartbeatRequest,
+    HeartbeatResponse,
+    ReconcileReply,
+    ReconcileRequest,
+    SubscribeRequest,
+    UnsubscribeRequest,
+)
+from .states import NodeState, can_transition
+from .switching import choose_upstream
+
+
+class ConsistencyOwner(Protocol):
+    """Callbacks a ConsistencyManager owner must provide."""
+
+    endpoint: str
+
+    def on_input_failure(self, stream: str, now: float) -> None:
+        """Called when an input stream failure cannot be masked by switching."""
+
+    def on_inputs_healed(self, now: float) -> None:
+        """Called when every failed input stream has healed."""
+
+    def apply_local_undo(self, stream: str, now: float) -> None:
+        """Drop locally-held tentative data of ``stream`` (an UNDO arrived)."""
+
+    def output_stream_states(self) -> Mapping[str, NodeState]:
+        """Per-output-stream states to advertise in heartbeat responses."""
+
+    def start_reconciliation(self, now: float) -> None:
+        """Authorization to enter STABILIZATION was granted."""
+
+    def wants_reconciliation(self) -> bool:
+        """True when the owner has tentative state it needs to reconcile."""
+
+
+class ConsistencyManager:
+    """Per-participant DPC control plane."""
+
+    def __init__(
+        self,
+        owner: ConsistencyOwner,
+        simulator: Simulator,
+        network: Network,
+        config: DPCConfig,
+        replica_partners: Sequence[str] = (),
+    ) -> None:
+        self.owner = owner
+        self.simulator = simulator
+        self.network = network
+        self.config = config
+        self.replica_partners = list(replica_partners)
+        self.monitors: dict[str, InputStreamMonitor] = {}
+        self._state = NodeState.STABLE
+        #: (time, state) history, for tests and experiment traces.
+        self.state_history: list[tuple[float, NodeState]] = [(simulator.now, NodeState.STABLE)]
+        self._rng = random.Random(hash(owner.endpoint) & 0xFFFF)
+        self._reconcile_request_id = 0
+        self._reconcile_pending = False
+        self._reconcile_requested_at: float | None = None
+        self._started = False
+        # Statistics
+        self.switches_performed = 0
+        self.heartbeats_sent = 0
+
+    # ------------------------------------------------------------------ state machine
+    @property
+    def state(self) -> NodeState:
+        return self._state
+
+    def set_state(self, new_state: NodeState) -> None:
+        """Transition the DPC state machine, enforcing Figure 5's edges."""
+        if new_state is self._state:
+            return
+        if not can_transition(self._state, new_state):
+            raise ProtocolError(
+                f"{self.owner.endpoint}: invalid state transition "
+                f"{self._state.value} -> {new_state.value}"
+            )
+        self._state = new_state
+        self.state_history.append((self.simulator.now, new_state))
+
+    # ------------------------------------------------------------------ input registration
+    def register_input(
+        self,
+        stream: str,
+        producers: Sequence[str],
+        source_producers: Sequence[str] = (),
+    ) -> InputStreamMonitor:
+        """Declare an input stream and the endpoints that can produce it."""
+        if stream in self.monitors:
+            raise ProtocolError(f"input stream {stream!r} already registered")
+        monitor = InputStreamMonitor(stream=stream)
+        for endpoint in producers:
+            info = monitor.add_producer(endpoint, is_source=endpoint in set(source_producers))
+            info.last_response_at = self.simulator.now + self.config.startup_grace
+        # Grace period: do not declare a failure before the first boundaries
+        # had a chance to propagate through the freshly deployed diagram.
+        monitor.last_boundary_arrival = self.simulator.now + self.config.startup_grace
+        self.monitors[stream] = monitor
+        return monitor
+
+    def monitor(self, stream: str) -> InputStreamMonitor:
+        try:
+            return self.monitors[stream]
+        except KeyError as exc:
+            raise ProtocolError(f"unknown input stream {stream!r}") from exc
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Begin the periodic control loop (heartbeats, detection, switching)."""
+        if self._started:
+            return
+        self._started = True
+        self.simulator.schedule_periodic(
+            self.config.keepalive_period,
+            self.control_tick,
+            kind=EventKind.TIMER,
+            description=f"{self.owner.endpoint} control tick",
+            start_delay=self.config.keepalive_period,
+        )
+
+    # ------------------------------------------------------------------ control loop
+    def control_tick(self, now: float) -> None:
+        self._send_heartbeats(now)
+        self._detect_and_switch(now)
+        self._check_healing(now)
+        self._maybe_request_reconciliation(now)
+
+    def _send_heartbeats(self, now: float) -> None:
+        """Request a heartbeat response from every non-source producer."""
+        targets: set[str] = set()
+        for monitor in self.monitors.values():
+            for endpoint, info in monitor.producers.items():
+                if not info.is_source:
+                    targets.add(endpoint)
+        for endpoint in sorted(targets):
+            self.network.send(
+                self.owner.endpoint,
+                endpoint,
+                HEARTBEAT_REQUEST,
+                HeartbeatRequest(requester=self.owner.endpoint),
+            )
+            self.heartbeats_sent += 1
+
+    def _detect_and_switch(self, now: float) -> None:
+        for monitor in self.monitors.values():
+            newly_failed = monitor.detect_failure(now, self.config.failure_detection_timeout)
+            self._evaluate_switch(monitor, now)
+            if newly_failed:
+                # After attempting a switch, the failure is masked only if the
+                # (possibly new) primary is a stable producer that will replay
+                # the missing data.  Otherwise the owner must start its
+                # UP_FAILURE handling (checkpoint, tentative processing).
+                if not self._is_masked(monitor, now):
+                    self.owner.on_input_failure(monitor.stream, now)
+                    if self._state is NodeState.STABLE:
+                        self.set_state(NodeState.UP_FAILURE)
+            elif monitor.failed and self._state is NodeState.STABLE:
+                # The failure was initially masked (or detected while another
+                # one was being handled) but can no longer be: the owner must
+                # start its UP_FAILURE handling now.
+                if not self._is_masked(monitor, now):
+                    self.owner.on_input_failure(monitor.stream, now)
+                    self.set_state(NodeState.UP_FAILURE)
+
+    def _is_masked(self, monitor: InputStreamMonitor, now: float) -> bool:
+        """True when the stream's primary producer is STABLE (failure masked)."""
+        if monitor.primary is None:
+            return False
+        info = monitor.producers[monitor.primary]
+        if info.is_source:
+            # Source streams have no replicas; the failure cannot be masked
+            # unless boundaries are in fact still flowing.
+            return monitor.boundary_silent_for(now) <= self.config.failure_detection_timeout
+        state = info.effective_state(now, self._response_timeout())
+        return state is NodeState.STABLE and monitor.tentative_since_stable == 0
+
+    def _response_timeout(self) -> float:
+        return max(2 * self.config.keepalive_period, self.config.failure_detection_timeout)
+
+    def _evaluate_switch(self, monitor: InputStreamMonitor, now: float) -> None:
+        """Apply Table II for one input stream."""
+        states = monitor.producer_states(now, self._response_timeout())
+        if not states or all(info.is_source for info in monitor.producers.values()):
+            return
+        decision = choose_upstream(monitor.primary, states)
+        if not decision.switch or decision.target is None:
+            self._maybe_track_correcting(monitor, states)
+            return
+        self._perform_switch(monitor, decision.target, now)
+        self._maybe_track_correcting(monitor, states)
+
+    def _maybe_track_correcting(self, monitor: InputStreamMonitor, states: Mapping[str, NodeState]) -> None:
+        """Keep a background connection to a stabilizing ex-primary (Section 4.4.3)."""
+        if monitor.correcting is not None:
+            if states.get(monitor.correcting) not in (NodeState.STABILIZATION,):
+                # The correcting replica finished (or failed); it is either the
+                # primary again by now or no longer useful.
+                if monitor.correcting == monitor.primary:
+                    monitor.correcting = None
+                elif states.get(monitor.correcting) is NodeState.FAILURE:
+                    monitor.correcting = None
+
+    def _perform_switch(self, monitor: InputStreamMonitor, target: str, now: float) -> None:
+        previous = monitor.primary
+        if previous == target:
+            return
+        previous_info = monitor.producers.get(previous) if previous else None
+        target_info = monitor.producers[target]
+        previous_state = (
+            previous_info.effective_state(now, self._response_timeout())
+            if previous_info is not None
+            else NodeState.FAILURE
+        )
+        target_state = target_info.effective_state(now, self._response_timeout())
+
+        # Keep the old (stabilizing) primary connected in the background for
+        # its corrections -- unless the new primary is already STABLE, in
+        # which case it replays everything the consumer is missing itself.
+        keep_previous_for_corrections = (
+            previous_state is NodeState.STABILIZATION and target_state is not NodeState.STABLE
+        )
+        already_subscribed_to_target = monitor.correcting == target
+
+        if previous is not None and not keep_previous_for_corrections and not previous_info.is_source:
+            self.network.send(
+                self.owner.endpoint,
+                previous,
+                UNSUBSCRIBE,
+                UnsubscribeRequest(stream=monitor.stream, subscriber=self.owner.endpoint),
+            )
+        if keep_previous_for_corrections:
+            monitor.correcting = previous
+
+        monitor.primary = target
+        self.switches_performed += 1
+
+        if already_subscribed_to_target:
+            # Switching back to the replica whose corrections we have been
+            # receiving in the background: the connection already exists, we
+            # only revoke the tentative tuples obtained from the other replica.
+            monitor.correcting = None
+            self.owner.apply_local_undo(monitor.stream, now)
+            monitor.tentative_since_stable = 0
+            return
+        if target_info.is_source:
+            return
+        request = SubscribeRequest(
+            stream=monitor.stream,
+            subscriber=self.owner.endpoint,
+            last_stable_seq=monitor.stable_received - 1,
+            had_tentative=monitor.tentative_since_stable > 0,
+            replay_tentative=False,
+        )
+        self.network.send(self.owner.endpoint, target, SUBSCRIBE, request)
+
+    def _check_healing(self, now: float) -> None:
+        if self._state is NodeState.STABLE:
+            # Nothing outstanding; keep redo buffers from growing while idle.
+            if not any(m.failed for m in self.monitors.values()):
+                return
+        failed = [m for m in self.monitors.values() if m.failed]
+        if not failed:
+            return
+        if all(m.is_healed(now, self.config.failure_detection_timeout) for m in failed):
+            self.owner.on_inputs_healed(now)
+
+    # ------------------------------------------------------------------ reconciliation protocol
+    def _maybe_request_reconciliation(self, now: float) -> None:
+        if self._state is not NodeState.UP_FAILURE:
+            return
+        if not self.owner.wants_reconciliation():
+            return
+        failed = [m for m in self.monitors.values() if m.failed]
+        if failed and not all(
+            m.is_healed(now, self.config.failure_detection_timeout) for m in failed
+        ):
+            return
+        if self._reconcile_pending:
+            # Retry if the previous request went unanswered for a while.
+            if (
+                self._reconcile_requested_at is not None
+                and now - self._reconcile_requested_at < 2 * self.config.keepalive_period
+            ):
+                return
+            self._reconcile_pending = False
+        live_partners = [p for p in self.replica_partners if self.network.can_communicate(self.owner.endpoint, p)]
+        if not live_partners:
+            # No replica can take over; reconcile immediately (a single,
+            # unreplicated node still guarantees eventual consistency, it just
+            # cannot also guarantee availability during the reconciliation).
+            self.owner.start_reconciliation(now)
+            return
+        partner = self._rng.choice(live_partners)
+        self._reconcile_request_id += 1
+        self._reconcile_pending = True
+        self._reconcile_requested_at = now
+        self.network.send(
+            self.owner.endpoint,
+            partner,
+            RECONCILE_REQUEST,
+            ReconcileRequest(requester=self.owner.endpoint, request_id=self._reconcile_request_id),
+        )
+
+    def _handle_reconcile_request(self, message: Message, now: float) -> None:
+        request: ReconcileRequest = message.payload
+        grant = True
+        if self._state is NodeState.STABILIZATION:
+            grant = False
+        elif self.owner.wants_reconciliation() and self.owner.endpoint < request.requester:
+            # Tie-breaker: the replica with the lower identifier reconciles
+            # first when both need to (Figure 9).
+            grant = False
+        self.network.send(
+            self.owner.endpoint,
+            request.requester,
+            RECONCILE_REPLY,
+            ReconcileReply(responder=self.owner.endpoint, request_id=request.request_id, granted=grant),
+        )
+
+    def _handle_reconcile_reply(self, message: Message, now: float) -> None:
+        reply: ReconcileReply = message.payload
+        if not self._reconcile_pending or reply.request_id != self._reconcile_request_id:
+            return
+        self._reconcile_pending = False
+        if reply.granted and self._state is NodeState.UP_FAILURE:
+            self.owner.start_reconciliation(now)
+
+    # ------------------------------------------------------------------ heartbeats
+    def _handle_heartbeat_request(self, message: Message, now: float) -> None:
+        request: HeartbeatRequest = message.payload
+        response = HeartbeatResponse(
+            responder=self.owner.endpoint,
+            node_state=self._state,
+            stream_states=dict(self.owner.output_stream_states()),
+        )
+        self.network.send(self.owner.endpoint, request.requester, HEARTBEAT_RESPONSE, response)
+
+    def _handle_heartbeat_response(self, message: Message, now: float) -> None:
+        response: HeartbeatResponse = message.payload
+        for monitor in self.monitors.values():
+            info = monitor.producers.get(response.responder)
+            if info is None:
+                continue
+            info.last_response_at = now
+            info.reachable = True
+            info.advertised_state = response.state_of(monitor.stream)
+
+    # ------------------------------------------------------------------ data-plane hooks
+    def classify_producer(self, stream: str, producer: str) -> str:
+        """How data from ``producer`` should be treated: primary / correcting / ignore."""
+        monitor = self.monitors.get(stream)
+        if monitor is None:
+            return "ignore"
+        if producer == monitor.primary:
+            return "primary"
+        if producer == monitor.correcting:
+            return "correcting"
+        if monitor.producers.get(producer, None) is not None and monitor.producers[producer].is_source:
+            return "primary"
+        return "ignore"
+
+    def record_arrival(self, stream: str, item: StreamTuple, now: float) -> str:
+        """Record one arrival; returns "accept" or "duplicate" (see InputStreamMonitor)."""
+        return self.monitor(stream).record_tuple(item, now)
+
+    # ------------------------------------------------------------------ message dispatch
+    def handle_message(self, message: Message, now: float) -> bool:
+        """Dispatch control-plane messages; returns True when handled."""
+        if message.kind == HEARTBEAT_REQUEST:
+            self._handle_heartbeat_request(message, now)
+            return True
+        if message.kind == HEARTBEAT_RESPONSE:
+            self._handle_heartbeat_response(message, now)
+            return True
+        if message.kind == RECONCILE_REQUEST:
+            self._handle_reconcile_request(message, now)
+            return True
+        if message.kind == RECONCILE_REPLY:
+            self._handle_reconcile_reply(message, now)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ introspection
+    def failed_streams(self) -> list[str]:
+        return [stream for stream, monitor in self.monitors.items() if monitor.failed]
+
+    def first_failure_detected_at(self) -> float | None:
+        times = [
+            monitor.failure_detected_at
+            for monitor in self.monitors.values()
+            if monitor.failure_detected_at is not None
+        ]
+        return min(times) if times else None
+
+    def all_failed_inputs_healed(self, now: float) -> bool:
+        failed = [m for m in self.monitors.values() if m.failed]
+        return all(m.is_healed(now, self.config.failure_detection_timeout) for m in failed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConsistencyManager {self.owner.endpoint!r} state={self._state.value}>"

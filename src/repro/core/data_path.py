@@ -1,0 +1,281 @@
+"""Output-side data path of a processing node.
+
+The Data Path (Figure 4(b)) buffers each output stream and replays it to
+downstream subscribers.  Each output stream of a node (or replica) is managed
+by an :class:`OutputStreamManager`:
+
+* every tuple leaving the fragment is appended to an output buffer together
+  with its *stable sequence number* (the count of stable tuples produced so
+  far on the logical stream) -- a replica-independent position that
+  subscribers use when they switch replicas (see
+  :class:`repro.core.protocol.SubscribeRequest`);
+* each subscriber has a cursor into the buffer; flushing sends it everything
+  appended since its cursor;
+* buffers can be truncated once every replica of every downstream neighbor
+  has acknowledged a prefix (Section 8.1), or capped with the policies of
+  :class:`repro.config.BufferPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..config import BufferPolicy
+from ..errors import BufferOverflowError, ProtocolError
+from ..spe.streams import StreamWriter
+from ..spe.tuples import StreamTuple
+from .protocol import DATA, DataBatch, SubscribeRequest
+
+
+@dataclass
+class _BufferedTuple:
+    """One entry of the output buffer."""
+
+    item: StreamTuple
+    stable_seq: int | None  # sequence number when the tuple is stable, else None
+
+
+@dataclass
+class _Subscription:
+    """Delivery state for one downstream subscriber of one stream."""
+
+    subscriber: str
+    next_index: int = 0
+    active: bool = True
+
+
+class OutputStreamManager:
+    """Buffering, subscription handling, and replay for one output stream."""
+
+    def __init__(
+        self,
+        stream: str,
+        owner: str,
+        buffer_policy: BufferPolicy | None = None,
+    ) -> None:
+        self.stream = stream
+        self.owner = owner
+        self.buffer_policy = buffer_policy or BufferPolicy()
+        self._writer = StreamWriter(stream_name=f"{owner}:{stream}")
+        self._buffer: list[_BufferedTuple] = []
+        self._base_index = 0  # index of _buffer[0] in the full history
+        self._stable_seq = -1  # sequence number of the last stable tuple produced
+        self._subscriptions: dict[str, _Subscription] = {}
+        # Statistics
+        self.stable_produced = 0
+        self.tentative_produced = 0
+        self.undos_produced = 0
+
+    # ------------------------------------------------------------------ production
+    @property
+    def is_full(self) -> bool:
+        limit = self.buffer_policy.max_output_tuples
+        return limit is not None and len(self._buffer) >= limit
+
+    def append(self, item: StreamTuple) -> StreamTuple:
+        """Relabel ``item`` onto the physical stream and buffer it.
+
+        Raises :class:`BufferOverflowError` when the buffer is bounded, full,
+        and configured to block (the back-pressure behaviour of Section 8.1
+        for deterministic operators).
+        """
+        if self.is_full:
+            if self.buffer_policy.block_on_full:
+                raise BufferOverflowError(
+                    f"output buffer for {self.stream!r} at {self.owner!r} is full "
+                    f"({len(self._buffer)} tuples)"
+                )
+            # Convergent-capable diagrams may drop the oldest buffered tuples.
+            self._drop_oldest(1)
+        physical = self._relabel(item)
+        stable_seq: int | None = None
+        if physical.is_stable:
+            self._stable_seq += 1
+            stable_seq = self._stable_seq
+            # Stamp the replica-independent position onto the tuple so that a
+            # subscriber connected to several replicas of this stream can
+            # discard stable tuples it already received elsewhere.
+            physical = physical.with_stable_seq(stable_seq)
+            self.stable_produced += 1
+        elif physical.is_tentative:
+            self.tentative_produced += 1
+        elif physical.is_undo:
+            self.undos_produced += 1
+        self._buffer.append(_BufferedTuple(item=physical, stable_seq=stable_seq))
+        return physical
+
+    def append_all(self, items: Iterable[StreamTuple]) -> list[StreamTuple]:
+        return [self.append(item) for item in items]
+
+    def _relabel(self, item: StreamTuple) -> StreamTuple:
+        if item.is_undo:
+            # Cross-node undo semantics: revoke everything after the last
+            # stable tuple the subscriber received (see protocol.py), so the
+            # specific id does not need to be mapped between replicas.
+            return self._writer.undo(item.stime, item.undo_from_id or -1)
+        if item.is_boundary:
+            return self._writer.boundary(max(item.stime, self._writer.last_boundary_stime))
+        if item.is_rec_done:
+            return self._writer.rec_done(item.stime)
+        if item.is_stable:
+            return self._writer.insertion(item.stime, item.values)
+        return self._writer.tentative(item.stime, item.values)
+
+    # ------------------------------------------------------------------ subscriptions
+    @property
+    def stable_seq(self) -> int:
+        """Sequence number of the most recent stable tuple produced."""
+        return self._stable_seq
+
+    def subscribers(self) -> list[str]:
+        return [s.subscriber for s in self._subscriptions.values() if s.active]
+
+    def subscribe(self, request: SubscribeRequest) -> list[StreamTuple]:
+        """Register a subscriber and compute its initial replay.
+
+        Returns the tuples to send immediately (the replay).  Subsequent
+        production reaches the subscriber through :meth:`pending_for` /
+        :meth:`mark_delivered`.
+        """
+        if request.stream != self.stream:
+            raise ProtocolError(
+                f"subscribe for stream {request.stream!r} sent to manager of {self.stream!r}"
+            )
+        start_index = self._replay_start_index(request)
+        entries = self._entries_from(start_index)
+        if not request.replay_tentative:
+            entries = self._trim_tentative_tail(entries)
+        replay: list[StreamTuple] = []
+        if request.had_tentative:
+            replay.append(self._writer.undo(0.0, -1))
+        replay.extend(entries)
+        # Live delivery continues from the current end of the buffer; any
+        # skipped tentative tail is intentionally dropped (paper, footnote 6).
+        self._subscriptions[request.subscriber] = _Subscription(
+            subscriber=request.subscriber, next_index=self._end_index(), active=True
+        )
+        return replay
+
+    def unsubscribe(self, subscriber: str) -> None:
+        subscription = self._subscriptions.get(subscriber)
+        if subscription is not None:
+            subscription.active = False
+
+    def _end_index(self) -> int:
+        return self._base_index + len(self._buffer)
+
+    def _entries_from(self, index: int) -> list[StreamTuple]:
+        offset = max(index - self._base_index, 0)
+        return [entry.item for entry in self._buffer[offset:]]
+
+    def _replay_start_index(self, request: SubscribeRequest) -> int:
+        """Index in the full history where this subscriber's replay starts."""
+        # Find the buffered entry holding stable tuple #last_stable_seq and
+        # start right after it; if the subscriber is ahead of everything we
+        # have buffered, start at the end.
+        if request.last_stable_seq < 0:
+            return self._base_index
+        for position, entry in enumerate(self._buffer):
+            if entry.stable_seq is not None and entry.stable_seq == request.last_stable_seq:
+                return self._base_index + position + 1
+        if request.last_stable_seq >= self._stable_seq:
+            return self._end_index()
+        # The subscriber is behind the truncation point.
+        raise ProtocolError(
+            f"cannot replay stream {self.stream!r} from stable seq "
+            f"{request.last_stable_seq}: buffer truncated"
+        )
+
+    @staticmethod
+    def _trim_tentative_tail(entries: list[StreamTuple]) -> list[StreamTuple]:
+        """Drop everything after the last stable data tuple in ``entries``."""
+        last_stable = None
+        for position, item in enumerate(entries):
+            if item.is_stable:
+                last_stable = position
+        if last_stable is None:
+            return [item for item in entries if not item.is_data]
+        return entries[: last_stable + 1]
+
+    def pending_for(self, subscriber: str) -> list[StreamTuple]:
+        """Tuples appended since the subscriber's cursor."""
+        subscription = self._subscriptions.get(subscriber)
+        if subscription is None or not subscription.active:
+            return []
+        return self._entries_from(subscription.next_index)
+
+    def mark_delivered(self, subscriber: str) -> None:
+        subscription = self._subscriptions.get(subscriber)
+        if subscription is not None:
+            subscription.next_index = self._end_index()
+
+    # ------------------------------------------------------------------ truncation
+    def _drop_oldest(self, count: int) -> None:
+        del self._buffer[:count]
+        self._base_index += count
+
+    def truncate_delivered(self) -> int:
+        """Drop the prefix every active subscriber has already received.
+
+        Returns the number of tuples discarded.  This is the acknowledgment-
+        driven truncation of Section 8.1; callers decide when it is safe
+        (e.g. only while every downstream replica is subscribed and caught
+        up).
+        """
+        if not self._subscriptions:
+            return 0
+        active = [s for s in self._subscriptions.values() if s.active]
+        if not active:
+            return 0
+        safe_index = min(s.next_index for s in active)
+        removable = max(safe_index - self._base_index, 0)
+        if removable:
+            self._drop_oldest(removable)
+        return removable
+
+    @property
+    def buffered_tuples(self) -> int:
+        return len(self._buffer)
+
+    def buffered_items(self) -> list[StreamTuple]:
+        """Copies of the buffered tuples (diagnostics and tests)."""
+        return [entry.item for entry in self._buffer]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<OutputStreamManager {self.owner}:{self.stream} buffered={len(self._buffer)} "
+            f"stable_seq={self._stable_seq} subscribers={self.subscribers()}>"
+        )
+
+
+class DataPath:
+    """All output stream managers of one node plus batch sending helpers."""
+
+    def __init__(self, owner: str, buffer_policy: BufferPolicy | None = None) -> None:
+        self.owner = owner
+        self.buffer_policy = buffer_policy or BufferPolicy()
+        self._outputs: dict[str, OutputStreamManager] = {}
+
+    def add_output(self, stream: str) -> OutputStreamManager:
+        if stream in self._outputs:
+            raise ProtocolError(f"output stream {stream!r} already managed")
+        manager = OutputStreamManager(stream, self.owner, self.buffer_policy)
+        self._outputs[stream] = manager
+        return manager
+
+    def output(self, stream: str) -> OutputStreamManager:
+        try:
+            return self._outputs[stream]
+        except KeyError as exc:
+            raise ProtocolError(f"unknown output stream {stream!r} at {self.owner!r}") from exc
+
+    def outputs(self) -> list[OutputStreamManager]:
+        return list(self._outputs.values())
+
+    def output_streams(self) -> list[str]:
+        return list(self._outputs)
+
+    def make_batch(self, stream: str, tuples: list[StreamTuple]) -> tuple[str, DataBatch]:
+        """Build the network message for a batch on ``stream``."""
+        return DATA, DataBatch.of(stream, tuples, producer=self.owner)

@@ -1,0 +1,305 @@
+"""Delay assignment planning (Section 6.3 of the paper).
+
+An application specifies one end-to-end bound ``X`` on incremental processing
+latency.  DPC must divide that budget among the SUnions of the deployment.
+The paper compares two static strategies and sketches a third, dynamic one:
+
+* **UNIFORM** -- split ``X`` evenly across the nodes of a chain.  Simple, but
+  it wastes most of the budget: when a failure occurs all SUnions downstream
+  of it suspend *simultaneously* (they all stop receiving boundaries at the
+  same time), so the initial suspensions do not add up.
+* **FULL** -- give every SUnion (almost) the whole budget, keeping a small
+  allowance for queuing delays.  This is the paper's recommendation: it masks
+  failures up to ``X - allowance`` without producing a single tentative tuple
+  while still meeting the bound.
+* **ACCUMULATED (dynamic)** -- the paper's suggested extension: encode the
+  delay already accumulated by a tuple inside the tuple, and let each SUnion
+  spend only the remaining budget.  This handles diagrams where different
+  paths reach an operator with different accumulated delays (Figure 21),
+  which no static per-SUnion assignment can do without risking drops.
+
+:class:`DelayPlanner` produces per-node delay budgets for the static
+strategies and per-path feasibility diagnostics; :class:`AccumulatedDelayTracker`
+implements the runtime bookkeeping of the dynamic scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..config import DelayAssignment
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DelayPlan:
+    """Per-node delay budgets plus the diagnostics behind them."""
+
+    strategy: DelayAssignment
+    #: The application's end-to-end bound X (seconds).
+    total_budget: float
+    #: Delay budget assigned to the SUnions of each node, by node name.
+    per_node: Mapping[str, float]
+    #: Longest failure fully masked by the initial suspension (seconds).
+    masked_failure: float
+    #: Worst-case end-to-end added latency if every node spent its budget
+    #: sequentially (the pessimistic bound that the UNIFORM strategy guards
+    #: against and that the FULL strategy accepts as a transient).
+    worst_case_sequential: float
+    notes: tuple = field(default_factory=tuple)
+
+    def budget_for(self, node: str) -> float:
+        try:
+            return self.per_node[node]
+        except KeyError as exc:
+            raise ConfigurationError(f"delay plan has no node {node!r}") from exc
+
+
+@dataclass(frozen=True)
+class PathDiagnostic:
+    """Feasibility of one source-to-client path under a static assignment."""
+
+    path: tuple
+    accumulated_delay: float
+    within_budget: bool
+
+
+class DelayPlanner:
+    """Plans how the end-to-end budget ``X`` is divided among processing nodes.
+
+    The planner reasons about the *deployment* graph (which node feeds
+    which), not the operator graph inside each node: the paper assigns delays
+    per SUnion, and every SUnion of a node receives the node's budget.
+
+    Parameters
+    ----------
+    total_budget:
+        The application bound ``X`` in seconds.
+    queuing_allowance:
+        Subtracted from the budget by the FULL strategy (the paper uses
+        1.5 s of an 8 s budget, i.e. assigns 6.5 s).
+    """
+
+    def __init__(self, total_budget: float, queuing_allowance: float = 1.5) -> None:
+        if total_budget <= 0:
+            raise ConfigurationError(f"total_budget must be positive, got {total_budget}")
+        if queuing_allowance < 0:
+            raise ConfigurationError(f"queuing_allowance cannot be negative, got {queuing_allowance}")
+        if queuing_allowance >= total_budget:
+            raise ConfigurationError(
+                f"queuing_allowance ({queuing_allowance}) must be smaller than the budget ({total_budget})"
+            )
+        self.total_budget = total_budget
+        self.queuing_allowance = queuing_allowance
+        #: node -> list of downstream node names.
+        self._edges: dict[str, list[str]] = {}
+        self._nodes: list[str] = []
+        self._entry_nodes: set[str] = set()
+
+    # ------------------------------------------------------------------ deployment description
+    def add_node(self, name: str, *, entry: bool = False) -> None:
+        """Register a processing node; ``entry`` marks nodes fed by data sources."""
+        if name in self._edges:
+            raise ConfigurationError(f"node {name!r} already registered")
+        self._edges[name] = []
+        self._nodes.append(name)
+        if entry:
+            self._entry_nodes.add(name)
+
+    def connect(self, upstream: str, downstream: str) -> None:
+        """Declare that ``upstream``'s output feeds ``downstream``."""
+        for name in (upstream, downstream):
+            if name not in self._edges:
+                raise ConfigurationError(f"unknown node {name!r}; add it before connecting")
+        self._edges[upstream].append(downstream)
+
+    @classmethod
+    def for_chain(
+        cls, depth: int, *, total_budget: float, queuing_allowance: float = 1.5
+    ) -> "DelayPlanner":
+        """Planner pre-populated with the chain deployment of Figure 14."""
+        if depth < 1:
+            raise ConfigurationError(f"chain depth must be >= 1, got {depth}")
+        planner = cls(total_budget, queuing_allowance)
+        previous: str | None = None
+        for level in range(depth):
+            name = f"node{level + 1}"
+            planner.add_node(name, entry=level == 0)
+            if previous is not None:
+                planner.connect(previous, name)
+            previous = name
+        return planner
+
+    # ------------------------------------------------------------------ graph helpers
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._nodes)
+
+    def _check_nonempty(self) -> None:
+        if not self._nodes:
+            raise ConfigurationError("no processing nodes registered")
+
+    def _paths(self) -> list[tuple]:
+        """All entry-to-sink paths through the deployment graph."""
+        self._check_nonempty()
+        entries = self._entry_nodes or {
+            name for name in self._nodes
+            if not any(name in targets for targets in self._edges.values())
+        }
+        paths: list[tuple] = []
+
+        def walk(node: str, prefix: tuple) -> None:
+            prefix = prefix + (node,)
+            downstream = self._edges[node]
+            if not downstream:
+                paths.append(prefix)
+                return
+            for target in downstream:
+                walk(target, prefix)
+
+        for entry in sorted(entries):
+            walk(entry, ())
+        return paths
+
+    def depth(self) -> int:
+        """Length of the longest entry-to-sink path."""
+        return max(len(path) for path in self._paths())
+
+    # ------------------------------------------------------------------ planning
+    def plan(self, strategy: DelayAssignment) -> DelayPlan:
+        """Produce per-node budgets for ``strategy``."""
+        if strategy is DelayAssignment.UNIFORM:
+            return self._plan_uniform()
+        if strategy is DelayAssignment.FULL:
+            return self._plan_full()
+        raise ConfigurationError(f"unknown delay assignment strategy {strategy!r}")
+
+    def _plan_uniform(self) -> DelayPlan:
+        depth = self.depth()
+        per_node_value = self.total_budget / depth
+        per_node = {name: per_node_value for name in self._nodes}
+        return DelayPlan(
+            strategy=DelayAssignment.UNIFORM,
+            total_budget=self.total_budget,
+            per_node=per_node,
+            masked_failure=per_node_value,
+            worst_case_sequential=per_node_value * depth,
+            notes=(
+                f"budget split across the longest path of {depth} node(s); only failures "
+                f"shorter than {per_node_value:g} s are masked without tentative output",
+            ),
+        )
+
+    def _plan_full(self) -> DelayPlan:
+        assigned = self.total_budget - self.queuing_allowance
+        per_node = {name: assigned for name in self._nodes}
+        depth = self.depth()
+        return DelayPlan(
+            strategy=DelayAssignment.FULL,
+            total_budget=self.total_budget,
+            per_node=per_node,
+            masked_failure=assigned,
+            worst_case_sequential=assigned * depth,
+            notes=(
+                "every SUnion suspends simultaneously when a failure occurs, so the full "
+                f"budget (minus a {self.queuing_allowance:g} s queuing allowance) can be "
+                "assigned to each of them; failures up to that long are masked entirely",
+            ),
+        )
+
+    # ------------------------------------------------------------------ diagnostics
+    def diagnose(self, per_node: Mapping[str, float]) -> list[PathDiagnostic]:
+        """Accumulated delay along every path under a static per-node assignment.
+
+        This is the Figure 21 analysis: when paths of different lengths meet,
+        a static assignment either under-uses the budget on short paths or
+        overshoots it on long ones.  A path is flagged when its accumulated
+        delay exceeds the budget (tuples arriving along it would have to be
+        dropped or would break the bound if fully delayed).
+        """
+        diagnostics = []
+        for path in self._paths():
+            accumulated = sum(per_node.get(node, 0.0) for node in path)
+            diagnostics.append(
+                PathDiagnostic(
+                    path=path,
+                    accumulated_delay=accumulated,
+                    within_budget=accumulated <= self.total_budget + 1e-9,
+                )
+            )
+        return diagnostics
+
+    def mismatched_paths(self, per_node: Mapping[str, float]) -> bool:
+        """True when different paths accumulate different delays (drop risk)."""
+        totals = {round(d.accumulated_delay, 9) for d in self.diagnose(per_node)}
+        return len(totals) > 1
+
+
+# --------------------------------------------------------------------------- dynamic scheme
+@dataclass
+class AccumulatedDelayTracker:
+    """Runtime bookkeeping for the paper's dynamic delay-assignment sketch.
+
+    The idea (end of Section 6.3): encode the delay already accumulated by a
+    tuple inside the tuple, and let each SUnion impose only ``X`` minus that
+    accumulated delay.  The tracker keeps the accumulated delay per stream
+    (every tuple of a bucket shares the same history in the chain
+    deployments) and answers "how long may this node still delay".
+
+    The tracker is deliberately independent of the simulator so it can be
+    unit-tested and reused by an integration that stamps the accumulated
+    delay into tuple attributes.
+    """
+
+    total_budget: float
+    #: Attribute name used when stamping the accumulated delay into tuples.
+    attribute: str = "accumulated_delay"
+    _accumulated: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total_budget <= 0:
+            raise ConfigurationError(f"total_budget must be positive, got {self.total_budget}")
+
+    def accumulated(self, stream: str) -> float:
+        """Delay already spent on ``stream`` upstream of this node."""
+        return self._accumulated.get(stream, 0.0)
+
+    def observe_upstream_delay(self, stream: str, delay: float) -> None:
+        """Record that tuples of ``stream`` arrive carrying ``delay`` seconds of history."""
+        if delay < 0:
+            raise ConfigurationError(f"delay cannot be negative, got {delay}")
+        self._accumulated[stream] = delay
+
+    def remaining_budget(self, stream: str) -> float:
+        """How much of the end-to-end budget is still available for ``stream``."""
+        return max(self.total_budget - self.accumulated(stream), 0.0)
+
+    def spend(self, stream: str, delay: float) -> float:
+        """Spend ``delay`` seconds on ``stream`` and return the new accumulated total.
+
+        Spending is clamped to the remaining budget: a node never reports
+        having delayed past the bound, because it is not allowed to.
+        """
+        if delay < 0:
+            raise ConfigurationError(f"delay cannot be negative, got {delay}")
+        spent = min(delay, self.remaining_budget(stream))
+        self._accumulated[stream] = self.accumulated(stream) + spent
+        return self._accumulated[stream]
+
+    def merge(self, streams: Sequence[str]) -> float:
+        """Accumulated delay of the output of an operator merging ``streams``.
+
+        When streams with different histories meet (the Figure 21 situation),
+        the merged output inherits the *largest* accumulated delay: the most
+        delayed input determines how much budget is left downstream.
+        """
+        if not streams:
+            return 0.0
+        return max(self.accumulated(stream) for stream in streams)
+
+    def stamp(self, values: Mapping[str, object], stream: str) -> dict:
+        """Return a copy of ``values`` carrying the accumulated delay attribute."""
+        stamped = dict(values)
+        stamped[self.attribute] = self.accumulated(stream)
+        return stamped

@@ -1,0 +1,198 @@
+"""Per-input-stream bookkeeping for a DPC consumer (node or client proxy).
+
+Each logical input stream of a node is tracked by an
+:class:`InputStreamMonitor`.  The monitor knows which producers (a data source
+or the replicas of an upstream node) can provide the stream, which one is
+currently the *primary* (feeding live processing) and which one, during an
+upstream stabilization, is the *correcting* connection delivering the stable
+version in the background (Section 4.4.3).  It also keeps the evidence DPC
+needs for failure detection and healing:
+
+* arrival time of the latest boundary tuple (missing boundaries == failure,
+  Section 4.2.3);
+* whether tentative tuples have been received since the last stable one;
+* the count of stable tuples received (the replica-independent position used
+  in subscriptions);
+* the stable tuples and boundaries buffered since the last checkpoint, which
+  the node replays during checkpoint/redo reconciliation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..spe.tuples import StreamTuple
+from .states import NodeState
+
+
+@dataclass
+class ProducerInfo:
+    """What the consumer knows about one producer of an input stream."""
+
+    endpoint: str
+    is_source: bool = False
+    #: Stream state last advertised via heartbeat response (sources are
+    #: considered STABLE unless their boundaries stop flowing).
+    advertised_state: NodeState = NodeState.STABLE
+    last_response_at: float = 0.0
+    reachable: bool = True
+
+    def effective_state(self, now: float, timeout: float) -> NodeState:
+        """State used by the switching rules, accounting for silence."""
+        if self.is_source:
+            return NodeState.STABLE
+        if not self.reachable or now - self.last_response_at > timeout:
+            return NodeState.FAILURE
+        return self.advertised_state
+
+
+@dataclass
+class InputStreamMonitor:
+    """All DPC state attached to one logical input stream."""
+
+    stream: str
+    producers: dict[str, ProducerInfo] = field(default_factory=dict)
+    primary: str | None = None
+    correcting: str | None = None
+
+    # --- failure detection evidence -----------------------------------------
+    last_boundary_arrival: float = 0.0
+    last_boundary_stime: float = float("-inf")
+    last_data_arrival: float = 0.0
+    tentative_since_stable: int = 0
+    failed: bool = False
+    failure_detected_at: float | None = None
+    #: True once the upstream signalled the end of its corrections (REC_DONE)
+    #: or, for source streams, once boundaries flow again after a failure.
+    rec_done_received: bool = False
+
+    # --- replica-independent position ----------------------------------------
+    stable_received: int = 0
+
+    # --- redo buffer ----------------------------------------------------------
+    stable_buffer: list[StreamTuple] = field(default_factory=list)
+
+    # --- statistics -----------------------------------------------------------
+    tentative_received: int = 0
+    undos_received: int = 0
+
+    # ------------------------------------------------------------------ producers
+    def add_producer(self, endpoint: str, is_source: bool = False) -> ProducerInfo:
+        info = ProducerInfo(endpoint=endpoint, is_source=is_source)
+        self.producers[endpoint] = info
+        if self.primary is None:
+            self.primary = endpoint
+        return info
+
+    def producer_states(self, now: float, timeout: float) -> dict[str, NodeState]:
+        return {
+            name: info.effective_state(now, timeout) for name, info in self.producers.items()
+        }
+
+    @property
+    def has_source_producer(self) -> bool:
+        return any(info.is_source for info in self.producers.values())
+
+    # ------------------------------------------------------------------ arrivals
+    def record_tuple(self, item: StreamTuple, now: float) -> str:
+        """Update detection evidence and the redo buffer for one arrival.
+
+        Returns ``"accept"`` for tuples the consumer should process and
+        ``"duplicate"`` for stable tuples it already received from another
+        replica of the same logical stream (identified by their
+        replica-independent ``stable_seq``).
+        """
+        if item.is_boundary:
+            self.last_boundary_arrival = now
+            self.last_boundary_stime = max(self.last_boundary_stime, item.stime)
+            self.stable_buffer.append(item)
+            return "accept"
+        if item.is_undo:
+            self.undos_received += 1
+            self.tentative_since_stable = 0
+            return "accept"
+        if item.is_rec_done:
+            self.rec_done_received = True
+            return "accept"
+        if item.is_stable:
+            if item.stable_seq is not None and item.stable_seq < self.stable_received:
+                return "duplicate"
+            self.last_data_arrival = now
+            if item.stable_seq is not None:
+                self.stable_received = item.stable_seq + 1
+            else:
+                self.stable_received += 1
+            self.tentative_since_stable = 0
+            self.stable_buffer.append(item)
+            return "accept"
+        if item.is_tentative:
+            self.last_data_arrival = now
+            self.tentative_received += 1
+            self.tentative_since_stable += 1
+        return "accept"
+
+    # ------------------------------------------------------------------ failure / healing
+    def boundary_silent_for(self, now: float) -> float:
+        """Seconds since the last boundary tuple arrived."""
+        return now - self.last_boundary_arrival
+
+    def detect_failure(self, now: float, timeout: float) -> bool:
+        """True when this input stream should be declared failed *now*.
+
+        Either boundaries stopped arriving for longer than ``timeout`` or the
+        stream started carrying tentative tuples (Section 4.2.3).
+        """
+        if self.failed:
+            return False
+        silent = self.boundary_silent_for(now) > timeout
+        tentative = self.tentative_since_stable > 0
+        if silent or tentative:
+            self.failed = True
+            self.failure_detected_at = now
+            self.rec_done_received = False
+            return True
+        return False
+
+    def is_healed(self, now: float, timeout: float) -> bool:
+        """True when the failure on this stream can be considered healed.
+
+        For a stream fed directly by a data source, healing means boundaries
+        flow again (the source replays whatever was missed).  For a stream fed
+        by an upstream node, healing additionally requires that the upstream
+        finished its own corrections (REC_DONE) -- or never produced tentative
+        data at all -- and advertises STABLE again.
+        """
+        if not self.failed:
+            return True
+        boundaries_flowing = self.boundary_silent_for(now) <= timeout
+        if not boundaries_flowing:
+            return False
+        if self.has_source_producer:
+            return True
+        primary_info = self.producers.get(self.primary) if self.primary else None
+        primary_stable = (
+            primary_info is not None
+            and primary_info.effective_state(now, timeout=max(timeout, 1.0)) is NodeState.STABLE
+        )
+        if self.tentative_received == 0:
+            return primary_stable
+        return self.rec_done_received and primary_stable
+
+    def mark_healed(self) -> None:
+        """Reset failure flags after the node finished handling the failure."""
+        self.failed = False
+        self.failure_detected_at = None
+        self.rec_done_received = False
+        self.tentative_since_stable = 0
+
+    # ------------------------------------------------------------------ redo buffer
+    def take_stable_buffer(self) -> list[StreamTuple]:
+        """Return and keep the buffered stable tuples (ordered by arrival)."""
+        return list(self.stable_buffer)
+
+    def clear_stable_buffer(self) -> None:
+        self.stable_buffer.clear()
+
+    @property
+    def buffered_stable_tuples(self) -> int:
+        return sum(1 for item in self.stable_buffer if item.is_data)

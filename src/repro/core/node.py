@@ -1,0 +1,597 @@
+"""DPC processing node.
+
+A :class:`ProcessingNode` is one replica of one query-diagram fragment.  It
+combines the three architectural pieces of Figure 4(b):
+
+* the **query processor** -- a :class:`~repro.spe.engine.LocalEngine` running
+  the (fault-tolerance-extended) fragment;
+* the **data path** -- input handling plus per-output-stream buffering and
+  replay (:class:`~repro.core.data_path.DataPath`);
+* the **consistency manager** -- failure detection, upstream switching, state
+  advertisement and the inter-replica reconciliation protocol
+  (:class:`~repro.core.consistency_manager.ConsistencyManager`).
+
+and implements the DPC behaviours the paper describes:
+
+* in STABLE state, tuples flow through the fragment and are emitted stably as
+  SUnion buckets stabilize;
+* when an input-stream failure cannot be masked by switching upstream
+  replicas, the node checkpoints its fragment, suspends processing for (a
+  safety fraction of) its delay budget ``D``, and then processes available
+  tuples tentatively according to the configured delay policy (Section 6);
+* when every failed input has healed, the node asks a replica partner for
+  authorization and reconciles with checkpoint/redo, streaming corrections to
+  its downstream neighbors and finishing with a REC_DONE (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..config import DPCConfig, ProcessingPolicy, SimulationConfig
+from ..errors import ProtocolError
+from ..sim.event_loop import Simulator
+from ..sim.events import EventKind
+from ..sim.network import Message, Network
+from ..spe.checkpoint import DiagramCheckpoint
+from ..spe.engine import LocalEngine
+from ..spe.operators.sunion import SUnion
+from ..spe.query_diagram import QueryDiagram
+from ..spe.tuples import StreamTuple
+from .consistency_manager import ConsistencyManager
+from .data_path import DataPath
+from .protocol import (
+    DATA,
+    SUBSCRIBE,
+    UNSUBSCRIBE,
+    DataBatch,
+    SubscribeRequest,
+    UnsubscribeRequest,
+)
+from .states import NodeState
+
+
+class ProcessingNode:
+    """One replica of a query-diagram fragment under DPC."""
+
+    def __init__(
+        self,
+        name: str,
+        diagram: QueryDiagram,
+        simulator: Simulator,
+        network: Network,
+        config: DPCConfig | None = None,
+        sim_config: SimulationConfig | None = None,
+        assigned_delay: float | None = None,
+        replica_partners: Sequence[str] = (),
+    ) -> None:
+        self.name = name
+        self.endpoint = name
+        self.simulator = simulator
+        self.network = network
+        self.config = config or DPCConfig()
+        self.sim_config = sim_config or SimulationConfig()
+        self.config.validate()
+        self.sim_config.validate()
+        #: Delay budget D assigned to this node's SUnions (defaults to X).
+        self.assigned_delay = (
+            assigned_delay if assigned_delay is not None else self.config.max_incremental_latency
+        )
+
+        self.diagram = diagram
+        self.engine = LocalEngine(diagram)
+        self.data_path = DataPath(owner=name, buffer_policy=self.config.buffer_policy)
+        for stream in diagram.output_streams:
+            self.data_path.add_output(stream)
+        self.cm = ConsistencyManager(
+            owner=self,
+            simulator=simulator,
+            network=network,
+            config=self.config,
+            replica_partners=replica_partners,
+        )
+
+        # Give every SUnion access to the node clock so buckets know how long
+        # they have been buffered (drives the Section 6 delay policies).
+        for operator in diagram:
+            if isinstance(operator, SUnion):
+                operator.arrival_clock = lambda: self.simulator.now
+
+        # --- failure handling state ------------------------------------------------
+        self._checkpoint: DiagramCheckpoint | None = None
+        self._fragment_dirty = False
+        self._reconciling = False
+        self._redo_positions: dict[str, int] = {}
+        self._crashed = False
+        self._started = False
+
+        # --- statistics -----------------------------------------------------------
+        self.reconciliations_completed = 0
+        self.reconciliations_aborted = 0
+        self.checkpoints_taken = 0
+
+        network.register(self.endpoint, self._on_message)
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Start the control loop and the periodic output flush."""
+        if self._started:
+            return
+        self._started = True
+        self.cm.start()
+        self.simulator.schedule_periodic(
+            self.sim_config.batch_interval,
+            self._periodic_tick,
+            kind=EventKind.TIMER,
+            description=f"{self.name} data tick",
+            start_delay=self.sim_config.batch_interval,
+        )
+
+    @property
+    def state(self) -> NodeState:
+        return self.cm.state
+
+    @property
+    def fragment_dirty(self) -> bool:
+        """True while the fragment state reflects tentative processing."""
+        return self._fragment_dirty
+
+    @property
+    def is_reconciling(self) -> bool:
+        return self._reconciling
+
+    # ------------------------------------------------------------------ wiring helpers
+    def register_input_stream(
+        self,
+        stream: str,
+        producers: Sequence[str],
+        source_producers: Sequence[str] = (),
+    ) -> None:
+        """Declare an input stream and who can produce it (build-time wiring)."""
+        if stream not in self.diagram.input_streams:
+            raise ProtocolError(f"fragment of {self.name!r} has no input stream {stream!r}")
+        self.cm.register_input(stream, producers, source_producers)
+
+    def register_subscriber(self, stream: str, subscriber: str) -> None:
+        """Attach a downstream subscriber at build time (no replay needed)."""
+        self.data_path.output(stream).subscribe(
+            SubscribeRequest(stream=stream, subscriber=subscriber, last_stable_seq=-1)
+        )
+
+    # ------------------------------------------------------------------ message handling
+    def _on_message(self, message: Message, now: float) -> None:
+        if self._crashed:
+            return
+        if self.cm.handle_message(message, now):
+            return
+        if message.kind == DATA:
+            self._on_data(message.payload, message.sender, now)
+        elif message.kind == SUBSCRIBE:
+            self._on_subscribe(message.payload, now)
+        elif message.kind == UNSUBSCRIBE:
+            self._on_unsubscribe(message.payload)
+
+    def _on_subscribe(self, request: SubscribeRequest, now: float) -> None:
+        manager = self.data_path.output(request.stream)
+        replay = manager.subscribe(request)
+        if replay:
+            kind, batch = self.data_path.make_batch(request.stream, replay)
+            self.network.send(self.endpoint, request.subscriber, kind, batch)
+            manager.mark_delivered(request.subscriber)
+
+    def _on_unsubscribe(self, request: UnsubscribeRequest) -> None:
+        self.data_path.output(request.stream).unsubscribe(request.subscriber)
+
+    def _on_data(self, batch: DataBatch, sender: str, now: float) -> None:
+        role = self.cm.classify_producer(batch.stream, sender)
+        if role == "ignore":
+            return
+        feed_fragment = role == "primary" and not self._reconciling
+        to_feed: list[StreamTuple] = []
+        for item in batch.tuples:
+            verdict = self.cm.record_arrival(batch.stream, item, now)
+            if verdict == "duplicate":
+                continue
+            if item.is_undo:
+                self.apply_local_undo(batch.stream, now)
+                continue
+            if item.is_rec_done:
+                continue
+            if feed_fragment:
+                to_feed.append(item)
+        if to_feed:
+            if any(item.is_tentative for item in to_feed):
+                self._set_dirty(True)
+            outputs = self.engine.push(batch.stream, to_feed)
+            self._handle_fragment_outputs(outputs)
+
+    # ------------------------------------------------------------------ fragment outputs
+    def _set_dirty(self, dirty: bool) -> None:
+        """Track whether the fragment state reflects tentative processing.
+
+        While dirty, the fragment's SOutputs downgrade everything they forward
+        to tentative: nothing the fragment emits can be trusted as stable
+        until the node reconciles.  The transition into the dirty state is the
+        moment the paper requires a checkpoint: "a node checkpoints the state
+        of its query diagram ... before processing any tentative tuples".
+        """
+        if dirty and not self._fragment_dirty and not self._reconciling and self._checkpoint is None:
+            self._take_checkpoint(self.simulator.now)
+        self._fragment_dirty = dirty
+        if dirty:
+            self._set_hold(True)
+        for soutput in self.engine.soutputs():
+            soutput.downgrade_to_tentative = dirty
+
+    def _set_hold(self, hold: bool) -> None:
+        """Freeze (or release) watermark-driven emission of every SUnion.
+
+        While the node is handling a failure, buckets must only leave SUnions
+        through the delay-policy-driven force emissions; when the hold is
+        released, whatever the watermark already stabilized is emitted.
+        """
+        released: list[tuple[str, list[StreamTuple]]] = []
+        for operator in self.diagram:
+            if not isinstance(operator, SUnion):
+                continue
+            if operator.hold_buckets and not hold:
+                operator.hold_buckets = False
+                produced = operator.release_held_buckets()
+                if produced:
+                    released.append((operator.name, produced))
+            else:
+                operator.hold_buckets = hold
+        for operator_name, produced in released:
+            outputs = self.engine.push_operator_outputs(operator_name, produced)
+            self._handle_fragment_outputs(outputs)
+
+    def _handle_fragment_outputs(self, outputs: Mapping[str, list[StreamTuple]]) -> None:
+        for stream, tuples in outputs.items():
+            if not tuples:
+                continue
+            manager = self.data_path.output(stream)
+            for item in tuples:
+                manager.append(item)
+
+    # ------------------------------------------------------------------ periodic work
+    def _periodic_tick(self, now: float) -> None:
+        if self._crashed:
+            return
+        self._emit_tentative_if_due(now)
+        self._flush_outputs(now)
+        self._housekeeping(now)
+
+    def _emit_tentative_if_due(self, now: float) -> None:
+        """Apply the delay policy to buffered SUnion buckets (Section 6)."""
+        if self._reconciling or self.cm.state is not NodeState.UP_FAILURE:
+            return
+        first_detection = self.cm.first_failure_detected_at()
+        if first_detection is None:
+            return
+        initial_hold = self.config.delay_safety_factor * self.assigned_delay
+        if now < first_detection + initial_hold:
+            return  # initial suspension: every policy first waits for D
+        policy = self._current_policy(now)
+        if policy is ProcessingPolicy.SUSPEND:
+            return
+        if policy is ProcessingPolicy.DELAY:
+            min_hold = self.config.delay_safety_factor * self.assigned_delay
+        else:
+            min_hold = self.config.tentative_bucket_wait
+        produced_any = False
+        for operator in self.diagram:
+            if not isinstance(operator, SUnion):
+                continue
+            produced = operator.force_emit_held_longer_than(now, min_hold)
+            if not produced:
+                continue
+            produced_any = True
+            self._set_dirty(True)
+            outputs = self.engine.push_operator_outputs(operator.name, produced)
+            self._handle_fragment_outputs(outputs)
+        if produced_any:
+            self._flush_outputs(now)
+
+    def _current_policy(self, now: float) -> ProcessingPolicy:
+        """Failure-time vs stabilization-time policy (Figure 13 variants)."""
+        if self.cm.all_failed_inputs_healed(now):
+            return self.config.delay_policy.during_stabilization
+        return self.config.delay_policy.during_failure
+
+    def _flush_outputs(self, now: float) -> None:
+        for manager in self.data_path.outputs():
+            for subscriber in manager.subscribers():
+                pending = manager.pending_for(subscriber)
+                if not pending:
+                    continue
+                if not self.network.can_communicate(self.endpoint, subscriber):
+                    continue  # keep buffering; retry when the link heals
+                kind, batch = self.data_path.make_batch(manager.stream, pending)
+                if self.network.send(self.endpoint, subscriber, kind, batch):
+                    manager.mark_delivered(subscriber)
+
+    def _housekeeping(self, now: float) -> None:
+        """Keep redo buffers bounded while the node is fully stable."""
+        if (
+            self.cm.state is NodeState.STABLE
+            and not self._fragment_dirty
+            and not self.cm.failed_streams()
+            and self._checkpoint is None
+        ):
+            for monitor in self.cm.monitors.values():
+                monitor.clear_stable_buffer()
+
+    # ------------------------------------------------------------------ ConsistencyOwner interface
+    def on_input_failure(self, stream: str, now: float) -> None:
+        """An input stream failed and could not be masked by switching."""
+        if self._reconciling:
+            return  # handled by the abort check in the redo loop
+        if self._checkpoint is None:
+            self._take_checkpoint(now)
+        self._set_hold(True)
+
+    def on_inputs_healed(self, now: float) -> None:
+        """Every failed input stream healed."""
+        if self._fragment_dirty or self._reconciling:
+            return  # reconciliation (requested via wants_reconciliation) will clean up
+        # The failure was short enough that nothing tentative was processed:
+        # the buckets buffered during the hold stabilize now that data and
+        # boundaries flow again, so the node simply resumes STABLE operation.
+        for monitor in self.cm.monitors.values():
+            monitor.mark_healed()
+        self._checkpoint = None
+        self._set_hold(False)
+        self._flush_outputs(now)
+        if self.cm.state is NodeState.UP_FAILURE:
+            self.cm.set_state(NodeState.STABLE)
+
+    def wants_reconciliation(self) -> bool:
+        return self._fragment_dirty and not self._reconciling
+
+    def apply_local_undo(self, stream: str, now: float) -> None:
+        """Drop buffered tentative tuples of ``stream`` from the fragment's SUnions."""
+        for operator_name, _port in self.engine.entry_operators(stream):
+            operator = self.diagram.operator(operator_name)
+            if isinstance(operator, SUnion):
+                operator.drop_tentative()
+
+    def output_stream_states(self) -> dict[str, NodeState]:
+        """Per-output-stream consistency states advertised in heartbeats."""
+        state = self.cm.state
+        if not self.config.per_stream_granularity or state is NodeState.STABLE:
+            return {stream: state for stream in self.diagram.output_streams}
+        affected = self._outputs_affected_by(self.cm.failed_streams())
+        if self._fragment_dirty and not affected:
+            # Conservative: once the whole fragment was rolled into tentative
+            # processing every output is affected.
+            affected = set(self.diagram.output_streams)
+        return {
+            stream: (state if stream in affected else NodeState.STABLE)
+            for stream in self.diagram.output_streams
+        }
+
+    def _outputs_affected_by(self, failed_streams: Sequence[str]) -> set[str]:
+        """Output streams reachable from the entry operators of failed inputs."""
+        reachable: set[str] = set()
+        frontier = [
+            binding.operator
+            for binding in self.diagram.inputs
+            if binding.stream in set(failed_streams)
+        ]
+        seen: set[str] = set()
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for connection in self.diagram.downstream_of(name):
+                frontier.append(connection.target)
+        for binding in self.diagram.outputs:
+            if binding.operator in seen:
+                reachable.add(binding.stream)
+        return reachable
+
+    # ------------------------------------------------------------------ checkpoint / reconciliation
+    def _take_checkpoint(self, now: float, clear_buffers: bool = True) -> None:
+        """Snapshot the fragment before any tentative tuple is processed.
+
+        ``clear_buffers`` is False when the caller has already arranged for
+        the redo buffers to contain exactly the input *not* reflected in the
+        checkpointed state (the abort-during-reconciliation path).
+        """
+        self._checkpoint = self.engine.checkpoint(created_at=now)
+        self.engine.note_checkpoint_on_outputs()
+        if clear_buffers:
+            for monitor in self.cm.monitors.values():
+                monitor.clear_stable_buffer()
+        self.checkpoints_taken += 1
+
+    def start_reconciliation(self, now: float) -> None:
+        """Authorization granted: reconcile with checkpoint/redo (Section 4.4)."""
+        if self._reconciling:
+            return
+        if self._checkpoint is None:
+            # Nothing to roll back to (e.g. the failure produced no tentative
+            # processing); just clean up.
+            self.on_inputs_healed(now)
+            return
+        self.cm.set_state(NodeState.STABILIZATION)
+        self._reconciling = True
+        self._set_dirty(False)
+        for soutput in self.engine.soutputs():
+            soutput.begin_reconciliation()
+        self.engine.restore(self._checkpoint)
+        # The redo reprocesses stable input only; its buckets stabilize and
+        # must be emitted as corrections, so the hold is lifted.
+        for operator in self.diagram:
+            if isinstance(operator, SUnion):
+                operator.hold_buckets = False
+        self._redo_positions = {stream: 0 for stream in self.cm.monitors}
+        self.simulator.schedule_in(
+            self.config.checkpoint_cost,
+            self._redo_chunk,
+            kind=EventKind.INTERNAL,
+            description=f"{self.name} redo chunk",
+        )
+
+    @property
+    def _redo_chunk_interval(self) -> float:
+        return max(self.sim_config.batch_interval, 0.05)
+
+    def _redo_chunk(self, now: float) -> None:
+        """Reprocess a slice of the buffered stable input (streaming corrections)."""
+        if not self._reconciling:
+            return
+        if self.cm.failed_streams() and not self.cm.all_failed_inputs_healed(now):
+            self._abort_reconciliation(now)
+            return
+        budget = max(int(self.config.redo_rate * self._redo_chunk_interval), 1)
+        exhausted = True
+        for stream, monitor in self.cm.monitors.items():
+            if budget <= 0:
+                exhausted = False
+                break
+            position = self._redo_positions.get(stream, 0)
+            buffer = monitor.stable_buffer
+            if position >= len(buffer):
+                continue
+            take = buffer[position: position + budget]
+            data_count = sum(1 for item in take if item.is_data)
+            budget -= max(data_count, 1)
+            self._redo_positions[stream] = position + len(take)
+            for operator_name, port in self.engine.entry_operators(stream):
+                outputs = self.engine.push_operator(operator_name, port, take)
+                self._handle_fragment_outputs(outputs)
+            if self._redo_positions[stream] < len(buffer):
+                exhausted = False
+        self._flush_outputs(now)
+        if exhausted and all(
+            self._redo_positions.get(stream, 0) >= len(monitor.stable_buffer)
+            for stream, monitor in self.cm.monitors.items()
+        ):
+            self._finish_reconciliation(now)
+        else:
+            self.simulator.schedule_in(
+                self._redo_chunk_interval,
+                self._redo_chunk,
+                kind=EventKind.INTERNAL,
+                description=f"{self.name} redo chunk",
+            )
+
+    def _finish_reconciliation(self, now: float) -> None:
+        for binding in self.diagram.outputs:
+            soutput = self.engine.soutput_for(binding.stream)
+            tail = soutput.end_reconciliation(stime=now)
+            manager = self.data_path.output(binding.stream)
+            for item in tail:
+                manager.append(item)
+        self._flush_outputs(now)
+        for monitor in self.cm.monitors.values():
+            monitor.clear_stable_buffer()
+            monitor.mark_healed()
+        self._redo_positions = {}
+        self._checkpoint = None
+        self._reconciling = False
+        self._set_dirty(False)
+        self.reconciliations_completed += 1
+        still_failed = [
+            stream
+            for stream, monitor in self.cm.monitors.items()
+            if monitor.detect_failure(now, self.config.failure_detection_timeout) or monitor.failed
+        ]
+        if still_failed:
+            self.cm.set_state(NodeState.UP_FAILURE)
+            self._take_checkpoint(now)
+            self._set_hold(True)
+        else:
+            self.cm.set_state(NodeState.STABLE)
+
+    def _abort_reconciliation(self, now: float) -> None:
+        """A new failure arrived mid-redo: close the correction burst and resume."""
+        for binding in self.diagram.outputs:
+            soutput = self.engine.soutput_for(binding.stream)
+            tail = soutput.end_reconciliation(stime=now)
+            manager = self.data_path.output(binding.stream)
+            for item in tail:
+                manager.append(item)
+        self._flush_outputs(now)
+        # Keep only the input that was not reprocessed yet; it belongs to the
+        # new checkpoint interval.
+        for stream, monitor in self.cm.monitors.items():
+            position = self._redo_positions.get(stream, 0)
+            del monitor.stable_buffer[:position]
+        self._redo_positions = {}
+        self._reconciling = False
+        self.reconciliations_aborted += 1
+        self.cm.set_state(NodeState.UP_FAILURE)
+        self._checkpoint = None
+        # The buffers were just truncated to the not-yet-reprocessed suffix;
+        # the new checkpoint must keep them for the next reconciliation.
+        self._take_checkpoint(now, clear_buffers=False)
+        self._set_hold(True)
+
+    # ------------------------------------------------------------------ crash / recovery
+    def crash(self) -> None:
+        """Fail-stop this replica: it stops sending, receiving, and processing."""
+        self._crashed = True
+        self.network.crash(self.endpoint)
+
+    def recover(self) -> None:
+        """Restart from an empty state and resubscribe to upstream neighbors.
+
+        Rebuilding the full pre-crash state is delegated to the normal
+        subscription replay: the node resubscribes to every input stream from
+        the beginning of what its upstream neighbors still buffer.
+        """
+        self.network.recover(self.endpoint)
+        self._crashed = False
+        self._checkpoint = None
+        self._fragment_dirty = False
+        self._reconciling = False
+        for monitor in self.cm.monitors.values():
+            monitor.clear_stable_buffer()
+            # Failure flags raised while the node was down are deliberately
+            # kept: the normal healing path (boundaries flowing again on every
+            # failed input) is what moves the node back to STABLE once it has
+            # caught up with the replayed input.
+            monitor.last_boundary_arrival = self.simulator.now
+            primary = monitor.primary
+            if primary is not None and not monitor.producers[primary].is_source:
+                self.network.send(
+                    self.endpoint,
+                    primary,
+                    SUBSCRIBE,
+                    SubscribeRequest(
+                        stream=monitor.stream,
+                        subscriber=self.endpoint,
+                        last_stable_seq=monitor.stable_received - 1,
+                        had_tentative=False,
+                        replay_tentative=False,
+                    ),
+                )
+
+    # ------------------------------------------------------------------ introspection
+    def statistics(self) -> dict:
+        """Counters used by tests, examples, and the experiment harness."""
+        outputs = {
+            manager.stream: {
+                "stable": manager.stable_produced,
+                "tentative": manager.tentative_produced,
+                "undos": manager.undos_produced,
+                "buffered": manager.buffered_tuples,
+            }
+            for manager in self.data_path.outputs()
+        }
+        return {
+            "name": self.name,
+            "state": self.cm.state.value,
+            "checkpoints": self.checkpoints_taken,
+            "reconciliations": self.reconciliations_completed,
+            "reconciliations_aborted": self.reconciliations_aborted,
+            "switches": self.cm.switches_performed,
+            "tuples_processed": self.engine.tuples_processed,
+            "outputs": outputs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProcessingNode {self.name!r} state={self.cm.state.value}>"

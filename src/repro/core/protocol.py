@@ -1,0 +1,108 @@
+"""Runtime messages exchanged by DPC components.
+
+Every message travels over :class:`repro.sim.network.Network` with a string
+``kind`` and a payload dataclass from this module.  The set of messages
+matches the communication the paper describes:
+
+* data tuples between neighbors (``DATA``);
+* subscription management when a node switches upstream replicas
+  (``SUBSCRIBE`` / ``UNSUBSCRIBE``, Section 4.3 and Figure 8);
+* keep-alive requests and responses advertising per-stream consistency
+  states (``HEARTBEAT_REQUEST`` / ``HEARTBEAT_RESPONSE``, Section 4.2.3);
+* the inter-replica protocol that staggers reconciliations
+  (``RECONCILE_REQUEST`` / ``RECONCILE_REPLY``, Section 4.4.3 and Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..spe.tuples import StreamTuple
+from .states import NodeState
+
+# Message kind identifiers.
+DATA = "data"
+SUBSCRIBE = "subscribe"
+UNSUBSCRIBE = "unsubscribe"
+HEARTBEAT_REQUEST = "heartbeat_request"
+HEARTBEAT_RESPONSE = "heartbeat_response"
+RECONCILE_REQUEST = "reconcile_request"
+RECONCILE_REPLY = "reconcile_reply"
+
+
+@dataclass(frozen=True)
+class DataBatch:
+    """A batch of tuples for one stream, sent producer -> subscriber."""
+
+    stream: str
+    tuples: tuple[StreamTuple, ...]
+    producer: str
+
+    @classmethod
+    def of(cls, stream: str, tuples: Sequence[StreamTuple], producer: str) -> "DataBatch":
+        return cls(stream=stream, tuples=tuple(tuples), producer=producer)
+
+
+@dataclass(frozen=True)
+class SubscribeRequest:
+    """Ask a producer to start (or restart) sending one of its output streams.
+
+    ``last_stable_seq`` is the number of stable tuples the subscriber has
+    already received on the logical stream (a replica-independent position,
+    because replicas produce the same stable tuples in the same order).
+    ``had_tentative`` tells the producer that the subscriber holds tentative
+    tuples after that point, so corrections must be preceded by an UNDO.
+    ``replay_tentative`` asks the producer to also send its current tentative
+    tail; a subscriber switching to a replica that is itself in UP_FAILURE
+    leaves this False and accepts the small gap the paper notes (footnote 6).
+    """
+
+    stream: str
+    subscriber: str
+    last_stable_seq: int = -1
+    had_tentative: bool = False
+    replay_tentative: bool = False
+
+
+@dataclass(frozen=True)
+class UnsubscribeRequest:
+    stream: str
+    subscriber: str
+
+
+@dataclass(frozen=True)
+class HeartbeatRequest:
+    """Keep-alive probe; the requester wants the state of ``streams``."""
+
+    requester: str
+    streams: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class HeartbeatResponse:
+    """Reply to a keep-alive: overall node state and per-stream states."""
+
+    responder: str
+    node_state: NodeState
+    stream_states: Mapping[str, NodeState] = field(default_factory=dict)
+
+    def state_of(self, stream: str) -> NodeState:
+        return self.stream_states.get(stream, self.node_state)
+
+
+@dataclass(frozen=True)
+class ReconcileRequest:
+    """Ask a replica for permission to enter STABILIZATION."""
+
+    requester: str
+    request_id: int
+
+
+@dataclass(frozen=True)
+class ReconcileReply:
+    """Grant or reject a :class:`ReconcileRequest`."""
+
+    responder: str
+    request_id: int
+    granted: bool

@@ -1,0 +1,55 @@
+"""DPC node and stream states (Figure 5 of the paper)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class NodeState(str, Enum):
+    """Consistency state of a processing node (or of one of its streams).
+
+    * ``STABLE`` -- all inputs stable, outputs stable.
+    * ``UP_FAILURE`` -- at least one input stream is unavailable or carries
+      tentative tuples; outputs may be tentative.
+    * ``STABILIZATION`` -- inputs were corrected and the node is reconciling
+      its state and correcting its outputs.
+    * ``FAILURE`` -- the node itself is unreachable.  Nodes never advertise
+      this state; peers infer it from missing heartbeat responses.
+    """
+
+    STABLE = "stable"
+    UP_FAILURE = "up_failure"
+    STABILIZATION = "stabilization"
+    FAILURE = "failure"
+
+
+#: Transitions of the DPC state machine (Figure 5).  ``FAILURE`` is excluded
+#: because it is an externally observed state, not one a node enters by itself.
+VALID_TRANSITIONS: dict[NodeState, frozenset[NodeState]] = {
+    NodeState.STABLE: frozenset({NodeState.UP_FAILURE}),
+    NodeState.UP_FAILURE: frozenset({NodeState.STABILIZATION, NodeState.STABLE}),
+    NodeState.STABILIZATION: frozenset({NodeState.STABLE, NodeState.UP_FAILURE}),
+}
+
+
+def can_transition(current: NodeState, target: NodeState) -> bool:
+    """True when the DPC state machine allows ``current`` -> ``target``."""
+    if current == target:
+        return True
+    return target in VALID_TRANSITIONS.get(current, frozenset())
+
+
+#: Preference order used when choosing which upstream replica to read from
+#: (Table II): STABLE is best, then UP_FAILURE, then STABILIZATION, and an
+#: unreachable replica (FAILURE) is last.
+STATE_PREFERENCE: dict[NodeState, int] = {
+    NodeState.STABLE: 0,
+    NodeState.UP_FAILURE: 1,
+    NodeState.STABILIZATION: 2,
+    NodeState.FAILURE: 3,
+}
+
+
+def prefer(a: NodeState, b: NodeState) -> NodeState:
+    """The more desirable of two upstream stream states."""
+    return a if STATE_PREFERENCE[a] <= STATE_PREFERENCE[b] else b

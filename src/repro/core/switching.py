@@ -1,0 +1,92 @@
+"""Upstream replica switching rules (Table II of the paper).
+
+Given the state of the stream at the current upstream replica and at every
+other replica, decide whether to stay or to switch, preferring replicas in
+STABLE state over UP_FAILURE over everything else.  These rules implement the
+availability side of DPC: as long as *some* replica of an upstream neighbor is
+stable, a failure is masked simply by reading from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .states import STATE_PREFERENCE, NodeState
+
+
+@dataclass(frozen=True)
+class SwitchDecision:
+    """Outcome of evaluating the Table II condition-action rules."""
+
+    switch: bool
+    target: str | None = None
+    reason: str = ""
+
+    @classmethod
+    def stay(cls, reason: str = "current upstream is preferred") -> "SwitchDecision":
+        return cls(switch=False, target=None, reason=reason)
+
+
+def choose_upstream(
+    current: str | None,
+    replica_states: Mapping[str, NodeState],
+) -> SwitchDecision:
+    """Apply Table II: return the replica to read the stream from.
+
+    Parameters
+    ----------
+    current:
+        The replica currently used for this input stream (``None`` when the
+        stream has no producer yet, e.g. right after a crash recovery).
+    replica_states:
+        The most recent known state of the stream at every replica of the
+        upstream neighbor, including ``current``.  Unreachable replicas should
+        be reported as :attr:`NodeState.FAILURE`.
+    """
+    if not replica_states:
+        return SwitchDecision.stay("no known replicas")
+
+    def rank(name: str) -> tuple[int, str]:
+        return (STATE_PREFERENCE[replica_states[name]], name)
+
+    if current is not None and current not in replica_states:
+        replica_states = dict(replica_states)
+        replica_states[current] = NodeState.FAILURE
+
+    best = min(replica_states, key=rank)
+    best_state = replica_states[best]
+    current_state = replica_states.get(current, NodeState.FAILURE) if current else NodeState.FAILURE
+
+    if current is not None and current_state is NodeState.STABLE:
+        # Rule 1: the current upstream is STABLE -- do nothing.
+        return SwitchDecision.stay("current upstream is STABLE")
+
+    if best_state is NodeState.STABLE:
+        # Rule 2: some replica is STABLE -- switch to it.
+        if best == current:
+            return SwitchDecision.stay("current upstream is STABLE")
+        return SwitchDecision(switch=True, target=best, reason="found STABLE replica")
+
+    if current is not None and current_state is NodeState.UP_FAILURE:
+        # Rule 3: no STABLE replica and the current one still produces
+        # (tentative) data -- keep it.
+        return SwitchDecision.stay("no STABLE replica; current is UP_FAILURE")
+
+    if best_state is NodeState.UP_FAILURE:
+        # Rule 4: current upstream is unreachable or stabilizing, but another
+        # replica can at least provide tentative data -- switch to it.
+        if best == current:
+            return SwitchDecision.stay("current upstream is UP_FAILURE")
+        return SwitchDecision(switch=True, target=best, reason="found UP_FAILURE replica")
+
+    # Rule 5: nothing better than the current replica exists.  Staying
+    # connected to a STABILIZATION replica at least delivers corrections.
+    if current is None and best_state is not NodeState.FAILURE:
+        return SwitchDecision(switch=True, target=best, reason="no current upstream")
+    return SwitchDecision.stay("no preferable replica available")
+
+
+def states_summary(replica_states: Mapping[str, NodeState]) -> str:
+    """Compact human-readable rendering used in traces and error messages."""
+    return ", ".join(f"{name}={state.value}" for name, state in sorted(replica_states.items()))

@@ -1,0 +1,48 @@
+"""Experiment runners: one entry point per table / figure of the paper.
+
+See DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+results.
+"""
+
+from .harness import ExperimentResult, availability_run, check_eventual_consistency, format_table
+from .single_node import FIG13_POLICIES, TraceResult, eventual_consistency_trace, fig13, table3
+from .chains import CHAIN_POLICIES, FIG19_VARIANTS, fig15, fig16, fig18, fig19_20
+from .overhead import OverheadRow, serialization_overhead, table4, table5
+from .ablations import (
+    BufferBoundResult,
+    DetectionResult,
+    buffer_bound_run,
+    crash_failover,
+    detection_sweep,
+    granularity_run,
+    replica_sweep,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "availability_run",
+    "check_eventual_consistency",
+    "format_table",
+    "FIG13_POLICIES",
+    "TraceResult",
+    "eventual_consistency_trace",
+    "fig13",
+    "table3",
+    "CHAIN_POLICIES",
+    "FIG19_VARIANTS",
+    "fig15",
+    "fig16",
+    "fig18",
+    "fig19_20",
+    "OverheadRow",
+    "serialization_overhead",
+    "table4",
+    "table5",
+    "BufferBoundResult",
+    "DetectionResult",
+    "buffer_bound_run",
+    "crash_failover",
+    "detection_sweep",
+    "granularity_run",
+    "replica_sweep",
+]

@@ -1,0 +1,291 @@
+"""Ablation experiments for the design decisions DESIGN.md calls out.
+
+The paper's evaluation fixes several parameters (two replicas per node, a
+100 ms keepalive, node-wide failure granularity, unbounded buffers).  The
+runners in this module vary them one at a time so the effect of each design
+choice can be measured:
+
+* :func:`replica_sweep` -- how many replicas are needed to keep Proc_new flat
+  (Section 5.2 relies on "at least two replicas").
+* :func:`detection_sweep` -- keepalive period / detection timeout against the
+  failure-to-new-data gap (the 140 ms figure of Section 5.1).
+* :func:`crash_failover` -- fail-stop crash of the replica a client reads
+  from; DPC must mask it by switching to the other replica (Section 4.5).
+* :func:`buffer_bound_run` -- bounded output buffers with and without
+  blocking back-pressure (Section 8.1).
+* :func:`granularity_run` -- per-stream vs node-wide failure advertisement
+  (Section 8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import BufferPolicy, DelayPolicy, DPCConfig
+from ..errors import BufferOverflowError
+from ..sim.cluster import build_chain_cluster
+from ..workloads.scenarios import FailureSpec, Scenario
+from .harness import ExperimentResult, availability_run, check_eventual_consistency
+
+
+# --------------------------------------------------------------------------- replicas
+def replica_sweep(
+    replica_counts: Sequence[int] = (1, 2, 3),
+    *,
+    failure_duration: float = 10.0,
+    aggregate_rate: float = 150.0,
+    max_incremental_latency: float = 3.0,
+    settle: float = 30.0,
+) -> list[ExperimentResult]:
+    """Proc_new and N_tentative as the number of replicas per node varies.
+
+    With a single replica the node itself must reconcile, so new data stops
+    flowing while it does and Proc_new grows with the failure duration; with
+    two or more replicas the inter-replica protocol keeps one replica serving
+    new data at all times.
+    """
+    results = []
+    for replicas in replica_counts:
+        results.append(
+            availability_run(
+                failure_duration=failure_duration,
+                label=f"{replicas} replica{'s' if replicas != 1 else ''}",
+                chain_depth=1,
+                replicas_per_node=replicas,
+                aggregate_rate=aggregate_rate,
+                max_incremental_latency=max_incremental_latency,
+                policy=DelayPolicy.process_process(),
+                settle=settle + failure_duration * 0.5,
+            )
+        )
+    return results
+
+
+# --------------------------------------------------------------------------- failure detection
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of one detection-parameter configuration."""
+
+    keepalive_period: float
+    detection_timeout: float
+    proc_new: float
+    max_gap: float
+    n_tentative: int
+    switches: int
+    eventually_consistent: bool
+
+    def row(self) -> str:
+        return (
+            f"keepalive={self.keepalive_period * 1000:5.0f} ms  "
+            f"timeout={self.detection_timeout * 1000:5.0f} ms  "
+            f"Proc_new={self.proc_new:5.2f} s  max_gap={self.max_gap:5.2f} s  "
+            f"N_tentative={self.n_tentative:5d}  switches={self.switches}"
+        )
+
+
+def detection_sweep(
+    keepalive_periods: Sequence[float] = (0.05, 0.1, 0.25, 0.5),
+    *,
+    failure_duration: float = 10.0,
+    aggregate_rate: float = 150.0,
+    max_incremental_latency: float = 3.0,
+    settle: float = 30.0,
+) -> list[DetectionResult]:
+    """Vary the keepalive / detection parameters and measure their latency cost.
+
+    The paper quotes ~40 ms to switch upstream replicas plus up to one
+    keepalive period to detect the failure (~140 ms total with the default
+    100 ms period).  In the reproduction the switch cost is a configuration
+    constant, so the sweep shows the detection component: larger keepalive
+    periods and timeouts delay the reaction to a failure, which shows up in
+    the maximum gap between new tuples and, eventually, in tentative output.
+    """
+    results = []
+    for period in keepalive_periods:
+        config = DPCConfig(
+            max_incremental_latency=max_incremental_latency,
+            delay_policy=DelayPolicy.process_process(),
+            keepalive_period=period,
+            failure_detection_timeout=min(period * 2.5, max_incremental_latency * 0.5),
+        )
+        outcome = availability_run(
+            failure_duration=failure_duration,
+            label=f"keepalive {period * 1000:.0f} ms",
+            chain_depth=1,
+            replicas_per_node=2,
+            aggregate_rate=aggregate_rate,
+            config=config,
+            settle=settle + failure_duration * 0.5,
+        )
+        results.append(
+            DetectionResult(
+                keepalive_period=period,
+                detection_timeout=config.failure_detection_timeout,
+                proc_new=outcome.proc_new,
+                max_gap=outcome.max_gap,
+                n_tentative=outcome.n_tentative,
+                switches=int(outcome.extra.get("switches", 0)),
+                eventually_consistent=outcome.eventually_consistent,
+            )
+        )
+    return results
+
+
+# --------------------------------------------------------------------------- crash failover
+def crash_failover(
+    *,
+    crash_duration: float = 15.0,
+    aggregate_rate: float = 150.0,
+    max_incremental_latency: float = 3.0,
+    warmup: float = 5.0,
+    settle: float = 30.0,
+) -> ExperimentResult:
+    """Crash the replica the client reads from and let DPC fail over.
+
+    The client initially subscribes to the first replica of the (single)
+    processing node.  That replica fail-stops for ``crash_duration`` seconds;
+    the client's consistency manager must detect the silence and switch to the
+    second replica, so new results keep flowing within the availability bound
+    and no inconsistency is introduced (both replicas are STABLE throughout).
+    """
+    config = DPCConfig(
+        max_incremental_latency=max_incremental_latency,
+        delay_policy=DelayPolicy.process_process(),
+    )
+    cluster = build_chain_cluster(
+        chain_depth=1,
+        replicas_per_node=2,
+        aggregate_rate=aggregate_rate,
+        config=config,
+        join_state_size=100,
+    )
+    scenario = Scenario(
+        warmup=warmup,
+        settle=settle,
+        failures=[
+            FailureSpec(
+                kind="crash",
+                start=warmup,
+                duration=crash_duration,
+                node_level=0,
+                node_replica=0,
+            )
+        ],
+    )
+    scenario.run(cluster)
+    client = cluster.client
+    summary = client.summary()
+    return ExperimentResult(
+        label="crash failover",
+        failure_duration=crash_duration,
+        chain_depth=1,
+        policy=config.delay_policy.name,
+        proc_new=summary["proc_new"],
+        max_gap=summary["max_gap"],
+        n_tentative=summary["total_tentative"],
+        n_stable=summary["total_stable"],
+        n_undos=summary["total_undos"],
+        n_rec_done=summary["total_rec_done"],
+        eventually_consistent=check_eventual_consistency(cluster),
+        extra={
+            "switches": summary["switches"],
+            "crashed_replica": cluster.node(0, 0).name,
+            "surviving_replica": cluster.node(0, 1).name,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- buffer bounds
+@dataclass(frozen=True)
+class BufferBoundResult:
+    """Outcome of one buffer-policy configuration."""
+
+    label: str
+    max_output_tuples: int | None
+    block_on_full: bool
+    overflowed: bool
+    buffered_tuples: int
+    client_stable: int
+    proc_new: float
+
+    def row(self) -> str:
+        bound = "unbounded" if self.max_output_tuples is None else str(self.max_output_tuples)
+        return (
+            f"{self.label:<24} bound={bound:>9}  block={'yes' if self.block_on_full else 'no '}  "
+            f"overflowed={'yes' if self.overflowed else 'no '}  buffered={self.buffered_tuples:>6}  "
+            f"stable@client={self.client_stable:>6}  Proc_new={self.proc_new:5.2f}s"
+        )
+
+
+def buffer_bound_run(
+    *,
+    max_output_tuples: int | None,
+    block_on_full: bool,
+    label: str | None = None,
+    aggregate_rate: float = 150.0,
+    duration: float = 30.0,
+    truncate_period: float | None = None,
+) -> BufferBoundResult:
+    """Run a failure-free deployment under one output-buffer policy.
+
+    With ``block_on_full=True`` a full buffer raises
+    :class:`~repro.errors.BufferOverflowError` (the back-pressure signal of
+    Section 8.1, which in a full deployment propagates to the sources); with
+    ``block_on_full=False`` the oldest tuples are dropped, which is only safe
+    for convergent-capable diagrams.  ``truncate_period`` enables the
+    acknowledgment-driven truncation that keeps buffers small in the absence
+    of failures.
+    """
+    policy = BufferPolicy(max_output_tuples=max_output_tuples, block_on_full=block_on_full)
+    config = DPCConfig(buffer_policy=policy)
+    cluster = build_chain_cluster(
+        chain_depth=1, replicas_per_node=1, aggregate_rate=aggregate_rate, config=config
+    )
+    node = cluster.node(0, 0)
+    if truncate_period is not None:
+        cluster.simulator.schedule_periodic(
+            truncate_period,
+            lambda now: [m.truncate_delivered() for m in node.data_path.outputs()],
+            description="truncate output buffers",
+        )
+    overflowed = False
+    cluster.start()
+    try:
+        cluster.run_for(duration)
+    except BufferOverflowError:
+        overflowed = True
+    manager = node.data_path.outputs()[0]
+    return BufferBoundResult(
+        label=label or f"bound={max_output_tuples}, block={block_on_full}",
+        max_output_tuples=max_output_tuples,
+        block_on_full=block_on_full,
+        overflowed=overflowed,
+        buffered_tuples=manager.buffered_tuples,
+        client_stable=cluster.client.metrics.consistency.total_stable,
+        proc_new=cluster.client.proc_new,
+    )
+
+
+# --------------------------------------------------------------------------- failure granularity
+def granularity_run(
+    per_stream: bool,
+    *,
+    failure_duration: float = 10.0,
+    aggregate_rate: float = 150.0,
+    max_incremental_latency: float = 3.0,
+    settle: float = 30.0,
+) -> ExperimentResult:
+    """One availability run with node-wide or per-stream failure advertisement."""
+    config = DPCConfig(
+        max_incremental_latency=max_incremental_latency,
+        delay_policy=DelayPolicy.process_process(),
+        per_stream_granularity=per_stream,
+    )
+    return availability_run(
+        failure_duration=failure_duration,
+        label=f"granularity={'per-stream' if per_stream else 'node-wide'}",
+        aggregate_rate=aggregate_rate,
+        config=config,
+        settle=settle + failure_duration * 0.5,
+    )

@@ -1,0 +1,156 @@
+"""Shared experiment harness.
+
+Every benchmark in ``benchmarks/`` (one per table / figure of the paper) is a
+thin wrapper around the runners in this package, so the same code can be used
+interactively::
+
+    from repro.experiments import availability_run
+    result = availability_run(failure_duration=10.0)
+    print(result.proc_new, result.n_tentative)
+
+Scale note: the paper drives its prototype at 500-4500 tuples/s on real
+hardware.  The default rates here are lower so that the full benchmark suite
+completes in minutes on a laptop; every rate is a parameter and
+``EXPERIMENTS.md`` records the values used for the reported numbers.  All
+durations, delay bounds, and failure lengths are in *simulated seconds* and
+match the paper exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Sequence
+
+from ..config import DelayAssignment, DelayPolicy, DPCConfig, SimulationConfig
+from ..metrics.consistency import duplicate_stable_values
+from ..sim.cluster import Cluster, build_chain_cluster
+from ..workloads.scenarios import FailureSpec, Scenario
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Summary of one cluster run, in the units the paper reports."""
+
+    label: str
+    failure_duration: float
+    chain_depth: int
+    policy: str
+    proc_new: float
+    max_gap: float
+    n_tentative: int
+    n_stable: int
+    n_undos: int
+    n_rec_done: int
+    eventually_consistent: bool
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def row(self) -> str:
+        """One formatted table row (used by the benchmark harness printout)."""
+        return (
+            f"{self.label:<28} failure={self.failure_duration:>5.1f}s depth={self.chain_depth} "
+            f"Proc_new={self.proc_new:6.2f}s N_tentative={self.n_tentative:>7d} "
+            f"consistent={'yes' if self.eventually_consistent else 'NO'}"
+        )
+
+
+def check_eventual_consistency(cluster: Cluster) -> bool:
+    """Final stable output must be gap-free, duplicate-free, and in order."""
+    client = cluster.client
+    sequence = client.stable_sequence
+    if not sequence:
+        return False
+    if sequence != sorted(sequence):
+        return False
+    ledger = client.metrics.consistency.ledger
+    if duplicate_stable_values(ledger, client.metrics.sequence_attribute):
+        return False
+    missing = set(range(min(sequence), max(sequence) + 1)) - set(sequence)
+    return not missing
+
+
+def availability_run(
+    failure_duration: float,
+    *,
+    label: str = "",
+    chain_depth: int = 1,
+    replicas_per_node: int = 2,
+    aggregate_rate: float = 150.0,
+    max_incremental_latency: float = 3.0,
+    policy: DelayPolicy | None = None,
+    delay_assignment: DelayAssignment = DelayAssignment.UNIFORM,
+    per_node_delay: float | None = None,
+    failure_kind: str = "disconnect",
+    failure_stream: int = 0,
+    warmup: float = 5.0,
+    settle: float = 30.0,
+    redo_rate: float = 1200.0,
+    join_state_size: int | None = 100,
+    config: DPCConfig | None = None,
+    sim_config: SimulationConfig | None = None,
+) -> ExperimentResult:
+    """Run one failure scenario and summarize availability and consistency.
+
+    This is the workhorse behind Table III and Figures 13, 15, 16, 18, 19,
+    and 20: a (chain of) replicated node(s), a single input-stream failure of
+    ``failure_duration`` seconds, and a client that measures Proc_new and
+    counts tentative tuples.
+    """
+    policy = policy or DelayPolicy.process_process()
+    config = config or DPCConfig(
+        max_incremental_latency=max_incremental_latency,
+        delay_policy=policy,
+        delay_assignment=delay_assignment,
+        redo_rate=redo_rate,
+    )
+    cluster = build_chain_cluster(
+        chain_depth=chain_depth,
+        replicas_per_node=replicas_per_node,
+        aggregate_rate=aggregate_rate,
+        config=config,
+        sim_config=sim_config,
+        join_state_size=join_state_size,
+        per_node_delay=per_node_delay,
+    )
+    scenario = Scenario(
+        warmup=warmup,
+        settle=settle,
+        failures=[
+            FailureSpec(
+                kind=failure_kind,
+                start=warmup,
+                duration=failure_duration,
+                stream_index=failure_stream,
+            )
+        ],
+    )
+    scenario.run(cluster)
+    client = cluster.client
+    summary = client.summary()
+    return ExperimentResult(
+        label=label or policy.name,
+        failure_duration=failure_duration,
+        chain_depth=chain_depth,
+        policy=policy.name,
+        proc_new=summary["proc_new"],
+        max_gap=summary["max_gap"],
+        n_tentative=summary["total_tentative"],
+        n_stable=summary["total_stable"],
+        n_undos=summary["total_undos"],
+        n_rec_done=summary["total_rec_done"],
+        eventually_consistent=check_eventual_consistency(cluster),
+        extra={
+            "switches": summary["switches"],
+            "node_states": [n.state.value for n in cluster.all_nodes()],
+            "reconciliations": sum(n.reconciliations_completed for n in cluster.all_nodes()),
+        },
+    )
+
+
+def format_table(title: str, results: Sequence[ExperimentResult]) -> str:
+    """Human-readable table used by the benchmark printouts."""
+    lines = [title, "-" * len(title)]
+    lines.extend(result.row() for result in results)
+    return "\n".join(lines)

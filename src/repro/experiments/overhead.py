@@ -1,0 +1,150 @@
+"""Serialization-overhead experiments: Tables IV and V of the paper.
+
+A single data source feeds a single processing node; the node's fragment is
+either ``SUnion -> SOutput`` (the fault-tolerant configuration) or a plain
+``Union -> SOutput`` with no boundary tuples (the baseline, the paper's
+"0 ms" column).  The client records the latency of every tuple; the tables
+report the minimum, maximum, average, and standard deviation as functions of
+the SUnion bucket size (Table IV) and of the boundary interval (Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import DPCConfig, SimulationConfig
+from ..metrics.latency import LatencySummary
+from ..sim.cluster import build_chain_cluster
+from ..spe.operators import SOutput, Union
+from ..spe.query_diagram import QueryDiagram
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One column of Table IV / V (latencies in milliseconds)."""
+
+    parameter_ms: float
+    latency: LatencySummary
+
+    def row(self, name: str) -> str:
+        ms = self.latency.scaled(1000.0)
+        return (
+            f"{name}={self.parameter_ms:6.0f} ms  min={ms.minimum:7.1f}  max={ms.maximum:7.1f}  "
+            f"avg={ms.average:7.1f}  std={ms.stddev:7.1f}  (n={ms.count})"
+        )
+
+
+def _union_diagram_factory(node_name: str, input_streams: Sequence[str], output_stream: str) -> QueryDiagram:
+    """Baseline fragment: standard Union (arrival order, no serialization)."""
+    diagram = QueryDiagram(name=node_name)
+    union = Union(name=f"{node_name}.union", arity=len(input_streams))
+    soutput = SOutput(name=f"{node_name}.soutput")
+    diagram.add_operator(union)
+    diagram.add_operator(soutput)
+    diagram.connect(union, soutput)
+    for port, stream in enumerate(input_streams):
+        diagram.bind_input(stream, union, port)
+    diagram.bind_output(output_stream, soutput)
+    diagram.validate()
+    return diagram
+
+
+def serialization_overhead(
+    *,
+    bucket_size: float,
+    boundary_interval: float,
+    rate: float = 100.0,
+    duration: float = 30.0,
+    use_sunion: bool = True,
+) -> OverheadRow:
+    """Measure per-tuple latency for one (bucket size, boundary interval) point.
+
+    With ``use_sunion=False`` the fragment uses a plain Union and the
+    measured latency is the transport/batching floor (the paper's column with
+    a standard Union and no boundary tuples).
+    """
+    config = DPCConfig(
+        bucket_size=max(bucket_size, 1e-3),
+        boundary_interval=max(boundary_interval, 1e-3),
+        max_incremental_latency=10.0,
+    )
+    sim_config = SimulationConfig(batch_interval=0.01, network_latency=0.001, processing_latency=0.001)
+    cluster = build_chain_cluster(
+        chain_depth=1,
+        replicas_per_node=1,
+        n_input_streams=1,
+        aggregate_rate=rate,
+        config=config,
+        sim_config=sim_config,
+        join_state_size=None,
+        diagram_factory=None if use_sunion else _union_diagram_factory,
+    )
+    cluster.start()
+    cluster.run_for(duration)
+    latencies = [r.latency for r in cluster.client.metrics.latency.records]
+    parameter = bucket_size if use_sunion else 0.0
+    return OverheadRow(parameter_ms=parameter * 1000.0, latency=LatencySummary.from_values(latencies))
+
+
+def table4(
+    bucket_sizes: Sequence[float] = (0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5),
+    *,
+    boundary_interval: float = 0.01,
+    rate: float = 100.0,
+    duration: float = 30.0,
+    include_baseline: bool = True,
+) -> list[OverheadRow]:
+    """Table IV: latency overhead vs bucket size (boundary interval = 10 ms)."""
+    rows: list[OverheadRow] = []
+    if include_baseline:
+        rows.append(
+            serialization_overhead(
+                bucket_size=0.0,
+                boundary_interval=boundary_interval,
+                rate=rate,
+                duration=duration,
+                use_sunion=False,
+            )
+        )
+    for bucket_size in bucket_sizes:
+        rows.append(
+            serialization_overhead(
+                bucket_size=bucket_size,
+                boundary_interval=boundary_interval,
+                rate=rate,
+                duration=duration,
+            )
+        )
+    return rows
+
+
+def table5(
+    boundary_intervals: Sequence[float] = (0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5),
+    *,
+    bucket_size: float = 0.01,
+    rate: float = 100.0,
+    duration: float = 30.0,
+    include_baseline: bool = True,
+) -> list[OverheadRow]:
+    """Table V: latency overhead vs boundary interval (bucket size = 10 ms)."""
+    rows: list[OverheadRow] = []
+    if include_baseline:
+        rows.append(
+            serialization_overhead(
+                bucket_size=bucket_size,
+                boundary_interval=0.0,
+                rate=rate,
+                duration=duration,
+                use_sunion=False,
+            )
+        )
+    for interval in boundary_intervals:
+        row = serialization_overhead(
+            bucket_size=bucket_size,
+            boundary_interval=interval,
+            rate=rate,
+            duration=duration,
+        )
+        rows.append(OverheadRow(parameter_ms=interval * 1000.0, latency=row.latency))
+    return rows

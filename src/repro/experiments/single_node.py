@@ -1,0 +1,165 @@
+"""Single-node experiments: Figure 11, Table III, and Figure 13."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import DelayPolicy, DPCConfig
+from ..metrics.collector import TraceEntry
+from ..sim.cluster import build_chain_cluster
+from ..workloads.scenarios import FailureSpec, Scenario
+from .harness import ExperimentResult, availability_run, check_eventual_consistency
+
+#: The six delay-policy variants compared in Figure 13, in the paper's naming.
+FIG13_POLICIES: dict[str, DelayPolicy] = {
+    "Process & Process": DelayPolicy.process_process(),
+    "Delay & Process": DelayPolicy.delay_process(),
+    "Process & Delay": DelayPolicy.process_delay(),
+    "Delay & Delay": DelayPolicy.delay_delay(),
+    "Process & Suspend": DelayPolicy.process_suspend(),
+    "Delay & Suspend": DelayPolicy.delay_suspend(),
+}
+
+
+@dataclass
+class TraceResult:
+    """Output trace of one eventual-consistency experiment (Figure 11)."""
+
+    label: str
+    trace: list[TraceEntry]
+    eventually_consistent: bool
+    n_tentative: int
+    n_undos: int
+    n_rec_done: int
+    reconciliations: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def series(self) -> list[tuple[float, object, str]]:
+        """(time, sequence number, tuple type) points -- what Figure 11 plots.
+
+        REC_DONE markers are reported with sequence number 0, matching the
+        paper's presentation ("a tuple with identifier zero").
+        """
+        points: list[tuple[float, object, str]] = []
+        for entry in self.trace:
+            if entry.tuple_type in ("insertion", "tentative") and entry.sequence is not None:
+                points.append((entry.time, entry.sequence, entry.tuple_type))
+            elif entry.tuple_type == "rec_done":
+                points.append((entry.time, 0, entry.tuple_type))
+        return points
+
+
+def eventual_consistency_trace(
+    *,
+    overlapping: bool,
+    aggregate_rate: float = 150.0,
+    max_incremental_latency: float = 2.0,
+    first_failure_start: float = 5.0,
+    first_failure_duration: float = 10.0,
+    settle: float = 30.0,
+    config: DPCConfig | None = None,
+) -> TraceResult:
+    """Reproduce Figure 11: a single unreplicated node and two failures.
+
+    With ``overlapping=True`` the second failure (on input stream 3) starts
+    while the first (on input stream 1) is still active -- Figure 11(a).  With
+    ``overlapping=False`` the second failure starts exactly when the first one
+    heals, i.e. during recovery -- Figure 11(b).
+    """
+    config = config or DPCConfig(max_incremental_latency=max_incremental_latency)
+    cluster = build_chain_cluster(
+        chain_depth=1,
+        replicas_per_node=1,
+        aggregate_rate=aggregate_rate,
+        config=config,
+        join_state_size=None,
+    )
+    if overlapping:
+        second_start = first_failure_start + first_failure_duration / 2
+    else:
+        second_start = first_failure_start + first_failure_duration
+    scenario = Scenario(
+        warmup=first_failure_start,
+        settle=settle,
+        failures=[
+            FailureSpec(
+                kind="disconnect",
+                start=first_failure_start,
+                duration=first_failure_duration,
+                stream_index=0,
+            ),
+            FailureSpec(
+                kind="disconnect",
+                start=second_start,
+                duration=first_failure_duration,
+                stream_index=2,
+            ),
+        ],
+    )
+    scenario.run(cluster)
+    client = cluster.client
+    summary = client.summary()
+    return TraceResult(
+        label="Figure 11(a) overlapping failures" if overlapping else "Figure 11(b) failure during recovery",
+        trace=list(client.metrics.trace),
+        eventually_consistent=check_eventual_consistency(cluster),
+        n_tentative=summary["total_tentative"],
+        n_undos=summary["total_undos"],
+        n_rec_done=summary["total_rec_done"],
+        reconciliations=sum(n.reconciliations_completed for n in cluster.all_nodes()),
+        extra={"proc_new": summary["proc_new"]},
+    )
+
+
+def table3(
+    failure_durations: Sequence[float] = (2, 4, 6, 8, 10, 12, 14, 16, 30, 45, 60),
+    *,
+    aggregate_rate: float = 150.0,
+    max_incremental_latency: float = 3.0,
+    settle: float = 30.0,
+) -> list[ExperimentResult]:
+    """Table III: Proc_new vs failure duration, one replicated node, X = 3 s."""
+    results = []
+    for duration in failure_durations:
+        results.append(
+            availability_run(
+                failure_duration=float(duration),
+                label="Table III",
+                chain_depth=1,
+                replicas_per_node=2,
+                aggregate_rate=aggregate_rate,
+                max_incremental_latency=max_incremental_latency,
+                policy=DelayPolicy.process_process(),
+                settle=settle + duration * 0.5,
+            )
+        )
+    return results
+
+
+def fig13(
+    failure_durations: Sequence[float] = (2, 6, 10, 14, 30, 60),
+    policies: dict[str, DelayPolicy] | None = None,
+    *,
+    aggregate_rate: float = 450.0,
+    max_incremental_latency: float = 3.0,
+    settle: float = 30.0,
+) -> list[ExperimentResult]:
+    """Figure 13: Proc_new and N_tentative for the six delay-policy variants."""
+    policies = policies or FIG13_POLICIES
+    results = []
+    for name, policy in policies.items():
+        for duration in failure_durations:
+            results.append(
+                availability_run(
+                    failure_duration=float(duration),
+                    label=name,
+                    chain_depth=1,
+                    replicas_per_node=2,
+                    aggregate_rate=aggregate_rate,
+                    max_incremental_latency=max_incremental_latency,
+                    policy=policy,
+                    settle=settle + duration * 0.5,
+                )
+            )
+    return results

@@ -1,0 +1,17 @@
+"""Availability and consistency metrics (Sections 2.3.1-2.3.3 of the paper)."""
+
+from .latency import LatencyTracker, LatencySummary, OutputRecord, proc_new
+from .consistency import ConsistencyTracker, eventually_consistent, duplicate_stable_values
+from .collector import MetricsCollector, TraceEntry
+
+__all__ = [
+    "LatencyTracker",
+    "LatencySummary",
+    "OutputRecord",
+    "proc_new",
+    "ConsistencyTracker",
+    "eventually_consistent",
+    "duplicate_stable_values",
+    "MetricsCollector",
+    "TraceEntry",
+]

@@ -1,0 +1,61 @@
+"""Combined metrics collection used by client applications and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..spe.tuples import StreamTuple
+from .consistency import ConsistencyTracker
+from .latency import LatencyTracker, OutputRecord
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One row of the client trace (what Figure 11 plots)."""
+
+    time: float
+    stime: float
+    tuple_type: str
+    sequence: object
+
+
+@dataclass
+class MetricsCollector:
+    """Per-output-stream metrics: latency, consistency, and a full trace."""
+
+    stream: str
+    sequence_attribute: str = "seq"
+    keep_trace: bool = True
+    latency: LatencyTracker = field(default_factory=LatencyTracker)
+    consistency: ConsistencyTracker = field(default_factory=ConsistencyTracker)
+    trace: list[TraceEntry] = field(default_factory=list)
+
+    def observe(self, item: StreamTuple, now: float) -> OutputRecord | None:
+        """Record one received tuple; returns the latency record for data tuples."""
+        self.consistency.observe(item)
+        record = None
+        if item.is_data:
+            record = self.latency.observe(now, item.stime, item.tuple_type.value)
+        if self.keep_trace:
+            self.trace.append(
+                TraceEntry(
+                    time=now,
+                    stime=item.stime,
+                    tuple_type=item.tuple_type.value,
+                    sequence=item.value(self.sequence_attribute) if item.is_data else None,
+                )
+            )
+        return record
+
+    # ------------------------------------------------------------------ summaries
+    def summary(self) -> dict:
+        return {
+            "stream": self.stream,
+            "proc_new": self.latency.proc_new,
+            "max_gap": self.latency.max_gap,
+            "new_tuples": self.latency.new_tuples,
+            "total_stable": self.consistency.total_stable,
+            "total_tentative": self.consistency.total_tentative,
+            "total_undos": self.consistency.total_undos,
+            "total_rec_done": self.consistency.total_rec_done,
+        }

@@ -1,0 +1,118 @@
+"""Consistency metrics: tentative-tuple counting and eventual-consistency checks.
+
+``N_tentative`` (Definition 2 of the paper) measures inconsistency as the
+number of tentative tuples produced on an output stream since the last stable
+tuple; summed over all output streams of a query diagram.  The experiment
+figures report the total number of tentative tuples a client received during a
+failure/reconciliation episode, which this tracker also maintains.
+
+The module also provides the ledger used to *verify* eventual consistency: the
+stable prefix a client ends up with (after applying undo tuples) must equal,
+in content and order, the output of a failure-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..spe.tuples import StreamTuple
+
+
+@dataclass
+class ConsistencyTracker:
+    """Counts tentative tuples and maintains the corrected (stable) ledger."""
+
+    #: Total tentative tuples ever received (the quantity plotted in Figs 13-20).
+    total_tentative: int = 0
+    #: Tentative tuples received since the last stable tuple (Definition 2).
+    tentative_since_stable: int = 0
+    #: Stable tuples received.
+    total_stable: int = 0
+    #: Undo tuples received.
+    total_undos: int = 0
+    #: REC_DONE markers received.
+    total_rec_done: int = 0
+    #: The client-visible sequence after applying undos: stable prefix plus the
+    #: current tentative suffix.
+    ledger: list[StreamTuple] = field(default_factory=list)
+    keep_ledger: bool = True
+
+    def observe(self, item: StreamTuple) -> None:
+        """Account for one received tuple."""
+        if item.is_tentative:
+            self.total_tentative += 1
+            self.tentative_since_stable += 1
+            if self.keep_ledger:
+                self.ledger.append(item)
+        elif item.is_stable:
+            self.total_stable += 1
+            self.tentative_since_stable = 0
+            if self.keep_ledger:
+                self.ledger.append(item)
+        elif item.is_undo:
+            self.total_undos += 1
+            self.tentative_since_stable = 0
+            if self.keep_ledger:
+                self._apply_undo()
+        elif item.is_rec_done:
+            self.total_rec_done += 1
+
+    def _apply_undo(self) -> None:
+        """Drop the tentative suffix after the last stable tuple in the ledger."""
+        last_stable = None
+        for index in range(len(self.ledger) - 1, -1, -1):
+            if self.ledger[index].is_stable:
+                last_stable = index
+                break
+        if last_stable is None:
+            self.ledger.clear()
+        else:
+            del self.ledger[last_stable + 1:]
+
+    # ------------------------------------------------------------------ summaries
+    @property
+    def n_tentative(self) -> int:
+        """The paper's N_tentative for this stream (since the last stable tuple)."""
+        return self.tentative_since_stable
+
+    def stable_values(self, attribute: str) -> list:
+        """Attribute values of the stable tuples in ledger order."""
+        return [item.value(attribute) for item in self.ledger if item.is_stable]
+
+    def stable_prefix(self) -> list[StreamTuple]:
+        return [item for item in self.ledger if item.is_stable]
+
+    def has_pending_tentative(self) -> bool:
+        """True while the ledger still ends with uncorrected tentative tuples."""
+        return any(item.is_tentative for item in self.ledger)
+
+
+def eventually_consistent(
+    received: Sequence[StreamTuple],
+    reference: Sequence[StreamTuple],
+    attribute: str,
+) -> bool:
+    """Check Definition 1 against a reference (failure-free) output.
+
+    ``received`` is a client's final stable ledger, ``reference`` the stable
+    output of a failure-free run of the same diagram on the same input.  They
+    must agree on the sequence of ``attribute`` values.
+    """
+    received_values = [item.value(attribute) for item in received if item.is_stable]
+    reference_values = [item.value(attribute) for item in reference if item.is_stable]
+    return received_values == reference_values
+
+
+def duplicate_stable_values(received: Iterable[StreamTuple], attribute: str) -> list:
+    """Stable attribute values that appear more than once (should be empty)."""
+    seen: set = set()
+    duplicates: list = []
+    for item in received:
+        if not item.is_stable:
+            continue
+        value = item.value(attribute)
+        if value in seen:
+            duplicates.append(value)
+        seen.add(value)
+    return duplicates

@@ -1,0 +1,35 @@
+"""Discrete-event distributed substrate (simulator, network, sources, clients)."""
+
+from .events import Event, EventKind
+from .event_loop import Simulator
+from .network import Network, Message, NetworkStats
+from .failures import FailureInjector, FailureRecord, FailureType
+from .sources import DataSource, sequential_payload
+from .client import ClientApplication
+from .cluster import (
+    Cluster,
+    build_chain_cluster,
+    build_single_node_cluster,
+    merge_diagram,
+    relay_diagram,
+)
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "Simulator",
+    "Network",
+    "Message",
+    "NetworkStats",
+    "FailureInjector",
+    "FailureRecord",
+    "FailureType",
+    "DataSource",
+    "sequential_payload",
+    "ClientApplication",
+    "Cluster",
+    "build_chain_cluster",
+    "build_single_node_cluster",
+    "merge_diagram",
+    "relay_diagram",
+]

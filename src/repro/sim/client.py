@@ -1,0 +1,138 @@
+"""Client application (and its DPC-aware proxy).
+
+The paper assumes client applications either link a fault-tolerant library or
+talk to the system through a proxy implementing DPC (Section 2.2).
+:class:`ClientApplication` plays both roles in the simulation: it subscribes
+to the replicas of the node producing its output stream, applies the same
+upstream-switching rules a processing node would (via its own
+:class:`~repro.core.consistency_manager.ConsistencyManager`), and records
+everything it receives into a :class:`~repro.metrics.collector.MetricsCollector`
+so experiments can report Proc_new, N_tentative, and the raw output trace.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..config import DPCConfig
+from ..core.consistency_manager import ConsistencyManager
+from ..core.protocol import DATA, DataBatch
+from ..core.states import NodeState
+from ..metrics.collector import MetricsCollector
+from ..sim.event_loop import Simulator
+from ..sim.network import Message, Network
+from ..spe.tuples import StreamTuple
+
+
+class ClientApplication:
+    """Receives one output stream of the distributed SPE and measures it."""
+
+    def __init__(
+        self,
+        name: str,
+        stream: str,
+        simulator: Simulator,
+        network: Network,
+        config: DPCConfig | None = None,
+        sequence_attribute: str = "seq",
+        keep_trace: bool = True,
+    ) -> None:
+        self.name = name
+        self.endpoint = name
+        self.stream = stream
+        self.simulator = simulator
+        self.network = network
+        self.config = config or DPCConfig()
+        self.metrics = MetricsCollector(
+            stream=stream, sequence_attribute=sequence_attribute, keep_trace=keep_trace
+        )
+        self.cm = ConsistencyManager(
+            owner=self, simulator=simulator, network=network, config=self.config
+        )
+        self._started = False
+        network.register(self.endpoint, self._on_message)
+
+    # ------------------------------------------------------------------ wiring
+    def register_upstream(self, producers: Sequence[str], source_producers: Sequence[str] = ()) -> None:
+        """Declare which endpoints can produce the client's stream."""
+        self.cm.register_input(self.stream, producers, source_producers)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.cm.start()
+
+    # ------------------------------------------------------------------ message handling
+    def _on_message(self, message: Message, now: float) -> None:
+        if self.cm.handle_message(message, now):
+            return
+        if message.kind != DATA:
+            return
+        batch: DataBatch = message.payload
+        if batch.stream != self.stream:
+            return
+        role = self.cm.classify_producer(batch.stream, message.sender)
+        if role == "ignore":
+            return
+        for item in batch.tuples:
+            verdict = self.cm.record_arrival(batch.stream, item, now)
+            if verdict == "duplicate":
+                continue
+            self._record(item, now, role)
+
+    def _record(self, item: StreamTuple, now: float, role: str) -> None:
+        if item.is_boundary:
+            return
+        if role == "correcting" and item.is_tentative:
+            # Fresh tentative data is taken from the primary connection only.
+            return
+        self.metrics.observe(item, now)
+
+    # ------------------------------------------------------------------ ConsistencyOwner interface
+    def on_input_failure(self, stream: str, now: float) -> None:
+        """Clients have no processing to suspend; the trace simply shows the gap."""
+
+    def on_inputs_healed(self, now: float) -> None:
+        for monitor in self.cm.monitors.values():
+            monitor.mark_healed()
+        if self.cm.state is NodeState.UP_FAILURE:
+            self.cm.set_state(NodeState.STABLE)
+
+    def apply_local_undo(self, stream: str, now: float) -> None:
+        """An UNDO reached the application: revoke the tentative suffix."""
+        self.metrics.consistency.observe(StreamTuple.undo(tuple_id=-1, stime=now, undo_from_id=-1))
+
+    def output_stream_states(self) -> Mapping[str, NodeState]:
+        return {}
+
+    def start_reconciliation(self, now: float) -> None:
+        """Clients hold no operator state; nothing to reconcile."""
+
+    def wants_reconciliation(self) -> bool:
+        return False
+
+    # ------------------------------------------------------------------ results
+    @property
+    def proc_new(self) -> float:
+        """Maximum end-to-end latency of new output tuples (seconds)."""
+        return self.metrics.latency.proc_new
+
+    @property
+    def n_tentative(self) -> int:
+        """Total tentative tuples received (the quantity plotted in Figs 13-20)."""
+        return self.metrics.consistency.total_tentative
+
+    @property
+    def stable_sequence(self) -> list:
+        """Stable values of the sequence attribute, after applying undos."""
+        return self.metrics.consistency.stable_values(self.metrics.sequence_attribute)
+
+    def summary(self) -> dict:
+        data = self.metrics.summary()
+        data["client"] = self.name
+        data["switches"] = self.cm.switches_performed
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClientApplication {self.name!r} stream={self.stream!r}>"

@@ -1,0 +1,295 @@
+"""Cluster assembly: wire sources, replicated processing nodes, and clients.
+
+The experiments in the paper use two deployment shapes:
+
+* a single (optionally replicated) processing node fed by three data sources
+  (Figures 10 and 12, Table III, Figure 13);
+* a chain of up to four replicated processing nodes (Figure 14) where the
+  first node merges three source streams and each subsequent node processes
+  its predecessor's output (Figures 15, 16, 18, 19, 20).
+
+:class:`Cluster` owns the simulator, network, failure injector, sources,
+nodes, and clients of one such deployment and provides the small amount of
+orchestration the experiments need (start everything, run for a while, look at
+the client's metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..config import DPCConfig, SimulationConfig
+from ..core.node import ProcessingNode
+from ..errors import ConfigurationError
+from ..spe.operators import SJoin, SOutput, SUnion
+from ..spe.query_diagram import QueryDiagram
+from ..workloads.generators import PayloadFactory, default_payload_factory
+from .client import ClientApplication
+from .event_loop import Simulator
+from .failures import FailureInjector
+from .network import Network
+from .sources import DataSource
+
+
+@dataclass
+class Cluster:
+    """A fully wired simulated deployment."""
+
+    simulator: Simulator
+    network: Network
+    failures: FailureInjector
+    sources: list[DataSource] = field(default_factory=list)
+    #: Replica groups: nodes[i] is the list of replicas of logical node i+1.
+    nodes: list[list[ProcessingNode]] = field(default_factory=list)
+    clients: list[ClientApplication] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ access helpers
+    @property
+    def client(self) -> ClientApplication:
+        if not self.clients:
+            raise ConfigurationError("cluster has no client")
+        return self.clients[0]
+
+    def all_nodes(self) -> list[ProcessingNode]:
+        return [replica for group in self.nodes for replica in group]
+
+    def node(self, level: int, replica: int = 0) -> ProcessingNode:
+        """Replica ``replica`` of the ``level``-th node in the chain (0-based)."""
+        return self.nodes[level][replica]
+
+    def source(self, index: int) -> DataSource:
+        return self.sources[index]
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        for source in self.sources:
+            source.start()
+        for node in self.all_nodes():
+            node.start()
+        for client in self.clients:
+            client.start()
+
+    def run_for(self, duration: float) -> float:
+        return self.simulator.run_for(duration)
+
+    def run_until(self, end_time: float) -> float:
+        return self.simulator.run_until(end_time)
+
+    # ------------------------------------------------------------------ summaries
+    def summary(self) -> dict:
+        return {
+            "now": self.simulator.now,
+            "sources": [s.tuples_produced for s in self.sources],
+            "nodes": [[replica.statistics() for replica in group] for group in self.nodes],
+            "clients": [c.summary() for c in self.clients],
+        }
+
+
+# --------------------------------------------------------------------------- diagram factories
+def merge_diagram(
+    name: str,
+    input_streams: Sequence[str],
+    output_stream: str,
+    bucket_size: float,
+    join_state_size: int | None = None,
+) -> QueryDiagram:
+    """The first-node fragment: SUnion over the sources (+ optional SJoin) + SOutput.
+
+    Matches the experimental setup of Section 5.2 / Figure 12: "an SUnion that
+    merges these streams into one, an SJoin with a 100-tuple state size, and an
+    SOutput".
+    """
+    diagram = QueryDiagram(name=name)
+    merge = SUnion(name=f"{name}.sunion", arity=len(input_streams), bucket_size=bucket_size)
+    diagram.add_operator(merge)
+    last = merge
+    if join_state_size is not None:
+        sjoin = SJoin(name=f"{name}.sjoin", state_size=join_state_size)
+        diagram.add_operator(sjoin)
+        diagram.connect(merge, sjoin)
+        last = sjoin
+    soutput = SOutput(name=f"{name}.soutput")
+    diagram.add_operator(soutput)
+    diagram.connect(last, soutput)
+    for port, stream in enumerate(input_streams):
+        diagram.bind_input(stream, merge, port)
+    diagram.bind_output(output_stream, soutput)
+    diagram.validate()
+    return diagram
+
+
+def relay_diagram(
+    name: str,
+    input_stream: str,
+    output_stream: str,
+    bucket_size: float,
+) -> QueryDiagram:
+    """A downstream-node fragment: a single-input SUnion followed by an SOutput."""
+    diagram = QueryDiagram(name=name)
+    sunion = SUnion(name=f"{name}.sunion", arity=1, bucket_size=bucket_size)
+    soutput = SOutput(name=f"{name}.soutput")
+    diagram.add_operator(sunion)
+    diagram.add_operator(soutput)
+    diagram.connect(sunion, soutput)
+    diagram.bind_input(input_stream, sunion)
+    diagram.bind_output(output_stream, soutput)
+    diagram.validate()
+    return diagram
+
+
+# --------------------------------------------------------------------------- cluster builders
+def build_chain_cluster(
+    chain_depth: int = 1,
+    replicas_per_node: int = 2,
+    n_input_streams: int = 3,
+    aggregate_rate: float = 300.0,
+    config: DPCConfig | None = None,
+    sim_config: SimulationConfig | None = None,
+    payload_factory: PayloadFactory = default_payload_factory,
+    join_state_size: int | None = 100,
+    per_node_delay: float | None = None,
+    diagram_factory: Callable[[str, Sequence[str], str], QueryDiagram] | None = None,
+) -> Cluster:
+    """Build the replicated chain deployment of Figure 14.
+
+    ``chain_depth`` = 1 with ``replicas_per_node`` = 2 gives the single
+    replicated-node setup of Figure 12; ``replicas_per_node`` = 1 gives the
+    unreplicated single-node setup of Figure 10.
+
+    ``per_node_delay`` overrides the delay budget D assigned to every node;
+    when omitted it is derived from ``config.node_delay(chain_depth)`` (which
+    honours the UNIFORM / FULL delay-assignment strategies of Section 6.3).
+    """
+    if chain_depth < 1:
+        raise ConfigurationError("chain_depth must be >= 1")
+    if replicas_per_node < 1:
+        raise ConfigurationError("replicas_per_node must be >= 1")
+    config = config or DPCConfig()
+    sim_config = sim_config or SimulationConfig()
+    config.validate()
+    sim_config.validate()
+
+    simulator = Simulator()
+    network = Network(simulator, default_latency=sim_config.network_latency)
+    failures = FailureInjector(simulator=simulator, network=network)
+    cluster = Cluster(simulator=simulator, network=network, failures=failures)
+
+    if per_node_delay is None:
+        per_node_delay = config.node_delay(chain_depth)
+
+    # --- sources ---------------------------------------------------------------
+    input_streams = [f"s{i + 1}" for i in range(n_input_streams)]
+    per_stream_rate = aggregate_rate / n_input_streams
+    for index, stream in enumerate(input_streams):
+        source = DataSource(
+            name=f"source.{stream}",
+            stream=stream,
+            simulator=simulator,
+            network=network,
+            rate=per_stream_rate,
+            boundary_interval=config.boundary_interval,
+            batch_interval=sim_config.batch_interval,
+            payload=payload_factory(index, n_input_streams),
+        )
+        cluster.sources.append(source)
+
+    # --- processing nodes --------------------------------------------------------
+    def replica_names(level: int) -> list[str]:
+        return [
+            f"node{level + 1}" + ("" if r == 0 else "'" * r) for r in range(replicas_per_node)
+        ]
+
+    previous_output: str | None = None
+    for level in range(chain_depth):
+        group: list[ProcessingNode] = []
+        output_stream = f"node{level + 1}.out"
+        names = replica_names(level)
+        for replica_index, node_name in enumerate(names):
+            if level == 0:
+                if diagram_factory is not None:
+                    diagram = diagram_factory(node_name, input_streams, output_stream)
+                else:
+                    diagram = merge_diagram(
+                        node_name,
+                        input_streams,
+                        output_stream,
+                        bucket_size=config.bucket_size,
+                        join_state_size=join_state_size,
+                    )
+            else:
+                diagram = relay_diagram(
+                    node_name, previous_output, output_stream, bucket_size=config.bucket_size
+                )
+            partners = [other for other in names if other != node_name]
+            node = ProcessingNode(
+                name=node_name,
+                diagram=diagram,
+                simulator=simulator,
+                network=network,
+                config=config,
+                sim_config=sim_config,
+                assigned_delay=per_node_delay,
+                replica_partners=partners,
+            )
+            group.append(node)
+        cluster.nodes.append(group)
+        previous_output = output_stream
+
+    # --- wiring: sources -> first node replicas ----------------------------------
+    for source in cluster.sources:
+        for node in cluster.nodes[0]:
+            source.subscribe(node.endpoint)
+    for node in cluster.nodes[0]:
+        for source in cluster.sources:
+            node.register_input_stream(
+                source.stream, producers=[source.name], source_producers=[source.name]
+            )
+
+    # --- wiring: node level k -> level k+1 ----------------------------------------
+    for level in range(1, chain_depth):
+        upstream_group = cluster.nodes[level - 1]
+        upstream_stream = f"node{level}.out"
+        upstream_names = [n.endpoint for n in upstream_group]
+        for node in cluster.nodes[level]:
+            node.register_input_stream(upstream_stream, producers=upstream_names)
+            # Every downstream replica initially reads from the first upstream
+            # replica; DPC switches it if that replica fails.
+            upstream_group[0].register_subscriber(upstream_stream, node.endpoint)
+
+    # --- client --------------------------------------------------------------------
+    last_group = cluster.nodes[-1]
+    last_stream = f"node{chain_depth}.out"
+    client = ClientApplication(
+        name="client",
+        stream=last_stream,
+        simulator=simulator,
+        network=network,
+        config=config,
+    )
+    client.register_upstream(producers=[n.endpoint for n in last_group])
+    last_group[0].register_subscriber(last_stream, client.endpoint)
+    cluster.clients.append(client)
+    return cluster
+
+
+def build_single_node_cluster(
+    n_input_streams: int = 3,
+    aggregate_rate: float = 300.0,
+    replicated: bool = False,
+    config: DPCConfig | None = None,
+    sim_config: SimulationConfig | None = None,
+    join_state_size: int | None = None,
+    payload_factory: PayloadFactory = default_payload_factory,
+) -> Cluster:
+    """Single processing node (Figure 10 without replica, Figure 12 with)."""
+    return build_chain_cluster(
+        chain_depth=1,
+        replicas_per_node=2 if replicated else 1,
+        n_input_streams=n_input_streams,
+        aggregate_rate=aggregate_rate,
+        config=config,
+        sim_config=sim_config,
+        join_state_size=join_state_size,
+        payload_factory=payload_factory,
+    )

@@ -1,0 +1,149 @@
+"""Deterministic discrete-event simulator.
+
+The paper evaluates DPC on a cluster of real machines; this reproduction
+substitutes a virtual-time simulator (see DESIGN.md, Substitutions).  The
+simulator owns a priority queue of :class:`~repro.sim.events.Event` objects
+and advances a virtual clock from event to event.  All protocol components --
+nodes, data sources, clients, the failure injector -- schedule their work
+through it, so a whole distributed scenario is a single-threaded, perfectly
+reproducible program.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from ..errors import SimulationError
+from .events import Event, EventCallback, EventKind
+
+
+class Simulator:
+    """Virtual clock plus event queue."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[Event] = []
+        self._running = False
+        #: Number of events executed so far (for diagnostics and tests).
+        self.events_fired = 0
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current simulation time in (virtual) seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------ scheduling
+    def schedule_at(
+        self,
+        time: float,
+        callback: EventCallback,
+        kind: EventKind = EventKind.INTERNAL,
+        description: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to fire at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, current time is {self._now:.6f}"
+            )
+        event = Event.at(time, callback, kind, description)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: EventCallback,
+        kind: EventKind = EventKind.INTERNAL,
+        description: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, kind, description)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: EventCallback,
+        kind: EventKind = EventKind.TIMER,
+        description: str = "",
+        start_delay: float | None = None,
+        stop_condition: Callable[[], bool] | None = None,
+    ) -> Event:
+        """Schedule ``callback`` every ``period`` seconds until ``stop_condition``.
+
+        Returns the first scheduled event; cancelling it stops the chain the
+        next time it comes due.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        first_delay = period if start_delay is None else start_delay
+
+        def wrapper(now: float, _self_ref: list | None = None) -> None:
+            if stop_condition is not None and stop_condition():
+                return
+            callback(now)
+            next_event = self.schedule_at(now + period, wrapper, kind, description)
+            holder[0] = next_event
+
+        holder: list[Event] = []
+        first = self.schedule_in(first_delay, wrapper, kind, description)
+        holder.append(first)
+        return first
+
+    # ------------------------------------------------------------------ running
+    def run_until(self, end_time: float, max_events: int | None = None) -> float:
+        """Run events until the queue is empty or the clock reaches ``end_time``.
+
+        Returns the simulation time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.time > end_time:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.fire()
+                self.events_fired += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible event storm"
+                    )
+            self._now = max(self._now, end_time)
+        finally:
+            self._running = False
+        return self._now
+
+    def run_for(self, duration: float, max_events: int | None = None) -> float:
+        """Run for ``duration`` simulated seconds from the current time."""
+        return self.run_until(self._now + duration, max_events=max_events)
+
+    def step(self) -> bool:
+        """Fire the single next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fire()
+            self.events_fired += 1
+            return True
+        return False
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now:.3f} pending={self.pending_events}>"

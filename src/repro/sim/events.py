@@ -1,0 +1,68 @@
+"""Event primitives for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+#: Callback signature: receives the simulation time at which the event fires.
+EventCallback = Callable[[float], None]
+
+_event_ids = itertools.count()
+
+
+class EventKind(str, Enum):
+    """Coarse classification used for tracing and statistics."""
+
+    TIMER = "timer"
+    MESSAGE = "message"
+    FAILURE = "failure"
+    RECOVERY = "recovery"
+    SOURCE = "source"
+    INTERNAL = "internal"
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.
+
+    Events are ordered by ``(time, sequence)`` so that events scheduled for
+    the same instant fire in scheduling order, which keeps runs deterministic.
+    """
+
+    time: float
+    sequence: int = field(compare=True)
+    callback: EventCallback = field(compare=False)
+    kind: EventKind = field(compare=False, default=EventKind.INTERNAL)
+    description: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    @classmethod
+    def at(
+        cls,
+        time: float,
+        callback: EventCallback,
+        kind: EventKind = EventKind.INTERNAL,
+        description: str = "",
+    ) -> "Event":
+        return cls(
+            time=time,
+            sequence=next(_event_ids),
+            callback=callback,
+            kind=kind,
+            description=description,
+        )
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when it comes due."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        if not self.cancelled:
+            self.callback(self.time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.3f} {self.kind.value} {self.description!r}{flag}>"

@@ -1,0 +1,162 @@
+"""Failure injection.
+
+The experiments in the paper exercise three kinds of failures:
+
+* **stream disconnection** -- an input stream stops reaching a node (the
+  single-node experiments of Sections 5 and 6.1 temporarily disconnect one
+  input stream without stopping the data source, which then replays the
+  missing tuples when the failure heals);
+* **boundary silence** -- a data source keeps sending data tuples but stops
+  producing boundary tuples, so downstream SUnions cannot stabilize buckets
+  (used in the chain experiments of Section 6.2 so the output rate stays
+  constant across the failure);
+* **node crash / network partition** -- a processing node becomes unreachable
+  (handled via :class:`~repro.sim.network.Network` crash/partition hooks).
+
+The :class:`FailureInjector` schedules these on the simulator and records a
+timeline that experiments and tests can assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from ..errors import SimulationError
+from .event_loop import Simulator
+from .events import EventKind
+from .network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .sources import DataSource
+
+
+class FailureType(str, Enum):
+    STREAM_DISCONNECT = "stream_disconnect"
+    BOUNDARY_SILENCE = "boundary_silence"
+    NODE_CRASH = "node_crash"
+    PARTITION = "partition"
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One injected failure, for reporting and assertions."""
+
+    failure_type: FailureType
+    target: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class FailureInjector:
+    """Schedules failures and their healing on the simulator."""
+
+    simulator: Simulator
+    network: Network
+    history: list[FailureRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ stream-level failures
+    def disconnect_stream(self, source: "DataSource", target: str, start: float, duration: float) -> FailureRecord:
+        """Stop ``source``'s stream from reaching ``target`` between start and start+duration.
+
+        The source keeps producing (and logging) tuples; when the failure
+        heals, the normal subscription replay delivers everything that was
+        missed, exactly like the paper's "after the failure heals, the data
+        source replays all missing tuples while continuing to produce new
+        tuples" (Section 5.2).
+        """
+        self._check_times(start, duration)
+        record = FailureRecord(FailureType.STREAM_DISCONNECT, f"{source.name}->{target}", start, duration)
+        self.history.append(record)
+        self.simulator.schedule_at(
+            start,
+            lambda now: source.disconnect(target),
+            kind=EventKind.FAILURE,
+            description=f"disconnect {source.name}->{target}",
+        )
+        self.simulator.schedule_at(
+            start + duration,
+            lambda now: source.reconnect(target),
+            kind=EventKind.RECOVERY,
+            description=f"reconnect {source.name}->{target}",
+        )
+        return record
+
+    def silence_boundaries(self, source: "DataSource", start: float, duration: float) -> FailureRecord:
+        """Stop ``source`` from producing boundary tuples for ``duration`` seconds."""
+        self._check_times(start, duration)
+        record = FailureRecord(FailureType.BOUNDARY_SILENCE, source.name, start, duration)
+        self.history.append(record)
+        self.simulator.schedule_at(
+            start,
+            lambda now: source.set_boundaries_enabled(False),
+            kind=EventKind.FAILURE,
+            description=f"silence boundaries {source.name}",
+        )
+        self.simulator.schedule_at(
+            start + duration,
+            lambda now: source.set_boundaries_enabled(True),
+            kind=EventKind.RECOVERY,
+            description=f"resume boundaries {source.name}",
+        )
+        return record
+
+    # ------------------------------------------------------------------ node / network failures
+    def crash_node(self, endpoint: str, start: float, duration: float) -> FailureRecord:
+        """Crash ``endpoint`` at ``start`` and recover it ``duration`` later."""
+        self._check_times(start, duration)
+        record = FailureRecord(FailureType.NODE_CRASH, endpoint, start, duration)
+        self.history.append(record)
+        self.simulator.schedule_at(
+            start,
+            lambda now: self.network.crash(endpoint),
+            kind=EventKind.FAILURE,
+            description=f"crash {endpoint}",
+        )
+        self.simulator.schedule_at(
+            start + duration,
+            lambda now: self.network.recover(endpoint),
+            kind=EventKind.RECOVERY,
+            description=f"recover {endpoint}",
+        )
+        return record
+
+    def partition(self, a: str, b: str, start: float, duration: float) -> FailureRecord:
+        """Partition endpoints ``a`` and ``b`` for ``duration`` seconds."""
+        self._check_times(start, duration)
+        record = FailureRecord(FailureType.PARTITION, f"{a}<->{b}", start, duration)
+        self.history.append(record)
+        self.simulator.schedule_at(
+            start,
+            lambda now: self.network.partition(a, b),
+            kind=EventKind.FAILURE,
+            description=f"partition {a}<->{b}",
+        )
+        self.simulator.schedule_at(
+            start + duration,
+            lambda now: self.network.heal_partition(a, b),
+            kind=EventKind.RECOVERY,
+            description=f"heal {a}<->{b}",
+        )
+        return record
+
+    # ------------------------------------------------------------------ helpers
+    def _check_times(self, start: float, duration: float) -> None:
+        if start < self.simulator.now:
+            raise SimulationError(f"failure start {start} is in the past (now={self.simulator.now})")
+        if duration <= 0:
+            raise SimulationError(f"failure duration must be positive, got {duration}")
+
+    def overlapping(self) -> bool:
+        """True when any two injected failures overlap in time."""
+        intervals = sorted((r.start, r.end) for r in self.history)
+        for (start_a, end_a), (start_b, _end_b) in zip(intervals, intervals[1:]):
+            if start_b < end_a:
+                return True
+        return False

@@ -1,0 +1,172 @@
+"""Simulated network: reliable, in-order links with partitions and crashes.
+
+The paper assumes replicas communicate over a reliable in-order protocol like
+TCP (Section 2.2).  The :class:`Network` honors that assumption for every
+message it *delivers*: messages between a pair of endpoints are delivered in
+the order they were sent.  Failures are modelled the way they appear to DPC:
+
+* a **network partition** between two endpoints silently discards messages in
+  both directions until it heals (what a peer observes is missing heartbeats
+  and missing data -- exactly what it would observe with a long TCP outage);
+* a **crashed endpoint** receives nothing and sends nothing until it recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import NetworkError
+from .event_loop import Simulator
+from .events import EventKind
+
+#: Endpoint handlers receive (message, delivery_time).
+MessageHandler = Callable[["Message", float], None]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight between two endpoints."""
+
+    sender: str
+    receiver: str
+    kind: str
+    payload: Any
+    sent_at: float
+
+
+@dataclass
+class NetworkStats:
+    """Counters exposed for tests and overhead experiments."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def record(self, kind: str, outcome: str) -> None:
+        self.by_kind.setdefault(kind, {"sent": 0, "delivered": 0, "dropped": 0})
+        self.by_kind[kind][outcome] += 1
+
+
+class Network:
+    """Message fabric connecting every simulated component."""
+
+    def __init__(self, simulator: Simulator, default_latency: float = 0.005) -> None:
+        if default_latency < 0:
+            raise NetworkError("latency cannot be negative")
+        self.simulator = simulator
+        self.default_latency = default_latency
+        self._handlers: dict[str, MessageHandler] = {}
+        self._link_latency: dict[tuple[str, str], float] = {}
+        self._partitioned: set[frozenset[str]] = set()
+        self._down: set[str] = set()
+        self._last_delivery: dict[tuple[str, str], float] = {}
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------ topology
+    def register(self, name: str, handler: MessageHandler) -> None:
+        """Attach an endpoint; messages to ``name`` invoke ``handler``."""
+        if name in self._handlers:
+            raise NetworkError(f"endpoint {name!r} already registered")
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._handlers)
+
+    def set_link_latency(self, sender: str, receiver: str, latency: float) -> None:
+        """Override the latency of the directed link ``sender -> receiver``."""
+        if latency < 0:
+            raise NetworkError("latency cannot be negative")
+        self._link_latency[(sender, receiver)] = latency
+
+    def latency(self, sender: str, receiver: str) -> float:
+        return self._link_latency.get((sender, receiver), self.default_latency)
+
+    # ------------------------------------------------------------------ failures
+    def partition(self, a: str, b: str) -> None:
+        """Disconnect ``a`` and ``b`` in both directions."""
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal_partition(self, a: str, b: str) -> None:
+        self._partitioned.discard(frozenset((a, b)))
+
+    def crash(self, name: str) -> None:
+        """Take ``name`` down: it neither sends nor receives until recovery."""
+        self._down.add(name)
+
+    def recover(self, name: str) -> None:
+        self._down.discard(name)
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._partitioned
+
+    def is_down(self, name: str) -> bool:
+        return name in self._down
+
+    def can_communicate(self, sender: str, receiver: str) -> bool:
+        """True when a message sent now from ``sender`` would reach ``receiver``."""
+        if sender in self._down or receiver in self._down:
+            return False
+        return not self.is_partitioned(sender, receiver)
+
+    # ------------------------------------------------------------------ messaging
+    def send(self, sender: str, receiver: str, kind: str, payload: Any) -> bool:
+        """Send a message; returns True when it was put on the wire.
+
+        Messages to unknown endpoints raise; messages across a partition or
+        involving a crashed endpoint are silently dropped (that is what the
+        receiver observes), though they are counted in :attr:`stats`.
+        """
+        if receiver not in self._handlers:
+            raise NetworkError(f"unknown endpoint {receiver!r}")
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            kind=kind,
+            payload=payload,
+            sent_at=self.simulator.now,
+        )
+        self.stats.sent += 1
+        self.stats.record(kind, "sent")
+        if not self.can_communicate(sender, receiver):
+            self.stats.dropped += 1
+            self.stats.record(kind, "dropped")
+            return False
+        # Preserve per-link FIFO order even if latencies were reconfigured.
+        deliver_at = max(
+            self.simulator.now + self.latency(sender, receiver),
+            self._last_delivery.get((sender, receiver), 0.0),
+        )
+        self._last_delivery[(sender, receiver)] = deliver_at
+
+        def deliver(now: float, message: Message = message) -> None:
+            # The receiver may have crashed, or a partition may have appeared,
+            # while the message was in flight.
+            if not self.can_communicate(message.sender, message.receiver):
+                self.stats.dropped += 1
+                self.stats.record(message.kind, "dropped")
+                return
+            handler = self._handlers.get(message.receiver)
+            if handler is None:
+                self.stats.dropped += 1
+                self.stats.record(message.kind, "dropped")
+                return
+            self.stats.delivered += 1
+            self.stats.record(message.kind, "delivered")
+            handler(message, now)
+
+        self.simulator.schedule_at(
+            deliver_at,
+            deliver,
+            kind=EventKind.MESSAGE,
+            description=f"{sender}->{receiver}:{kind}",
+        )
+        return True
+
+    def broadcast(self, sender: str, receivers: list[str], kind: str, payload: Any) -> int:
+        """Send the same payload to several receivers; returns how many were sent."""
+        return sum(1 for receiver in receivers if self.send(sender, receiver, kind, payload))

@@ -1,0 +1,205 @@
+"""Data sources.
+
+A :class:`DataSource` stands in for the paper's instrumented data sources
+(network monitors, sensors, ...).  Per the DPC assumptions (Section 2.2) a
+source:
+
+* timestamps every tuple it produces (``stime`` = production time on the
+  simulator clock);
+* logs every tuple persistently *before* transmitting it, so that after any
+  failure the missing suffix can be replayed;
+* sends its stream to **all replicas** of the processing node(s) that consume
+  it;
+* emits periodic boundary tuples that act as punctuation and heartbeat.
+
+Failures used by the experiments map onto two switches: ``disconnect(target)``
+(the stream stops reaching one consumer; production and logging continue) and
+``set_boundaries_enabled(False)`` (data flows but buckets can no longer
+stabilize downstream).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ..core.protocol import DATA, DataBatch
+from ..errors import SimulationError
+from ..spe.streams import StreamLog, StreamWriter
+from ..spe.tuples import StreamTuple
+from .event_loop import Simulator
+from .events import EventKind
+from .network import Network
+
+#: Generates the payload of the ``i``-th tuple, given its stime.
+PayloadGenerator = Callable[[int, float], Mapping[str, Any]]
+
+#: Network message kind used for stream data (alias of the DPC protocol kind).
+DATA_MESSAGE = DATA
+
+
+def sequential_payload(sequence: int, stime: float) -> dict[str, Any]:
+    """Default workload: monotonically increasing sequence numbers."""
+    return {"seq": sequence, "value": float(sequence)}
+
+
+class DataSource:
+    """A source producing one stream at a fixed rate."""
+
+    def __init__(
+        self,
+        name: str,
+        stream: str,
+        simulator: Simulator,
+        network: Network,
+        rate: float = 100.0,
+        boundary_interval: float = 0.1,
+        batch_interval: float = 0.05,
+        payload: PayloadGenerator = sequential_payload,
+        start_time: float = 0.0,
+        stop_time: float | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise SimulationError(f"source rate must be positive, got {rate}")
+        if boundary_interval <= 0 or batch_interval <= 0:
+            raise SimulationError("boundary_interval and batch_interval must be positive")
+        self.name = name
+        self.stream = stream
+        self.simulator = simulator
+        self.network = network
+        self.rate = rate
+        self.boundary_interval = boundary_interval
+        self.batch_interval = batch_interval
+        self.payload = payload
+        self.start_time = start_time
+        self.stop_time = stop_time
+        #: Persistent log of everything ever produced on this stream.
+        self.log = StreamLog(stream_name=stream)
+        self._writer = StreamWriter(stream_name=stream)
+        self._sequence = 0
+        self._next_tuple_time = start_time
+        self._next_boundary_time = start_time + boundary_interval
+        self._boundaries_enabled = True
+        #: subscriber endpoint -> last tuple_id delivered (on this source's log).
+        self._subscribers: dict[str, int] = {}
+        self._connected: dict[str, bool] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------ subscriptions
+    def subscribe(self, endpoint: str) -> None:
+        """Register a consumer; it receives every tuple from the log start."""
+        if endpoint in self._subscribers:
+            return
+        self._subscribers[endpoint] = -1
+        self._connected[endpoint] = True
+
+    def disconnect(self, endpoint: str) -> None:
+        """Stop delivering to ``endpoint``; production and logging continue."""
+        if endpoint not in self._subscribers:
+            raise SimulationError(f"{endpoint!r} is not subscribed to {self.name!r}")
+        self._connected[endpoint] = False
+
+    def reconnect(self, endpoint: str) -> None:
+        """Resume delivery; the missed suffix is replayed on the next flush."""
+        if endpoint not in self._subscribers:
+            raise SimulationError(f"{endpoint!r} is not subscribed to {self.name!r}")
+        self._connected[endpoint] = True
+
+    def disconnect_all(self) -> None:
+        for endpoint in self._subscribers:
+            self._connected[endpoint] = False
+
+    def reconnect_all(self) -> None:
+        for endpoint in self._subscribers:
+            self._connected[endpoint] = True
+
+    def is_connected(self, endpoint: str) -> bool:
+        return self._connected.get(endpoint, False)
+
+    # ------------------------------------------------------------------ boundary control
+    def set_boundaries_enabled(self, enabled: bool) -> None:
+        """Enable or disable boundary-tuple production (failure injection hook)."""
+        self._boundaries_enabled = enabled
+        if enabled:
+            # Never emit a boundary for a time window we were silent about in
+            # the past; resume from "now".
+            self._next_boundary_time = max(self._next_boundary_time, self.simulator.now)
+
+    @property
+    def boundaries_enabled(self) -> bool:
+        return self._boundaries_enabled
+
+    # ------------------------------------------------------------------ production
+    def start(self) -> None:
+        """Begin producing tuples on the simulator."""
+        if self._started:
+            return
+        self._started = True
+        self.simulator.schedule_at(
+            max(self.start_time, self.simulator.now),
+            self._tick,
+            kind=EventKind.SOURCE,
+            description=f"source {self.name} first tick",
+        )
+
+    def _stopped(self, now: float) -> bool:
+        return self.stop_time is not None and now >= self.stop_time
+
+    def _tick(self, now: float) -> None:
+        self._produce_until(now)
+        self._flush()
+        if not self._stopped(now):
+            self.simulator.schedule_at(
+                now + self.batch_interval,
+                self._tick,
+                kind=EventKind.SOURCE,
+                description=f"source {self.name} tick",
+            )
+
+    def _produce_until(self, now: float) -> None:
+        """Generate data and boundary tuples with stimes up to ``now``."""
+        period = 1.0 / self.rate
+        while self._next_tuple_time <= now or (
+            self._boundaries_enabled and self._next_boundary_time <= now
+        ):
+            produce_boundary_first = (
+                self._boundaries_enabled and self._next_boundary_time <= self._next_tuple_time
+            )
+            if produce_boundary_first and self._next_boundary_time <= now:
+                boundary = self._writer.boundary(self._next_boundary_time)
+                self.log.append(boundary)
+                self._next_boundary_time += self.boundary_interval
+                continue
+            if self._next_tuple_time <= now:
+                values = dict(self.payload(self._sequence, self._next_tuple_time))
+                item = self._writer.insertion(self._next_tuple_time, values)
+                self.log.append(item)
+                self._sequence += 1
+                self._next_tuple_time += period
+                continue
+            break
+
+    def _flush(self) -> None:
+        """Deliver the pending suffix of the log to every connected subscriber."""
+        for endpoint, last_id in self._subscribers.items():
+            if not self._connected[endpoint]:
+                continue
+            pending = self.log.replay_after(last_id)
+            if not pending:
+                continue
+            sent = self.network.send(
+                self.name,
+                endpoint,
+                DATA_MESSAGE,
+                DataBatch.of(self.stream, pending, producer=self.name),
+            )
+            if sent:
+                self._subscribers[endpoint] = pending[-1].tuple_id
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def tuples_produced(self) -> int:
+        """Number of data tuples generated so far."""
+        return self._sequence
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DataSource {self.name!r} stream={self.stream!r} rate={self.rate}>"

@@ -1,0 +1,75 @@
+"""Checkpoint containers.
+
+DPC reconciles node state with *checkpoint/redo* (Section 4.4.1): when a node
+enters UP_FAILURE it snapshots the state of its query-diagram fragment before
+processing any tentative tuple; during STABILIZATION it restores that snapshot
+and reprocesses the stable input buffered since.  The containers here are thin
+but give checkpoints an identity (id + creation time) and verify on restore
+that they are applied to the diagram they came from.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import CheckpointError
+
+_checkpoint_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class OperatorCheckpoint:
+    """Deep-copied state of a single operator."""
+
+    operator_name: str
+    state: Mapping[str, Any]
+
+    @classmethod
+    def capture(cls, operator_name: str, state: Mapping[str, Any]) -> "OperatorCheckpoint":
+        return cls(operator_name=operator_name, state=copy.deepcopy(dict(state)))
+
+    def state_copy(self) -> dict:
+        """A fresh deep copy, safe for the operator to mutate after restore."""
+        return copy.deepcopy(dict(self.state))
+
+
+@dataclass(frozen=True)
+class DiagramCheckpoint:
+    """Snapshot of every operator (and queue) in a diagram fragment."""
+
+    checkpoint_id: int
+    created_at: float
+    operators: Mapping[str, OperatorCheckpoint]
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def capture(
+        cls,
+        created_at: float,
+        operator_states: Mapping[str, Mapping[str, Any]],
+        extra: Mapping[str, Any] | None = None,
+    ) -> "DiagramCheckpoint":
+        return cls(
+            checkpoint_id=next(_checkpoint_ids),
+            created_at=created_at,
+            operators={
+                name: OperatorCheckpoint.capture(name, state)
+                for name, state in operator_states.items()
+            },
+            extra=copy.deepcopy(dict(extra or {})),
+        )
+
+    def operator_state(self, operator_name: str) -> dict:
+        try:
+            return self.operators[operator_name].state_copy()
+        except KeyError as exc:
+            raise CheckpointError(
+                f"checkpoint {self.checkpoint_id} has no state for operator {operator_name!r}"
+            ) from exc
+
+    def matches(self, operator_names: set[str]) -> bool:
+        """True when this checkpoint covers exactly ``operator_names``."""
+        return set(self.operators) == set(operator_names)

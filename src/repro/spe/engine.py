@@ -1,0 +1,171 @@
+"""Local execution engine for a query-diagram fragment.
+
+The engine pushes tuples through the fragment in a run-to-completion manner:
+every batch injected on an external input stream is fully propagated through
+the operator graph before control returns.  This mirrors the role of the
+"Query Processor" box in Figure 4 of the paper while staying deterministic,
+which is what DPC requires of each node.
+
+The engine also implements the fragment-level checkpoint/restore used by
+checkpoint/redo reconciliation (Section 4.4.1): :meth:`LocalEngine.checkpoint`
+suspends nothing (the engine is single-threaded by construction) and copies
+the state of every operator; :meth:`LocalEngine.restore` reinitializes every
+operator from the snapshot -- except ``SOutput`` operators, whose duplicate
+suppression and output-stream identity must survive the rollback.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+from ..errors import CheckpointError, DiagramError
+from .checkpoint import DiagramCheckpoint
+from .operators.base import Operator
+from .operators.soutput import SOutput
+from .query_diagram import QueryDiagram
+from .tuples import StreamTuple
+
+
+class LocalEngine:
+    """Executes one query-diagram fragment on a single node."""
+
+    def __init__(self, diagram: QueryDiagram) -> None:
+        diagram.validate()
+        self.diagram = diagram
+        #: Number of data tuples processed since construction (drives the redo
+        #: cost model used by the simulator).
+        self.tuples_processed = 0
+        self._order = {name: i for i, name in enumerate(diagram.topological_order())}
+
+    # ------------------------------------------------------------------ execution
+    def push(self, input_stream: str, tuples: Iterable[StreamTuple]) -> dict[str, list[StreamTuple]]:
+        """Push ``tuples`` arriving on ``input_stream`` through the fragment.
+
+        Returns a mapping of external output stream name to the tuples
+        produced on it by this batch.
+        """
+        bindings = [b for b in self.diagram.inputs if b.stream == input_stream]
+        if not bindings:
+            raise DiagramError(
+                f"fragment {self.diagram.name!r} has no input stream {input_stream!r}"
+            )
+        outputs: dict[str, list[StreamTuple]] = {o.stream: [] for o in self.diagram.outputs}
+        work: deque[tuple[str, int, StreamTuple]] = deque()
+        for binding in bindings:
+            for item in tuples:
+                work.append((binding.operator, binding.port, item))
+        self._drain(work, outputs)
+        return outputs
+
+    def push_operator(self, operator_name: str, port: int, tuples: Iterable[StreamTuple]) -> dict[str, list[StreamTuple]]:
+        """Push tuples directly into an operator (used by the node's input SUnions)."""
+        outputs: dict[str, list[StreamTuple]] = {o.stream: [] for o in self.diagram.outputs}
+        work: deque[tuple[str, int, StreamTuple]] = deque(
+            (operator_name, port, item) for item in tuples
+        )
+        self._drain(work, outputs)
+        return outputs
+
+    def push_operator_outputs(
+        self, operator_name: str, produced: Iterable[StreamTuple]
+    ) -> dict[str, list[StreamTuple]]:
+        """Route tuples already produced by ``operator_name`` to its consumers.
+
+        Used when the processing node forces an SUnion to emit buffered
+        buckets tentatively: the forced tuples did not flow through
+        :meth:`push`, so this method injects them into the downstream
+        connections (and output bindings) of the producing operator.
+        """
+        produced = list(produced)
+        outputs: dict[str, list[StreamTuple]] = {o.stream: [] for o in self.diagram.outputs}
+        output_of = {o.operator: o.stream for o in self.diagram.outputs}
+        stream = output_of.get(operator_name)
+        if stream is not None:
+            outputs[stream].extend(produced)
+        work: deque[tuple[str, int, StreamTuple]] = deque()
+        for connection in self.diagram.downstream_of(operator_name):
+            for item in produced:
+                work.append((connection.target, connection.port, item))
+        self._drain(work, outputs)
+        return outputs
+
+    def _drain(
+        self,
+        work: deque,
+        outputs: dict[str, list[StreamTuple]],
+    ) -> None:
+        output_of = {o.operator: o.stream for o in self.diagram.outputs}
+        while work:
+            operator_name, port, item = work.popleft()
+            operator = self.diagram.operator(operator_name)
+            produced = operator.process(port, item)
+            if item.is_data:
+                self.tuples_processed += 1
+            if not produced:
+                continue
+            stream = output_of.get(operator_name)
+            if stream is not None:
+                outputs[stream].extend(produced)
+            for connection in self.diagram.downstream_of(operator_name):
+                for out_item in produced:
+                    work.append((connection.target, connection.port, out_item))
+
+    # ------------------------------------------------------------------ checkpoint / restore
+    def checkpoint(self, created_at: float = 0.0) -> DiagramCheckpoint:
+        """Snapshot the state of every operator in the fragment."""
+        states = {name: {"op": op.checkpoint()} for name, op in self.diagram.operators.items()}
+        # DiagramCheckpoint deep-copies; wrap OperatorCheckpoint objects directly.
+        return DiagramCheckpoint.capture(
+            created_at=created_at,
+            operator_states={name: dict(state["op"].state) for name, state in states.items()},
+        )
+
+    def restore(self, snapshot: DiagramCheckpoint) -> None:
+        """Reinitialize every operator (except SOutputs) from ``snapshot``."""
+        if not snapshot.matches(set(self.diagram.operators)):
+            raise CheckpointError(
+                f"checkpoint {snapshot.checkpoint_id} does not match fragment "
+                f"{self.diagram.name!r}"
+            )
+        from .checkpoint import OperatorCheckpoint
+
+        for name, operator in self.diagram.operators.items():
+            if isinstance(operator, SOutput) or getattr(operator, "survives_restore", False):
+                continue
+            operator.restore(OperatorCheckpoint(operator_name=name, state=snapshot.operator_state(name)))
+
+    # ------------------------------------------------------------------ helpers
+    def soutputs(self) -> list[SOutput]:
+        """All SOutput operators in the fragment, in topological order."""
+        ordered = sorted(
+            (name for name, op in self.diagram.operators.items() if isinstance(op, SOutput)),
+            key=lambda name: self._order[name],
+        )
+        return [self.diagram.operators[name] for name in ordered]  # type: ignore[list-item]
+
+    def soutput_for(self, output_stream: str) -> SOutput:
+        """The SOutput producing ``output_stream`` (raises if it is not an SOutput)."""
+        for binding in self.diagram.outputs:
+            if binding.stream == output_stream:
+                operator = self.diagram.operator(binding.operator)
+                if not isinstance(operator, SOutput):
+                    raise DiagramError(
+                        f"output stream {output_stream!r} is not produced by an SOutput"
+                    )
+                return operator
+        raise DiagramError(f"unknown output stream {output_stream!r}")
+
+    def note_checkpoint_on_outputs(self) -> None:
+        """Tell every SOutput that a fragment checkpoint was just taken."""
+        for soutput in self.soutputs():
+            soutput.note_checkpoint()
+
+    def entry_operators(self, input_stream: str) -> list[tuple[str, int]]:
+        """(operator, port) pairs fed by external ``input_stream``."""
+        return [
+            (b.operator, b.port) for b in self.diagram.inputs if b.stream == input_stream
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LocalEngine diagram={self.diagram.name!r} processed={self.tuples_processed}>"

@@ -1,0 +1,235 @@
+"""Aggregate operator: windowed, optionally grouped aggregate functions.
+
+An Aggregate computes one or more aggregate functions over windows of the
+serialization attribute (``stime``), optionally grouping tuples by a set of
+attributes first.  Window alignment is independent of the first tuple
+processed so that replicas of the operator stay mutually consistent -- this is
+the *independent-window-alignment* requirement of Section 2.1.
+
+Window results are emitted when the operator's stable watermark (the minimum
+boundary stime across its inputs) passes the window's end, which makes the
+output deterministic given the input sequence.  A window's output is labelled
+tentative when any tuple that contributed to it was tentative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ...errors import OperatorError
+from ..schema import ANY_SCHEMA, Schema
+from ..tuples import StreamTuple
+from ..windows import WindowSpec
+from .base import Operator
+
+#: Signature of a custom aggregate function: list of attribute values -> value.
+AggregateFunction = Callable[[Sequence[Any]], Any]
+
+
+def _count(values: Sequence[Any]) -> int:
+    return len(values)
+
+
+def _sum(values: Sequence[Any]) -> Any:
+    return sum(values)
+
+
+def _avg(values: Sequence[Any]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _min(values: Sequence[Any]) -> Any:
+    return min(values)
+
+
+def _max(values: Sequence[Any]) -> Any:
+    return max(values)
+
+
+BUILTIN_FUNCTIONS: dict[str, AggregateFunction] = {
+    "count": _count,
+    "sum": _sum,
+    "avg": _avg,
+    "min": _min,
+    "max": _max,
+}
+
+
+class AggregateSpec:
+    """One output attribute of an Aggregate: ``name = function(attribute)``."""
+
+    def __init__(self, name: str, function: str | AggregateFunction, attribute: str | None = None):
+        self.name = name
+        self.attribute = attribute
+        if callable(function):
+            self.function: AggregateFunction = function
+            self.function_name = getattr(function, "__name__", "custom")
+        else:
+            try:
+                self.function = BUILTIN_FUNCTIONS[function]
+            except KeyError as exc:
+                raise OperatorError(
+                    f"unknown aggregate function {function!r}; "
+                    f"expected one of {sorted(BUILTIN_FUNCTIONS)} or a callable"
+                ) from exc
+            self.function_name = function
+        if self.function_name != "count" and attribute is None:
+            raise OperatorError(f"aggregate {name!r} ({self.function_name}) needs an attribute")
+
+    def extract(self, values: Mapping[str, Any]) -> Any:
+        """Value this spec accumulates from one input tuple."""
+        if self.attribute is None:
+            return 1
+        return values.get(self.attribute)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AggregateSpec({self.name}={self.function_name}({self.attribute}))"
+
+
+class _WindowState:
+    """Accumulated contents of one (window index, group key) cell."""
+
+    __slots__ = ("values_per_spec", "count", "has_tentative")
+
+    def __init__(self, n_specs: int) -> None:
+        self.values_per_spec: list[list[Any]] = [[] for _ in range(n_specs)]
+        self.count = 0
+        self.has_tentative = False
+
+    def add(self, extracted: Sequence[Any], tentative: bool) -> None:
+        for bucket, value in zip(self.values_per_spec, extracted):
+            if value is not None:
+                bucket.append(value)
+        self.count += 1
+        self.has_tentative = self.has_tentative or tentative
+
+    def snapshot(self) -> dict:
+        return {
+            "values_per_spec": [list(v) for v in self.values_per_spec],
+            "count": self.count,
+            "has_tentative": self.has_tentative,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, Any]) -> "_WindowState":
+        state = cls(len(data["values_per_spec"]))
+        state.values_per_spec = [list(v) for v in data["values_per_spec"]]
+        state.count = int(data["count"])
+        state.has_tentative = bool(data["has_tentative"])
+        return state
+
+
+class Aggregate(Operator):
+    """Windowed grouped aggregate.
+
+    Parameters
+    ----------
+    name:
+        Operator name.
+    window:
+        The :class:`WindowSpec` delimiting computations.
+    aggregates:
+        The output attributes to compute, as :class:`AggregateSpec` objects or
+        ``(name, function, attribute)`` tuples.
+    group_by:
+        Attribute names to group on.  Each closed window emits one output
+        tuple per group observed in it.
+    emit_empty_windows:
+        When True, windows with no tuples still emit a single tuple with
+        count-like aggregates at zero (useful for gap detection workloads).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        window: WindowSpec,
+        aggregates: Sequence[AggregateSpec | tuple],
+        group_by: Sequence[str] = (),
+        output_schema: Schema = ANY_SCHEMA,
+        emit_empty_windows: bool = False,
+    ) -> None:
+        super().__init__(name, arity=1, output_schema=output_schema)
+        self.window = window
+        self.specs = [a if isinstance(a, AggregateSpec) else AggregateSpec(*a) for a in aggregates]
+        if not self.specs:
+            raise OperatorError(f"aggregate {name!r} needs at least one aggregate spec")
+        self.group_by = tuple(group_by)
+        self.emit_empty_windows = emit_empty_windows
+        #: (window_index, group_key) -> _WindowState
+        self._windows: dict[tuple[int, tuple], _WindowState] = {}
+        self._last_closed_watermark = float("-inf")
+
+    # ------------------------------------------------------------------ data path
+    def _group_key(self, values: Mapping[str, Any]) -> tuple:
+        return tuple(values.get(attr) for attr in self.group_by)
+
+    def _process_data(self, port: int, item: StreamTuple) -> list[StreamTuple]:
+        extracted = [spec.extract(item.values) for spec in self.specs]
+        key = self._group_key(item.values)
+        for index in self.window.window_indices(item.stime):
+            cell = self._windows.get((index, key))
+            if cell is None:
+                cell = _WindowState(len(self.specs))
+                self._windows[(index, key)] = cell
+            cell.add(extracted, item.is_tentative)
+        return []
+
+    def _on_watermark(self, previous: float, current: float) -> list[StreamTuple]:
+        if self._last_closed_watermark > float("-inf"):
+            previous = max(previous, self._last_closed_watermark)
+        # Windows that held data and are now closed by the watermark.
+        closed = {
+            index for (index, _key) in self._windows if self.window.is_closed(index, current)
+        }
+        if self.emit_empty_windows:
+            closed.update(self.window.windows_closed_by(previous, current))
+        out: list[StreamTuple] = []
+        for index in sorted(closed):
+            out.extend(self._emit_window(index))
+        self._last_closed_watermark = max(self._last_closed_watermark, current)
+        return out
+
+    def _emit_window(self, index: int) -> list[StreamTuple]:
+        stime = self.window.window_end(index)
+        cells = {
+            key: cell for (win, key), cell in self._windows.items() if win == index
+        }
+        out: list[StreamTuple] = []
+        if not cells and self.emit_empty_windows and not self.group_by:
+            values = {spec.name: spec.function([]) if spec.function_name == "count" else None
+                      for spec in self.specs}
+            values["window_start"] = self.window.window_start(index)
+            out.append(self._emit(stime, values, tentative=False))
+        for key in sorted(cells, key=repr):
+            cell = cells[key]
+            values: dict[str, Any] = dict(zip(self.group_by, key))
+            values["window_start"] = self.window.window_start(index)
+            for spec, accumulated in zip(self.specs, cell.values_per_spec):
+                values[spec.name] = spec.function(accumulated)
+            out.append(self._emit(stime, values, tentative=cell.has_tentative))
+        # Drop state for the emitted window.
+        for key in cells:
+            del self._windows[(index, key)]
+        return out
+
+    # ------------------------------------------------------------------ checkpointing
+    def _checkpoint_state(self) -> dict:
+        return {
+            "windows": [
+                {"index": win, "key": list(key), "state": cell.snapshot()}
+                for (win, key), cell in self._windows.items()
+            ],
+            "last_closed_watermark": self._last_closed_watermark,
+        }
+
+    def _restore_state(self, state: Mapping[str, Any]) -> None:
+        self._windows = {
+            (int(entry["index"]), tuple(entry["key"])): _WindowState.from_snapshot(entry["state"])
+            for entry in state.get("windows", ())
+        }
+        self._last_closed_watermark = float(state.get("last_closed_watermark", float("-inf")))
+
+    @property
+    def open_window_count(self) -> int:
+        """Number of (window, group) cells currently held in memory."""
+        return len(self._windows)

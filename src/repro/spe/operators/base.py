@@ -1,0 +1,205 @@
+"""Operator base class.
+
+Every Borealis operator in this reproduction follows the contract DPC needs
+(Section 3, "Query diagram extensions"):
+
+* **Determinism** -- outputs depend only on the sequence of input tuples, never
+  on arrival times; output ``stime`` values are computed from input stimes.
+* **Tentative labelling** -- an output tuple is tentative whenever any input
+  tuple that contributed to it was tentative.
+* **Boundary processing** -- operators consume BOUNDARY tuples, advance their
+  stable watermark (the minimum boundary stime across input ports), emit any
+  results that the watermark closes, and forward their own boundary.
+* **Checkpoint / restore** -- operators can snapshot their mutable state and
+  later reinitialize from the snapshot (used by checkpoint/redo
+  reconciliation).
+* **Undo** -- when per-operator granularity is enabled (Section 8.2), an
+  operator receiving an UNDO tuple restores its own last checkpoint and
+  forwards the undo.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from ...errors import OperatorError
+from ..checkpoint import OperatorCheckpoint
+from ..schema import ANY_SCHEMA, Schema
+from ..streams import StreamWriter
+from ..tuples import StreamTuple, TupleType
+
+
+class Operator:
+    """Base class for all operators.
+
+    Parameters
+    ----------
+    name:
+        Unique name within a query diagram.
+    arity:
+        Number of input ports.
+    output_schema:
+        Schema of the output stream (informational; validation is optional).
+    """
+
+    def __init__(self, name: str, arity: int = 1, output_schema: Schema = ANY_SCHEMA) -> None:
+        if arity < 1:
+            raise OperatorError(f"operator {name!r} must have at least one input port")
+        self.name = name
+        self.arity = arity
+        self.output_schema = output_schema
+        self.writer = StreamWriter(stream_name=f"{name}.out")
+        #: Last boundary stime seen on each input port (the b_i of Section 4.2.1).
+        self._port_boundaries: list[float] = [float("-inf")] * arity
+        #: Watermark already propagated downstream as our own boundary.
+        self._emitted_watermark: float = float("-inf")
+        #: Checkpoint taken by :meth:`checkpoint` (used for per-operator undo).
+        self._own_checkpoint: OperatorCheckpoint | None = None
+        #: True while inputs seen since the last stable watermark were tentative.
+        self._seen_tentative_input = False
+
+    # ------------------------------------------------------------------ plumbing
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.arity:
+            raise OperatorError(
+                f"operator {self.name!r} has {self.arity} ports; got port {port}"
+            )
+
+    @property
+    def watermark(self) -> float:
+        """Minimum boundary stime across all input ports (Equation 1)."""
+        return min(self._port_boundaries)
+
+    # ------------------------------------------------------------------ public API
+    def process(self, port: int, item: StreamTuple) -> list[StreamTuple]:
+        """Process one input tuple and return the output tuples it triggers."""
+        self._check_port(port)
+        if item.tuple_type is TupleType.BOUNDARY:
+            return self._accept_boundary(port, item)
+        if item.tuple_type is TupleType.UNDO:
+            return self.handle_undo(port, item)
+        if item.tuple_type is TupleType.REC_DONE:
+            return self.handle_rec_done(port, item)
+        if item.is_data:
+            if item.is_tentative:
+                self._seen_tentative_input = True
+            return self._process_data(port, item)
+        raise OperatorError(f"operator {self.name!r} cannot process {item.tuple_type}")
+
+    def process_batch(self, port: int, items: Iterable[StreamTuple]) -> list[StreamTuple]:
+        """Process a sequence of tuples from one port, concatenating outputs."""
+        out: list[StreamTuple] = []
+        for item in items:
+            out.extend(self.process(port, item))
+        return out
+
+    # ------------------------------------------------------------------ boundaries
+    def _accept_boundary(self, port: int, item: StreamTuple) -> list[StreamTuple]:
+        previous = self.watermark
+        if item.stime > self._port_boundaries[port]:
+            self._port_boundaries[port] = item.stime
+        new_watermark = self.watermark
+        out: list[StreamTuple] = []
+        if new_watermark > previous:
+            out.extend(self._on_watermark(previous, new_watermark))
+        if new_watermark > self._emitted_watermark and new_watermark > float("-inf"):
+            self._emitted_watermark = new_watermark
+            out.append(self.writer.boundary(new_watermark))
+        return out
+
+    def _on_watermark(self, previous: float, current: float) -> list[StreamTuple]:
+        """Hook for windowed operators: emit results closed by the new watermark."""
+        return []
+
+    # ------------------------------------------------------------------ undo / rec_done
+    def handle_undo(self, port: int, item: StreamTuple) -> list[StreamTuple]:
+        """Per-operator undo: restore own checkpoint and forward the undo.
+
+        The undo forwarded downstream revokes everything this operator emitted
+        after its checkpointed position.
+        """
+        undo_from = self.writer.next_id - 1
+        if self._own_checkpoint is not None:
+            self.restore(self._own_checkpoint)
+            undo_from = self.writer.next_id - 1
+        return [self.writer.undo(item.stime, undo_from)]
+
+    def handle_rec_done(self, port: int, item: StreamTuple) -> list[StreamTuple]:
+        """Forward the end-of-reconciliation marker."""
+        self._seen_tentative_input = False
+        return [self.writer.rec_done(item.stime)]
+
+    # ------------------------------------------------------------------ data processing
+    def _process_data(self, port: int, item: StreamTuple) -> list[StreamTuple]:
+        raise NotImplementedError
+
+    def _emit(self, stime: float, values: Mapping[str, Any], tentative: bool) -> StreamTuple:
+        """Create an output data tuple with the correct stability label."""
+        if tentative:
+            return self.writer.tentative(stime, values)
+        return self.writer.insertion(stime, values)
+
+    # ------------------------------------------------------------------ checkpointing
+    def checkpoint(self) -> OperatorCheckpoint:
+        """Snapshot all mutable state of this operator."""
+        state = {
+            "writer": self.writer.snapshot(),
+            "port_boundaries": list(self._port_boundaries),
+            "emitted_watermark": self._emitted_watermark,
+            "seen_tentative_input": self._seen_tentative_input,
+            "custom": self._checkpoint_state(),
+        }
+        snapshot = OperatorCheckpoint.capture(self.name, state)
+        self._own_checkpoint = snapshot
+        return snapshot
+
+    def restore(self, snapshot: OperatorCheckpoint) -> None:
+        """Reinitialize this operator from ``snapshot``."""
+        if snapshot.operator_name != self.name:
+            raise OperatorError(
+                f"checkpoint for {snapshot.operator_name!r} applied to {self.name!r}"
+            )
+        state = snapshot.state_copy()
+        self.writer.restore(state["writer"])
+        self._port_boundaries = list(state["port_boundaries"])
+        self._emitted_watermark = float(state["emitted_watermark"])
+        self._seen_tentative_input = bool(state["seen_tentative_input"])
+        self._restore_state(state["custom"])
+
+    def _checkpoint_state(self) -> dict:
+        """Operator-specific mutable state; override in stateful operators."""
+        return {}
+
+    def _restore_state(self, state: Mapping[str, Any]) -> None:
+        """Restore operator-specific state; override in stateful operators."""
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def is_stateful(self) -> bool:
+        """True when the operator keeps window or join state between tuples."""
+        return bool(self._checkpoint_state())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} arity={self.arity}>"
+
+
+class StatelessOperator(Operator):
+    """Convenience base for single-input operators with no window state."""
+
+    def __init__(self, name: str, output_schema: Schema = ANY_SCHEMA) -> None:
+        super().__init__(name, arity=1, output_schema=output_schema)
+
+
+def chain_process(operators: Sequence[Operator], items: Iterable[StreamTuple]) -> list[StreamTuple]:
+    """Push ``items`` through a linear chain of single-input operators.
+
+    Utility used by tests and by simple examples; the full engine lives in
+    :mod:`repro.spe.engine`.
+    """
+    current = list(items)
+    for op in operators:
+        nxt: list[StreamTuple] = []
+        for item in current:
+            nxt.extend(op.process(0, item))
+        current = nxt
+    return current

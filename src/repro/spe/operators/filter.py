@@ -1,0 +1,29 @@
+"""Filter operator: tests each input tuple against a predicate."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Any
+
+from ..schema import ANY_SCHEMA, Schema
+from ..tuples import StreamTuple
+from .base import StatelessOperator
+
+Predicate = Callable[[Mapping[str, Any]], bool]
+
+
+class Filter(StatelessOperator):
+    """Pass through the tuples whose attribute values satisfy ``predicate``.
+
+    The predicate receives the tuple's attribute mapping and must be a pure
+    function of it (no time, no randomness) so the operator stays
+    deterministic.
+    """
+
+    def __init__(self, name: str, predicate: Predicate, output_schema: Schema = ANY_SCHEMA) -> None:
+        super().__init__(name, output_schema=output_schema)
+        self.predicate = predicate
+
+    def _process_data(self, port: int, item: StreamTuple) -> list[StreamTuple]:
+        if not self.predicate(item.values):
+            return []
+        return [self._emit(item.stime, item.values, tentative=item.is_tentative)]

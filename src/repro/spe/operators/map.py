@@ -1,0 +1,28 @@
+"""Map operator: transforms each input tuple into a single output tuple."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ..schema import ANY_SCHEMA, Schema
+from ..tuples import StreamTuple
+from .base import StatelessOperator
+
+Transform = Callable[[Mapping[str, Any]], Mapping[str, Any]]
+
+
+class Map(StatelessOperator):
+    """Apply ``transform`` to each tuple's attributes.
+
+    ``transform`` must be a pure function of the input attributes; the output
+    tuple keeps the input's ``stime`` so downstream window boundaries stay
+    deterministic.
+    """
+
+    def __init__(self, name: str, transform: Transform, output_schema: Schema = ANY_SCHEMA) -> None:
+        super().__init__(name, output_schema=output_schema)
+        self.transform = transform
+
+    def _process_data(self, port: int, item: StreamTuple) -> list[StreamTuple]:
+        values = dict(self.transform(item.values))
+        return [self._emit(item.stime, values, tentative=item.is_tentative)]

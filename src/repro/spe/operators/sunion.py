@@ -1,0 +1,212 @@
+"""SUnion: the data-serializing operator at the heart of DPC.
+
+SUnion (Section 4.2) takes one or more input streams and orders all their
+tuples into a single deterministic sequence so that every replica of the
+downstream operators processes exactly the same input in the same order.  It
+works on *buckets*: disjoint intervals of ``tuple_stime`` of a fixed size.  A
+bucket is *stable* once boundary tuples with sufficiently high stimes have
+been received on every input stream (Equation 1); at that point its contents
+can be sorted (by ``(stime, port, tuple_id)``) and emitted.
+
+This module contains the deterministic serializer used *inside* query
+diagrams.  The DPC-specific behaviour of SUnions placed on a node's input
+streams -- failure detection, the availability/consistency delay trade-off,
+input buffering for reconciliation -- lives in
+:class:`repro.core.input_sunion.InputSUnion`, which builds on this class.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from ...errors import OperatorError
+from ..schema import ANY_SCHEMA, Schema
+from ..tuples import StreamTuple
+from .base import Operator
+
+
+def bucket_index(stime: float, bucket_size: float) -> int:
+    """Index of the bucket covering ``stime`` (buckets are [k*size, (k+1)*size))."""
+    return int(math.floor(stime / bucket_size))
+
+
+class SUnion(Operator):
+    """Deterministic, bucket-based serializing union.
+
+    Parameters
+    ----------
+    arity:
+        Number of input streams to merge.
+    bucket_size:
+        Width, in stime units, of the buckets used to batch the
+        availability/consistency decision (Section 4.2.1).
+    sort_key:
+        Optional override of the intra-bucket order.  The default orders by
+        ``(stime, port, tuple_id)`` which is deterministic for any interleaved
+        arrival order of the same per-stream sequences.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arity: int = 1,
+        bucket_size: float = 0.1,
+        output_schema: Schema = ANY_SCHEMA,
+    ) -> None:
+        super().__init__(name, arity=arity, output_schema=output_schema)
+        if bucket_size <= 0:
+            raise OperatorError(f"bucket_size must be positive, got {bucket_size}")
+        self.bucket_size = bucket_size
+        #: bucket index -> list of (port, tuple) awaiting stability.
+        self._buckets: dict[int, list[tuple[int, StreamTuple]]] = {}
+        #: Highest bucket boundary (stime) already emitted.
+        self._emitted_through = float("-inf")
+        #: Optional clock (set by the processing node) used to record when a
+        #: bucket first received data; drives the delay policies of Section 6.
+        self.arrival_clock = None
+        #: While True, buckets are never emitted by watermark advances -- only
+        #: through the explicit force_emit_* calls.  The processing node sets
+        #: this while it is handling a failure so that the availability /
+        #: consistency trade-off is governed entirely by the delay policy.
+        self.hold_buckets = False
+        #: bucket index -> simulation time of the first tuple buffered for it.
+        self._bucket_first_arrival: dict[int, float] = {}
+        #: Data tuples dropped because their bucket was already emitted (late
+        #: arrivals, e.g. source replays handled instead by reconciliation).
+        self.late_drops = 0
+
+    # ------------------------------------------------------------------ buffering
+    def _process_data(self, port: int, item: StreamTuple) -> list[StreamTuple]:
+        index = bucket_index(item.stime, self.bucket_size)
+        if (index + 1) * self.bucket_size <= self._emitted_through:
+            # The bucket covering this stime was already emitted; the tuple is
+            # late (typically a replay after a failure) and will reach the
+            # downstream state through reconciliation instead.
+            self.late_drops += 1
+            return []
+        if index not in self._buckets and self.arrival_clock is not None:
+            self._bucket_first_arrival[index] = float(self.arrival_clock())
+        self._buckets.setdefault(index, []).append((port, item))
+        return []
+
+    def _on_watermark(self, previous: float, current: float) -> list[StreamTuple]:
+        if self.hold_buckets:
+            return []
+        return self._emit_stable_through(current)
+
+    def release_held_buckets(self) -> list[StreamTuple]:
+        """Emit every bucket the current watermark already stabilized.
+
+        Called by the node when it leaves failure handling without having
+        processed anything tentative (the failure was masked): the buckets
+        buffered while :attr:`hold_buckets` was set can be emitted stably.
+        """
+        return self._emit_stable_through(self.watermark)
+
+    # ------------------------------------------------------------------ emission
+    def _bucket_is_complete(self, index: int, watermark: float) -> bool:
+        """A bucket is stable once the watermark passes its upper edge."""
+        return watermark >= (index + 1) * self.bucket_size
+
+    def _serialize_bucket(self, entries: list[tuple[int, StreamTuple]]) -> list[StreamTuple]:
+        ordered = sorted(entries, key=lambda e: (e[1].stime, e[0], e[1].tuple_id))
+        out = []
+        for _port, item in ordered:
+            out.append(self._emit(item.stime, item.values, tentative=item.is_tentative))
+        return out
+
+    def _emit_stable_through(self, watermark: float) -> list[StreamTuple]:
+        """Emit, in order, every buffered bucket the watermark has stabilized."""
+        ready = sorted(
+            index for index in self._buckets if self._bucket_is_complete(index, watermark)
+        )
+        out: list[StreamTuple] = []
+        for index in ready:
+            out.extend(self._serialize_bucket(self._buckets.pop(index)))
+            self._bucket_first_arrival.pop(index, None)
+            self._emitted_through = max(self._emitted_through, (index + 1) * self.bucket_size)
+        return out
+
+    def force_emit_pending(self) -> list[StreamTuple]:
+        """Emit every buffered bucket regardless of stability, labelled tentative.
+
+        Used when a failure makes it impossible to ever stabilize the buckets
+        and the availability bound requires processing what is available.
+        """
+        return self._force_emit(sorted(self._buckets))
+
+    def force_emit_held_longer_than(self, now: float, min_hold: float) -> list[StreamTuple]:
+        """Tentatively emit the buckets buffered for at least ``min_hold`` seconds.
+
+        This is the knob the delay policies of Section 6 turn: under
+        *Process*, ``min_hold`` is the small tentative-bucket wait; under
+        *Delay*, it is (a fraction of) the node's incremental latency budget
+        ``D``.  Requires :attr:`arrival_clock` to have been set.
+        """
+        ready = sorted(
+            index
+            for index in self._buckets
+            if now - self._bucket_first_arrival.get(index, now) >= min_hold
+        )
+        return self._force_emit(ready)
+
+    def _force_emit(self, indices: list[int]) -> list[StreamTuple]:
+        out: list[StreamTuple] = []
+        for index in indices:
+            for _port, item in sorted(
+                self._buckets.pop(index), key=lambda e: (e[1].stime, e[0], e[1].tuple_id)
+            ):
+                out.append(self._emit(item.stime, item.values, tentative=True))
+            self._bucket_first_arrival.pop(index, None)
+            self._emitted_through = max(self._emitted_through, (index + 1) * self.bucket_size)
+        return out
+
+    def drop_tentative(self) -> int:
+        """Remove buffered tentative tuples (an UNDO arrived on the input).
+
+        Returns the number of tuples dropped.  The stable versions arrive as
+        corrections and are handled by reconciliation.
+        """
+        dropped = 0
+        for index in list(self._buckets):
+            kept = [(port, item) for port, item in self._buckets[index] if not item.is_tentative]
+            dropped += len(self._buckets[index]) - len(kept)
+            if kept:
+                self._buckets[index] = kept
+            else:
+                del self._buckets[index]
+                self._bucket_first_arrival.pop(index, None)
+        return dropped
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def pending_tuples(self) -> int:
+        """Number of buffered data tuples not yet emitted."""
+        return sum(len(entries) for entries in self._buckets.values())
+
+    @property
+    def pending_buckets(self) -> list[int]:
+        return sorted(self._buckets)
+
+    # ------------------------------------------------------------------ checkpointing
+    def _checkpoint_state(self) -> dict:
+        return {
+            "buckets": {
+                str(index): [(port, item) for port, item in entries]
+                for index, entries in self._buckets.items()
+            },
+            "first_arrival": {str(index): t for index, t in self._bucket_first_arrival.items()},
+            "emitted_through": self._emitted_through,
+            "bucket_size": self.bucket_size,
+        }
+
+    def _restore_state(self, state: Mapping[str, Any]) -> None:
+        self._buckets = {
+            int(index): [(int(port), item) for port, item in entries]
+            for index, entries in state.get("buckets", {}).items()
+        }
+        self._bucket_first_arrival = {
+            int(index): float(t) for index, t in state.get("first_arrival", {}).items()
+        }
+        self._emitted_through = float(state.get("emitted_through", float("-inf")))

@@ -1,0 +1,180 @@
+"""Streams and stream buffers.
+
+Two abstractions live here:
+
+* :class:`StreamWriter` -- assigns monotonically increasing ``tuple_id`` values
+  and remembers the last boundary emitted; every producer of a named stream
+  (data sources, SOutput operators, the node Data Path) owns one.
+* :class:`StreamLog` -- an append-only, truncatable record of everything
+  produced on a stream.  Upstream nodes keep one per output stream so that any
+  replica of a downstream neighbor can (re)subscribe and receive the suffix it
+  is missing (Section 8.1, *Output Buffers*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Any
+
+from ..errors import StreamError
+from .tuples import StreamTuple, TupleType
+
+
+@dataclass
+class StreamWriter:
+    """Assigns stream-local tuple ids and builds tuples for one stream."""
+
+    stream_name: str
+    next_id: int = 0
+    last_boundary_stime: float = float("-inf")
+
+    def _take_id(self) -> int:
+        tuple_id = self.next_id
+        self.next_id += 1
+        return tuple_id
+
+    def insertion(self, stime: float, values: Mapping[str, Any]) -> StreamTuple:
+        return StreamTuple.insertion(self._take_id(), stime, values)
+
+    def tentative(self, stime: float, values: Mapping[str, Any]) -> StreamTuple:
+        return StreamTuple.tentative(self._take_id(), stime, values)
+
+    def boundary(self, stime: float) -> StreamTuple:
+        """Emit a boundary; boundaries must carry non-decreasing stimes."""
+        if stime < self.last_boundary_stime:
+            raise StreamError(
+                f"boundary stime {stime} moves backwards on {self.stream_name!r} "
+                f"(last was {self.last_boundary_stime})"
+            )
+        self.last_boundary_stime = stime
+        return StreamTuple.boundary(self._take_id(), stime)
+
+    def undo(self, stime: float, undo_from_id: int) -> StreamTuple:
+        return StreamTuple.undo(self._take_id(), stime, undo_from_id)
+
+    def rec_done(self, stime: float) -> StreamTuple:
+        return StreamTuple.rec_done(self._take_id(), stime)
+
+    def relabel(self, item: StreamTuple) -> StreamTuple:
+        """Re-emit ``item`` on this stream with a fresh local id."""
+        if item.is_boundary:
+            return self.boundary(max(item.stime, self.last_boundary_stime))
+        return item.with_id(self._take_id())
+
+    def snapshot(self) -> dict:
+        """State needed to restore this writer (used by node checkpoints)."""
+        return {"next_id": self.next_id, "last_boundary_stime": self.last_boundary_stime}
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        self.next_id = int(snapshot["next_id"])
+        self.last_boundary_stime = float(snapshot["last_boundary_stime"])
+
+
+@dataclass
+class StreamLog:
+    """Append-only log of the tuples produced on one stream.
+
+    The log supports the three operations DPC needs:
+
+    * ``append`` new tuples as they are produced;
+    * ``replay_after(tuple_id)`` for a downstream replica that subscribes with
+      the id of the last (stable) tuple it received;
+    * ``truncate_through(tuple_id)`` once every replica of every downstream
+      neighbor has acknowledged the prefix.
+    """
+
+    stream_name: str
+    max_tuples: int | None = None
+    _entries: list[StreamTuple] = field(default_factory=list)
+    _truncated_through: int = -1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return iter(self._entries)
+
+    @property
+    def truncated_through(self) -> int:
+        """Largest tuple_id that has been discarded from the log."""
+        return self._truncated_through
+
+    @property
+    def last_id(self) -> int:
+        """Id of the most recently appended tuple, or -1 when empty."""
+        if self._entries:
+            return self._entries[-1].tuple_id
+        return self._truncated_through
+
+    @property
+    def is_full(self) -> bool:
+        return self.max_tuples is not None and len(self._entries) >= self.max_tuples
+
+    def append(self, item: StreamTuple) -> None:
+        """Append one tuple; ids must be strictly increasing."""
+        if self._entries and item.tuple_id <= self._entries[-1].tuple_id:
+            raise StreamError(
+                f"tuple id {item.tuple_id} not increasing on {self.stream_name!r} "
+                f"(last was {self._entries[-1].tuple_id})"
+            )
+        if item.tuple_id <= self._truncated_through:
+            raise StreamError(
+                f"tuple id {item.tuple_id} was already truncated on {self.stream_name!r}"
+            )
+        self._entries.append(item)
+
+    def extend(self, items: Iterable[StreamTuple]) -> None:
+        for item in items:
+            self.append(item)
+
+    def replay_after(self, tuple_id: int) -> list[StreamTuple]:
+        """All tuples with id strictly greater than ``tuple_id``.
+
+        Raises :class:`StreamError` if that suffix is no longer available
+        because the log was truncated past it.
+        """
+        if tuple_id < self._truncated_through:
+            raise StreamError(
+                f"cannot replay after id {tuple_id} on {self.stream_name!r}: "
+                f"log truncated through {self._truncated_through}"
+            )
+        return [t for t in self._entries if t.tuple_id > tuple_id]
+
+    def truncate_through(self, tuple_id: int) -> int:
+        """Discard every tuple with id <= ``tuple_id``; returns count removed."""
+        keep = [t for t in self._entries if t.tuple_id > tuple_id]
+        removed = len(self._entries) - len(keep)
+        if removed:
+            self._truncated_through = max(self._truncated_through, tuple_id)
+            self._entries = keep
+        return removed
+
+    def last_stable_id(self) -> int:
+        """Id of the last stable data tuple in the log, or -1 if none."""
+        for item in reversed(self._entries):
+            if item.is_stable:
+                return item.tuple_id
+        return -1
+
+    def tail_after_last_stable(self) -> list[StreamTuple]:
+        """The (tentative) suffix following the last stable tuple."""
+        last = self.last_stable_id()
+        return [t for t in self._entries if t.tuple_id > last and t.is_data]
+
+    def data_tuples(self) -> list[StreamTuple]:
+        return [t for t in self._entries if t.is_data]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def apply_undo(tuples: list[StreamTuple], undo: StreamTuple) -> list[StreamTuple]:
+    """Return ``tuples`` with the suffix revoked by ``undo`` removed.
+
+    ``undo.undo_from_id`` names the *last tuple not to be undone*; every later
+    tuple is discarded.  Non-data tuples in the prefix are preserved.
+    """
+    if undo.tuple_type is not TupleType.UNDO:
+        raise StreamError("apply_undo requires an UNDO tuple")
+    keep_through = undo.undo_from_id if undo.undo_from_id is not None else -1
+    return [t for t in tuples if t.tuple_id <= keep_through]

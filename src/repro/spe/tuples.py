@@ -1,0 +1,211 @@
+"""Tuple data model extended with DPC tuple types.
+
+The paper (Section 4.1, Table I) extends the classic Borealis tuple
+``(t, a1, ..., am)`` with a type field and a serialization timestamp::
+
+    (tuple_type, tuple_id, tuple_stime, a1, ..., am)
+
+This module provides :class:`StreamTuple`, the immutable value object used on
+every stream in the reproduction, plus :class:`TupleType` covering both the
+data-stream types (INSERTION, TENTATIVE, BOUNDARY, UNDO, REC_DONE) and the
+control-stream signals SUnion/SOutput send to the Consistency Manager
+(UP_FAILURE, REC_REQUEST).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Mapping
+
+
+class TupleType(str, Enum):
+    """Tuple types from Table I of the paper."""
+
+    #: Regular stable tuple.
+    INSERTION = "insertion"
+    #: Result of processing a subset of inputs; may later be corrected.
+    TENTATIVE = "tentative"
+    #: Punctuation + heartbeat: no later tuple will carry a smaller stime.
+    BOUNDARY = "boundary"
+    #: A suffix of the stream (everything after ``undo_from_id``) is revoked.
+    UNDO = "undo"
+    #: End of a reconciliation burst of corrections.
+    REC_DONE = "rec_done"
+    # --- control-stream signals (SUnion/SOutput -> Consistency Manager) ---
+    #: SUnion signals that it entered an inconsistent state.
+    UP_FAILURE = "up_failure"
+    #: SUnion signals that its input was corrected and state can be reconciled.
+    REC_REQUEST = "rec_request"
+
+
+#: Tuple types that carry application data (payload values).
+DATA_TYPES = frozenset({TupleType.INSERTION, TupleType.TENTATIVE})
+
+#: Tuple types that may legally appear on a data stream between nodes.
+STREAM_TYPES = frozenset(
+    {
+        TupleType.INSERTION,
+        TupleType.TENTATIVE,
+        TupleType.BOUNDARY,
+        TupleType.UNDO,
+        TupleType.REC_DONE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class StreamTuple:
+    """One immutable tuple on a stream.
+
+    Attributes
+    ----------
+    tuple_type:
+        One of :class:`TupleType`.
+    tuple_id:
+        Identifier unique within its stream, assigned in transmission order by
+        the producer.  Because links are reliable and in-order, a single
+        tuple_id suffices to describe "everything received so far".
+    stime:
+        The serialization timestamp ``tuple_stime`` used by SUnion to order
+        tuples and by window operators to delimit windows.
+    values:
+        Mapping of attribute name to value.  Empty for BOUNDARY / UNDO /
+        REC_DONE tuples.
+    undo_from_id:
+        For UNDO tuples only: the id of the *last tuple not to be undone*.
+    stable_seq:
+        For stable tuples crossing node boundaries: the tuple's position in
+        the logical stable stream (count of stable tuples before it).  Because
+        replicas produce the same stable tuples in the same order, this
+        position is replica-independent; consumers use it to resume
+        subscriptions after switching replicas and to discard stable tuples
+        they already received from another replica.
+    """
+
+    tuple_type: TupleType
+    tuple_id: int
+    stime: float
+    values: Mapping[str, Any] = field(default_factory=dict)
+    undo_from_id: int | None = None
+    stable_seq: int | None = None
+
+    # ---------------------------------------------------------------- classmethods
+    @classmethod
+    def insertion(cls, tuple_id: int, stime: float, values: Mapping[str, Any]) -> "StreamTuple":
+        """Create a stable data tuple."""
+        return cls(TupleType.INSERTION, tuple_id, stime, dict(values))
+
+    @classmethod
+    def tentative(cls, tuple_id: int, stime: float, values: Mapping[str, Any]) -> "StreamTuple":
+        """Create a tentative data tuple."""
+        return cls(TupleType.TENTATIVE, tuple_id, stime, dict(values))
+
+    @classmethod
+    def boundary(cls, tuple_id: int, stime: float) -> "StreamTuple":
+        """Create a boundary tuple promising no later tuple has stime < ``stime``."""
+        return cls(TupleType.BOUNDARY, tuple_id, stime)
+
+    @classmethod
+    def undo(cls, tuple_id: int, stime: float, undo_from_id: int) -> "StreamTuple":
+        """Create an undo tuple revoking every tuple after ``undo_from_id``."""
+        return cls(TupleType.UNDO, tuple_id, stime, undo_from_id=undo_from_id)
+
+    @classmethod
+    def rec_done(cls, tuple_id: int, stime: float) -> "StreamTuple":
+        """Create a tuple marking the end of a burst of corrections."""
+        return cls(TupleType.REC_DONE, tuple_id, stime)
+
+    # ---------------------------------------------------------------- predicates
+    @property
+    def is_data(self) -> bool:
+        """True for INSERTION and TENTATIVE tuples."""
+        return self.tuple_type in DATA_TYPES
+
+    @property
+    def is_stable(self) -> bool:
+        """True for stable (INSERTION) data tuples."""
+        return self.tuple_type is TupleType.INSERTION
+
+    @property
+    def is_tentative(self) -> bool:
+        return self.tuple_type is TupleType.TENTATIVE
+
+    @property
+    def is_boundary(self) -> bool:
+        return self.tuple_type is TupleType.BOUNDARY
+
+    @property
+    def is_undo(self) -> bool:
+        return self.tuple_type is TupleType.UNDO
+
+    @property
+    def is_rec_done(self) -> bool:
+        return self.tuple_type is TupleType.REC_DONE
+
+    # ---------------------------------------------------------------- transforms
+    def as_tentative(self) -> "StreamTuple":
+        """Return a tentative copy of this tuple (data tuples only)."""
+        if not self.is_data:
+            return self
+        return StreamTuple(TupleType.TENTATIVE, self.tuple_id, self.stime, self.values)
+
+    def as_stable(self) -> "StreamTuple":
+        """Return a stable copy of this tuple (data tuples only)."""
+        if not self.is_data:
+            return self
+        return StreamTuple(TupleType.INSERTION, self.tuple_id, self.stime, self.values)
+
+    def with_id(self, tuple_id: int) -> "StreamTuple":
+        """Return a copy of this tuple carrying a different stream-local id."""
+        return StreamTuple(
+            self.tuple_type, tuple_id, self.stime, self.values, self.undo_from_id, self.stable_seq
+        )
+
+    def with_stable_seq(self, stable_seq: int) -> "StreamTuple":
+        """Return a copy carrying its position in the logical stable stream."""
+        return StreamTuple(
+            self.tuple_type, self.tuple_id, self.stime, self.values, self.undo_from_id, stable_seq
+        )
+
+    def with_values(self, values: Mapping[str, Any]) -> "StreamTuple":
+        """Return a copy of this tuple with different attribute values."""
+        return StreamTuple(
+            self.tuple_type, self.tuple_id, self.stime, dict(values), self.undo_from_id, self.stable_seq
+        )
+
+    def value(self, name: str, default: Any = None) -> Any:
+        """Return attribute ``name`` or ``default`` when missing."""
+        return self.values.get(name, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = self.tuple_type.value.upper()
+        if self.is_undo:
+            return f"<{kind} id={self.tuple_id} undo_from={self.undo_from_id}>"
+        if self.is_data:
+            return f"<{kind} id={self.tuple_id} stime={self.stime:.3f} {dict(self.values)}>"
+        return f"<{kind} id={self.tuple_id} stime={self.stime:.3f}>"
+
+
+def count_tentative(tuples: Iterable[StreamTuple]) -> int:
+    """Number of tentative tuples in ``tuples``."""
+    return sum(1 for t in tuples if t.is_tentative)
+
+
+def count_stable(tuples: Iterable[StreamTuple]) -> int:
+    """Number of stable data tuples in ``tuples``."""
+    return sum(1 for t in tuples if t.is_stable)
+
+
+def data_only(tuples: Iterable[StreamTuple]) -> list[StreamTuple]:
+    """Filter out non-data tuples (boundaries, undos, rec_done)."""
+    return [t for t in tuples if t.is_data]
+
+
+def max_stime(tuples: Iterable[StreamTuple], default: float = float("-inf")) -> float:
+    """Largest stime among ``tuples`` or ``default`` when empty."""
+    best = default
+    for t in tuples:
+        if t.stime > best:
+            best = t.stime
+    return best

@@ -1,0 +1,117 @@
+"""Window specifications for Aggregate and Join operators.
+
+Borealis windows are defined over the serialization attribute (``stime`` in
+this reproduction, or any integer attribute the application chooses).  To
+keep operators deterministic -- a requirement of DPC (Section 2.1) -- windows
+are aligned independently of the first tuple processed: window boundaries are
+multiples of ``slide`` starting at ``origin`` (default 0), which corresponds
+to Borealis' *independent-window-alignment* flag.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A sliding (or tumbling) window over the serialization attribute.
+
+    Attributes
+    ----------
+    size:
+        Width of the window in stime units.
+    slide:
+        Distance between consecutive window starts.  ``slide == size`` gives
+        tumbling windows; ``slide < size`` gives overlapping sliding windows.
+    origin:
+        Alignment origin; window starts are ``origin + k * slide``.
+    """
+
+    size: float
+    slide: float | None = None
+    origin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"window size must be positive, got {self.size}")
+        slide = self.slide if self.slide is not None else self.size
+        if slide <= 0:
+            raise ConfigurationError(f"window slide must be positive, got {slide}")
+        object.__setattr__(self, "slide", slide)
+
+    @classmethod
+    def tumbling(cls, size: float, origin: float = 0.0) -> "WindowSpec":
+        """A non-overlapping window of width ``size``."""
+        return cls(size=size, slide=size, origin=origin)
+
+    @classmethod
+    def sliding(cls, size: float, slide: float, origin: float = 0.0) -> "WindowSpec":
+        """A window of width ``size`` advancing by ``slide``."""
+        return cls(size=size, slide=slide, origin=origin)
+
+    # ------------------------------------------------------------------ queries
+    def first_window_index(self, stime: float) -> int:
+        """Index of the earliest window containing ``stime``."""
+        # Window k spans [origin + k*slide, origin + k*slide + size).
+        last = self.last_window_index(stime)
+        span = int(math.ceil(self.size / self.slide)) - 1
+        return last - span
+
+    def last_window_index(self, stime: float) -> int:
+        """Index of the latest window containing ``stime``."""
+        return int(math.floor((stime - self.origin) / self.slide))
+
+    def window_indices(self, stime: float) -> range:
+        """All window indices whose span contains ``stime``."""
+        first = self.first_window_index(stime)
+        last = self.last_window_index(stime)
+        # Filter out windows that start after stime (can happen at exact edges).
+        while first <= last and not self.contains(first, stime):
+            first += 1
+        return range(first, last + 1)
+
+    def window_start(self, index: int) -> float:
+        return self.origin + index * self.slide
+
+    def window_end(self, index: int) -> float:
+        """Exclusive end of window ``index``."""
+        return self.window_start(index) + self.size
+
+    def contains(self, index: int, stime: float) -> bool:
+        """True when window ``index`` covers ``stime`` (inclusive start, exclusive end)."""
+        return self.window_start(index) <= stime < self.window_end(index)
+
+    def closed_windows(self, watermark: float) -> range:
+        """Empty placeholder range; see :meth:`windows_closed_by`."""
+        return range(0)
+
+    def windows_closed_by(self, previous_watermark: float, watermark: float) -> range:
+        """Window indices whose end falls in ``(previous_watermark, watermark]``.
+
+        Operators call this when the stable watermark (the minimum boundary
+        stime across inputs) advances: those windows will receive no further
+        tuples and their results can be emitted.
+        """
+        if watermark <= previous_watermark:
+            return range(0)
+        if math.isinf(previous_watermark):
+            # No earlier watermark: consider windows from the origin onwards.
+            previous_watermark = self.origin
+            if watermark <= previous_watermark:
+                return range(0)
+        first = int(math.ceil((previous_watermark - self.origin - self.size) / self.slide))
+        last = int(math.floor((watermark - self.origin - self.size) / self.slide))
+        # Guard against float error: ensure listed windows really are closed.
+        while first <= last and self.window_end(first) <= previous_watermark:
+            first += 1
+        while first <= last and self.window_end(last) > watermark:
+            last -= 1
+        return range(first, last + 1)
+
+    def is_closed(self, index: int, watermark: float) -> bool:
+        """True once the watermark passes the end of window ``index``."""
+        return watermark >= self.window_end(index)

@@ -1,0 +1,39 @@
+"""Synthetic workloads and failure scenarios."""
+
+from .generators import (
+    PayloadFactory,
+    PayloadGenerator,
+    default_payload_factory,
+    interleaved_sequence,
+    network_monitoring,
+    sensor_readings,
+    sequential_sequence,
+)
+from .queries import (
+    intrusion_detection_diagram,
+    intrusion_detection_factory,
+    sensor_alert_diagram,
+    sensor_alert_factory,
+    traffic_rollup_diagram,
+    traffic_rollup_factory,
+)
+from .scenarios import FailureSpec, Scenario, single_failure
+
+__all__ = [
+    "PayloadFactory",
+    "PayloadGenerator",
+    "default_payload_factory",
+    "interleaved_sequence",
+    "network_monitoring",
+    "sensor_readings",
+    "sequential_sequence",
+    "FailureSpec",
+    "Scenario",
+    "single_failure",
+    "intrusion_detection_diagram",
+    "intrusion_detection_factory",
+    "sensor_alert_diagram",
+    "sensor_alert_factory",
+    "traffic_rollup_diagram",
+    "traffic_rollup_factory",
+]

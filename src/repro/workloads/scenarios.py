@@ -1,0 +1,90 @@
+"""Pre-canned failure scenarios shared by examples, tests, and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..sim.failures import FailureRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..sim.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """A declarative failure to inject into a cluster.
+
+    ``kind`` selects the mechanism:
+
+    * ``"disconnect"`` -- the source stops reaching every consumer (data is
+      replayed after healing), the mechanism of the Section 5/6.1 experiments;
+    * ``"silence"`` -- the source keeps sending data but stops producing
+      boundary tuples, the mechanism of the Section 6.2 chain experiments;
+    * ``"crash"`` -- a processing node crashes (fail-stop) and recovers.
+    """
+
+    kind: str
+    start: float
+    duration: float
+    stream_index: int = 0
+    node_level: int = 0
+    node_replica: int = 0
+
+
+@dataclass
+class Scenario:
+    """A cluster run: warm-up, failures, post-failure settle time."""
+
+    warmup: float = 5.0
+    settle: float = 20.0
+    failures: list[FailureSpec] = field(default_factory=list)
+
+    def total_duration(self) -> float:
+        if not self.failures:
+            return self.warmup + self.settle
+        last_end = max(spec.start + spec.duration for spec in self.failures)
+        return last_end + self.settle
+
+    def inject(self, cluster: Cluster) -> list[FailureRecord]:
+        """Schedule every failure of the scenario on ``cluster``."""
+        records: list[FailureRecord] = []
+        for spec in self.failures:
+            if spec.kind == "disconnect":
+                source = cluster.source(spec.stream_index)
+                for node in cluster.nodes[0]:
+                    records.append(
+                        cluster.failures.disconnect_stream(
+                            source, node.endpoint, spec.start, spec.duration
+                        )
+                    )
+            elif spec.kind == "silence":
+                source = cluster.source(spec.stream_index)
+                records.append(
+                    cluster.failures.silence_boundaries(source, spec.start, spec.duration)
+                )
+            elif spec.kind == "crash":
+                node = cluster.node(spec.node_level, spec.node_replica)
+                cluster.simulator.schedule_at(spec.start, lambda now, n=node: n.crash())
+                cluster.simulator.schedule_at(
+                    spec.start + spec.duration, lambda now, n=node: n.recover()
+                )
+            else:
+                raise ValueError(f"unknown failure kind {spec.kind!r}")
+        return records
+
+    def run(self, cluster: Cluster) -> Cluster:
+        """Inject the failures, start the cluster, and run it to completion."""
+        self.inject(cluster)
+        cluster.start()
+        cluster.run_for(self.total_duration())
+        return cluster
+
+
+def single_failure(kind: str, start: float, duration: float, stream_index: int = 0, settle: float = 20.0) -> Scenario:
+    """Scenario with one failure, the shape of most of the paper's experiments."""
+    return Scenario(
+        warmup=start,
+        settle=settle,
+        failures=[FailureSpec(kind=kind, start=start, duration=duration, stream_index=stream_index)],
+    )

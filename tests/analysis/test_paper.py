@@ -1,0 +1,73 @@
+"""Tests for the encoded paper reference data."""
+
+import pytest
+
+from repro.analysis.paper import (
+    PAPER_CLAIMS,
+    PAPER_CONSTANTS,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    paper_claim,
+)
+
+
+def test_table3_reference_is_flat_beyond_two_seconds():
+    values = [v for duration, v in PAPER_TABLE3.items() if duration > 2.0]
+    assert values
+    assert max(values) == min(values) == 2.8
+
+
+def test_table3_two_second_failure_is_cheaper():
+    assert PAPER_TABLE3[2.0] < PAPER_TABLE3[4.0]
+
+
+def test_table4_and_table5_grow_with_parameter():
+    for table in (PAPER_TABLE4, PAPER_TABLE5):
+        maxima = [row.maximum for row in table]
+        averages = [row.average for row in table]
+        assert maxima == sorted(maxima)
+        assert averages == sorted(averages)
+
+
+def test_table4_reference_includes_baseline_column():
+    assert PAPER_TABLE4[0].parameter_ms == 0
+    assert PAPER_TABLE4[0].average == 0.0
+
+
+def test_tables_have_matching_ten_ms_column():
+    # Both tables share the 10 ms / 10 ms configuration, reported identically.
+    row4 = next(row for row in PAPER_TABLE4 if row.parameter_ms == 10)
+    row5 = next(row for row in PAPER_TABLE5 if row.parameter_ms == 10)
+    assert row4 == row5
+
+
+def test_every_claim_has_id_section_and_checks():
+    assert len(PAPER_CLAIMS) >= 10
+    for claim in PAPER_CLAIMS:
+        assert claim.experiment_id
+        assert claim.section
+        assert claim.claim.strip()
+        assert claim.checks
+
+
+def test_claim_ids_are_unique():
+    ids = [claim.experiment_id for claim in PAPER_CLAIMS]
+    assert len(ids) == len(set(ids))
+
+
+def test_paper_claim_lookup():
+    claim = paper_claim("fig18")
+    assert "60" in claim.claim or "long" in claim.claim.lower()
+
+
+def test_paper_claim_unknown_id_raises_with_known_ids():
+    with pytest.raises(KeyError) as excinfo:
+        paper_claim("fig99")
+    assert "table3" in str(excinfo.value)
+
+
+def test_constants_match_prose():
+    assert PAPER_CONSTANTS["switch_time_s"] == pytest.approx(0.04)
+    assert PAPER_CONSTANTS["full_assignment_delay_s"] == pytest.approx(6.5)
+    assert PAPER_CONSTANTS["full_assignment_budget_s"] == pytest.approx(8.0)

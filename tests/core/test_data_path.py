@@ -1,0 +1,139 @@
+"""Unit tests for output stream managers (buffering, subscription, replay)."""
+
+import pytest
+
+from repro.config import BufferPolicy
+from repro.core.data_path import DataPath, OutputStreamManager
+from repro.core.protocol import SubscribeRequest
+from repro.errors import BufferOverflowError, ProtocolError
+from repro.spe.tuples import StreamTuple
+
+
+def stable(i):
+    return StreamTuple.insertion(i, i * 0.1, {"seq": i})
+
+
+def tentative(i):
+    return StreamTuple.tentative(i, i * 0.1, {"seq": i})
+
+
+def test_append_relabels_and_stamps_stable_seq():
+    mgr = OutputStreamManager("out", owner="node1")
+    first = mgr.append(stable(10))
+    second = mgr.append(tentative(11))
+    third = mgr.append(stable(12))
+    assert first.tuple_id == 0 and first.stable_seq == 0
+    assert second.is_tentative and second.stable_seq is None
+    assert third.stable_seq == 1
+    assert mgr.stable_seq == 1
+    assert mgr.stable_produced == 2 and mgr.tentative_produced == 1
+
+
+def test_subscribe_from_scratch_replays_everything():
+    mgr = OutputStreamManager("out", owner="node1")
+    mgr.append_all([stable(0), stable(1)])
+    replay = mgr.subscribe(SubscribeRequest(stream="out", subscriber="d", last_stable_seq=-1))
+    assert [t.value("seq") for t in replay] == [0, 1]
+
+
+def test_subscribe_resumes_after_last_stable_seq():
+    mgr = OutputStreamManager("out", owner="node1")
+    mgr.append_all([stable(0), stable(1), stable(2)])
+    replay = mgr.subscribe(SubscribeRequest(stream="out", subscriber="d", last_stable_seq=0))
+    assert [t.value("seq") for t in replay] == [1, 2]
+
+
+def test_subscribe_with_had_tentative_prepends_undo():
+    mgr = OutputStreamManager("out", owner="node1")
+    mgr.append_all([stable(0), stable(1)])
+    replay = mgr.subscribe(
+        SubscribeRequest(stream="out", subscriber="d", last_stable_seq=0, had_tentative=True)
+    )
+    assert replay[0].is_undo
+    assert [t.value("seq") for t in replay if t.is_data] == [1]
+
+
+def test_subscribe_skips_tentative_tail_unless_requested():
+    mgr = OutputStreamManager("out", owner="node1")
+    mgr.append_all([stable(0), tentative(1), tentative(2)])
+    no_tail = mgr.subscribe(SubscribeRequest(stream="out", subscriber="d", last_stable_seq=-1))
+    assert [t.value("seq") for t in no_tail if t.is_data] == [0]
+    with_tail = mgr.subscribe(
+        SubscribeRequest(stream="out", subscriber="e", last_stable_seq=-1, replay_tentative=True)
+    )
+    assert [t.value("seq") for t in with_tail if t.is_data] == [0, 1, 2]
+
+
+def test_pending_and_mark_delivered_cursor():
+    mgr = OutputStreamManager("out", owner="node1")
+    mgr.subscribe(SubscribeRequest(stream="out", subscriber="d", last_stable_seq=-1))
+    mgr.append_all([stable(0), stable(1)])
+    assert [t.value("seq") for t in mgr.pending_for("d")] == [0, 1]
+    mgr.mark_delivered("d")
+    assert mgr.pending_for("d") == []
+    mgr.append(stable(2))
+    assert [t.value("seq") for t in mgr.pending_for("d")] == [2]
+
+
+def test_unsubscribe_stops_delivery():
+    mgr = OutputStreamManager("out", owner="node1")
+    mgr.subscribe(SubscribeRequest(stream="out", subscriber="d", last_stable_seq=-1))
+    mgr.unsubscribe("d")
+    mgr.append(stable(0))
+    assert mgr.pending_for("d") == []
+    assert "d" not in mgr.subscribers()
+
+
+def test_truncate_delivered_drops_acknowledged_prefix():
+    mgr = OutputStreamManager("out", owner="node1")
+    mgr.subscribe(SubscribeRequest(stream="out", subscriber="d", last_stable_seq=-1))
+    mgr.append_all([stable(i) for i in range(10)])
+    assert mgr.truncate_delivered() == 0  # nothing delivered yet
+    mgr.mark_delivered("d")
+    assert mgr.truncate_delivered() == 10
+    assert mgr.buffered_tuples == 0
+
+
+def test_replay_from_truncated_position_raises():
+    mgr = OutputStreamManager("out", owner="node1")
+    mgr.subscribe(SubscribeRequest(stream="out", subscriber="d", last_stable_seq=-1))
+    mgr.append_all([stable(i) for i in range(5)])
+    mgr.mark_delivered("d")
+    mgr.truncate_delivered()
+    with pytest.raises(ProtocolError):
+        mgr.subscribe(SubscribeRequest(stream="out", subscriber="late", last_stable_seq=1))
+
+
+def test_bounded_buffer_blocks_when_full():
+    policy = BufferPolicy(max_output_tuples=2, block_on_full=True)
+    mgr = OutputStreamManager("out", owner="node1", buffer_policy=policy)
+    mgr.append_all([stable(0), stable(1)])
+    with pytest.raises(BufferOverflowError):
+        mgr.append(stable(2))
+
+
+def test_bounded_buffer_drops_oldest_when_configured():
+    policy = BufferPolicy(max_output_tuples=2, block_on_full=False)
+    mgr = OutputStreamManager("out", owner="node1", buffer_policy=policy)
+    mgr.append_all([stable(0), stable(1), stable(2)])
+    assert mgr.buffered_tuples == 2
+    assert [t.value("seq") for t in mgr.buffered_items()] == [1, 2]
+
+
+def test_subscribe_for_wrong_stream_rejected():
+    mgr = OutputStreamManager("out", owner="node1")
+    with pytest.raises(ProtocolError):
+        mgr.subscribe(SubscribeRequest(stream="other", subscriber="d"))
+
+
+def test_data_path_manages_multiple_outputs():
+    path = DataPath(owner="node1")
+    path.add_output("a")
+    path.add_output("b")
+    assert sorted(path.output_streams()) == ["a", "b"]
+    with pytest.raises(ProtocolError):
+        path.add_output("a")
+    with pytest.raises(ProtocolError):
+        path.output("missing")
+    kind, batch = path.make_batch("a", [stable(0)])
+    assert kind == "data" and batch.producer == "node1"

@@ -1,0 +1,164 @@
+"""Tests for delay-assignment planning and the accumulated-delay tracker."""
+
+import pytest
+
+from repro.config import DelayAssignment
+from repro.core.delay_planner import AccumulatedDelayTracker, DelayPlanner
+from repro.errors import ConfigurationError
+
+
+# --------------------------------------------------------------------------- planner construction
+def test_planner_rejects_bad_budgets():
+    with pytest.raises(ConfigurationError):
+        DelayPlanner(total_budget=0.0)
+    with pytest.raises(ConfigurationError):
+        DelayPlanner(total_budget=5.0, queuing_allowance=-1.0)
+    with pytest.raises(ConfigurationError):
+        DelayPlanner(total_budget=5.0, queuing_allowance=5.0)
+
+
+def test_planner_rejects_duplicate_and_unknown_nodes():
+    planner = DelayPlanner(total_budget=4.0)
+    planner.add_node("a", entry=True)
+    with pytest.raises(ConfigurationError):
+        planner.add_node("a")
+    with pytest.raises(ConfigurationError):
+        planner.connect("a", "missing")
+
+
+def test_for_chain_validates_depth():
+    with pytest.raises(ConfigurationError):
+        DelayPlanner.for_chain(0, total_budget=8.0)
+
+
+def test_plan_requires_nodes():
+    with pytest.raises(ConfigurationError):
+        DelayPlanner(total_budget=4.0).plan(DelayAssignment.UNIFORM)
+
+
+# --------------------------------------------------------------------------- static strategies
+def test_uniform_plan_divides_budget_evenly():
+    planner = DelayPlanner.for_chain(4, total_budget=8.0)
+    plan = planner.plan(DelayAssignment.UNIFORM)
+    assert plan.per_node == {f"node{i}": 2.0 for i in range(1, 5)}
+    assert plan.masked_failure == pytest.approx(2.0)
+    assert plan.worst_case_sequential == pytest.approx(8.0)
+    assert plan.budget_for("node3") == pytest.approx(2.0)
+
+
+def test_full_plan_assigns_whole_budget_minus_allowance():
+    planner = DelayPlanner.for_chain(4, total_budget=8.0, queuing_allowance=1.5)
+    plan = planner.plan(DelayAssignment.FULL)
+    # The paper assigns 6.5 s of the 8 s budget to every SUnion (Section 6.3).
+    assert all(delay == pytest.approx(6.5) for delay in plan.per_node.values())
+    assert plan.masked_failure == pytest.approx(6.5)
+    assert plan.budget_for("node1") == pytest.approx(6.5)
+
+
+def test_full_plan_masks_longer_failures_than_uniform():
+    planner = DelayPlanner.for_chain(4, total_budget=8.0)
+    uniform = planner.plan(DelayAssignment.UNIFORM)
+    full = planner.plan(DelayAssignment.FULL)
+    assert full.masked_failure > uniform.masked_failure
+
+
+def test_budget_for_unknown_node_raises():
+    plan = DelayPlanner.for_chain(2, total_budget=4.0).plan(DelayAssignment.UNIFORM)
+    with pytest.raises(ConfigurationError):
+        plan.budget_for("node99")
+
+
+def test_single_node_chain():
+    plan = DelayPlanner.for_chain(1, total_budget=3.0).plan(DelayAssignment.UNIFORM)
+    assert plan.per_node == {"node1": 3.0}
+    assert plan.masked_failure == pytest.approx(3.0)
+
+
+# --------------------------------------------------------------------------- path diagnostics
+def diamond_planner() -> DelayPlanner:
+    """The Figure 21 situation: paths of different lengths meet downstream."""
+    planner = DelayPlanner(total_budget=6.0)
+    for name, entry in (("src_a", True), ("src_b", True), ("middle", False), ("sink", False)):
+        planner.add_node(name, entry=entry)
+    planner.connect("src_a", "middle")
+    planner.connect("middle", "sink")
+    planner.connect("src_b", "sink")
+    return planner
+
+
+def test_depth_uses_longest_path():
+    assert diamond_planner().depth() == 3
+
+
+def test_diagnose_reports_accumulated_delay_per_path():
+    planner = diamond_planner()
+    per_node = {"src_a": 2.0, "src_b": 2.0, "middle": 2.0, "sink": 2.0}
+    diagnostics = {d.path: d for d in planner.diagnose(per_node)}
+    assert diagnostics[("src_a", "middle", "sink")].accumulated_delay == pytest.approx(6.0)
+    assert diagnostics[("src_b", "sink")].accumulated_delay == pytest.approx(4.0)
+    assert all(d.within_budget for d in diagnostics.values())
+
+
+def test_diagnose_flags_paths_exceeding_budget():
+    planner = diamond_planner()
+    per_node = {"src_a": 3.0, "src_b": 3.0, "middle": 3.0, "sink": 3.0}
+    long_path = next(d for d in planner.diagnose(per_node) if len(d.path) == 3)
+    assert not long_path.within_budget
+
+
+def test_mismatched_paths_detection():
+    planner = diamond_planner()
+    assert planner.mismatched_paths({"src_a": 2.0, "src_b": 2.0, "middle": 2.0, "sink": 2.0})
+    # Assignments can be balanced by hand so every path accumulates the same delay.
+    assert not planner.mismatched_paths({"src_a": 1.0, "src_b": 3.0, "middle": 2.0, "sink": 3.0})
+
+
+def test_chain_has_no_mismatched_paths():
+    planner = DelayPlanner.for_chain(4, total_budget=8.0)
+    plan = planner.plan(DelayAssignment.UNIFORM)
+    assert not planner.mismatched_paths(plan.per_node)
+
+
+# --------------------------------------------------------------------------- accumulated-delay tracker
+def test_tracker_requires_positive_budget():
+    with pytest.raises(ConfigurationError):
+        AccumulatedDelayTracker(total_budget=0.0)
+
+
+def test_tracker_spend_and_remaining():
+    tracker = AccumulatedDelayTracker(total_budget=8.0)
+    assert tracker.remaining_budget("s") == pytest.approx(8.0)
+    assert tracker.spend("s", 3.0) == pytest.approx(3.0)
+    assert tracker.remaining_budget("s") == pytest.approx(5.0)
+    # Spending is clamped to the remaining budget.
+    assert tracker.spend("s", 10.0) == pytest.approx(8.0)
+    assert tracker.remaining_budget("s") == 0.0
+
+
+def test_tracker_rejects_negative_delays():
+    tracker = AccumulatedDelayTracker(total_budget=5.0)
+    with pytest.raises(ConfigurationError):
+        tracker.spend("s", -1.0)
+    with pytest.raises(ConfigurationError):
+        tracker.observe_upstream_delay("s", -0.5)
+
+
+def test_tracker_observe_upstream_delay():
+    tracker = AccumulatedDelayTracker(total_budget=8.0)
+    tracker.observe_upstream_delay("s", 6.5)
+    assert tracker.remaining_budget("s") == pytest.approx(1.5)
+
+
+def test_tracker_merge_takes_most_delayed_input():
+    tracker = AccumulatedDelayTracker(total_budget=8.0)
+    tracker.observe_upstream_delay("a", 2.0)
+    tracker.observe_upstream_delay("b", 5.0)
+    assert tracker.merge(["a", "b"]) == pytest.approx(5.0)
+    assert tracker.merge([]) == 0.0
+
+
+def test_tracker_stamp_adds_attribute():
+    tracker = AccumulatedDelayTracker(total_budget=8.0, attribute="delay_so_far")
+    tracker.spend("s", 1.5)
+    stamped = tracker.stamp({"seq": 7}, "s")
+    assert stamped == {"seq": 7, "delay_so_far": 1.5}

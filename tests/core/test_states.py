@@ -1,0 +1,34 @@
+"""Unit tests for the DPC state machine and state preferences."""
+
+import pytest
+
+from repro.core.states import NodeState, STATE_PREFERENCE, can_transition, prefer
+
+
+def test_figure5_transitions_allowed():
+    assert can_transition(NodeState.STABLE, NodeState.UP_FAILURE)
+    assert can_transition(NodeState.UP_FAILURE, NodeState.STABILIZATION)
+    assert can_transition(NodeState.UP_FAILURE, NodeState.STABLE)
+    assert can_transition(NodeState.STABILIZATION, NodeState.STABLE)
+    assert can_transition(NodeState.STABILIZATION, NodeState.UP_FAILURE)
+
+
+def test_forbidden_transitions():
+    assert not can_transition(NodeState.STABLE, NodeState.STABILIZATION)
+    assert not can_transition(NodeState.STABLE, NodeState.FAILURE)
+
+
+def test_self_transition_is_allowed():
+    for state in NodeState:
+        assert can_transition(state, state)
+
+
+def test_preference_order_matches_table2():
+    assert STATE_PREFERENCE[NodeState.STABLE] < STATE_PREFERENCE[NodeState.UP_FAILURE]
+    assert STATE_PREFERENCE[NodeState.UP_FAILURE] < STATE_PREFERENCE[NodeState.STABILIZATION]
+    assert STATE_PREFERENCE[NodeState.STABILIZATION] < STATE_PREFERENCE[NodeState.FAILURE]
+
+
+def test_prefer_returns_better_state():
+    assert prefer(NodeState.STABLE, NodeState.UP_FAILURE) is NodeState.STABLE
+    assert prefer(NodeState.FAILURE, NodeState.STABILIZATION) is NodeState.STABILIZATION

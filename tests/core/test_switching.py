@@ -1,0 +1,70 @@
+"""Unit tests for the Table II upstream-switching rules."""
+
+from repro.core.states import NodeState
+from repro.core.switching import choose_upstream, states_summary
+
+
+def test_stable_current_stays():
+    decision = choose_upstream("a", {"a": NodeState.STABLE, "b": NodeState.STABLE})
+    assert not decision.switch
+
+
+def test_switch_to_stable_replica_when_current_fails():
+    decision = choose_upstream("a", {"a": NodeState.FAILURE, "b": NodeState.STABLE})
+    assert decision.switch and decision.target == "b"
+
+
+def test_switch_to_stable_replica_when_current_is_up_failure():
+    decision = choose_upstream("a", {"a": NodeState.UP_FAILURE, "b": NodeState.STABLE})
+    assert decision.switch and decision.target == "b"
+
+
+def test_no_stable_keep_current_up_failure():
+    decision = choose_upstream("a", {"a": NodeState.UP_FAILURE, "b": NodeState.UP_FAILURE})
+    assert not decision.switch
+
+
+def test_no_stable_switch_from_failure_to_up_failure():
+    decision = choose_upstream("a", {"a": NodeState.FAILURE, "b": NodeState.UP_FAILURE})
+    assert decision.switch and decision.target == "b"
+
+
+def test_stabilizing_current_switches_to_up_failure_replica():
+    decision = choose_upstream("a", {"a": NodeState.STABILIZATION, "b": NodeState.UP_FAILURE})
+    assert decision.switch and decision.target == "b"
+
+
+def test_everything_worse_than_current_stays():
+    decision = choose_upstream(
+        "a", {"a": NodeState.STABILIZATION, "b": NodeState.STABILIZATION, "c": NodeState.FAILURE}
+    )
+    assert not decision.switch
+
+
+def test_no_current_picks_best_available():
+    decision = choose_upstream(None, {"a": NodeState.UP_FAILURE, "b": NodeState.STABLE})
+    assert decision.switch and decision.target == "b"
+
+
+def test_no_current_and_everything_failed_stays_put():
+    decision = choose_upstream(None, {"a": NodeState.FAILURE})
+    assert not decision.switch
+
+
+def test_unknown_current_treated_as_failed():
+    decision = choose_upstream("ghost", {"a": NodeState.UP_FAILURE})
+    assert decision.switch and decision.target == "a"
+
+
+def test_empty_replica_set():
+    assert not choose_upstream("a", {}).switch
+
+
+def test_deterministic_tie_break_on_name():
+    decision = choose_upstream(None, {"b": NodeState.STABLE, "a": NodeState.STABLE})
+    assert decision.target == "a"
+
+
+def test_states_summary_renders_all_replicas():
+    text = states_summary({"a": NodeState.STABLE, "b": NodeState.FAILURE})
+    assert "a=stable" in text and "b=failure" in text

@@ -1,0 +1,119 @@
+"""Tests for the ablation experiment runners.
+
+These are integration-level tests: each one spins up a small simulated
+deployment.  Durations and rates are kept low so the whole module runs in a
+few seconds.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    buffer_bound_run,
+    crash_failover,
+    detection_sweep,
+    granularity_run,
+    replica_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def replica_results():
+    return replica_sweep(
+        (1, 2), failure_duration=8.0, aggregate_rate=90.0, settle=25.0
+    )
+
+
+def test_replica_sweep_two_replicas_meet_bound(replica_results):
+    by_label = {result.label: result for result in replica_results}
+    replicated = by_label["2 replicas"]
+    assert replicated.eventually_consistent
+    assert replicated.proc_new < 3.75
+
+
+def test_replica_sweep_single_replica_is_worse(replica_results):
+    by_label = {result.label: result for result in replica_results}
+    single = by_label["1 replica"]
+    replicated = by_label["2 replicas"]
+    # With a single replica the node itself must stop serving new data while
+    # it reconciles, so its worst-case latency is at least as bad as the
+    # replicated deployment's.
+    assert single.proc_new >= replicated.proc_new - 0.25
+    assert single.eventually_consistent
+
+
+def test_detection_sweep_reports_monotone_cost():
+    results = detection_sweep(
+        (0.1, 0.5), failure_duration=6.0, aggregate_rate=90.0, settle=25.0
+    )
+    assert len(results) == 2
+    fast, slow = results
+    assert fast.keepalive_period < slow.keepalive_period
+    for result in results:
+        assert result.eventually_consistent
+    # With the paper's 100 ms keepalive, detection is cheap enough that the
+    # availability bound still holds.
+    assert fast.proc_new < 3.75
+    # A slower detection can only delay the reaction, never speed it up; with
+    # a 500 ms keepalive the detection timeout eats visibly into the budget
+    # (the paper's assumption that detection is much faster than X).
+    assert slow.max_gap >= fast.max_gap - 0.3
+    assert slow.proc_new >= fast.proc_new - 0.3
+    assert "keepalive" in fast.row()
+
+
+def test_crash_failover_masks_the_crash():
+    result = crash_failover(
+        crash_duration=10.0, aggregate_rate=90.0, warmup=4.0, settle=25.0
+    )
+    assert result.eventually_consistent
+    # The surviving replica keeps serving: the crash must not show up as a
+    # latency spike beyond the availability bound.
+    assert result.proc_new < 3.75
+    assert result.extra["switches"] >= 1
+    assert result.n_undos == 0 or result.n_tentative >= 0  # crash introduces no inconsistency
+    assert result.n_tentative == 0
+
+
+def test_buffer_bound_blocking_overflows():
+    result = buffer_bound_run(
+        max_output_tuples=200, block_on_full=True, aggregate_rate=120.0, duration=20.0
+    )
+    assert result.overflowed
+    assert result.buffered_tuples <= 200
+
+
+def test_buffer_bound_dropping_keeps_running():
+    result = buffer_bound_run(
+        max_output_tuples=200, block_on_full=False, aggregate_rate=120.0, duration=20.0
+    )
+    assert not result.overflowed
+    assert result.buffered_tuples <= 200
+    assert result.client_stable > 0
+    assert "bound" in result.row()
+
+
+def test_buffer_unbounded_with_truncation_stays_small():
+    bounded = buffer_bound_run(
+        max_output_tuples=None,
+        block_on_full=True,
+        aggregate_rate=120.0,
+        duration=20.0,
+        truncate_period=1.0,
+        label="unbounded + truncation",
+    )
+    unbounded = buffer_bound_run(
+        max_output_tuples=None, block_on_full=True, aggregate_rate=120.0, duration=20.0
+    )
+    assert not bounded.overflowed and not unbounded.overflowed
+    assert bounded.buffered_tuples < unbounded.buffered_tuples / 5
+    # Truncation must not change what the client receives.
+    assert abs(bounded.client_stable - unbounded.client_stable) <= 0.05 * unbounded.client_stable
+
+
+@pytest.mark.parametrize("per_stream", [False, True])
+def test_granularity_run_is_consistent(per_stream):
+    result = granularity_run(
+        per_stream, failure_duration=6.0, aggregate_rate=90.0, settle=25.0
+    )
+    assert result.eventually_consistent
+    assert result.proc_new < 3.75

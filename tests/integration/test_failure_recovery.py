@@ -1,0 +1,144 @@
+"""Integration tests: full simulated deployments under failures.
+
+These exercise the whole stack (sources, nodes with DPC, clients) at small
+rates so they stay fast, and assert the paper's qualitative guarantees:
+availability within the bound and eventual consistency.
+"""
+
+import pytest
+
+from repro.config import DelayPolicy, DPCConfig
+from repro.experiments import availability_run, check_eventual_consistency
+from repro.sim.cluster import build_chain_cluster, build_single_node_cluster
+from repro.workloads import FailureSpec, Scenario, single_failure
+
+RATE = 60.0  # tuples/second, kept small so the suite stays fast
+
+
+def stable_sequence_is_complete(client) -> bool:
+    seq = client.stable_sequence
+    if not seq or seq != sorted(seq):
+        return False
+    return set(range(min(seq), max(seq) + 1)) == set(seq)
+
+
+def test_failure_free_run_produces_only_stable_output():
+    cluster = build_single_node_cluster(aggregate_rate=RATE)
+    cluster.start()
+    cluster.run_for(15.0)
+    client = cluster.client
+    assert client.n_tentative == 0
+    assert client.metrics.consistency.total_stable > 0
+    assert stable_sequence_is_complete(client)
+    assert client.proc_new < 1.0  # well within the bound; no failure happened
+    assert all(node.state.value == "stable" for node in cluster.all_nodes())
+
+
+def test_short_failure_is_fully_masked():
+    cluster = build_single_node_cluster(aggregate_rate=RATE, replicated=True)
+    single_failure(kind="disconnect", start=5.0, duration=2.0, settle=20.0).run(cluster)
+    client = cluster.client
+    assert client.n_tentative == 0
+    assert stable_sequence_is_complete(client)
+    assert client.proc_new < 3.6
+
+
+def test_long_failure_single_node_reaches_eventual_consistency():
+    cluster = build_single_node_cluster(aggregate_rate=RATE, replicated=False)
+    single_failure(kind="disconnect", start=5.0, duration=10.0, settle=25.0).run(cluster)
+    client = cluster.client
+    assert client.n_tentative > 0
+    assert client.metrics.consistency.total_rec_done >= 1
+    assert stable_sequence_is_complete(client)
+    assert not client.metrics.consistency.has_pending_tentative()
+    node = cluster.nodes[0][0]
+    assert node.reconciliations_completed == 1
+    assert node.state.value == "stable"
+
+
+def test_replicated_node_maintains_availability_through_long_failure():
+    result = availability_run(failure_duration=12.0, aggregate_rate=RATE, settle=30.0)
+    assert result.eventually_consistent
+    assert result.proc_new < 3.75
+    assert result.n_rec_done >= 1
+
+
+def test_overlapping_failures_on_two_streams():
+    cluster = build_single_node_cluster(aggregate_rate=RATE, replicated=False)
+    scenario = Scenario(
+        warmup=5.0,
+        settle=25.0,
+        failures=[
+            FailureSpec(kind="disconnect", start=5.0, duration=8.0, stream_index=0),
+            FailureSpec(kind="disconnect", start=8.0, duration=8.0, stream_index=2),
+        ],
+    )
+    scenario.run(cluster)
+    assert stable_sequence_is_complete(cluster.client)
+    assert cluster.client.metrics.consistency.total_rec_done >= 1
+
+
+def test_failure_during_recovery_triggers_second_reconciliation():
+    # A slow redo rate keeps the first reconciliation running long enough for
+    # the second failure (which starts one second later) to interrupt it.
+    config = DPCConfig(max_incremental_latency=3.0, redo_rate=150.0)
+    cluster = build_single_node_cluster(aggregate_rate=RATE, replicated=False, config=config)
+    scenario = Scenario(
+        warmup=5.0,
+        settle=35.0,
+        failures=[
+            FailureSpec(kind="disconnect", start=5.0, duration=10.0, stream_index=0),
+            FailureSpec(kind="disconnect", start=16.0, duration=8.0, stream_index=2),
+        ],
+    )
+    scenario.run(cluster)
+    client = cluster.client
+    node = cluster.nodes[0][0]
+    assert stable_sequence_is_complete(client)
+    assert client.metrics.consistency.total_rec_done >= 1
+    assert node.reconciliations_completed + node.reconciliations_aborted >= 2
+
+
+def test_chain_recovers_level_by_level():
+    config = DPCConfig(max_incremental_latency=4.0)
+    cluster = build_chain_cluster(
+        chain_depth=2, replicas_per_node=2, aggregate_rate=RATE, config=config, join_state_size=None
+    )
+    scenario = Scenario(
+        warmup=5.0,
+        settle=30.0,
+        failures=[FailureSpec(kind="silence", start=5.0, duration=10.0, stream_index=0)],
+    )
+    scenario.run(cluster)
+    assert check_eventual_consistency(cluster)
+    assert cluster.client.proc_new < 4.0 + 1.0
+    for node in cluster.all_nodes():
+        assert node.state.value == "stable"
+        assert node.reconciliations_completed >= 1
+
+
+def test_delay_policy_reduces_tentative_tuples():
+    eager = availability_run(
+        failure_duration=8.0, aggregate_rate=120.0, policy=DelayPolicy.process_process(), settle=30.0
+    )
+    delaying = availability_run(
+        failure_duration=8.0, aggregate_rate=120.0, policy=DelayPolicy.delay_delay(), settle=30.0
+    )
+    assert eager.eventually_consistent and delaying.eventually_consistent
+    assert delaying.n_tentative <= eager.n_tentative
+    assert delaying.proc_new < 3.75
+
+
+def test_node_crash_and_recovery_with_replica():
+    cluster = build_single_node_cluster(aggregate_rate=RATE, replicated=True)
+    node_to_crash = cluster.nodes[0][0]
+    cluster.simulator.schedule_at(5.0, lambda now: node_to_crash.crash())
+    cluster.simulator.schedule_at(15.0, lambda now: node_to_crash.recover())
+    cluster.start()
+    cluster.run_for(30.0)
+    client = cluster.client
+    # The client switches to the surviving replica, so data keeps flowing and
+    # remains gap-free.
+    assert stable_sequence_is_complete(client)
+    assert client.cm.switches_performed >= 1
+    assert client.proc_new < 4.0

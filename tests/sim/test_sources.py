@@ -1,0 +1,120 @@
+"""Unit tests for data sources (production, logging, replay, failure hooks)."""
+
+import pytest
+
+from repro.core.protocol import DataBatch
+from repro.errors import SimulationError
+from repro.sim.event_loop import Simulator
+from repro.sim.network import Network
+from repro.sim.sources import DataSource
+
+
+def setup(rate=100.0, boundary_interval=0.1):
+    sim = Simulator()
+    net = Network(sim, default_latency=0.001)
+    received = []
+    net.register("node", lambda msg, now: received.append(msg.payload))
+    source = DataSource(
+        name="src",
+        stream="s1",
+        simulator=sim,
+        network=net,
+        rate=rate,
+        boundary_interval=boundary_interval,
+        batch_interval=0.05,
+    )
+    source.subscribe("node")
+    return sim, net, source, received
+
+
+def all_tuples(batches):
+    return [t for batch in batches for t in batch.tuples]
+
+
+def test_source_produces_at_configured_rate():
+    sim, _net, source, received = setup(rate=100.0)
+    source.start()
+    sim.run_until(1.0)
+    data = [t for t in all_tuples(received) if t.is_data]
+    assert 95 <= len(data) <= 105
+    assert source.tuples_produced == len(data)
+
+
+def test_source_emits_periodic_boundaries_with_increasing_stimes():
+    sim, _net, source, received = setup(boundary_interval=0.1)
+    source.start()
+    sim.run_until(1.0)
+    boundaries = [t for t in all_tuples(received) if t.is_boundary]
+    stimes = [b.stime for b in boundaries]
+    assert len(boundaries) >= 8
+    assert stimes == sorted(stimes)
+
+
+def test_boundary_punctuation_invariant():
+    """No data tuple with stime < b follows a boundary with stime b."""
+    sim, _net, source, received = setup()
+    source.start()
+    sim.run_until(2.0)
+    current_bound = float("-inf")
+    for item in all_tuples(received):
+        if item.is_boundary:
+            current_bound = max(current_bound, item.stime)
+        elif item.is_data:
+            assert item.stime >= current_bound
+
+
+def test_disconnect_buffers_and_reconnect_replays():
+    sim, _net, source, received = setup()
+    source.start()
+    sim.run_until(1.0)
+    seen_before = len(all_tuples(received))
+    source.disconnect("node")
+    sim.run_until(2.0)
+    assert len(all_tuples(received)) == seen_before  # nothing delivered while disconnected
+    source.reconnect("node")
+    sim.run_until(3.0)
+    data = [t for t in all_tuples(received) if t.is_data]
+    seqs = [t.value("seq") for t in data]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)  # full replay, no duplicates, no gaps
+    assert len(data) >= 290
+
+
+def test_boundary_silence_stops_only_boundaries():
+    sim, _net, source, received = setup()
+    source.start()
+    sim.run_until(1.0)
+    source.set_boundaries_enabled(False)
+    before = len([t for t in all_tuples(received) if t.is_boundary])
+    sim.run_until(2.0)
+    after = len([t for t in all_tuples(received) if t.is_boundary])
+    assert after == before
+    assert len([t for t in all_tuples(received) if t.is_data]) >= 190
+    source.set_boundaries_enabled(True)
+    sim.run_until(3.0)
+    assert len([t for t in all_tuples(received) if t.is_boundary]) > after
+
+
+def test_unknown_subscriber_operations_raise():
+    _sim, _net, source, _ = setup()
+    with pytest.raises(SimulationError):
+        source.disconnect("ghost")
+    with pytest.raises(SimulationError):
+        source.reconnect("ghost")
+
+
+def test_invalid_source_parameters():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(SimulationError):
+        DataSource("s", "x", sim, net, rate=0.0)
+    with pytest.raises(SimulationError):
+        DataSource("s", "x", sim, net, boundary_interval=0.0)
+
+
+def test_batches_are_data_batches_with_stream_name():
+    sim, _net, source, received = setup()
+    source.start()
+    sim.run_until(0.5)
+    assert received and all(isinstance(b, DataBatch) for b in received)
+    assert all(b.stream == "s1" for b in received)

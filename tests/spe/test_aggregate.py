@@ -1,0 +1,113 @@
+"""Unit tests for the windowed Aggregate operator."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.spe.operators import Aggregate, AggregateSpec
+from repro.spe.tuples import StreamTuple
+from repro.spe.windows import WindowSpec
+
+
+def feed(op, values, tentative=False):
+    """Feed (stime, payload) pairs followed by a closing boundary."""
+    out = []
+    for i, (stime, payload) in enumerate(values):
+        factory = StreamTuple.tentative if tentative else StreamTuple.insertion
+        out += op.process(0, factory(i, stime, payload))
+    return out
+
+
+def test_aggregate_requires_specs_and_attribute():
+    with pytest.raises(OperatorError):
+        Aggregate("a", WindowSpec.tumbling(10.0), aggregates=[])
+    with pytest.raises(OperatorError):
+        AggregateSpec("avg_x", "avg", None)
+    with pytest.raises(OperatorError):
+        AggregateSpec("x", "median", "v")
+
+
+def test_tumbling_count_and_sum():
+    op = Aggregate(
+        "a",
+        WindowSpec.tumbling(10.0),
+        aggregates=[("n", "count", None), ("total", "sum", "v"), ("avg", "avg", "v")],
+    )
+    feed(op, [(1.0, {"v": 1}), (2.0, {"v": 2}), (11.0, {"v": 10})])
+    out = op.process(0, StreamTuple.boundary(99, 20.0))
+    data = [t for t in out if t.is_data]
+    assert len(data) == 2
+    first, second = data
+    assert first.values["n"] == 2 and first.values["total"] == 3 and first.values["avg"] == 1.5
+    assert first.stime == 10.0  # window end, deterministic
+    assert second.values["n"] == 1 and second.values["total"] == 10
+
+
+def test_windows_only_emit_once_watermark_passes_them():
+    op = Aggregate("a", WindowSpec.tumbling(10.0), aggregates=[("n", "count", None)])
+    feed(op, [(1.0, {"v": 1})])
+    assert [t for t in op.process(0, StreamTuple.boundary(9, 5.0)) if t.is_data] == []
+    out = [t for t in op.process(0, StreamTuple.boundary(10, 10.0)) if t.is_data]
+    assert len(out) == 1
+
+
+def test_group_by_emits_one_tuple_per_group():
+    op = Aggregate(
+        "a",
+        WindowSpec.tumbling(10.0),
+        aggregates=[("n", "count", None)],
+        group_by=("room",),
+    )
+    feed(op, [(1.0, {"room": "a", "v": 1}), (2.0, {"room": "b", "v": 2}), (3.0, {"room": "a", "v": 3})])
+    out = [t for t in op.process(0, StreamTuple.boundary(9, 10.0)) if t.is_data]
+    assert len(out) == 2
+    by_room = {t.values["room"]: t.values["n"] for t in out}
+    assert by_room == {"a": 2, "b": 1}
+
+
+def test_tentative_input_marks_window_output_tentative():
+    op = Aggregate("a", WindowSpec.tumbling(10.0), aggregates=[("n", "count", None)])
+    op.process(0, StreamTuple.insertion(0, 1.0, {"v": 1}))
+    op.process(0, StreamTuple.tentative(1, 2.0, {"v": 2}))
+    out = [t for t in op.process(0, StreamTuple.boundary(9, 10.0)) if t.is_data]
+    assert out[0].is_tentative
+
+
+def test_sliding_window_counts_tuples_in_overlapping_windows():
+    op = Aggregate("a", WindowSpec.sliding(size=10.0, slide=5.0), aggregates=[("n", "count", None)])
+    feed(op, [(6.0, {"v": 1})])
+    out = [t for t in op.process(0, StreamTuple.boundary(9, 30.0)) if t.is_data]
+    # stime 6 falls into windows [0,10) and [5,15): two emissions with count 1.
+    assert len(out) == 2
+    assert all(t.values["n"] == 1 for t in out)
+
+
+def test_custom_aggregate_function():
+    op = Aggregate(
+        "a",
+        WindowSpec.tumbling(10.0),
+        aggregates=[AggregateSpec("spread", lambda vs: max(vs) - min(vs), "v")],
+    )
+    feed(op, [(1.0, {"v": 5}), (2.0, {"v": 9})])
+    out = [t for t in op.process(0, StreamTuple.boundary(9, 10.0)) if t.is_data]
+    assert out[0].values["spread"] == 4
+
+
+def test_checkpoint_restore_preserves_open_windows():
+    op = Aggregate("a", WindowSpec.tumbling(10.0), aggregates=[("n", "count", None)])
+    feed(op, [(1.0, {"v": 1}), (2.0, {"v": 2})])
+    snapshot = op.checkpoint()
+    feed(op, [(3.0, {"v": 3})])
+    op.restore(snapshot)
+    assert op.open_window_count == 1
+    out = [t for t in op.process(0, StreamTuple.boundary(9, 10.0)) if t.is_data]
+    assert out[0].values["n"] == 2
+
+
+def test_determinism_same_input_same_output():
+    def run():
+        op = Aggregate("a", WindowSpec.tumbling(5.0), aggregates=[("n", "count", None), ("m", "max", "v")])
+        out = feed(op, [(i * 0.7, {"v": i}) for i in range(20)])
+        out += op.process(0, StreamTuple.boundary(99, 100.0))
+        return [(t.stime, tuple(sorted(t.values.items()))) for t in out if t.is_data]
+
+    assert run() == run()

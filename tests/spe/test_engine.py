@@ -1,0 +1,97 @@
+"""Unit tests for the local execution engine (push, checkpoint, restore)."""
+
+import pytest
+
+from repro.errors import CheckpointError, DiagramError
+from repro.spe.engine import LocalEngine
+from repro.spe.operators import Filter, Map, SJoin, SOutput, SUnion
+from repro.spe.query_diagram import QueryDiagram
+from repro.spe.tuples import StreamTuple
+
+
+def build_fragment():
+    diagram = QueryDiagram("frag")
+    su = SUnion("su", arity=1, bucket_size=1.0)
+    sj = SJoin("sj", state_size=10, window=100.0)
+    so = SOutput("so")
+    for op in (su, sj, so):
+        diagram.add_operator(op)
+    diagram.connect(su, sj)
+    diagram.connect(sj, so)
+    diagram.bind_input("in", su)
+    diagram.bind_output("out", so)
+    return diagram
+
+
+def test_push_propagates_through_fragment():
+    engine = LocalEngine(build_fragment())
+    tuples = [StreamTuple.insertion(i, i * 0.1, {"seq": i}) for i in range(5)]
+    tuples.append(StreamTuple.boundary(5, 10.0))
+    outputs = engine.push("in", tuples)
+    assert [t.value("seq") for t in outputs["out"] if t.is_data] == [0, 1, 2, 3, 4]
+    assert engine.tuples_processed > 0
+
+
+def test_push_unknown_stream_raises():
+    engine = LocalEngine(build_fragment())
+    with pytest.raises(DiagramError):
+        engine.push("nope", [])
+
+
+def test_push_operator_outputs_routes_downstream():
+    engine = LocalEngine(build_fragment())
+    produced = [StreamTuple.tentative(0, 0.5, {"seq": 0})]
+    outputs = engine.push_operator_outputs("su", produced)
+    assert len(outputs["out"]) == 1
+    assert outputs["out"][0].is_tentative
+
+
+def test_checkpoint_restore_resets_operator_state_except_soutput():
+    diagram = build_fragment()
+    engine = LocalEngine(diagram)
+    engine.push("in", [StreamTuple.insertion(0, 0.1, {"seq": 0}), StreamTuple.boundary(1, 5.0)])
+    checkpoint = engine.checkpoint(created_at=1.0)
+    engine.push("in", [StreamTuple.insertion(2, 5.1, {"seq": 1}), StreamTuple.boundary(3, 10.0)])
+    sjoin = diagram.operator("sj")
+    soutput = diagram.operator("so")
+    stable_before_restore = soutput.stable_forwarded
+    assert sjoin.buffered_tuples == 2
+    engine.restore(checkpoint)
+    assert sjoin.buffered_tuples == 1  # rolled back
+    assert soutput.stable_forwarded == stable_before_restore  # not rolled back
+
+
+def test_restore_rejects_mismatched_checkpoint():
+    engine_a = LocalEngine(build_fragment())
+    other = QueryDiagram("other")
+    other.add_operator(Map("m", transform=dict))
+    other.bind_input("in", "m")
+    other.bind_output("out", "m")
+    engine_b = LocalEngine(other)
+    with pytest.raises(CheckpointError):
+        engine_b.restore(engine_a.checkpoint())
+
+
+def test_soutput_helpers():
+    engine = LocalEngine(build_fragment())
+    assert [op.name for op in engine.soutputs()] == ["so"]
+    assert engine.soutput_for("out").name == "so"
+    with pytest.raises(DiagramError):
+        engine.soutput_for("missing")
+
+
+def test_soutput_for_requires_soutput_producer():
+    diagram = QueryDiagram("q")
+    m = Filter("f", predicate=lambda v: True)
+    diagram.add_operator(m)
+    diagram.bind_input("in", m)
+    diagram.bind_output("out", m)
+    engine = LocalEngine(diagram)
+    with pytest.raises(DiagramError):
+        engine.soutput_for("out")
+
+
+def test_entry_operators():
+    engine = LocalEngine(build_fragment())
+    assert engine.entry_operators("in") == [("su", 0)]
+    assert engine.entry_operators("unknown") == []

@@ -1,0 +1,94 @@
+"""Unit tests for the SOutput stabilizing operator."""
+
+from repro.spe.operators import SOutput
+from repro.spe.tuples import StreamTuple, TupleType
+
+
+def stable(i, stime=None):
+    return StreamTuple.insertion(i, stime if stime is not None else i * 0.1, {"seq": i})
+
+
+def tentative(i, stime=None):
+    return StreamTuple.tentative(i, stime if stime is not None else i * 0.1, {"seq": i})
+
+
+def test_pass_through_relabels_with_own_ids():
+    op = SOutput("so")
+    out = op.process_batch(0, [stable(10), stable(20)])
+    assert [t.tuple_id for t in out] == [0, 1]
+    assert op.last_stable_out_id == 1
+    assert op.stable_forwarded == 2
+
+
+def test_tracks_tentative_since_stable():
+    op = SOutput("so")
+    op.process(0, stable(0))
+    op.process_batch(0, [tentative(1), tentative(2)])
+    assert op.tentative_forwarded == 2
+
+
+def test_reconciliation_drops_duplicates_and_emits_undo():
+    op = SOutput("so")
+    op.note_checkpoint()
+    # After the checkpoint: two stable tuples, then a tentative suffix.
+    op.process_batch(0, [stable(0), stable(1)])
+    op.process_batch(0, [tentative(2), tentative(3)])
+    op.begin_reconciliation()
+    # The redo regenerates the two stable tuples (duplicates) and corrections.
+    out = op.process_batch(0, [stable(0), stable(1), stable(2, 0.2), stable(3, 0.3)])
+    types = [t.tuple_type for t in out]
+    # duplicates dropped, an UNDO precedes the first correction
+    assert types[0] is TupleType.UNDO
+    assert out[0].undo_from_id == 1  # last stable id before the tentative suffix
+    assert [t.value("seq") for t in out if t.is_data] == [2, 3]
+    tail = op.end_reconciliation(stime=1.0)
+    assert tail[-1].tuple_type is TupleType.REC_DONE
+    assert not op.is_reconciling
+
+
+def test_no_undo_when_no_tentative_was_forwarded():
+    op = SOutput("so")
+    op.note_checkpoint()
+    op.process(0, stable(0))
+    op.begin_reconciliation()
+    out = op.process_batch(0, [stable(0), stable(1)])
+    assert all(t.tuple_type is not TupleType.UNDO for t in out)
+    assert [t.value("seq") for t in out if t.is_data] == [1]
+
+
+def test_undo_emitted_at_end_if_no_corrections_arrived():
+    op = SOutput("so")
+    op.note_checkpoint()
+    op.process(0, stable(0))
+    op.process(0, tentative(1))
+    op.begin_reconciliation()
+    tail = op.end_reconciliation(stime=5.0)
+    assert tail[0].tuple_type is TupleType.UNDO
+    assert tail[1].tuple_type is TupleType.REC_DONE
+
+
+def test_downgrade_to_tentative_flag():
+    op = SOutput("so")
+    op.downgrade_to_tentative = True
+    out = op.process(0, stable(0))
+    assert out[0].is_tentative
+    assert op.stable_forwarded == 0 and op.tentative_forwarded == 1
+    op.downgrade_to_tentative = False
+    out = op.process(0, stable(1))
+    assert out[0].is_stable
+
+
+def test_rec_done_from_upstream_is_forwarded():
+    op = SOutput("so")
+    out = op.process(0, StreamTuple.rec_done(0, 1.0))
+    assert out[0].tuple_type is TupleType.REC_DONE
+
+
+def test_boundary_forwarding():
+    op = SOutput("so")
+    out = op.process(0, StreamTuple.boundary(0, 2.0))
+    assert out[0].tuple_type is TupleType.BOUNDARY and out[0].stime == 2.0
+
+
+def test_survives_restore_flag_set():
+    assert SOutput("so").survives_restore is True

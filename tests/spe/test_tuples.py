@@ -1,0 +1,84 @@
+"""Unit tests for the DPC-extended tuple data model."""
+
+import pytest
+
+from repro.spe.tuples import (
+    StreamTuple,
+    TupleType,
+    count_stable,
+    count_tentative,
+    data_only,
+    max_stime,
+)
+
+
+def test_insertion_is_stable_data():
+    t = StreamTuple.insertion(3, 1.5, {"seq": 7})
+    assert t.is_data and t.is_stable and not t.is_tentative
+    assert t.tuple_type is TupleType.INSERTION
+    assert t.value("seq") == 7
+    assert t.value("missing", "default") == "default"
+
+
+def test_tentative_tuple_flags():
+    t = StreamTuple.tentative(1, 0.5, {"seq": 1})
+    assert t.is_data and t.is_tentative and not t.is_stable
+
+
+def test_boundary_undo_recdone_are_not_data():
+    b = StreamTuple.boundary(0, 2.0)
+    u = StreamTuple.undo(1, 2.0, undo_from_id=5)
+    r = StreamTuple.rec_done(2, 2.0)
+    assert not b.is_data and b.is_boundary
+    assert not u.is_data and u.is_undo and u.undo_from_id == 5
+    assert not r.is_data and r.is_rec_done
+
+
+def test_as_tentative_and_as_stable_round_trip():
+    stable = StreamTuple.insertion(1, 1.0, {"x": 1})
+    tentative = stable.as_tentative()
+    assert tentative.is_tentative
+    assert tentative.values == stable.values
+    assert tentative.as_stable().is_stable
+
+
+def test_as_tentative_on_control_tuple_is_identity():
+    boundary = StreamTuple.boundary(0, 1.0)
+    assert boundary.as_tentative() is boundary
+    assert boundary.as_stable() is boundary
+
+
+def test_with_id_preserves_everything_else():
+    t = StreamTuple.insertion(1, 1.0, {"x": 1}).with_stable_seq(9)
+    t2 = t.with_id(42)
+    assert t2.tuple_id == 42
+    assert t2.stime == t.stime
+    assert t2.values == t.values
+    assert t2.stable_seq == 9
+
+
+def test_with_values_replaces_payload():
+    t = StreamTuple.insertion(1, 1.0, {"x": 1})
+    t2 = t.with_values({"y": 2})
+    assert t2.values == {"y": 2}
+    assert t2.tuple_id == t.tuple_id
+
+
+def test_counting_helpers():
+    items = [
+        StreamTuple.insertion(0, 0.0, {}),
+        StreamTuple.tentative(1, 0.1, {}),
+        StreamTuple.tentative(2, 0.2, {}),
+        StreamTuple.boundary(3, 0.3),
+    ]
+    assert count_stable(items) == 1
+    assert count_tentative(items) == 2
+    assert len(data_only(items)) == 3
+    assert max_stime(items) == pytest.approx(0.3)
+    assert max_stime([]) == float("-inf")
+
+
+def test_tuples_are_immutable():
+    t = StreamTuple.insertion(0, 0.0, {"x": 1})
+    with pytest.raises(AttributeError):
+        t.stime = 5.0

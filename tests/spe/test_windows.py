@@ -1,0 +1,53 @@
+"""Unit tests for window specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spe.windows import WindowSpec
+
+
+def test_tumbling_window_indices():
+    spec = WindowSpec.tumbling(10.0)
+    assert list(spec.window_indices(0.0)) == [0]
+    assert list(spec.window_indices(9.999)) == [0]
+    assert list(spec.window_indices(10.0)) == [1]
+    assert spec.window_start(2) == 20.0
+    assert spec.window_end(2) == 30.0
+
+
+def test_sliding_window_overlap():
+    spec = WindowSpec.sliding(size=10.0, slide=5.0)
+    # stime 12 belongs to windows [5,15) and [10,20)
+    assert list(spec.window_indices(12.0)) == [1, 2]
+    # stime 2 belongs only to [0, 10) (window index -? ) and [-5,5)
+    assert list(spec.window_indices(2.0)) == [-1, 0]
+
+
+def test_invalid_window_parameters():
+    with pytest.raises(ConfigurationError):
+        WindowSpec(size=0.0)
+    with pytest.raises(ConfigurationError):
+        WindowSpec(size=1.0, slide=0.0)
+
+
+def test_windows_closed_by_watermark_advance():
+    spec = WindowSpec.tumbling(10.0)
+    closed = list(spec.windows_closed_by(float("-inf"), 25.0))
+    assert closed == [0, 1]
+    # Advancing further only closes the new ones.
+    assert list(spec.windows_closed_by(25.0, 40.0)) == [2, 3]
+    # No double-closing at exact edges.
+    assert list(spec.windows_closed_by(40.0, 40.0)) == []
+
+
+def test_is_closed():
+    spec = WindowSpec.tumbling(5.0)
+    assert spec.is_closed(0, 5.0)
+    assert not spec.is_closed(1, 5.0)
+
+
+def test_contains():
+    spec = WindowSpec.sliding(size=4.0, slide=2.0, origin=1.0)
+    assert spec.contains(0, 1.0)
+    assert spec.contains(0, 4.99)
+    assert not spec.contains(0, 5.0)

@@ -1,0 +1,98 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro import cli
+from repro.analysis.tables import ResultTable
+
+
+# --------------------------------------------------------------------------- helpers
+def fake_experiment(name="fake"):
+    def runner(scale):
+        table = ResultTable(title=f"{name} ({scale})", row_label="r", column_label="c")
+        table.set("row", "col", 1.25)
+        return [table]
+
+    return cli.ExperimentCommand(name, "a fake experiment for CLI tests", runner)
+
+
+@pytest.fixture
+def with_fake_experiment(monkeypatch):
+    registry = dict(cli.EXPERIMENTS)
+    registry["fake"] = fake_experiment()
+    monkeypatch.setattr(cli, "EXPERIMENTS", registry)
+    return registry
+
+
+# --------------------------------------------------------------------------- list / claims
+def test_list_prints_every_experiment(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table3", "fig13", "fig16", "table4", "replicas", "crash"):
+        assert name in out
+
+
+def test_claims_prints_paper_claims(capsys):
+    assert cli.main(["claims"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out
+    assert "Section 6.2" in out
+
+
+# --------------------------------------------------------------------------- run
+def test_run_unknown_experiment_fails(capsys):
+    assert cli.main(["run", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_text_output(with_fake_experiment, capsys):
+    assert cli.main(["run", "fake"]) == 0
+    out = capsys.readouterr().out
+    assert "fake (quick)" in out
+    assert "1.25" in out
+
+
+def test_run_full_scale_reaches_runner(with_fake_experiment, capsys):
+    assert cli.main(["run", "fake", "--scale", "full"]) == 0
+    assert "fake (full)" in capsys.readouterr().out
+
+
+def test_run_markdown_format(with_fake_experiment, capsys):
+    assert cli.main(["run", "fake", "--format", "markdown"]) == 0
+    out = capsys.readouterr().out
+    assert out.lstrip().startswith("|")
+
+
+def test_run_csv_to_file(with_fake_experiment, tmp_path, capsys):
+    target = tmp_path / "out.csv"
+    assert cli.main(["run", "fake", "--format", "csv", "--output", str(target)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert "row,1.25" in target.read_text()
+
+
+# --------------------------------------------------------------------------- plan-delays
+def test_plan_delays_full_strategy(capsys):
+    assert cli.main(["plan-delays", "--depth", "4", "--budget", "8", "--strategy", "full"]) == 0
+    out = capsys.readouterr().out
+    assert "D = 6.5 s" in out
+    assert "masked failure duration: 6.5 s" in out
+
+
+def test_plan_delays_uniform_strategy(capsys):
+    assert cli.main(["plan-delays", "--depth", "4", "--budget", "8", "--strategy", "uniform"]) == 0
+    out = capsys.readouterr().out
+    assert "D = 2 s" in out
+
+
+# --------------------------------------------------------------------------- registry coverage
+def test_every_registered_experiment_has_description():
+    for name, command in cli.EXPERIMENTS.items():
+        assert command.name == name
+        assert command.description
+
+
+def test_build_parser_smoke():
+    parser = cli.build_parser()
+    args = parser.parse_args(["run", "table3", "--scale", "quick"])
+    assert args.experiment == "table3"
+    assert args.scale == "quick"

@@ -1,0 +1,78 @@
+"""Unit tests for workload generators and failure scenarios."""
+
+import pytest
+
+from repro.sim.cluster import build_single_node_cluster
+from repro.workloads.generators import (
+    interleaved_sequence,
+    network_monitoring,
+    sensor_readings,
+    sequential_sequence,
+)
+from repro.workloads.scenarios import FailureSpec, Scenario, single_failure
+
+
+def test_sequential_sequence():
+    generate = sequential_sequence()
+    assert generate(0, 0.0)["seq"] == 0
+    assert generate(5, 0.5)["seq"] == 5
+
+
+def test_interleaved_sequence_covers_all_integers():
+    generators = [interleaved_sequence(i, 3) for i in range(3)]
+    values = sorted(g(k, 0.0)["seq"] for k in range(4) for g in generators)
+    assert values == list(range(12))
+
+
+def test_interleaved_sequence_validates_index():
+    with pytest.raises(ValueError):
+        interleaved_sequence(3, 3)
+
+
+def test_network_monitoring_is_deterministic_per_seed():
+    a = network_monitoring(0, 3, seed=1)
+    b = network_monitoring(0, 3, seed=1)
+    assert [a(i, 0.0) for i in range(10)] == [b(i, 0.0) for i in range(10)]
+    record = a(0, 0.0)
+    assert {"src", "dst", "dst_port", "bytes", "suspicious"} <= set(record)
+
+
+def test_sensor_readings_shape():
+    generate = sensor_readings(1, 3, seed=2)
+    record = generate(0, 0.0)
+    assert {"sensor", "location", "temperature", "co2"} <= set(record)
+    assert record["sensor"] == 1
+
+
+def test_scenario_total_duration():
+    scenario = Scenario(warmup=5.0, settle=10.0, failures=[FailureSpec("silence", 5.0, 20.0)])
+    assert scenario.total_duration() == 35.0
+    assert Scenario(warmup=5.0, settle=10.0).total_duration() == 15.0
+
+
+def test_single_failure_helper():
+    scenario = single_failure(kind="disconnect", start=3.0, duration=4.0, settle=6.0)
+    assert scenario.failures[0].kind == "disconnect"
+    assert scenario.total_duration() == 13.0
+
+
+def test_scenario_rejects_unknown_failure_kind():
+    cluster = build_single_node_cluster(aggregate_rate=30.0)
+    scenario = Scenario(failures=[FailureSpec("meteor", 1.0, 1.0)])
+    with pytest.raises(ValueError):
+        scenario.inject(cluster)
+
+
+def test_scenario_inject_schedules_failures():
+    cluster = build_single_node_cluster(aggregate_rate=30.0)
+    scenario = Scenario(
+        warmup=1.0,
+        settle=1.0,
+        failures=[
+            FailureSpec("disconnect", 1.0, 1.0, stream_index=0),
+            FailureSpec("silence", 1.5, 1.0, stream_index=1),
+        ],
+    )
+    records = scenario.inject(cluster)
+    assert len(records) >= 2
+    assert cluster.simulator.pending_events > 0
