@@ -11,25 +11,26 @@ from __future__ import annotations
 
 from conftest import print_results
 
-from repro.sim.cluster import build_chain_cluster
+from repro.runtime import ScenarioSpec
 
 
 def _run(truncate: bool) -> dict:
-    cluster = build_chain_cluster(chain_depth=1, replicas_per_node=1, aggregate_rate=150.0)
-    node = cluster.nodes[0][0]
+    runtime = ScenarioSpec.single_node(
+        name="buffer-truncation", replicated=False, aggregate_rate=150.0, duration=30.0
+    ).build()
+    node = runtime.node(0, 0)
     if truncate:
-        cluster.simulator.schedule_periodic(
+        runtime.simulator.schedule_periodic(
             1.0,
             lambda now: [m.truncate_delivered() for m in node.data_path.outputs()],
             description="truncate output buffers",
         )
-    cluster.start()
-    cluster.run_for(30.0)
+    runtime.run()
     manager = node.data_path.outputs()[0]
     return {
         "buffered": manager.buffered_tuples,
-        "stable_received": cluster.client.metrics.consistency.total_stable,
-        "proc_new": cluster.client.proc_new,
+        "stable_received": runtime.client.metrics.consistency.total_stable,
+        "proc_new": runtime.client.proc_new,
     }
 
 

@@ -13,42 +13,32 @@ Run with::
     python examples/crash_failover.py
 """
 
-from repro import DPCConfig, build_chain_cluster
+from repro import DPCConfig, ScenarioSpec
 from repro.analysis.traces import analyze_trace, output_gaps
-from repro.experiments import check_eventual_consistency
-from repro.workloads import FailureSpec, Scenario
 
 CRASH_START = 5.0
 CRASH_DURATION = 15.0
 
 
 def main() -> None:
-    config = DPCConfig(max_incremental_latency=3.0)
-    cluster = build_chain_cluster(
-        chain_depth=1,
-        replicas_per_node=2,
+    spec = ScenarioSpec.single_node(
+        name="crash-failover",
         aggregate_rate=120.0,
-        config=config,
-    )
-    crashed = cluster.node(0, 0)
-    survivor = cluster.node(0, 1)
-
-    scenario = Scenario(
+        config=DPCConfig(max_incremental_latency=3.0),
         warmup=CRASH_START,
         settle=30.0,
-        failures=[
-            FailureSpec(
-                kind="crash",
-                start=CRASH_START,
-                duration=CRASH_DURATION,
-                node_level=0,
-                node_replica=0,
-            )
-        ],
+    ).with_failure(
+        "crash",
+        start=CRASH_START,
+        duration=CRASH_DURATION,
+        node_level=0,
+        node_replica=0,
     )
-    scenario.run(cluster)
+    runtime = spec.run()
+    crashed = runtime.node(0, 0)
+    survivor = runtime.node(0, 1)
 
-    client = cluster.client
+    client = runtime.client
     analysis = analyze_trace(client.metrics.trace)
     gaps = output_gaps(client.metrics.trace, threshold=0.5)
 
@@ -60,7 +50,7 @@ def main() -> None:
     print(f"maximum latency of new results:     {client.proc_new:.2f} s (bound: 3 s + processing)")
     print(f"tentative results received:         {client.n_tentative}")
     print(f"gaps > 0.5 s in new data:           {len(gaps)}")
-    print(f"eventually consistent:              {check_eventual_consistency(cluster)}")
+    print(f"eventually consistent:              {runtime.eventually_consistent()}")
     print(f"trace shows a failure episode:      {analysis.had_failure}")
     print()
     print("A crash of one replica is invisible to the application: the other replica")

@@ -18,9 +18,8 @@ Run with::
     python examples/network_monitoring.py
 """
 
-from repro import Aggregate, DPCConfig, Filter, SOutput, SUnion, WindowSpec, build_chain_cluster
+from repro import Aggregate, DPCConfig, Filter, ScenarioSpec, SOutput, SUnion, WindowSpec
 from repro.spe.query_diagram import QueryDiagram
-from repro.workloads import Scenario, FailureSpec
 from repro.workloads.generators import network_monitoring
 
 N_MONITORS = 3
@@ -51,25 +50,25 @@ def intrusion_diagram(node_name, input_streams, output_stream) -> QueryDiagram:
 
 
 def main() -> None:
-    config = DPCConfig(max_incremental_latency=3.0)
-    cluster = build_chain_cluster(
-        chain_depth=1,
-        replicas_per_node=2,
+    spec = ScenarioSpec.single_node(
+        name="network-monitoring",
         n_input_streams=N_MONITORS,
         aggregate_rate=300.0,
-        config=config,
+        config=DPCConfig(max_incremental_latency=3.0),
         payload_factory=lambda index, total: network_monitoring(index, total, seed=7),
         diagram_factory=intrusion_diagram,
-    )
-    # Monitor #2 becomes unreachable for 20 seconds.
-    scenario = Scenario(
         warmup=10.0,
         settle=30.0,
-        failures=[FailureSpec(kind="disconnect", start=10.0, duration=20.0, stream_index=1)],
+    ).with_failure(
+        # Monitor #2 becomes unreachable for 20 seconds.
+        "disconnect",
+        start=10.0,
+        duration=20.0,
+        stream_index=1,
     )
-    scenario.run(cluster)
+    runtime = spec.run()
 
-    client = cluster.client
+    client = runtime.client
     tentative_alerts = [e for e in client.metrics.trace if e.tuple_type == "tentative"]
     stable_alerts = [e for e in client.metrics.trace if e.tuple_type == "insertion"]
     print("=== intrusion alert stream ===")

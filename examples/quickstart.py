@@ -1,53 +1,60 @@
 #!/usr/bin/env python
 """Quickstart: a replicated processing node surviving an input-stream failure.
 
-This is the smallest end-to-end use of the library's public API:
+This is the smallest end-to-end use of the library's public API -- the
+declarative :class:`~repro.runtime.ScenarioSpec` scenario layer:
 
-1. build a simulated deployment (three data sources, one processing node
-   replicated on two simulated machines, one client application);
-2. inject a 10-second failure on one input stream;
-3. run the simulation and print what the client experienced: the maximum
-   processing latency of new results (availability), how many tentative
-   results it received (inconsistency), and whether the final output is the
-   complete, correct stream (eventual consistency).
+1. describe the deployment (three data sources, one processing node replicated
+   on two simulated machines, one client application) and a 10-second failure
+   on one input stream as a single ``ScenarioSpec``;
+2. compile and run it (``spec.run()`` returns the ``SimulationRuntime`` that
+   owns the simulator, cluster, failure injection, and metrics);
+3. print what the client experienced: the maximum processing latency of new
+   results (availability), how many tentative results it received
+   (inconsistency), and whether the final output is the complete, correct
+   stream (eventual consistency).
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import DPCConfig, build_chain_cluster, single_failure
-from repro.experiments import check_eventual_consistency
+from repro import DPCConfig, ScenarioSpec
 
 
 def main() -> None:
-    config = DPCConfig(
-        max_incremental_latency=3.0,  # the application tolerates 3 s of extra delay
-    )
-    cluster = build_chain_cluster(
-        chain_depth=1,          # a single processing node ...
-        replicas_per_node=2,    # ... replicated on two simulated machines
+    spec = ScenarioSpec.single_node(
+        name="quickstart",
+        replicated=True,          # one node on two simulated machines
         n_input_streams=3,
-        aggregate_rate=150.0,   # tuples per (simulated) second across all sources
-        config=config,
+        aggregate_rate=150.0,     # tuples per (simulated) second across all sources
+        config=DPCConfig(
+            max_incremental_latency=3.0,  # the application tolerates 3 s of extra delay
+        ),
+        warmup=5.0,
+        settle=30.0,
+        seed=0,                   # same seed => byte-identical run
+    ).with_failure(
+        # Disconnect input stream 1 from the processing nodes for 10 seconds,
+        # starting at t = 5 s.  The source keeps producing and replays the
+        # missing data once the failure heals.
+        "disconnect",
+        start=5.0,
+        duration=10.0,
     )
 
-    # Disconnect input stream 1 from the processing nodes for 10 seconds,
-    # starting at t = 5 s.  The source keeps producing and replays the missing
-    # data once the failure heals.
-    scenario = single_failure(kind="disconnect", start=5.0, duration=10.0, settle=30.0)
-    scenario.run(cluster)
+    runtime = spec.run()
 
-    client = cluster.client
+    client = runtime.client
     print("=== client view ===")
     print(f"maximum latency of new results (Proc_new): {client.proc_new:.2f} s")
     print(f"tentative results received:                {client.n_tentative}")
     print(f"stable results received:                   {client.metrics.consistency.total_stable}")
     print(f"corrections bursts (REC_DONE):             {client.metrics.consistency.total_rec_done}")
-    print(f"eventually consistent:                     {check_eventual_consistency(cluster)}")
+    print(f"eventually consistent:                     {runtime.eventually_consistent()}")
 
     print("\n=== node view ===")
-    for node in cluster.all_nodes():
+    for node in runtime.nodes():
         stats = node.statistics()
         print(
             f"{stats['name']:>7}: state={stats['state']:<9} checkpoints={stats['checkpoints']} "

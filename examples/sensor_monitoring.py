@@ -17,40 +17,40 @@ Run with::
     python examples/sensor_monitoring.py
 """
 
-from repro import DelayPolicy, DPCConfig, build_chain_cluster
-from repro.experiments import check_eventual_consistency
-from repro.workloads import FailureSpec, Scenario
+from repro import DelayPolicy, DPCConfig, ScenarioSpec
 from repro.workloads.generators import sensor_readings
 
 
 def run(policy: DelayPolicy) -> dict:
-    config = DPCConfig(
-        max_incremental_latency=4.0,  # the operations center tolerates 4 s end-to-end
-        delay_policy=policy,
-    )
-    cluster = build_chain_cluster(
-        chain_depth=2,
+    spec = ScenarioSpec.chain(
+        2,  # aggregation close to the sensors, alerting at the operations center
+        name=f"sensor-monitoring-{policy.name}",
         replicas_per_node=2,
         n_input_streams=3,
         aggregate_rate=150.0,
-        config=config,
         join_state_size=None,
+        config=DPCConfig(
+            max_incremental_latency=4.0,  # the operations center tolerates 4 s end-to-end
+            delay_policy=policy,
+        ),
         payload_factory=lambda index, total: sensor_readings(index, total, seed=3),
-    )
-    # One sensor gateway stops sending heartbeats (boundary tuples) for 12 s.
-    scenario = Scenario(
         warmup=8.0,
         settle=30.0,
-        failures=[FailureSpec(kind="silence", start=8.0, duration=12.0, stream_index=0)],
+    ).with_failure(
+        # One sensor gateway stops sending heartbeats (boundary tuples) for 12 s.
+        "silence",
+        start=8.0,
+        duration=12.0,
+        stream_index=0,
     )
-    scenario.run(cluster)
-    client = cluster.client
+    runtime = spec.run()
+    client = runtime.client
     return {
         "policy": policy.name,
         "proc_new": client.proc_new,
         "tentative": client.n_tentative,
         "stable": client.metrics.consistency.total_stable,
-        "consistent": check_eventual_consistency(cluster),
+        "consistent": runtime.eventually_consistent(),
     }
 
 

@@ -1,23 +1,26 @@
 """Reproduction of "Fault-Tolerance in the Borealis Distributed Stream Processing System".
 
-The package implements three layers (see DESIGN.md):
+The package implements four layers (see DESIGN.md):
 
 * :mod:`repro.spe` -- a Borealis-like stream processing engine with the
   DPC-extended data model and operators;
 * :mod:`repro.sim` -- a deterministic discrete-event substrate standing in for
   the paper's physical cluster (network, failures, sources, clients);
 * :mod:`repro.core` -- DPC itself: the state machine, consistency manager,
-  upstream switching, checkpoint/redo reconciliation, and delay policies.
+  upstream switching, checkpoint/redo reconciliation, and delay policies;
+* :mod:`repro.runtime` -- the scenario layer: declarative
+  :class:`~repro.runtime.ScenarioSpec` descriptions compiled into runnable
+  :class:`~repro.runtime.SimulationRuntime` deployments.
 
 Quick start::
 
-    from repro import build_chain_cluster, single_failure
+    from repro import ScenarioSpec
 
-    cluster = build_chain_cluster(chain_depth=1, replicas_per_node=2,
-                                  aggregate_rate=150.0)
-    scenario = single_failure(kind="disconnect", start=5.0, duration=10.0)
-    scenario.run(cluster)
-    print(cluster.client.summary())
+    spec = ScenarioSpec.single_node(aggregate_rate=150.0).with_failure(
+        "disconnect", start=5.0, duration=10.0
+    )
+    runtime = spec.run()
+    print(runtime.client.summary())
 """
 
 from .config import (
@@ -72,8 +75,9 @@ from .spe import (
     WindowSpec,
 )
 from .workloads import Scenario, FailureSpec, single_failure
+from .runtime import ScenarioSpec, SimulationRuntime, run_scenario
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -128,4 +132,8 @@ __all__ = [
     "Scenario",
     "FailureSpec",
     "single_failure",
+    # runtime layer
+    "ScenarioSpec",
+    "SimulationRuntime",
+    "run_scenario",
 ]

@@ -8,12 +8,18 @@ without writing any code::
     python -m repro run table3
     python -m repro run fig16 --scale quick --format markdown
     python -m repro run replicas --output replicas.csv --format csv
+    python -m repro scenario --depth 2 --failure disconnect --failure-duration 10
     python -m repro claims
     python -m repro plan-delays --depth 4 --budget 8 --strategy full
 
-The CLI is a thin layer over :mod:`repro.experiments` and
-:mod:`repro.analysis`; everything it prints can also be produced
-programmatically (see the examples).
+The CLI is a thin layer over :mod:`repro.runtime`, :mod:`repro.experiments`,
+and :mod:`repro.analysis`; everything it prints can also be produced
+programmatically with the :class:`~repro.runtime.ScenarioSpec` API::
+
+    from repro import ScenarioSpec
+
+    runtime = ScenarioSpec.chain(2).with_failure("disconnect", duration=10.0).run()
+    print(runtime.client.summary())
 """
 
 from __future__ import annotations
@@ -251,6 +257,52 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if report.all_passed else 1
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .runtime import ScenarioSpec
+
+    spec = ScenarioSpec(
+        name=args.name,
+        chain_depth=args.depth,
+        replicas_per_node=args.replicas,
+        n_input_streams=args.streams,
+        aggregate_rate=args.rate,
+        warmup=args.warmup,
+        settle=args.settle,
+        seed=args.seed,
+    )
+    if args.failure == "crash":
+        spec = spec.with_failure(
+            "crash",
+            duration=args.failure_duration,
+            node_level=args.failure_level,
+            node_replica=args.failure_replica,
+        )
+    elif args.failure:
+        spec = spec.with_failure(
+            args.failure, duration=args.failure_duration, stream_index=args.failure_stream
+        )
+    try:
+        runtime = spec.run()
+    except ConfigurationError as error:
+        print(f"invalid scenario: {error}", file=sys.stderr)
+        return 2
+    summary = runtime.client.summary()
+    print(f"scenario {spec.name!r}: depth={spec.chain_depth} replicas={spec.replicas_per_node} "
+          f"rate={spec.aggregate_rate:g} tuples/s seed={spec.seed}")
+    for record in runtime.injected:
+        print(f"  failure: {record.failure_type.value} on {record.target} "
+              f"at t={record.start:g}s for {record.duration:g}s")
+    print(f"Proc_new (max latency of new results): {summary['proc_new']:.3f} s")
+    print(f"stable / tentative / undone:           {summary['total_stable']} / "
+          f"{summary['total_tentative']} / {summary['total_undos']}")
+    print(f"upstream switches:                     {summary['switches']}")
+    consistent = runtime.eventually_consistent()
+    print(f"simulator events fired:                {runtime.simulator.events_fired}")
+    print(f"eventually consistent:                 {consistent}")
+    return 0 if consistent else 1
+
+
 def _cmd_plan_delays(args: argparse.Namespace) -> int:
     planner = DelayPlanner.for_chain(
         args.depth, total_budget=args.budget, queuing_allowance=args.queuing_allowance
@@ -295,6 +347,34 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--rate", type=float, default=120.0,
                         help="aggregate tuple rate used by the reduced sweeps")
     report.set_defaults(func=_cmd_report)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="describe and run one custom scenario (the ScenarioSpec API from the shell)",
+        description="Build a ScenarioSpec from the flags below, compile it into a "
+        "SimulationRuntime, run it, and print the client's view of the run.",
+    )
+    scenario.add_argument("--name", default="cli-scenario", help="label for the scenario")
+    scenario.add_argument("--depth", type=int, default=1, help="number of chained nodes")
+    scenario.add_argument("--replicas", type=int, default=2, help="replicas per node")
+    scenario.add_argument("--streams", type=int, default=3, help="number of input streams")
+    scenario.add_argument("--rate", type=float, default=150.0,
+                          help="aggregate source rate in tuples per simulated second")
+    scenario.add_argument("--warmup", type=float, default=5.0, help="seconds before the failure")
+    scenario.add_argument("--settle", type=float, default=30.0, help="seconds after the failure")
+    scenario.add_argument("--failure", choices=("disconnect", "silence", "crash"),
+                          help="failure to inject at the end of the warmup (omit for none)")
+    scenario.add_argument("--failure-duration", type=float, default=10.0,
+                          help="failure length in simulated seconds")
+    scenario.add_argument("--failure-stream", type=int, default=0,
+                          help="input stream hit by a disconnect/silence failure")
+    scenario.add_argument("--failure-level", type=int, default=0,
+                          help="chain level of the node hit by a crash failure")
+    scenario.add_argument("--failure-replica", type=int, default=0,
+                          help="replica index of the node hit by a crash failure")
+    scenario.add_argument("--seed", type=int, default=None,
+                          help="determinism seed (same seed => identical run)")
+    scenario.set_defaults(func=_cmd_scenario)
 
     plan = sub.add_parser("plan-delays", help="plan per-node delay budgets for a chain")
     plan.add_argument("--depth", type=int, default=4, help="number of nodes in the chain")

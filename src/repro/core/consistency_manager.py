@@ -26,6 +26,7 @@ to its owner through the :class:`ConsistencyOwner` callback interface, which
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Mapping, Protocol, Sequence
 
 from ..config import DPCConfig
@@ -87,6 +88,7 @@ class ConsistencyManager:
         network: Network,
         config: DPCConfig,
         replica_partners: Sequence[str] = (),
+        rng_seed: int | None = None,
     ) -> None:
         self.owner = owner
         self.simulator = simulator
@@ -97,7 +99,11 @@ class ConsistencyManager:
         self._state = NodeState.STABLE
         #: (time, state) history, for tests and experiment traces.
         self.state_history: list[tuple[float, NodeState]] = [(simulator.now, NodeState.STABLE)]
-        self._rng = random.Random(hash(owner.endpoint) & 0xFFFF)
+        # crc32 (unlike hash()) is stable across processes, so runs of the
+        # same scenario are reproducible regardless of PYTHONHASHSEED.
+        self._rng = random.Random(
+            zlib.crc32(owner.endpoint.encode("utf-8")) ^ (0 if rng_seed is None else rng_seed)
+        )
         self._reconcile_request_id = 0
         self._reconcile_pending = False
         self._reconcile_requested_at: float | None = None
@@ -129,13 +135,20 @@ class ConsistencyManager:
         stream: str,
         producers: Sequence[str],
         source_producers: Sequence[str] = (),
+        push_producers: Sequence[str] = (),
     ) -> InputStreamMonitor:
-        """Declare an input stream and the endpoints that can produce it."""
+        """Declare an input stream and the endpoints that can produce it.
+
+        ``push_producers`` names the producers that advertise their state
+        unsolicited every keepalive period; they are never probed explicitly.
+        """
         if stream in self.monitors:
             raise ProtocolError(f"input stream {stream!r} already registered")
         monitor = InputStreamMonitor(stream=stream)
+        push = set(push_producers)
         for endpoint in producers:
             info = monitor.add_producer(endpoint, is_source=endpoint in set(source_producers))
+            info.pushes_state = endpoint in push
             info.last_response_at = self.simulator.now + self.config.startup_grace
         # Grace period: do not declare a failure before the first boundaries
         # had a chance to propagate through the freshly deployed diagram.
@@ -150,6 +163,14 @@ class ConsistencyManager:
             raise ProtocolError(f"unknown input stream {stream!r}") from exc
 
     # ------------------------------------------------------------------ lifecycle
+    def attach_external_driver(self) -> None:
+        """Mark the control loop as driven by the owner's own periodic tick.
+
+        A later :meth:`start` becomes a no-op instead of scheduling a second,
+        duplicate control chain.
+        """
+        self._started = True
+
     def start(self) -> None:
         """Begin the periodic control loop (heartbeats, detection, switching)."""
         if self._started:
@@ -171,12 +192,28 @@ class ConsistencyManager:
         self._maybe_request_reconciliation(now)
 
     def _send_heartbeats(self, now: float) -> None:
-        """Request a heartbeat response from every non-source producer."""
+        """Request a heartbeat response from every *silent* non-source producer.
+
+        Producers whose *data batches* arrived within the last keepalive
+        period already piggybacked their state (see
+        :class:`~repro.core.protocol.DataBatch`), so probing them adds
+        nothing: more data (or its absence, caught by boundary monitoring) is
+        coming.  Only piggyback freshness suppresses a probe -- a probe
+        *response* never does, so silent producers (e.g. the replica we are
+        not subscribed to) keep the original one-probe-per-keepalive cadence
+        and their staleness bound of ``keepalive + RTT``.
+        """
+        fresh_cutoff = now - self.config.keepalive_period
         targets: set[str] = set()
         for monitor in self.monitors.values():
             for endpoint, info in monitor.producers.items():
-                if not info.is_source:
-                    targets.add(endpoint)
+                if (
+                    info.is_source
+                    or info.pushes_state
+                    or info.last_piggyback_at > fresh_cutoff
+                ):
+                    continue
+                targets.add(endpoint)
         for endpoint in sorted(targets):
             self.network.send(
                 self.owner.endpoint,
@@ -391,6 +428,31 @@ class ConsistencyManager:
             info.advertised_state = response.state_of(monitor.stream)
 
     # ------------------------------------------------------------------ data-plane hooks
+    def note_producer_state(
+        self,
+        producer: str,
+        stream: str,
+        node_state: NodeState,
+        stream_state: NodeState | None,
+        now: float,
+    ) -> None:
+        """Record the DPC state a producer piggybacked on a data batch.
+
+        Equivalent to receiving a heartbeat response from ``producer`` for
+        ``stream``: freshness and the advertised state are updated, so the
+        keep-alive machinery can skip producers whose data is flowing.
+        """
+        monitor = self.monitors.get(stream)
+        if monitor is None:
+            return
+        info = monitor.producers.get(producer)
+        if info is None or info.is_source:
+            return
+        info.last_response_at = now
+        info.last_piggyback_at = now
+        info.reachable = True
+        info.advertised_state = stream_state if stream_state is not None else node_state
+
     def classify_producer(self, stream: str, producer: str) -> str:
         """How data from ``producer`` should be treated: primary / correcting / ignore."""
         monitor = self.monitors.get(stream)

@@ -25,7 +25,7 @@ from ..config import BufferPolicy
 from ..errors import BufferOverflowError, ProtocolError
 from ..spe.streams import StreamWriter
 from ..spe.tuples import StreamTuple
-from .protocol import DATA, DataBatch, SubscribeRequest
+from .protocol import DATA, SubscribeRequest, TupleBatch
 
 
 @dataclass
@@ -205,6 +205,25 @@ class OutputStreamManager:
             return []
         return self._entries_from(subscription.next_index)
 
+    def pending_batches(self) -> list[tuple[list[StreamTuple], list[str]]]:
+        """Pending tuples grouped by subscriber cursor, for multicast delivery.
+
+        Subscribers that are caught up to the same position share one batch,
+        so in the steady state a node sends a single
+        :class:`~repro.core.protocol.TupleBatch` (one simulator event) to all
+        its downstream replicas instead of one message each.
+        """
+        groups: dict[int, list[str]] = {}
+        end = self._end_index()
+        for subscription in self._subscriptions.values():
+            if not subscription.active or subscription.next_index >= end:
+                continue
+            groups.setdefault(subscription.next_index, []).append(subscription.subscriber)
+        return [
+            (self._entries_from(index), subscribers)
+            for index, subscribers in sorted(groups.items())
+        ]
+
     def mark_delivered(self, subscriber: str) -> None:
         subscription = self._subscriptions.get(subscriber)
         if subscription is not None:
@@ -276,6 +295,18 @@ class DataPath:
     def output_streams(self) -> list[str]:
         return list(self._outputs)
 
-    def make_batch(self, stream: str, tuples: list[StreamTuple]) -> tuple[str, DataBatch]:
-        """Build the network message for a batch on ``stream``."""
-        return DATA, DataBatch.of(stream, tuples, producer=self.owner)
+    def make_batch(
+        self,
+        stream: str,
+        tuples: list[StreamTuple],
+        node_state=None,
+        stream_state=None,
+    ) -> tuple[str, TupleBatch]:
+        """Build the network message for a batch on ``stream``.
+
+        ``node_state`` / ``stream_state`` are piggybacked on the batch so the
+        receiver's consistency manager can skip its next keep-alive probe.
+        """
+        return DATA, TupleBatch.of(
+            stream, tuples, producer=self.owner, node_state=node_state, stream_state=stream_state
+        )

@@ -42,10 +42,12 @@ from .consistency_manager import ConsistencyManager
 from .data_path import DataPath
 from .protocol import (
     DATA,
+    HEARTBEAT_RESPONSE,
     SUBSCRIBE,
     UNSUBSCRIBE,
-    DataBatch,
+    HeartbeatResponse,
     SubscribeRequest,
+    TupleBatch,
     UnsubscribeRequest,
 )
 from .states import NodeState
@@ -64,6 +66,7 @@ class ProcessingNode:
         sim_config: SimulationConfig | None = None,
         assigned_delay: float | None = None,
         replica_partners: Sequence[str] = (),
+        rng_seed: int | None = None,
     ) -> None:
         self.name = name
         self.endpoint = name
@@ -89,6 +92,7 @@ class ProcessingNode:
             network=network,
             config=self.config,
             replica_partners=replica_partners,
+            rng_seed=rng_seed,
         )
 
         # Give every SUnion access to the node clock so buckets know how long
@@ -104,6 +108,14 @@ class ProcessingNode:
         self._redo_positions: dict[str, int] = {}
         self._crashed = False
         self._started = False
+        self._next_control_at = 0.0
+        # --- unsolicited state advertisement ---------------------------------------
+        #: Endpoints that monitor this node's state (downstream consumers and
+        #: the client proxy); they receive a pushed HeartbeatResponse every
+        #: keepalive period unless a data batch already carried the state.
+        self._state_watchers: list[str] = []
+        self._last_sent_to: dict[str, float] = {}
+        self._next_push_at = 0.0
 
         # --- statistics -----------------------------------------------------------
         self.reconciliations_completed = 0
@@ -114,18 +126,56 @@ class ProcessingNode:
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> None:
-        """Start the control loop and the periodic output flush."""
+        """Start the unified periodic tick (data flush plus control loop).
+
+        When ``keepalive_period`` is a whole multiple of ``batch_interval``
+        (the common case), one timer chain drives both the data path (every
+        ``batch_interval``) and the consistency manager's control work (every
+        ``keepalive_period``, run from the same tick when it comes due),
+        halving the number of timer events per node compared to two
+        independent chains.  Misaligned cadences fall back to two chains so
+        both configured periods are honored exactly.
+        """
         if self._started:
             return
         self._started = True
-        self.cm.start()
-        self.simulator.schedule_periodic(
-            self.sim_config.batch_interval,
-            self._periodic_tick,
-            kind=EventKind.TIMER,
-            description=f"{self.name} data tick",
-            start_delay=self.sim_config.batch_interval,
-        )
+        batch = self.sim_config.batch_interval
+        keepalive = self.config.keepalive_period
+        self._next_push_at = self.simulator.now + keepalive
+        ratio = keepalive / batch
+        if ratio >= 1.0 and abs(ratio - round(ratio)) < 1e-9:
+            self.cm.attach_external_driver()
+            self._next_control_at = self.simulator.now + keepalive
+            self.simulator.schedule_periodic(
+                batch,
+                self._unified_tick,
+                kind=EventKind.TIMER,
+                description=f"{self.name} tick",
+                start_delay=batch,
+            )
+        else:
+            self.cm.start()
+            self.simulator.schedule_periodic(
+                batch,
+                self._periodic_tick,
+                kind=EventKind.TIMER,
+                description=f"{self.name} data tick",
+                start_delay=batch,
+            )
+
+    def _unified_tick(self, now: float) -> None:
+        control_due = now + 1e-9 >= self._next_control_at
+        if control_due:
+            self._next_control_at = now + self.config.keepalive_period
+        # Data work first: tentative emission must get a chance to mark the
+        # fragment dirty before the control loop evaluates healing.
+        if not self._crashed:
+            self._periodic_tick(now)
+        if control_due:
+            # The control loop keeps running while the node is crashed (its
+            # messages are dropped by the network): failure flags raised while
+            # the node is down drive the post-recovery healing path.
+            self.cm.control_tick(now)
 
     @property
     def state(self) -> NodeState:
@@ -146,11 +196,17 @@ class ProcessingNode:
         stream: str,
         producers: Sequence[str],
         source_producers: Sequence[str] = (),
+        push_producers: Sequence[str] = (),
     ) -> None:
         """Declare an input stream and who can produce it (build-time wiring)."""
         if stream not in self.diagram.input_streams:
             raise ProtocolError(f"fragment of {self.name!r} has no input stream {stream!r}")
-        self.cm.register_input(stream, producers, source_producers)
+        self.cm.register_input(stream, producers, source_producers, push_producers)
+
+    def add_state_watcher(self, endpoint: str) -> None:
+        """Register ``endpoint`` to receive pushed state advertisements."""
+        if endpoint not in self._state_watchers:
+            self._state_watchers.append(endpoint)
 
     def register_subscriber(self, stream: str, subscriber: str) -> None:
         """Attach a downstream subscriber at build time (no replay needed)."""
@@ -175,14 +231,24 @@ class ProcessingNode:
         manager = self.data_path.output(request.stream)
         replay = manager.subscribe(request)
         if replay:
-            kind, batch = self.data_path.make_batch(request.stream, replay)
-            self.network.send(self.endpoint, request.subscriber, kind, batch)
+            kind, batch = self.data_path.make_batch(
+                request.stream,
+                replay,
+                node_state=self.cm.state,
+                stream_state=self.output_stream_states().get(request.stream),
+            )
+            if self.network.send(self.endpoint, request.subscriber, kind, batch):
+                self._last_sent_to[request.subscriber] = now
             manager.mark_delivered(request.subscriber)
 
     def _on_unsubscribe(self, request: UnsubscribeRequest) -> None:
         self.data_path.output(request.stream).unsubscribe(request.subscriber)
 
-    def _on_data(self, batch: DataBatch, sender: str, now: float) -> None:
+    def _on_data(self, batch: TupleBatch, sender: str, now: float) -> None:
+        if batch.producer_node_state is not None:
+            self.cm.note_producer_state(
+                sender, batch.stream, batch.producer_node_state, batch.producer_stream_state, now
+            )
         role = self.cm.classify_producer(batch.stream, sender)
         if role == "ignore":
             return
@@ -259,7 +325,35 @@ class ProcessingNode:
             return
         self._emit_tentative_if_due(now)
         self._flush_outputs(now)
+        self._push_state(now)
         self._housekeeping(now)
+
+    def _push_state(self, now: float) -> None:
+        """Advertise this node's state to watchers that saw no recent data.
+
+        Replaces the request/response keep-alive round trip: every keepalive
+        period, watchers that did not receive a data batch (whose piggybacked
+        state already serves as the advertisement) get one multicast
+        HeartbeatResponse.  Watchers detect this node's death as pushes
+        stopping, exactly as they would detect unanswered probes.
+        """
+        if not self._state_watchers or now + 1e-9 < self._next_push_at:
+            return
+        self._next_push_at = now + self.config.keepalive_period
+        cutoff = now - self.config.keepalive_period
+        stale = [
+            watcher
+            for watcher in self._state_watchers
+            if self._last_sent_to.get(watcher, float("-inf")) <= cutoff
+        ]
+        if not stale:
+            return
+        response = HeartbeatResponse(
+            responder=self.endpoint,
+            node_state=self.cm.state,
+            stream_states=dict(self.output_stream_states()),
+        )
+        self.network.send_many(self.endpoint, stale, HEARTBEAT_RESPONSE, response)
 
     def _emit_tentative_if_due(self, now: float) -> None:
         """Apply the delay policy to buffered SUnion buckets (Section 6)."""
@@ -299,16 +393,30 @@ class ProcessingNode:
         return self.config.delay_policy.during_failure
 
     def _flush_outputs(self, now: float) -> None:
+        stream_states: dict[str, NodeState] | None = None
         for manager in self.data_path.outputs():
-            for subscriber in manager.subscribers():
-                pending = manager.pending_for(subscriber)
-                if not pending:
+            batches = manager.pending_batches()
+            if not batches:
+                continue
+            if stream_states is None:
+                stream_states = dict(self.output_stream_states())
+            for pending, subscribers in batches:
+                # Unreachable subscribers keep buffering (retry when the link
+                # heals) without being counted as send attempts in the stats.
+                reachable = [
+                    s for s in subscribers if self.network.can_communicate(self.endpoint, s)
+                ]
+                if not reachable:
                     continue
-                if not self.network.can_communicate(self.endpoint, subscriber):
-                    continue  # keep buffering; retry when the link heals
-                kind, batch = self.data_path.make_batch(manager.stream, pending)
-                if self.network.send(self.endpoint, subscriber, kind, batch):
+                kind, batch = self.data_path.make_batch(
+                    manager.stream,
+                    pending,
+                    node_state=self.cm.state,
+                    stream_state=stream_states.get(manager.stream),
+                )
+                for subscriber in self.network.send_many(self.endpoint, reachable, kind, batch):
                     manager.mark_delivered(subscriber)
+                    self._last_sent_to[subscriber] = now
 
     def _housekeeping(self, now: float) -> None:
         """Keep redo buffers bounded while the node is fully stable."""

@@ -33,15 +33,40 @@ RECONCILE_REPLY = "reconcile_reply"
 
 @dataclass(frozen=True)
 class DataBatch:
-    """A batch of tuples for one stream, sent producer -> subscriber."""
+    """A batch of tuples for one stream, sent producer -> subscriber.
+
+    One network event carries the whole vector of tuples (the batched tuple
+    transport).  Processing nodes piggyback their DPC state on every batch so
+    that, while data flows, downstream consistency managers need no separate
+    keep-alive round trips; sources leave the state fields ``None``.
+    """
 
     stream: str
     tuples: tuple[StreamTuple, ...]
     producer: str
+    producer_node_state: NodeState | None = None
+    producer_stream_state: NodeState | None = None
 
     @classmethod
-    def of(cls, stream: str, tuples: Sequence[StreamTuple], producer: str) -> "DataBatch":
-        return cls(stream=stream, tuples=tuple(tuples), producer=producer)
+    def of(
+        cls,
+        stream: str,
+        tuples: Sequence[StreamTuple],
+        producer: str,
+        node_state: NodeState | None = None,
+        stream_state: NodeState | None = None,
+    ) -> "DataBatch":
+        return cls(
+            stream=stream,
+            tuples=tuple(tuples),
+            producer=producer,
+            producer_node_state=node_state,
+            producer_stream_state=stream_state,
+        )
+
+
+#: Alias emphasizing the batched transport role of :class:`DataBatch`.
+TupleBatch = DataBatch
 
 
 @dataclass(frozen=True)

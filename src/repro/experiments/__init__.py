@@ -4,7 +4,13 @@ See DESIGN.md for the experiment index and EXPERIMENTS.md for measured
 results.
 """
 
-from .harness import ExperimentResult, availability_run, check_eventual_consistency, format_table
+from .harness import (
+    ExperimentResult,
+    availability_run,
+    check_eventual_consistency,
+    format_table,
+    summarize_run,
+)
 from .single_node import FIG13_POLICIES, TraceResult, eventual_consistency_trace, fig13, table3
 from .chains import CHAIN_POLICIES, FIG19_VARIANTS, fig15, fig16, fig18, fig19_20
 from .overhead import OverheadRow, serialization_overhead, table4, table5
@@ -23,6 +29,7 @@ __all__ = [
     "availability_run",
     "check_eventual_consistency",
     "format_table",
+    "summarize_run",
     "FIG13_POLICIES",
     "TraceResult",
     "eventual_consistency_trace",

@@ -24,9 +24,8 @@ from typing import Sequence
 
 from ..config import BufferPolicy, DelayPolicy, DPCConfig
 from ..errors import BufferOverflowError
-from ..sim.cluster import build_chain_cluster
-from ..workloads.scenarios import FailureSpec, Scenario
-from .harness import ExperimentResult, availability_run, check_eventual_consistency
+from ..runtime import ScenarioSpec
+from .harness import ExperimentResult, availability_run, summarize_run
 
 
 # --------------------------------------------------------------------------- replicas
@@ -153,47 +152,22 @@ def crash_failover(
         max_incremental_latency=max_incremental_latency,
         delay_policy=DelayPolicy.process_process(),
     )
-    cluster = build_chain_cluster(
-        chain_depth=1,
-        replicas_per_node=2,
+    spec = ScenarioSpec.single_node(
+        name="crash failover",
         aggregate_rate=aggregate_rate,
-        config=config,
         join_state_size=100,
-    )
-    scenario = Scenario(
+        config=config,
         warmup=warmup,
         settle=settle,
-        failures=[
-            FailureSpec(
-                kind="crash",
-                start=warmup,
-                duration=crash_duration,
-                node_level=0,
-                node_replica=0,
-            )
-        ],
+    ).with_failure("crash", start=warmup, duration=crash_duration, node_level=0, node_replica=0)
+    runtime = spec.run()
+    result = summarize_run(runtime, failure_duration=crash_duration)
+    result.extra.pop("node_states", None)
+    result.extra.update(
+        crashed_replica=runtime.node(0, 0).name,
+        surviving_replica=runtime.node(0, 1).name,
     )
-    scenario.run(cluster)
-    client = cluster.client
-    summary = client.summary()
-    return ExperimentResult(
-        label="crash failover",
-        failure_duration=crash_duration,
-        chain_depth=1,
-        policy=config.delay_policy.name,
-        proc_new=summary["proc_new"],
-        max_gap=summary["max_gap"],
-        n_tentative=summary["total_tentative"],
-        n_stable=summary["total_stable"],
-        n_undos=summary["total_undos"],
-        n_rec_done=summary["total_rec_done"],
-        eventually_consistent=check_eventual_consistency(cluster),
-        extra={
-            "switches": summary["switches"],
-            "crashed_replica": cluster.node(0, 0).name,
-            "surviving_replica": cluster.node(0, 1).name,
-        },
-    )
+    return result
 
 
 # --------------------------------------------------------------------------- buffer bounds
@@ -239,20 +213,23 @@ def buffer_bound_run(
     """
     policy = BufferPolicy(max_output_tuples=max_output_tuples, block_on_full=block_on_full)
     config = DPCConfig(buffer_policy=policy)
-    cluster = build_chain_cluster(
-        chain_depth=1, replicas_per_node=1, aggregate_rate=aggregate_rate, config=config
-    )
-    node = cluster.node(0, 0)
+    runtime = ScenarioSpec.single_node(
+        name="buffer-bounds",
+        replicated=False,
+        aggregate_rate=aggregate_rate,
+        config=config,
+        duration=duration,
+    ).build()
+    node = runtime.node(0, 0)
     if truncate_period is not None:
-        cluster.simulator.schedule_periodic(
+        runtime.simulator.schedule_periodic(
             truncate_period,
             lambda now: [m.truncate_delivered() for m in node.data_path.outputs()],
             description="truncate output buffers",
         )
     overflowed = False
-    cluster.start()
     try:
-        cluster.run_for(duration)
+        runtime.run()
     except BufferOverflowError:
         overflowed = True
     manager = node.data_path.outputs()[0]
@@ -262,8 +239,8 @@ def buffer_bound_run(
         block_on_full=block_on_full,
         overflowed=overflowed,
         buffered_tuples=manager.buffered_tuples,
-        client_stable=cluster.client.metrics.consistency.total_stable,
-        proc_new=cluster.client.proc_new,
+        client_stable=runtime.client.metrics.consistency.total_stable,
+        proc_new=runtime.client.proc_new,
     )
 
 

@@ -8,6 +8,11 @@ interactively::
     result = availability_run(failure_duration=10.0)
     print(result.proc_new, result.n_tentative)
 
+Every runner describes its deployment as a
+:class:`~repro.runtime.ScenarioSpec` and executes it through a
+:class:`~repro.runtime.SimulationRuntime`; :func:`summarize_run` condenses a
+completed runtime into an :class:`ExperimentResult`.
+
 Scale note: the paper drives its prototype at 500-4500 tuples/s on real
 hardware.  The default rates here are lower so that the full benchmark suite
 completes in minutes on a laptop; every rate is a parameter and
@@ -22,9 +27,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Sequence
 
 from ..config import DelayAssignment, DelayPolicy, DPCConfig, SimulationConfig
-from ..metrics.consistency import duplicate_stable_values
-from ..sim.cluster import Cluster, build_chain_cluster
-from ..workloads.scenarios import FailureSpec, Scenario
+from ..runtime import FailureSpec, ScenarioSpec, SimulationRuntime, client_is_eventually_consistent
 
 
 @dataclass(frozen=True)
@@ -56,19 +59,14 @@ class ExperimentResult:
         )
 
 
-def check_eventual_consistency(cluster: Cluster) -> bool:
-    """Final stable output must be gap-free, duplicate-free, and in order."""
-    client = cluster.client
-    sequence = client.stable_sequence
-    if not sequence:
-        return False
-    if sequence != sorted(sequence):
-        return False
-    ledger = client.metrics.consistency.ledger
-    if duplicate_stable_values(ledger, client.metrics.sequence_attribute):
-        return False
-    missing = set(range(min(sequence), max(sequence) + 1)) - set(sequence)
-    return not missing
+def check_eventual_consistency(deployment) -> bool:
+    """Final stable output must be gap-free, duplicate-free, and in order.
+
+    Accepts anything with a ``client`` attribute (a
+    :class:`~repro.runtime.SimulationRuntime` or a bare
+    :class:`~repro.sim.cluster.Cluster`).
+    """
+    return client_is_eventually_consistent(deployment.client)
 
 
 def availability_run(
@@ -90,13 +88,16 @@ def availability_run(
     join_state_size: int | None = 100,
     config: DPCConfig | None = None,
     sim_config: SimulationConfig | None = None,
+    seed: int | None = None,
 ) -> ExperimentResult:
     """Run one failure scenario and summarize availability and consistency.
 
     This is the workhorse behind Table III and Figures 13, 15, 16, 18, 19,
     and 20: a (chain of) replicated node(s), a single input-stream failure of
     ``failure_duration`` seconds, and a client that measures Proc_new and
-    counts tentative tuples.
+    counts tentative tuples.  Everything is expressed as a
+    :class:`~repro.runtime.ScenarioSpec` and executed by a
+    :class:`~repro.runtime.SimulationRuntime`.
     """
     policy = policy or DelayPolicy.process_process()
     config = config or DPCConfig(
@@ -105,46 +106,58 @@ def availability_run(
         delay_assignment=delay_assignment,
         redo_rate=redo_rate,
     )
-    cluster = build_chain_cluster(
+    spec = ScenarioSpec(
+        name=label or policy.name,
         chain_depth=chain_depth,
         replicas_per_node=replicas_per_node,
         aggregate_rate=aggregate_rate,
+        join_state_size=join_state_size,
         config=config,
         sim_config=sim_config,
-        join_state_size=join_state_size,
         per_node_delay=per_node_delay,
-    )
-    scenario = Scenario(
         warmup=warmup,
         settle=settle,
-        failures=[
+        failures=(
             FailureSpec(
                 kind=failure_kind,
                 start=warmup,
                 duration=failure_duration,
                 stream_index=failure_stream,
-            )
-        ],
+            ),
+        ),
+        seed=seed,
     )
-    scenario.run(cluster)
-    client = cluster.client
+    return summarize_run(spec.run(), failure_duration=failure_duration)
+
+
+def summarize_run(
+    runtime: SimulationRuntime,
+    failure_duration: float | None = None,
+    label: str | None = None,
+) -> ExperimentResult:
+    """Condense a completed runtime into the paper's reporting units."""
+    spec = runtime.spec
+    client = runtime.client
     summary = client.summary()
+    if failure_duration is None:
+        failure_duration = max((f.duration for f in spec.failures), default=0.0)
     return ExperimentResult(
-        label=label or policy.name,
+        label=label or spec.name,
         failure_duration=failure_duration,
-        chain_depth=chain_depth,
-        policy=policy.name,
+        chain_depth=spec.chain_depth,
+        policy=spec.dpc_config().delay_policy.name,
         proc_new=summary["proc_new"],
         max_gap=summary["max_gap"],
         n_tentative=summary["total_tentative"],
         n_stable=summary["total_stable"],
         n_undos=summary["total_undos"],
         n_rec_done=summary["total_rec_done"],
-        eventually_consistent=check_eventual_consistency(cluster),
+        eventually_consistent=runtime.eventually_consistent(),
         extra={
             "switches": summary["switches"],
-            "node_states": [n.state.value for n in cluster.all_nodes()],
-            "reconciliations": sum(n.reconciliations_completed for n in cluster.all_nodes()),
+            "node_states": [n.state.value for n in runtime.nodes()],
+            "reconciliations": sum(n.reconciliations_completed for n in runtime.nodes()),
+            "events_fired": runtime.simulator.events_fired,
         },
     )
 

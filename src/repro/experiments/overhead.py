@@ -15,7 +15,7 @@ from typing import Sequence
 
 from ..config import DPCConfig, SimulationConfig
 from ..metrics.latency import LatencySummary
-from ..sim.cluster import build_chain_cluster
+from ..runtime import ScenarioSpec
 from ..spe.operators import SOutput, Union
 from ..spe.query_diagram import QueryDiagram
 
@@ -70,19 +70,19 @@ def serialization_overhead(
         max_incremental_latency=10.0,
     )
     sim_config = SimulationConfig(batch_interval=0.01, network_latency=0.001, processing_latency=0.001)
-    cluster = build_chain_cluster(
-        chain_depth=1,
-        replicas_per_node=1,
+    spec = ScenarioSpec.single_node(
+        name="serialization-overhead",
+        replicated=False,
         n_input_streams=1,
         aggregate_rate=rate,
+        join_state_size=None,
         config=config,
         sim_config=sim_config,
-        join_state_size=None,
         diagram_factory=None if use_sunion else _union_diagram_factory,
+        duration=duration,
     )
-    cluster.start()
-    cluster.run_for(duration)
-    latencies = [r.latency for r in cluster.client.metrics.latency.records]
+    runtime = spec.run()
+    latencies = [r.latency for r in runtime.client.metrics.latency.records]
     parameter = bucket_size if use_sunion else 0.0
     return OverheadRow(parameter_ms=parameter * 1000.0, latency=LatencySummary.from_values(latencies))
 

@@ -7,9 +7,8 @@ from typing import Sequence
 
 from ..config import DelayPolicy, DPCConfig
 from ..metrics.collector import TraceEntry
-from ..sim.cluster import build_chain_cluster
-from ..workloads.scenarios import FailureSpec, Scenario
-from .harness import ExperimentResult, availability_run, check_eventual_consistency
+from ..runtime import FailureSpec, ScenarioSpec
+from .harness import ExperimentResult, availability_run
 
 #: The six delay-policy variants compared in Figure 13, in the paper's naming.
 FIG13_POLICIES: dict[str, DelayPolicy] = {
@@ -68,21 +67,21 @@ def eventual_consistency_trace(
     heals, i.e. during recovery -- Figure 11(b).
     """
     config = config or DPCConfig(max_incremental_latency=max_incremental_latency)
-    cluster = build_chain_cluster(
-        chain_depth=1,
-        replicas_per_node=1,
-        aggregate_rate=aggregate_rate,
-        config=config,
-        join_state_size=None,
-    )
     if overlapping:
         second_start = first_failure_start + first_failure_duration / 2
     else:
         second_start = first_failure_start + first_failure_duration
-    scenario = Scenario(
+    spec = ScenarioSpec.single_node(
+        name="Figure 11(a) overlapping failures"
+        if overlapping
+        else "Figure 11(b) failure during recovery",
+        replicated=False,
+        aggregate_rate=aggregate_rate,
+        join_state_size=None,
+        config=config,
         warmup=first_failure_start,
         settle=settle,
-        failures=[
+        failures=(
             FailureSpec(
                 kind="disconnect",
                 start=first_failure_start,
@@ -95,19 +94,19 @@ def eventual_consistency_trace(
                 duration=first_failure_duration,
                 stream_index=2,
             ),
-        ],
+        ),
     )
-    scenario.run(cluster)
-    client = cluster.client
+    runtime = spec.run()
+    client = runtime.client
     summary = client.summary()
     return TraceResult(
-        label="Figure 11(a) overlapping failures" if overlapping else "Figure 11(b) failure during recovery",
+        label=spec.name,
         trace=list(client.metrics.trace),
-        eventually_consistent=check_eventual_consistency(cluster),
+        eventually_consistent=runtime.eventually_consistent(),
         n_tentative=summary["total_tentative"],
         n_undos=summary["total_undos"],
         n_rec_done=summary["total_rec_done"],
-        reconciliations=sum(n.reconciliations_completed for n in cluster.all_nodes()),
+        reconciliations=sum(n.reconciliations_completed for n in runtime.nodes()),
         extra={"proc_new": summary["proc_new"]},
     )
 

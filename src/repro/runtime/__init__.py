@@ -1,0 +1,26 @@
+"""Scenario layer: declarative specs compiled into runnable simulations.
+
+This package is the single entry point for describing and running a DPC
+scenario (see DESIGN.md, "Runtime layer"):
+
+* :class:`ScenarioSpec` -- a declarative description of topology, replicas,
+  sources, DPC policy, failure schedule, seed, and run timing;
+* :class:`SimulationRuntime` -- the compiled form, owning the simulator,
+  cluster, failure injection, and metrics of one run;
+* :func:`run_scenario` -- compile-and-run convenience.
+
+Every experiment module, benchmark, example, and CLI command builds its
+deployments through this layer rather than assembling clusters by hand.
+"""
+
+from ..workloads.scenarios import FailureSpec
+from .runtime import SimulationRuntime, client_is_eventually_consistent, run_scenario
+from .spec import ScenarioSpec
+
+__all__ = [
+    "FailureSpec",
+    "ScenarioSpec",
+    "SimulationRuntime",
+    "client_is_eventually_consistent",
+    "run_scenario",
+]

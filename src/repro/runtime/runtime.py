@@ -1,0 +1,156 @@
+"""Compiled scenario runtimes.
+
+A :class:`SimulationRuntime` is the execution half of the runtime layer: it
+owns everything one scenario run needs -- the deterministic simulator, the
+network, the wired cluster (sources, replicated processing nodes, client),
+the failure injector with the scenario's schedule, and the metrics the client
+collects -- and exposes the handful of operations experiments perform (run,
+inspect, summarize).
+
+Typical use::
+
+    from repro.runtime import ScenarioSpec
+
+    spec = ScenarioSpec.single_node(aggregate_rate=150.0).with_failure(
+        "disconnect", duration=10.0
+    )
+    runtime = spec.run()
+    print(runtime.client.proc_new, runtime.eventually_consistent())
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..metrics.consistency import duplicate_stable_values
+from ..sim.client import ClientApplication
+from ..sim.cluster import Cluster, build_chain_cluster
+from ..sim.event_loop import Simulator
+from ..sim.failures import FailureInjector, FailureRecord
+from ..sim.network import Network
+from ..sim.sources import DataSource
+from .spec import ScenarioSpec
+
+
+def client_is_eventually_consistent(client: ClientApplication) -> bool:
+    """Final stable output must be gap-free, duplicate-free, and in order."""
+    sequence = client.stable_sequence
+    if not sequence:
+        return False
+    if sequence != sorted(sequence):
+        return False
+    ledger = client.metrics.consistency.ledger
+    if duplicate_stable_values(ledger, client.metrics.sequence_attribute):
+        return False
+    missing = set(range(min(sequence), max(sequence) + 1)) - set(sequence)
+    return not missing
+
+
+class SimulationRuntime:
+    """One compiled, runnable scenario (see :class:`ScenarioSpec`)."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        spec.validate()
+        self.spec = spec
+        self.cluster: Cluster = build_chain_cluster(
+            chain_depth=spec.chain_depth,
+            replicas_per_node=spec.replicas_per_node,
+            n_input_streams=spec.n_input_streams,
+            aggregate_rate=spec.aggregate_rate,
+            config=spec.config,
+            sim_config=spec.sim_config,
+            payload_factory=spec.payload_factory,
+            join_state_size=spec.join_state_size,
+            per_node_delay=spec.per_node_delay,
+            diagram_factory=spec.diagram_factory,
+            seed=spec.seed,
+        )
+        self._scenario = spec.as_scenario()
+        self.injected: list[FailureRecord] = []
+        self._started = False
+        self._completed = False
+
+    # ------------------------------------------------------------------ owned components
+    @property
+    def simulator(self) -> Simulator:
+        return self.cluster.simulator
+
+    @property
+    def network(self) -> Network:
+        return self.cluster.network
+
+    @property
+    def failures(self) -> FailureInjector:
+        return self.cluster.failures
+
+    @property
+    def client(self) -> ClientApplication:
+        return self.cluster.client
+
+    @property
+    def sources(self) -> list[DataSource]:
+        return self.cluster.sources
+
+    def nodes(self):
+        return self.cluster.all_nodes()
+
+    def node(self, level: int, replica: int = 0):
+        return self.cluster.node(level, replica)
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "SimulationRuntime":
+        """Schedule the failure plan and start every component (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        self.injected = self._scenario.inject(self.cluster)
+        self.cluster.start()
+        return self
+
+    def run(self, duration: float | None = None) -> "SimulationRuntime":
+        """Run the scenario to completion (or for an explicit ``duration``)."""
+        if self._completed and duration is None:
+            raise SimulationError(
+                f"scenario {self.spec.name!r} already ran; build a new runtime to rerun it"
+            )
+        self.start()
+        self.cluster.run_for(self.spec.total_duration() if duration is None else duration)
+        if duration is None:
+            self._completed = True
+        return self
+
+    def run_for(self, duration: float) -> "SimulationRuntime":
+        """Advance the (started) simulation by ``duration`` seconds."""
+        return self.run(duration=duration)
+
+    # ------------------------------------------------------------------ results
+    def eventually_consistent(self) -> bool:
+        return client_is_eventually_consistent(self.client)
+
+    def summary(self) -> dict:
+        """Everything the run measured, keyed the way the experiments expect."""
+        data = self.cluster.summary()
+        data["scenario"] = self.spec.name
+        data["seed"] = self.spec.seed
+        data["events_fired"] = self.simulator.events_fired
+        data["eventually_consistent"] = self.eventually_consistent()
+        data["failures"] = [
+            {
+                "type": record.failure_type.value,
+                "target": record.target,
+                "start": record.start,
+                "duration": record.duration,
+            }
+            for record in self.injected
+        ]
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SimulationRuntime {self.spec.name!r} depth={self.spec.chain_depth} "
+            f"now={self.simulator.now:.3f}>"
+        )
+
+
+def run_scenario(spec: ScenarioSpec) -> SimulationRuntime:
+    """Compile ``spec`` and run it to completion."""
+    return SimulationRuntime(spec).run()

@@ -1,0 +1,198 @@
+"""Declarative scenario descriptions.
+
+A :class:`ScenarioSpec` is the single way to describe a simulated DPC
+deployment plus the experiment run on top of it: the topology (chain depth,
+replication factor, sources and their aggregate rate), the DPC and simulation
+configuration, the failure schedule, the run timing, and the determinism seed.
+Compiling a spec (:meth:`ScenarioSpec.build`) produces a
+:class:`~repro.runtime.runtime.SimulationRuntime` that owns the simulator,
+cluster, failure injection, and metrics for one run.
+
+Experiments, benchmarks, the CLI, and the examples all construct scenarios
+through this layer instead of hand-assembling clusters (see DESIGN.md,
+"Runtime layer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..config import DPCConfig, SimulationConfig
+from ..errors import ConfigurationError
+from ..workloads.generators import PayloadFactory, default_payload_factory
+from ..workloads.scenarios import FailureSpec, Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..spe.query_diagram import QueryDiagram
+    from .runtime import SimulationRuntime
+
+#: Builds a first-node fragment: (node_name, input_streams, output_stream).
+DiagramFactory = Callable[[str, Sequence[str], str], "QueryDiagram"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, declarative scenario.
+
+    The defaults reproduce the paper's workhorse deployment: one processing
+    node replicated on two simulated machines, fed by three sources at an
+    aggregate 150 tuples/s, with no failures scheduled.
+    """
+
+    name: str = "scenario"
+    # --- topology -------------------------------------------------------------
+    chain_depth: int = 1
+    replicas_per_node: int = 2
+    n_input_streams: int = 3
+    aggregate_rate: float = 150.0
+    join_state_size: int | None = 100
+    #: Optional custom first-node fragment (e.g. the plain-Union baseline of
+    #: the overhead experiments); downstream nodes always run relay fragments.
+    diagram_factory: DiagramFactory | None = None
+    payload_factory: PayloadFactory = default_payload_factory
+    # --- configuration --------------------------------------------------------
+    config: DPCConfig | None = None
+    sim_config: SimulationConfig | None = None
+    #: Delay budget D assigned to every node; None derives it from the config.
+    per_node_delay: float | None = None
+    # --- schedule -------------------------------------------------------------
+    warmup: float = 5.0
+    settle: float = 30.0
+    failures: tuple[FailureSpec, ...] = ()
+    #: Explicit total run length; None derives it from warmup/failures/settle.
+    duration: float | None = None
+    # --- determinism / measurement -------------------------------------------
+    #: Seeds every RNG in the deployment; same spec + same seed => identical
+    #: summaries, different seeds => different (statistically equivalent) runs.
+    seed: int | None = None
+
+    # ------------------------------------------------------------------ validation
+    def validate(self) -> None:
+        if self.chain_depth < 1:
+            raise ConfigurationError("chain_depth must be >= 1")
+        if self.replicas_per_node < 1:
+            raise ConfigurationError("replicas_per_node must be >= 1")
+        if self.n_input_streams < 1:
+            raise ConfigurationError("n_input_streams must be >= 1")
+        if self.aggregate_rate <= 0:
+            raise ConfigurationError("aggregate_rate must be positive")
+        if self.warmup < 0 or self.settle < 0:
+            raise ConfigurationError("warmup and settle must be non-negative")
+        if self.duration is not None and self.duration <= 0:
+            raise ConfigurationError("duration must be positive when given")
+        for spec in self._resolved_failures():
+            if spec.start < 0 or spec.duration <= 0:
+                raise ConfigurationError(
+                    f"failure {spec.kind!r} must have start >= 0 and duration > 0"
+                )
+            if spec.kind in ("disconnect", "silence"):
+                if not 0 <= spec.stream_index < self.n_input_streams:
+                    raise ConfigurationError(
+                        f"failure {spec.kind!r} targets stream {spec.stream_index}, but the "
+                        f"scenario has {self.n_input_streams} input streams"
+                    )
+            elif spec.kind == "crash":
+                if not 0 <= spec.node_level < self.chain_depth:
+                    raise ConfigurationError(
+                        f"crash targets node level {spec.node_level}, but the chain has "
+                        f"{self.chain_depth} level(s)"
+                    )
+                if not 0 <= spec.node_replica < self.replicas_per_node:
+                    raise ConfigurationError(
+                        f"crash targets replica {spec.node_replica}, but each node has "
+                        f"{self.replicas_per_node} replica(s)"
+                    )
+            else:
+                raise ConfigurationError(f"unknown failure kind {spec.kind!r}")
+        (self.config or DPCConfig()).validate()
+        (self.sim_config or SimulationConfig()).validate()
+
+    # ------------------------------------------------------------------ derived values
+    def dpc_config(self) -> DPCConfig:
+        return self.config or DPCConfig()
+
+    def simulation_config(self) -> SimulationConfig:
+        return self.sim_config or SimulationConfig()
+
+    def total_duration(self) -> float:
+        """Run length: explicit ``duration`` or warmup + failures + settle."""
+        if self.duration is not None:
+            return self.duration
+        return self.as_scenario().total_duration()
+
+    def _resolved_failures(self) -> tuple[FailureSpec, ...]:
+        """Failures with ``start=None`` resolved to the *current* warmup.
+
+        Resolution is deferred to use time so that
+        ``spec.with_failure("disconnect").with_overrides(warmup=15.0)``
+        injects the failure at the overridden warmup, not at the warmup in
+        effect when :meth:`with_failure` was called.
+        """
+        return tuple(
+            replace(spec, start=self.warmup) if spec.start is None else spec
+            for spec in self.failures
+        )
+
+    def as_scenario(self) -> Scenario:
+        """The imperative failure schedule this spec describes."""
+        return Scenario(
+            warmup=self.warmup, settle=self.settle, failures=list(self._resolved_failures())
+        )
+
+    # ------------------------------------------------------------------ derivation helpers
+    def with_failure(
+        self,
+        kind: str,
+        start: float | None = None,
+        duration: float = 10.0,
+        stream_index: int = 0,
+        node_level: int = 0,
+        node_replica: int = 0,
+    ) -> "ScenarioSpec":
+        """A copy of this spec with one more scheduled failure.
+
+        ``start=None`` means "at the end of the warmup" and is resolved
+        lazily, so a later ``with_overrides(warmup=...)`` moves the failure
+        with it.
+        """
+        spec = FailureSpec(
+            kind=kind,
+            start=start,
+            duration=duration,
+            stream_index=stream_index,
+            node_level=node_level,
+            node_replica=node_replica,
+        )
+        return replace(self, failures=self.failures + (spec,))
+
+    def with_overrides(self, **changes) -> "ScenarioSpec":
+        """A copy of this spec with ``changes`` applied (dataclass replace)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ factories
+    @classmethod
+    def single_node(cls, replicated: bool = True, **changes) -> "ScenarioSpec":
+        """The Figure 10/12 deployment: one node, optionally replicated."""
+        return cls(
+            name=changes.pop("name", "single-node"),
+            chain_depth=1,
+            replicas_per_node=2 if replicated else 1,
+            **changes,
+        )
+
+    @classmethod
+    def chain(cls, depth: int, **changes) -> "ScenarioSpec":
+        """The Figure 14 deployment: a chain of replicated nodes."""
+        return cls(name=changes.pop("name", f"chain-{depth}"), chain_depth=depth, **changes)
+
+    # ------------------------------------------------------------------ compilation
+    def build(self) -> "SimulationRuntime":
+        """Compile this spec into a runnable :class:`SimulationRuntime`."""
+        from .runtime import SimulationRuntime
+
+        return SimulationRuntime(self)
+
+    def run(self) -> "SimulationRuntime":
+        """Compile and run to completion (the one-liner most callers want)."""
+        return self.build().run()

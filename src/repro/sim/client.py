@@ -16,7 +16,7 @@ from typing import Mapping, Sequence
 
 from ..config import DPCConfig
 from ..core.consistency_manager import ConsistencyManager
-from ..core.protocol import DATA, DataBatch
+from ..core.protocol import DATA, TupleBatch
 from ..core.states import NodeState
 from ..metrics.collector import MetricsCollector
 from ..sim.event_loop import Simulator
@@ -36,6 +36,7 @@ class ClientApplication:
         config: DPCConfig | None = None,
         sequence_attribute: str = "seq",
         keep_trace: bool = True,
+        rng_seed: int | None = None,
     ) -> None:
         self.name = name
         self.endpoint = name
@@ -47,15 +48,20 @@ class ClientApplication:
             stream=stream, sequence_attribute=sequence_attribute, keep_trace=keep_trace
         )
         self.cm = ConsistencyManager(
-            owner=self, simulator=simulator, network=network, config=self.config
+            owner=self, simulator=simulator, network=network, config=self.config, rng_seed=rng_seed
         )
         self._started = False
         network.register(self.endpoint, self._on_message)
 
     # ------------------------------------------------------------------ wiring
-    def register_upstream(self, producers: Sequence[str], source_producers: Sequence[str] = ()) -> None:
+    def register_upstream(
+        self,
+        producers: Sequence[str],
+        source_producers: Sequence[str] = (),
+        push_producers: Sequence[str] = (),
+    ) -> None:
         """Declare which endpoints can produce the client's stream."""
-        self.cm.register_input(self.stream, producers, source_producers)
+        self.cm.register_input(self.stream, producers, source_producers, push_producers)
 
     def start(self) -> None:
         if self._started:
@@ -69,9 +75,17 @@ class ClientApplication:
             return
         if message.kind != DATA:
             return
-        batch: DataBatch = message.payload
+        batch: TupleBatch = message.payload
         if batch.stream != self.stream:
             return
+        if batch.producer_node_state is not None:
+            self.cm.note_producer_state(
+                message.sender,
+                batch.stream,
+                batch.producer_node_state,
+                batch.producer_stream_state,
+                now,
+            )
         role = self.cm.classify_producer(batch.stream, message.sender)
         if role == "ignore":
             return

@@ -16,6 +16,7 @@ the client's metrics).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -150,6 +151,7 @@ def build_chain_cluster(
     join_state_size: int | None = 100,
     per_node_delay: float | None = None,
     diagram_factory: Callable[[str, Sequence[str], str], QueryDiagram] | None = None,
+    seed: int | None = None,
 ) -> Cluster:
     """Build the replicated chain deployment of Figure 14.
 
@@ -160,6 +162,13 @@ def build_chain_cluster(
     ``per_node_delay`` overrides the delay budget D assigned to every node;
     when omitted it is derived from ``config.node_delay(chain_depth)`` (which
     honours the UNIFORM / FULL delay-assignment strategies of Section 6.3).
+
+    ``seed`` makes the deployment's randomness explicit and reproducible: it
+    seeds every consistency manager's tie-breaking RNG and staggers the
+    sources' start times by a seed-derived fraction of a batch interval, so
+    two clusters built with the same seed behave identically and different
+    seeds produce measurably different (but statistically equivalent) runs.
+    ``seed=None`` keeps the exact unjittered timing of the default deployment.
     """
     if chain_depth < 1:
         raise ConfigurationError("chain_depth must be >= 1")
@@ -177,6 +186,14 @@ def build_chain_cluster(
 
     if per_node_delay is None:
         per_node_delay = config.node_delay(chain_depth)
+    # One offset for every source: the whole workload shifts in time (so runs
+    # with different seeds genuinely differ) while the sources stay mutually
+    # aligned, which the end-of-run consistency accounting relies on.
+    start_offset = (
+        random.Random(seed).uniform(0.0, sim_config.batch_interval * 0.5)
+        if seed is not None
+        else 0.0
+    )
 
     # --- sources ---------------------------------------------------------------
     input_streams = [f"s{i + 1}" for i in range(n_input_streams)]
@@ -191,6 +208,7 @@ def build_chain_cluster(
             boundary_interval=config.boundary_interval,
             batch_interval=sim_config.batch_interval,
             payload=payload_factory(index, n_input_streams),
+            start_time=start_offset,
         )
         cluster.sources.append(source)
 
@@ -231,6 +249,7 @@ def build_chain_cluster(
                 sim_config=sim_config,
                 assigned_delay=per_node_delay,
                 replica_partners=partners,
+                rng_seed=seed,
             )
             group.append(node)
         cluster.nodes.append(group)
@@ -247,15 +266,26 @@ def build_chain_cluster(
             )
 
     # --- wiring: node level k -> level k+1 ----------------------------------------
+    # Nodes push their DPC state to registered watchers every keepalive period
+    # (replacing probe round trips) whenever the push cadence can keep up with
+    # the configured keepalive; otherwise consumers fall back to probing.
+    push_state = config.keepalive_period + 1e-12 >= sim_config.batch_interval
     for level in range(1, chain_depth):
         upstream_group = cluster.nodes[level - 1]
         upstream_stream = f"node{level}.out"
         upstream_names = [n.endpoint for n in upstream_group]
         for node in cluster.nodes[level]:
-            node.register_input_stream(upstream_stream, producers=upstream_names)
+            node.register_input_stream(
+                upstream_stream,
+                producers=upstream_names,
+                push_producers=upstream_names if push_state else (),
+            )
             # Every downstream replica initially reads from the first upstream
             # replica; DPC switches it if that replica fails.
             upstream_group[0].register_subscriber(upstream_stream, node.endpoint)
+            if push_state:
+                for upstream in upstream_group:
+                    upstream.add_state_watcher(node.endpoint)
 
     # --- client --------------------------------------------------------------------
     last_group = cluster.nodes[-1]
@@ -266,9 +296,16 @@ def build_chain_cluster(
         simulator=simulator,
         network=network,
         config=config,
+        rng_seed=seed,
     )
-    client.register_upstream(producers=[n.endpoint for n in last_group])
+    last_names = [n.endpoint for n in last_group]
+    client.register_upstream(
+        producers=last_names, push_producers=last_names if push_state else ()
+    )
     last_group[0].register_subscriber(last_stream, client.endpoint)
+    if push_state:
+        for node in last_group:
+            node.add_state_watcher(client.endpoint)
     cluster.clients.append(client)
     return cluster
 

@@ -18,13 +18,37 @@ from ..errors import SimulationError
 from .events import Event, EventCallback, EventKind
 
 
+class PeriodicHandle:
+    """Handle for a periodic event chain; cancelling it stops the chain."""
+
+    def __init__(self, simulator: "Simulator") -> None:
+        self._simulator = simulator
+        self._current: Event | None = None
+        self.cancelled = False
+
+    def _advance(self, event: Event) -> None:
+        self._current = event
+
+    def cancel(self) -> None:
+        """Stop the chain; the pending occurrence is removed from the queue."""
+        self.cancelled = True
+        if self._current is not None:
+            self._simulator.cancel(self._current)
+            self._current = None
+
+
 class Simulator:
     """Virtual clock plus event queue."""
+
+    #: Compact the heap when more than this many cancelled events linger and
+    #: they outnumber the live ones (keeps cancellation amortized O(log n)).
+    _COMPACT_THRESHOLD = 64
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
         self._queue: list[Event] = []
         self._running = False
+        self._cancelled_pending = 0
         #: Number of events executed so far (for diagnostics and tests).
         self.events_fired = 0
 
@@ -51,6 +75,29 @@ class Simulator:
         heapq.heappush(self._queue, event)
         return event
 
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (lazy heap deletion, amortized O(log n)).
+
+        The event is marked and skipped when it comes due; when cancelled
+        events accumulate, the queue is compacted so that failure-injection
+        and timer-reset paths never leave the heap full of dead entries.
+        """
+        if event.cancelled or event.fired:
+            return  # already skipped, or already executed and left the queue
+        event.cancel()
+        event.counted = True
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending > self._COMPACT_THRESHOLD
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+
     def schedule_in(
         self,
         delay: float,
@@ -71,27 +118,28 @@ class Simulator:
         description: str = "",
         start_delay: float | None = None,
         stop_condition: Callable[[], bool] | None = None,
-    ) -> Event:
+    ) -> PeriodicHandle:
         """Schedule ``callback`` every ``period`` seconds until ``stop_condition``.
 
-        Returns the first scheduled event; cancelling it stops the chain the
-        next time it comes due.
+        Returns a :class:`PeriodicHandle`; cancelling it removes the pending
+        occurrence from the queue and stops the chain.
         """
         if period <= 0:
             raise SimulationError(f"period must be positive, got {period}")
         first_delay = period if start_delay is None else start_delay
+        handle = PeriodicHandle(self)
 
-        def wrapper(now: float, _self_ref: list | None = None) -> None:
+        def wrapper(now: float) -> None:
+            if handle.cancelled:
+                return
             if stop_condition is not None and stop_condition():
                 return
             callback(now)
-            next_event = self.schedule_at(now + period, wrapper, kind, description)
-            holder[0] = next_event
+            if not handle.cancelled:
+                handle._advance(self.schedule_at(now + period, wrapper, kind, description))
 
-        holder: list[Event] = []
-        first = self.schedule_in(first_delay, wrapper, kind, description)
-        holder.append(first)
-        return first
+        handle._advance(self.schedule_in(first_delay, wrapper, kind, description))
+        return handle
 
     # ------------------------------------------------------------------ running
     def run_until(self, end_time: float, max_events: int | None = None) -> float:
@@ -110,6 +158,8 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 if event.cancelled:
+                    if event.counted:
+                        self._cancelled_pending -= 1
                     continue
                 self._now = event.time
                 event.fire()
@@ -133,6 +183,8 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                if event.counted:
+                    self._cancelled_pending -= 1
                 continue
             self._now = event.time
             event.fire()

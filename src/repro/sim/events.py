@@ -38,6 +38,10 @@ class Event:
     kind: EventKind = field(compare=False, default=EventKind.INTERNAL)
     description: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
+    #: True when Simulator.cancel counted this event toward heap compaction
+    #: (distinguishes it from events cancelled directly via Event.cancel).
+    counted: bool = field(compare=False, default=False)
 
     @classmethod
     def at(
@@ -60,6 +64,7 @@ class Event:
         self.cancelled = True
 
     def fire(self) -> None:
+        self.fired = True
         if not self.cancelled:
             self.callback(self.time)
 

@@ -108,6 +108,30 @@ class FailureInjector:
         return record
 
     # ------------------------------------------------------------------ node / network failures
+    def crash_processing_node(self, node, start: float, duration: float) -> FailureRecord:
+        """Fail-stop ``node`` (a :class:`~repro.core.node.ProcessingNode`).
+
+        Unlike :meth:`crash_node` this goes through the node's own
+        crash/recover hooks, so on recovery it resubscribes to its upstream
+        neighbors instead of merely rejoining the network.
+        """
+        self._check_times(start, duration)
+        record = FailureRecord(FailureType.NODE_CRASH, node.name, start, duration)
+        self.history.append(record)
+        self.simulator.schedule_at(
+            start,
+            lambda now, n=node: n.crash(),
+            kind=EventKind.FAILURE,
+            description=f"crash {node.name}",
+        )
+        self.simulator.schedule_at(
+            start + duration,
+            lambda now, n=node: n.recover(),
+            kind=EventKind.RECOVERY,
+            description=f"recover {node.name}",
+        )
+        return record
+
     def crash_node(self, endpoint: str, start: float, duration: float) -> FailureRecord:
         """Crash ``endpoint`` at ``start`` and recover it ``duration`` later."""
         self._check_times(start, duration)

@@ -14,7 +14,7 @@ the order they were sent.  Failures are modelled the way they appear to DPC:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from ..errors import NetworkError
 from .event_loop import Simulator
@@ -121,52 +121,72 @@ class Network:
         involving a crashed endpoint are silently dropped (that is what the
         receiver observes), though they are counted in :attr:`stats`.
         """
-        if receiver not in self._handlers:
-            raise NetworkError(f"unknown endpoint {receiver!r}")
-        message = Message(
-            sender=sender,
-            receiver=receiver,
-            kind=kind,
-            payload=payload,
-            sent_at=self.simulator.now,
-        )
-        self.stats.sent += 1
-        self.stats.record(kind, "sent")
-        if not self.can_communicate(sender, receiver):
-            self.stats.dropped += 1
-            self.stats.record(kind, "dropped")
-            return False
-        # Preserve per-link FIFO order even if latencies were reconfigured.
-        deliver_at = max(
-            self.simulator.now + self.latency(sender, receiver),
-            self._last_delivery.get((sender, receiver), 0.0),
-        )
-        self._last_delivery[(sender, receiver)] = deliver_at
+        return bool(self.send_many(sender, (receiver,), kind, payload))
 
-        def deliver(now: float, message: Message = message) -> None:
+    def send_many(self, sender: str, receivers: Sequence[str], kind: str, payload: Any) -> list[str]:
+        """Multicast ``payload`` to several receivers with coalesced delivery.
+
+        All deliveries that come due at the same instant share a single
+        scheduled event (the batched tuple transport: one event carries the
+        payload to every receiver of that instant), while per-link FIFO order
+        and per-receiver failure semantics are identical to point-to-point
+        :meth:`send`.  Returns the receivers whose message was put on the
+        wire (a receiver is missing from the result when it was unreachable
+        at send time).
+        """
+        for receiver in receivers:
+            if receiver not in self._handlers:
+                raise NetworkError(f"unknown endpoint {receiver!r}")
+        now = self.simulator.now
+        on_the_wire: list[str] = []
+        by_instant: dict[float, list[Message]] = {}
+        for receiver in receivers:
+            self.stats.sent += 1
+            self.stats.record(kind, "sent")
+            if not self.can_communicate(sender, receiver):
+                self.stats.dropped += 1
+                self.stats.record(kind, "dropped")
+                continue
+            message = Message(
+                sender=sender, receiver=receiver, kind=kind, payload=payload, sent_at=now
+            )
+            # Preserve per-link FIFO order even if latencies were reconfigured.
+            deliver_at = max(
+                now + self.latency(sender, receiver),
+                self._last_delivery.get((sender, receiver), 0.0),
+            )
+            self._last_delivery[(sender, receiver)] = deliver_at
+            by_instant.setdefault(deliver_at, []).append(message)
+            on_the_wire.append(receiver)
+
+        for deliver_at, messages in by_instant.items():
+            self.simulator.schedule_at(
+                deliver_at,
+                lambda t, batch=messages: self._deliver(batch, t),
+                kind=EventKind.MESSAGE,
+                description=f"{sender}->{len(messages)} receivers:{kind}"
+                if len(messages) > 1
+                else f"{sender}->{messages[0].receiver}:{kind}",
+            )
+        return on_the_wire
+
+    def _deliver(self, messages: list[Message], now: float) -> None:
+        for message in messages:
             # The receiver may have crashed, or a partition may have appeared,
             # while the message was in flight.
             if not self.can_communicate(message.sender, message.receiver):
                 self.stats.dropped += 1
                 self.stats.record(message.kind, "dropped")
-                return
+                continue
             handler = self._handlers.get(message.receiver)
             if handler is None:
                 self.stats.dropped += 1
                 self.stats.record(message.kind, "dropped")
-                return
+                continue
             self.stats.delivered += 1
             self.stats.record(message.kind, "delivered")
             handler(message, now)
 
-        self.simulator.schedule_at(
-            deliver_at,
-            deliver,
-            kind=EventKind.MESSAGE,
-            description=f"{sender}->{receiver}:{kind}",
-        )
-        return True
-
     def broadcast(self, sender: str, receivers: list[str], kind: str, payload: Any) -> int:
         """Send the same payload to several receivers; returns how many were sent."""
-        return sum(1 for receiver in receivers if self.send(sender, receiver, kind, payload))
+        return len(self.send_many(sender, receivers, kind, payload))

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping
 
-from ..core.protocol import DATA, DataBatch
+from ..core.protocol import DATA, TupleBatch
 from ..errors import SimulationError
 from ..spe.streams import StreamLog, StreamWriter
 from ..spe.tuples import StreamTuple
@@ -179,20 +179,27 @@ class DataSource:
             break
 
     def _flush(self) -> None:
-        """Deliver the pending suffix of the log to every connected subscriber."""
+        """Deliver the pending suffix of the log to every connected subscriber.
+
+        Subscribers that are caught up to the same log position share a single
+        multicast batch, so the steady-state cost is one simulator event per
+        tick regardless of how many replicas consume the stream.
+        """
+        groups: dict[int, list[str]] = {}
         for endpoint, last_id in self._subscribers.items():
-            if not self._connected[endpoint]:
-                continue
+            if self._connected[endpoint]:
+                groups.setdefault(last_id, []).append(endpoint)
+        for last_id, endpoints in sorted(groups.items()):
             pending = self.log.replay_after(last_id)
             if not pending:
                 continue
-            sent = self.network.send(
+            sent = self.network.send_many(
                 self.name,
-                endpoint,
+                endpoints,
                 DATA_MESSAGE,
-                DataBatch.of(self.stream, pending, producer=self.name),
+                TupleBatch.of(self.stream, pending, producer=self.name),
             )
-            if sent:
+            for endpoint in sent:
                 self._subscribers[endpoint] = pending[-1].tuple_id
 
     # ------------------------------------------------------------------ introspection

@@ -50,20 +50,22 @@ class LocalEngine:
             raise DiagramError(
                 f"fragment {self.diagram.name!r} has no input stream {input_stream!r}"
             )
+        tuples = list(tuples)
         outputs: dict[str, list[StreamTuple]] = {o.stream: [] for o in self.diagram.outputs}
-        work: deque[tuple[str, int, StreamTuple]] = deque()
+        work: deque[tuple[str, int, list[StreamTuple]]] = deque()
         for binding in bindings:
-            for item in tuples:
-                work.append((binding.operator, binding.port, item))
+            if tuples:
+                work.append((binding.operator, binding.port, tuples))
         self._drain(work, outputs)
         return outputs
 
     def push_operator(self, operator_name: str, port: int, tuples: Iterable[StreamTuple]) -> dict[str, list[StreamTuple]]:
-        """Push tuples directly into an operator (used by the node's input SUnions)."""
+        """Push a batch directly into an operator (used by the node's input SUnions)."""
         outputs: dict[str, list[StreamTuple]] = {o.stream: [] for o in self.diagram.outputs}
-        work: deque[tuple[str, int, StreamTuple]] = deque(
-            (operator_name, port, item) for item in tuples
-        )
+        work: deque[tuple[str, int, list[StreamTuple]]] = deque()
+        tuples = list(tuples)
+        if tuples:
+            work.append((operator_name, port, tuples))
         self._drain(work, outputs)
         return outputs
 
@@ -83,10 +85,10 @@ class LocalEngine:
         stream = output_of.get(operator_name)
         if stream is not None:
             outputs[stream].extend(produced)
-        work: deque[tuple[str, int, StreamTuple]] = deque()
-        for connection in self.diagram.downstream_of(operator_name):
-            for item in produced:
-                work.append((connection.target, connection.port, item))
+        work: deque[tuple[str, int, list[StreamTuple]]] = deque()
+        if produced:
+            for connection in self.diagram.downstream_of(operator_name):
+                work.append((connection.target, connection.port, produced))
         self._drain(work, outputs)
         return outputs
 
@@ -95,21 +97,22 @@ class LocalEngine:
         work: deque,
         outputs: dict[str, list[StreamTuple]],
     ) -> None:
+        # Batch-at-a-time execution: each work item carries a vector of tuples
+        # that the operator consumes run-to-completion before its outputs are
+        # forwarded, also as one batch, to every downstream connection.
         output_of = {o.operator: o.stream for o in self.diagram.outputs}
         while work:
-            operator_name, port, item = work.popleft()
+            operator_name, port, items = work.popleft()
             operator = self.diagram.operator(operator_name)
-            produced = operator.process(port, item)
-            if item.is_data:
-                self.tuples_processed += 1
+            produced = operator.process_batch(port, items)
+            self.tuples_processed += sum(1 for item in items if item.is_data)
             if not produced:
                 continue
             stream = output_of.get(operator_name)
             if stream is not None:
                 outputs[stream].extend(produced)
             for connection in self.diagram.downstream_of(operator_name):
-                for out_item in produced:
-                    work.append((connection.target, connection.port, out_item))
+                work.append((connection.target, connection.port, produced))
 
     # ------------------------------------------------------------------ checkpoint / restore
     def checkpoint(self, created_at: float = 0.0) -> DiagramCheckpoint:

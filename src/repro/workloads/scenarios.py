@@ -22,10 +22,14 @@ class FailureSpec:
     * ``"silence"`` -- the source keeps sending data but stops producing
       boundary tuples, the mechanism of the Section 6.2 chain experiments;
     * ``"crash"`` -- a processing node crashes (fail-stop) and recovers.
+
+    ``start=None`` is only meaningful inside a
+    :class:`~repro.runtime.ScenarioSpec`, which resolves it to its warmup; a
+    :class:`Scenario` requires every start to be a number.
     """
 
     kind: str
-    start: float
+    start: float | None
     duration: float
     stream_index: int = 0
     node_level: int = 0
@@ -65,9 +69,8 @@ class Scenario:
                 )
             elif spec.kind == "crash":
                 node = cluster.node(spec.node_level, spec.node_replica)
-                cluster.simulator.schedule_at(spec.start, lambda now, n=node: n.crash())
-                cluster.simulator.schedule_at(
-                    spec.start + spec.duration, lambda now, n=node: n.recover()
+                records.append(
+                    cluster.failures.crash_processing_node(node, spec.start, spec.duration)
                 )
             else:
                 raise ValueError(f"unknown failure kind {spec.kind!r}")

@@ -50,6 +50,33 @@ def test_cancelled_event_does_not_fire():
     assert fired == []
 
 
+def test_simulator_cancel_skips_event_and_compacts():
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule_at(float(i + 1), lambda now: fired.append(now)) for i in range(200)]
+    for event in events[:150]:
+        sim.cancel(event)
+    # Lazy deletion compacted the heap once cancelled events dominated.
+    assert sim.pending_events == 50
+    assert len(sim._queue) < len(events)
+    sim.run_until(300.0)
+    assert len(fired) == 50
+    # Cancelling an already-cancelled or fired event is a no-op.
+    sim.cancel(events[0])
+
+
+def test_periodic_handle_cancel_stops_chain():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule_periodic(1.0, lambda now: fired.append(now))
+    sim.run_until(3.5)
+    assert fired == [1.0, 2.0, 3.0]
+    handle.cancel()
+    assert sim.pending_events == 0  # the pending occurrence was removed
+    sim.run_until(10.0)
+    assert fired == [1.0, 2.0, 3.0]
+
+
 def test_periodic_scheduling_with_stop_condition():
     sim = Simulator()
     fired = []

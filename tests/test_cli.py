@@ -70,6 +70,30 @@ def test_run_csv_to_file(with_fake_experiment, tmp_path, capsys):
     assert "row,1.25" in target.read_text()
 
 
+# --------------------------------------------------------------------------- scenario
+def test_scenario_runs_declarative_deployment(capsys):
+    code = cli.main(
+        [
+            "scenario",
+            "--rate", "90",
+            "--settle", "15",
+            "--failure", "disconnect",
+            "--failure-duration", "6",
+            "--seed", "1",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Proc_new" in out
+    assert "eventually consistent:                 True" in out
+    assert "stream_disconnect" in out
+
+
+def test_scenario_without_failure(capsys):
+    assert cli.main(["scenario", "--rate", "60", "--settle", "5", "--warmup", "1"]) == 0
+    assert "failure:" not in capsys.readouterr().out
+
+
 # --------------------------------------------------------------------------- plan-delays
 def test_plan_delays_full_strategy(capsys):
     assert cli.main(["plan-delays", "--depth", "4", "--budget", "8", "--strategy", "full"]) == 0
