@@ -1,0 +1,57 @@
+"""Diamond DAG: branch-kill availability and reconvergent reconciliation.
+
+Not a paper figure: the paper evaluates single nodes and chains, but its
+query diagrams are general DAGs (and Section 6.3 / Figure 21 reason about
+reconvergent paths).  This benchmark deploys the diamond topology -- ingest
+fans out to two partitioned branches, a fan-in SUnion re-merges them -- and
+kills *every* replica of one branch, so the merge cannot mask the failure by
+switching upstream replicas.
+
+Asserted properties (the DPC guarantees, transplanted to a DAG):
+
+* the unaffected branch never produces a tentative tuple and ends STABLE;
+* the client's Proc_new stays within the availability bound X while the
+  failed branch's slice is processed tentatively;
+* after the branch recovers, reconciliation converges: the client's stable
+  ledger is gap-free, duplicate-free, and ordered (eventual consistency).
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import diamond_sweep
+
+DURATIONS_QUICK = (4.0, 8.0)
+DURATIONS_FULL = (4.0, 8.0, 16.0, 30.0)
+
+
+def test_diamond_branch_crash(run_once):
+    durations = DURATIONS_FULL if full_sweep() else DURATIONS_QUICK
+    results = run_once(diamond_sweep, durations, seed=1)
+    lines = [r.row() for r in results]
+    for result in results:
+        branches = result.extra["branches"]
+        lines.append(
+            f"    branches tentative: "
+            + ", ".join(f"{name}={counts['tentative']}" for name, counts in branches.items())
+        )
+    print_results(
+        "Diamond DAG: both replicas of 'left' crashed; 'right' must stay stable", lines
+    )
+
+    for result in results:
+        label = f"diamond failure={result.failure_duration:g}s"
+        # Reconciliation must converge after the branch recovers.
+        assert result.eventually_consistent, label
+        branches = result.extra["branches"]
+        # The unaffected branch's output is never in doubt.
+        assert branches["right"]["tentative"] == 0, label
+        assert branches["right"]["stable"] > 0, label
+        # The failed branch's slice goes tentative at the merge.
+        assert branches["merge"]["tentative"] > 0, label
+        # Availability: Proc_new within the end-to-end bound X.
+        assert result.proc_new < result.extra["availability_bound"], label
+        # Every replica group has settled back to STABLE.
+        for name, states in result.extra["branch_states"].items():
+            assert all(state == "stable" for state in states), f"{label}: {name}={states}"

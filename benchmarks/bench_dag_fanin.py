@@ -1,0 +1,45 @@
+"""Fan-in DAG: one ingest branch silenced, the merge keeps its bound.
+
+Not a paper figure: extends the Section 6.2 chain experiments to cross-node
+fan-in.  Two independent ingest branches (each merging its own source
+streams) feed one merge node; the failure silences the boundaries of one
+branch's source, which suspends only the SUnion ports fed by that branch.
+
+Asserted properties:
+
+* the unaffected branch never produces a tentative tuple;
+* the merge processes the silenced branch's data tentatively but keeps
+  Proc_new within the availability bound;
+* when boundaries resume, reconciliation converges end to end.
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import fanin_sweep
+
+DURATIONS_QUICK = (4.0, 8.0)
+DURATIONS_FULL = (4.0, 8.0, 16.0, 30.0)
+
+
+def test_fanin_branch_silence(run_once):
+    durations = DURATIONS_FULL if full_sweep() else DURATIONS_QUICK
+    results = run_once(fanin_sweep, durations, seed=1)
+    lines = [r.row() for r in results]
+    for result in results:
+        branches = result.extra["branches"]
+        lines.append(
+            "    branches tentative: "
+            + ", ".join(f"{name}={counts['tentative']}" for name, counts in branches.items())
+        )
+    print_results("Fan-in DAG: boundary silence on branch1's first source", lines)
+
+    for result in results:
+        label = f"fanin failure={result.failure_duration:g}s"
+        assert result.eventually_consistent, label
+        branches = result.extra["branches"]
+        assert branches["branch2"]["tentative"] == 0, label
+        assert branches["branch1"]["tentative"] > 0, label
+        assert branches["merge"]["tentative"] > 0, label
+        assert result.proc_new < result.extra["availability_bound"], label

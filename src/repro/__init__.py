@@ -47,6 +47,7 @@ from .errors import (
 # Note: repro.sim must be imported before repro.core -- the core package's
 # modules import the simulator primitives, while repro.sim.client imports the
 # ConsistencyManager; loading sim first keeps the import graph acyclic.
+from .topology import NodeSpec, Topology, modulo_partition
 from .sim import (
     ClientApplication,
     Cluster,
@@ -55,6 +56,7 @@ from .sim import (
     Network,
     Simulator,
     build_chain_cluster,
+    build_dag_cluster,
     build_single_node_cluster,
 )
 from .core import NodeState, ProcessingNode, choose_upstream
@@ -104,6 +106,10 @@ __all__ = [
     "NodeState",
     "ProcessingNode",
     "choose_upstream",
+    # deployment topology
+    "NodeSpec",
+    "Topology",
+    "modulo_partition",
     # simulation substrate
     "ClientApplication",
     "Cluster",
@@ -112,6 +118,7 @@ __all__ = [
     "Network",
     "Simulator",
     "build_chain_cluster",
+    "build_dag_cluster",
     "build_single_node_cluster",
     # SPE
     "StreamTuple",

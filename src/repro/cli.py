@@ -9,8 +9,10 @@ without writing any code::
     python -m repro run fig16 --scale quick --format markdown
     python -m repro run replicas --output replicas.csv --format csv
     python -m repro scenario --depth 2 --failure disconnect --failure-duration 10
+    python -m repro scenario --topology diamond --failure crash --failure-node left
     python -m repro claims
     python -m repro plan-delays --depth 4 --budget 8 --strategy full
+    python -m repro plan-delays --topology diamond --budget 9 --strategy uniform
 
 The CLI is a thin layer over :mod:`repro.runtime`, :mod:`repro.experiments`,
 and :mod:`repro.analysis`; everything it prints can also be produced
@@ -40,8 +42,9 @@ from .analysis.tables import (
 )
 from .config import DelayAssignment
 from .core.delay_planner import DelayPlanner
-from .experiments import ablations, chains, overhead, single_node
+from .experiments import ablations, chains, dags, overhead, single_node
 from .experiments.harness import ExperimentResult
+from .topology import Topology
 
 #: Renderers selectable with ``--format``.
 _RENDERERS: dict[str, Callable[[ResultTable], str]] = {
@@ -193,6 +196,31 @@ def _run_granularity(scale: str) -> list[ResultTable]:
     return _results_to_tables(results, "Ablation: failure granularity", by="duration")
 
 
+def _dag_table(results: list[ExperimentResult], title: str) -> ResultTable:
+    table = ResultTable(title=title, row_label="failure", column_label="metric")
+    for result in results:
+        key = f"{result.failure_duration:g} s"
+        table.set(key, "Proc_new (s)", result.proc_new)
+        table.set(key, "N_tentative", result.n_tentative)
+        table.set(key, "consistent", result.eventually_consistent)
+        branches = result.extra.get("branches", {})
+        for name, counts in branches.items():
+            table.set(key, f"{name} tentative", counts["tentative"])
+    return table
+
+
+def _run_diamond(scale: str) -> list[ResultTable]:
+    durations = (4.0, 8.0) if scale != "full" else (4.0, 8.0, 16.0, 30.0)
+    results = dags.diamond_sweep(durations, seed=1)
+    return [_dag_table(results, "Diamond topology: branch crash (all replicas of 'left')")]
+
+
+def _run_fanin(scale: str) -> list[ResultTable]:
+    durations = (4.0, 8.0) if scale != "full" else (4.0, 8.0, 16.0, 30.0)
+    results = dags.fanin_sweep(durations, seed=1)
+    return [_dag_table(results, "Fan-in topology: boundary silence on one branch")]
+
+
 EXPERIMENTS: dict[str, ExperimentCommand] = {
     "table3": ExperimentCommand("table3", "Table III: Proc_new vs failure duration", _run_table3),
     "fig11a": ExperimentCommand("fig11a", "Figure 11(a): overlapping failures", _run_fig11(True)),
@@ -205,6 +233,12 @@ EXPERIMENTS: dict[str, ExperimentCommand] = {
     "fig20": ExperimentCommand("fig20", "Figures 19-20: delay assignment strategies", _run_fig19_20),
     "table4": ExperimentCommand("table4", "Table IV: overhead vs bucket size", _run_table4),
     "table5": ExperimentCommand("table5", "Table V: overhead vs boundary interval", _run_table5),
+    "diamond": ExperimentCommand(
+        "diamond", "DAG: diamond (fan-out + fan-in) with one branch crashed", _run_diamond
+    ),
+    "fanin": ExperimentCommand(
+        "fanin", "DAG: cross-node fan-in with one branch silenced", _run_fanin
+    ),
     "replicas": ExperimentCommand("replicas", "Ablation: replicas per node", _run_replicas),
     "detection": ExperimentCommand("detection", "Ablation: detection parameters", _run_detection),
     "crash": ExperimentCommand("crash", "Ablation: crash failover", _run_crash),
@@ -261,35 +295,72 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     from .errors import ConfigurationError
     from .runtime import ScenarioSpec
 
-    spec = ScenarioSpec(
+    common = dict(
         name=args.name,
-        chain_depth=args.depth,
         replicas_per_node=args.replicas,
-        n_input_streams=args.streams,
         aggregate_rate=args.rate,
         warmup=args.warmup,
         settle=args.settle,
         seed=args.seed,
     )
-    if args.failure == "crash":
-        spec = spec.with_failure(
-            "crash",
-            duration=args.failure_duration,
-            node_level=args.failure_level,
-            node_replica=args.failure_replica,
+    if args.failure_node and args.failure != "crash":
+        print(
+            "invalid scenario: --failure-node only applies to --failure crash "
+            "(disconnect/silence target a source stream via --failure-stream)",
+            file=sys.stderr,
         )
-    elif args.failure:
-        spec = spec.with_failure(
-            args.failure, duration=args.failure_duration, stream_index=args.failure_stream
-        )
+        return 2
+    streams = args.streams
     try:
+        if args.topology == "diamond":
+            spec = ScenarioSpec.diamond(
+                n_input_streams=3 if streams is None else streams, **common
+            )
+        elif args.topology == "fanin":
+            if streams is None:
+                spec = ScenarioSpec.fanin(**common)
+            elif streams >= 2 and streams % 2 == 0:
+                spec = ScenarioSpec.fanin(streams_per_branch=streams // 2, **common)
+            else:
+                print(
+                    f"invalid scenario: --streams {streams} cannot be split across the "
+                    "fanin topology's 2 branches (use an even count >= 2)",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            spec = ScenarioSpec(
+                chain_depth=args.depth,
+                n_input_streams=3 if streams is None else streams,
+                **common,
+            )
+        if args.failure == "crash":
+            if args.failure_node:
+                spec = spec.with_failure(
+                    "crash",
+                    duration=args.failure_duration,
+                    node=args.failure_node,
+                    node_replica=args.failure_replica,
+                )
+            else:
+                spec = spec.with_failure(
+                    "crash",
+                    duration=args.failure_duration,
+                    node_level=args.failure_level,
+                    node_replica=args.failure_replica,
+                )
+        elif args.failure:
+            spec = spec.with_failure(
+                args.failure, duration=args.failure_duration, stream_index=args.failure_stream
+            )
         runtime = spec.run()
     except ConfigurationError as error:
         print(f"invalid scenario: {error}", file=sys.stderr)
         return 2
     summary = runtime.client.summary()
-    print(f"scenario {spec.name!r}: depth={spec.chain_depth} replicas={spec.replicas_per_node} "
-          f"rate={spec.aggregate_rate:g} tuples/s seed={spec.seed}")
+    topology = runtime.topology
+    print(f"scenario {spec.name!r}: topology={topology.name} nodes={','.join(topology.node_names)} "
+          f"replicas={spec.replicas_per_node} rate={spec.aggregate_rate:g} tuples/s seed={spec.seed}")
     for record in runtime.injected:
         print(f"  failure: {record.failure_type.value} on {record.target} "
               f"at t={record.start:g}s for {record.duration:g}s")
@@ -304,16 +375,27 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan_delays(args: argparse.Namespace) -> int:
-    planner = DelayPlanner.for_chain(
-        args.depth, total_budget=args.budget, queuing_allowance=args.queuing_allowance
+    if args.topology == "diamond":
+        topology = Topology.diamond()
+    elif args.topology == "fanin":
+        topology = Topology.fanin()
+    else:
+        topology = Topology.chain(args.depth)
+    planner = DelayPlanner.for_topology(
+        topology, total_budget=args.budget, queuing_allowance=args.queuing_allowance
     )
     strategy = DelayAssignment(args.strategy)
     plan = planner.plan(strategy)
+    print(f"topology: {topology.name} (longest path: {topology.depth()} node(s))")
     print(f"strategy: {plan.strategy.value}")
     print(f"end-to-end budget X: {plan.total_budget:g} s")
     print(f"masked failure duration: {plan.masked_failure:g} s")
     for node, delay in plan.per_node.items():
         print(f"  {node}: D = {delay:g} s")
+    for diagnostic in planner.diagnose(plan.per_node):
+        status = "ok" if diagnostic.within_budget else "OVER BUDGET"
+        print(f"path {' -> '.join(diagnostic.path)}: accumulated "
+              f"{diagnostic.accumulated_delay:g} s [{status}]")
     for note in plan.notes:
         print(f"note: {note}")
     return 0
@@ -355,9 +437,13 @@ def build_parser() -> argparse.ArgumentParser:
         "SimulationRuntime, run it, and print the client's view of the run.",
     )
     scenario.add_argument("--name", default="cli-scenario", help="label for the scenario")
+    scenario.add_argument("--topology", choices=("chain", "diamond", "fanin"), default="chain",
+                          help="deployment shape; chain uses --depth, DAG shapes are preset")
     scenario.add_argument("--depth", type=int, default=1, help="number of chained nodes")
     scenario.add_argument("--replicas", type=int, default=2, help="replicas per node")
-    scenario.add_argument("--streams", type=int, default=3, help="number of input streams")
+    scenario.add_argument("--streams", type=int, default=None,
+                          help="number of input streams (default 3; fanin splits them "
+                               "across its 2 branches)")
     scenario.add_argument("--rate", type=float, default=150.0,
                           help="aggregate source rate in tuples per simulated second")
     scenario.add_argument("--warmup", type=float, default=5.0, help="seconds before the failure")
@@ -368,6 +454,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="failure length in simulated seconds")
     scenario.add_argument("--failure-stream", type=int, default=0,
                           help="input stream hit by a disconnect/silence failure")
+    scenario.add_argument("--failure-node", default=None,
+                          help="logical node name hit by a crash failure (DAG addressing)")
     scenario.add_argument("--failure-level", type=int, default=0,
                           help="chain level of the node hit by a crash failure")
     scenario.add_argument("--failure-replica", type=int, default=0,
@@ -376,7 +464,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="determinism seed (same seed => identical run)")
     scenario.set_defaults(func=_cmd_scenario)
 
-    plan = sub.add_parser("plan-delays", help="plan per-node delay budgets for a chain")
+    plan = sub.add_parser("plan-delays", help="plan per-node delay budgets for a deployment")
+    plan.add_argument("--topology", choices=("chain", "diamond", "fanin"), default="chain",
+                      help="deployment shape to plan over")
     plan.add_argument("--depth", type=int, default=4, help="number of nodes in the chain")
     plan.add_argument("--budget", type=float, default=8.0, help="end-to-end bound X in seconds")
     plan.add_argument("--queuing-allowance", type=float, default=1.5,

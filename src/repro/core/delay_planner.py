@@ -30,6 +30,7 @@ from typing import Mapping, Sequence
 
 from ..config import DelayAssignment
 from ..errors import ConfigurationError
+from ..topology import Topology
 
 
 @dataclass(frozen=True)
@@ -121,14 +122,29 @@ class DelayPlanner:
         """Planner pre-populated with the chain deployment of Figure 14."""
         if depth < 1:
             raise ConfigurationError(f"chain depth must be >= 1, got {depth}")
+        return cls.for_topology(
+            Topology.chain(depth),
+            total_budget=total_budget,
+            queuing_allowance=queuing_allowance,
+        )
+
+    @classmethod
+    def for_topology(
+        cls, topology: Topology, *, total_budget: float, queuing_allowance: float = 1.5
+    ) -> "DelayPlanner":
+        """Planner pre-populated with an arbitrary replicated-DAG deployment.
+
+        The planner mirrors the topology's node graph (replication is
+        irrelevant here: every replica of a node receives the node's budget),
+        so the UNIFORM strategy divides ``X`` by the *longest* entry-to-sink
+        path and short branches are never over-assigned.
+        """
         planner = cls(total_budget, queuing_allowance)
-        previous: str | None = None
-        for level in range(depth):
-            name = f"node{level + 1}"
-            planner.add_node(name, entry=level == 0)
-            if previous is not None:
-                planner.connect(previous, name)
-            previous = name
+        for spec in topology:
+            planner.add_node(spec.name, entry=topology.is_entry(spec))
+        for spec in topology:
+            for upstream in topology.upstream_nodes(spec):
+                planner.connect(upstream.name, spec.name)
         return planner
 
     # ------------------------------------------------------------------ graph helpers
@@ -163,8 +179,32 @@ class DelayPlanner:
         return paths
 
     def depth(self) -> int:
-        """Length of the longest entry-to-sink path."""
-        return max(len(path) for path in self._paths())
+        """Length of the longest entry-to-sink path.
+
+        Computed by dynamic programming over a topological order of the
+        deployment graph -- planning runs on every cluster build, and path
+        *enumeration* (kept for :meth:`diagnose`) is exponential in
+        reconvergent DAGs.
+        """
+        self._check_nonempty()
+        indegree = {name: 0 for name in self._nodes}
+        for targets in self._edges.values():
+            for target in targets:
+                indegree[target] += 1
+        ready = [name for name in self._nodes if indegree[name] == 0]
+        longest = {name: 1 for name in self._nodes}
+        visited = 0
+        while ready:
+            current = ready.pop(0)
+            visited += 1
+            for target in self._edges[current]:
+                longest[target] = max(longest[target], longest[current] + 1)
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    ready.append(target)
+        if visited != len(self._nodes):
+            raise ConfigurationError("deployment graph has a cycle")
+        return max(longest.values())
 
     # ------------------------------------------------------------------ planning
     def plan(self, strategy: DelayAssignment) -> DelayPlan:

@@ -78,6 +78,13 @@ class InputStreamMonitor:
 
     # --- replica-independent position ----------------------------------------
     stable_received: int = 0
+    #: True between a crash-recovery resubscription and the arrival of its
+    #: replay.  While set, stable tuples *beyond* the expected position are
+    #: rejected: they come from the producer's stale pre-crash cursor (whose
+    #: in-flight tuples the crash dropped) racing ahead of the replay, and
+    #: accepting them would advance the position past the gap so the replay
+    #: itself would then be discarded as duplicate.
+    awaiting_replay: bool = False
 
     # --- redo buffer ----------------------------------------------------------
     stable_buffer: list[StreamTuple] = field(default_factory=list)
@@ -115,6 +122,14 @@ class InputStreamMonitor:
         if item.is_boundary:
             self.last_boundary_arrival = now
             self.last_boundary_stime = max(self.last_boundary_stime, item.stime)
+            if self.awaiting_replay:
+                # Stale-cursor punctuation racing the resubscription replay:
+                # it promises stability for stimes whose data we have not
+                # received yet (the replay re-delivers data and boundaries
+                # interleaved).  Feeding it would advance the fragment's
+                # watermark past the replayed data.  It still counts as
+                # liveness evidence (above), but is not processed.
+                return "duplicate"
             self.stable_buffer.append(item)
             return "accept"
         if item.is_undo:
@@ -127,6 +142,15 @@ class InputStreamMonitor:
         if item.is_stable:
             if item.stable_seq is not None and item.stable_seq < self.stable_received:
                 return "duplicate"
+            if (
+                self.awaiting_replay
+                and item.stable_seq is not None
+                and item.stable_seq > self.stable_received
+            ):
+                # Stale-cursor data racing the resubscription replay; the
+                # replay covers it from the expected position onward.
+                return "duplicate"
+            self.awaiting_replay = False
             self.last_data_arrival = now
             if item.stable_seq is not None:
                 self.stable_received = item.stable_seq + 1

@@ -665,6 +665,11 @@ class ProcessingNode:
             monitor.last_boundary_arrival = self.simulator.now
             primary = monitor.primary
             if primary is not None and not monitor.producers[primary].is_source:
+                # Until the replay arrives, reject stable data beyond the
+                # expected position: the upstream's pre-crash cursor may have
+                # counted in-flight (crash-dropped) tuples as delivered, and
+                # its next flush must not advance us past that gap.
+                monitor.awaiting_replay = True
                 self.network.send(
                     self.endpoint,
                     primary,

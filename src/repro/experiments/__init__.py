@@ -13,6 +13,14 @@ from .harness import (
 )
 from .single_node import FIG13_POLICIES, TraceResult, eventual_consistency_trace, fig13, table3
 from .chains import CHAIN_POLICIES, FIG19_VARIANTS, fig15, fig16, fig18, fig19_20
+from .dags import (
+    diamond_branch_failure,
+    diamond_spec,
+    diamond_sweep,
+    fanin_branch_failure,
+    fanin_spec,
+    fanin_sweep,
+)
 from .overhead import OverheadRow, serialization_overhead, table4, table5
 from .ablations import (
     BufferBoundResult,
@@ -37,6 +45,12 @@ __all__ = [
     "table3",
     "CHAIN_POLICIES",
     "FIG19_VARIANTS",
+    "diamond_branch_failure",
+    "diamond_spec",
+    "diamond_sweep",
+    "fanin_branch_failure",
+    "fanin_spec",
+    "fanin_sweep",
     "fig15",
     "fig16",
     "fig18",

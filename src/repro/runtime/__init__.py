@@ -13,14 +13,18 @@ Every experiment module, benchmark, example, and CLI command builds its
 deployments through this layer rather than assembling clusters by hand.
 """
 
+from ..topology import NodeSpec, Topology, modulo_partition
 from ..workloads.scenarios import FailureSpec
 from .runtime import SimulationRuntime, client_is_eventually_consistent, run_scenario
 from .spec import ScenarioSpec
 
 __all__ = [
     "FailureSpec",
+    "NodeSpec",
     "ScenarioSpec",
     "SimulationRuntime",
+    "Topology",
     "client_is_eventually_consistent",
+    "modulo_partition",
     "run_scenario",
 ]

@@ -23,7 +23,7 @@ from __future__ import annotations
 from ..errors import SimulationError
 from ..metrics.consistency import duplicate_stable_values
 from ..sim.client import ClientApplication
-from ..sim.cluster import Cluster, build_chain_cluster
+from ..sim.cluster import Cluster, build_dag_cluster
 from ..sim.event_loop import Simulator
 from ..sim.failures import FailureInjector, FailureRecord
 from ..sim.network import Network
@@ -51,10 +51,10 @@ class SimulationRuntime:
     def __init__(self, spec: ScenarioSpec) -> None:
         spec.validate()
         self.spec = spec
-        self.cluster: Cluster = build_chain_cluster(
-            chain_depth=spec.chain_depth,
+        self.topology = spec.resolved_topology()
+        self.cluster: Cluster = build_dag_cluster(
+            self.topology,
             replicas_per_node=spec.replicas_per_node,
-            n_input_streams=spec.n_input_streams,
             aggregate_rate=spec.aggregate_rate,
             config=spec.config,
             sim_config=spec.sim_config,
@@ -90,11 +90,20 @@ class SimulationRuntime:
     def sources(self) -> list[DataSource]:
         return self.cluster.sources
 
+    @property
+    def clients(self) -> list[ClientApplication]:
+        return self.cluster.clients
+
     def nodes(self):
         return self.cluster.all_nodes()
 
-    def node(self, level: int, replica: int = 0):
-        return self.cluster.node(level, replica)
+    def node(self, key: str | int, replica: int = 0):
+        """Replica of a logical node, by name (DAGs) or level (chain shim)."""
+        return self.cluster.node(key, replica)
+
+    def node_group(self, name: str):
+        """All replicas of logical node ``name``."""
+        return self.cluster.node_group(name)
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> "SimulationRuntime":
@@ -131,6 +140,11 @@ class SimulationRuntime:
         data = self.cluster.summary()
         data["scenario"] = self.spec.name
         data["seed"] = self.spec.seed
+        data["topology"] = {
+            "name": self.topology.name,
+            "nodes": self.topology.node_names,
+            "sources": self.topology.source_streams,
+        }
         data["events_fired"] = self.simulator.events_fired
         data["eventually_consistent"] = self.eventually_consistent()
         data["failures"] = [
@@ -146,7 +160,7 @@ class SimulationRuntime:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<SimulationRuntime {self.spec.name!r} depth={self.spec.chain_depth} "
+            f"<SimulationRuntime {self.spec.name!r} topology={self.topology.name!r} "
             f"now={self.simulator.now:.3f}>"
         )
 

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..config import DPCConfig, SimulationConfig
 from ..errors import ConfigurationError
+from ..topology import NodeSpec, Topology, as_topology
 from ..workloads.generators import PayloadFactory, default_payload_factory
 from ..workloads.scenarios import FailureSpec, Scenario
 
@@ -38,12 +39,22 @@ class ScenarioSpec:
     The defaults reproduce the paper's workhorse deployment: one processing
     node replicated on two simulated machines, fed by three sources at an
     aggregate 150 tuples/s, with no failures scheduled.
+
+    The deployment shape comes from ``topology`` -- a
+    :class:`~repro.topology.Topology` (or a sequence of
+    :class:`~repro.topology.NodeSpec`) describing an arbitrary replicated
+    DAG.  When ``topology`` is ``None``, the legacy ``chain_depth`` /
+    ``n_input_streams`` sugar compiles to an equivalent path topology.
     """
 
     name: str = "scenario"
     # --- topology -------------------------------------------------------------
+    #: Deployment DAG; None compiles chain_depth into a path graph.
+    topology: "Topology | tuple[NodeSpec, ...] | None" = None
     chain_depth: int = 1
     replicas_per_node: int = 2
+    #: Source-stream count of the chain sugar; ignored when ``topology`` is
+    #: given (the topology's own source streams are used instead).
     n_input_streams: int = 3
     aggregate_rate: float = 150.0
     join_state_size: int | None = 100
@@ -81,34 +92,47 @@ class ScenarioSpec:
             raise ConfigurationError("warmup and settle must be non-negative")
         if self.duration is not None and self.duration <= 0:
             raise ConfigurationError("duration must be positive when given")
+        topology = self.resolved_topology()  # validates the graph itself
+        n_sources = len(topology.source_streams)
         for spec in self._resolved_failures():
             if spec.start < 0 or spec.duration <= 0:
                 raise ConfigurationError(
                     f"failure {spec.kind!r} must have start >= 0 and duration > 0"
                 )
             if spec.kind in ("disconnect", "silence"):
-                if not 0 <= spec.stream_index < self.n_input_streams:
+                if not 0 <= spec.stream_index < n_sources:
                     raise ConfigurationError(
                         f"failure {spec.kind!r} targets stream {spec.stream_index}, but the "
-                        f"scenario has {self.n_input_streams} input streams"
+                        f"scenario has {n_sources} input streams"
                     )
             elif spec.kind == "crash":
-                if not 0 <= spec.node_level < self.chain_depth:
-                    raise ConfigurationError(
-                        f"crash targets node level {spec.node_level}, but the chain has "
-                        f"{self.chain_depth} level(s)"
-                    )
-                if not 0 <= spec.node_replica < self.replicas_per_node:
-                    raise ConfigurationError(
-                        f"crash targets replica {spec.node_replica}, but each node has "
-                        f"{self.replicas_per_node} replica(s)"
-                    )
+                if spec.node is not None:
+                    target = spec.node
+                else:
+                    order = topology.node_names
+                    if not 0 <= spec.node_level < len(order):
+                        raise ConfigurationError(
+                            f"crash targets node level {spec.node_level}, but the topology "
+                            f"has {len(order)} node(s)"
+                        )
+                    target = order[spec.node_level]
+                topology.validate_failure_target(
+                    target, spec.node_replica, self.replicas_per_node
+                )
             else:
                 raise ConfigurationError(f"unknown failure kind {spec.kind!r}")
         (self.config or DPCConfig()).validate()
         (self.sim_config or SimulationConfig()).validate()
 
     # ------------------------------------------------------------------ derived values
+    def resolved_topology(self) -> Topology:
+        """The deployment DAG this spec describes (chain sugar compiled)."""
+        return as_topology(
+            self.topology,
+            chain_depth=self.chain_depth,
+            n_input_streams=self.n_input_streams,
+        )
+
     def dpc_config(self) -> DPCConfig:
         return self.config or DPCConfig()
 
@@ -147,6 +171,7 @@ class ScenarioSpec:
         start: float | None = None,
         duration: float = 10.0,
         stream_index: int = 0,
+        node: str | None = None,
         node_level: int = 0,
         node_replica: int = 0,
     ) -> "ScenarioSpec":
@@ -154,17 +179,35 @@ class ScenarioSpec:
 
         ``start=None`` means "at the end of the warmup" and is resolved
         lazily, so a later ``with_overrides(warmup=...)`` moves the failure
-        with it.
+        with it.  A crash targets a logical node by ``node`` name (DAG
+        topologies) or ``node_level`` (chain shim).
         """
         spec = FailureSpec(
             kind=kind,
             start=start,
             duration=duration,
             stream_index=stream_index,
+            node=node,
             node_level=node_level,
             node_replica=node_replica,
         )
         return replace(self, failures=self.failures + (spec,))
+
+    def with_branch_crash(
+        self, node: str, duration: float = 10.0, start: float | None = None
+    ) -> "ScenarioSpec":
+        """Crash *every* replica of ``node`` for ``duration`` seconds.
+
+        This is the branch-kill schedule of the DAG experiments: with all
+        replicas of one logical node down, downstream consumers cannot mask
+        the failure by switching and must fall back to tentative processing.
+        The replica set is resolved at injection time (``node_replica = -1``),
+        so a later ``with_overrides(replicas_per_node=...)`` still kills the
+        whole branch.
+        """
+        return self.with_failure(
+            "crash", start=start, duration=duration, node=node, node_replica=-1
+        )
 
     def with_overrides(self, **changes) -> "ScenarioSpec":
         """A copy of this spec with ``changes`` applied (dataclass replace)."""
@@ -185,6 +228,26 @@ class ScenarioSpec:
     def chain(cls, depth: int, **changes) -> "ScenarioSpec":
         """The Figure 14 deployment: a chain of replicated nodes."""
         return cls(name=changes.pop("name", f"chain-{depth}"), chain_depth=depth, **changes)
+
+    @classmethod
+    def diamond(cls, n_input_streams: int = 3, **changes) -> "ScenarioSpec":
+        """Reconvergent DAG: ingest fans out to two partitioned branches that re-merge."""
+        return cls(
+            name=changes.pop("name", "diamond"),
+            topology=Topology.diamond(n_input_streams=n_input_streams),
+            n_input_streams=n_input_streams,
+            **changes,
+        )
+
+    @classmethod
+    def fanin(cls, branches: int = 2, streams_per_branch: int = 2, **changes) -> "ScenarioSpec":
+        """Cross-node fan-in: independent ingest branches merged by one node."""
+        return cls(
+            name=changes.pop("name", "fanin"),
+            topology=Topology.fanin(branches=branches, streams_per_branch=streams_per_branch),
+            n_input_streams=branches * streams_per_branch,
+            **changes,
+        )
 
     # ------------------------------------------------------------------ compilation
     def build(self) -> "SimulationRuntime":

@@ -9,6 +9,7 @@ from .client import ClientApplication
 from .cluster import (
     Cluster,
     build_chain_cluster,
+    build_dag_cluster,
     build_single_node_cluster,
     merge_diagram,
     relay_diagram,
@@ -29,6 +30,7 @@ __all__ = [
     "ClientApplication",
     "Cluster",
     "build_chain_cluster",
+    "build_dag_cluster",
     "build_single_node_cluster",
     "merge_diagram",
     "relay_diagram",

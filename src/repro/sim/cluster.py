@@ -1,12 +1,16 @@
 """Cluster assembly: wire sources, replicated processing nodes, and clients.
 
-The experiments in the paper use two deployment shapes:
-
-* a single (optionally replicated) processing node fed by three data sources
-  (Figures 10 and 12, Table III, Figure 13);
-* a chain of up to four replicated processing nodes (Figure 14) where the
-  first node merges three source streams and each subsequent node processes
-  its predecessor's output (Figures 15, 16, 18, 19, 20).
+The paper's experiments use two deployment shapes -- a single (optionally
+replicated) processing node fed by three data sources (Figures 10 and 12,
+Table III, Figure 13) and a chain of up to four replicated nodes
+(Figures 15, 16, 18, 19, 20) -- but its query diagrams are general DAGs.
+:func:`build_dag_cluster` wires an arbitrary replicated
+:class:`~repro.topology.Topology`: it walks the node specs in topological
+order, gives every node one SUnion merging all of its (possibly cross-node)
+input streams, multicasts every output stream to all downstream subscribers
+via the batch transport, and attaches one measuring client per sink.
+:func:`build_chain_cluster` survives as the sugar that compiles the paper's
+chain shape to a path topology.
 
 :class:`Cluster` owns the simulator, network, failure injector, sources,
 nodes, and clients of one such deployment and provides the small amount of
@@ -21,10 +25,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..config import DPCConfig, SimulationConfig
+from ..core.delay_planner import DelayPlanner
 from ..core.node import ProcessingNode
 from ..errors import ConfigurationError
-from ..spe.operators import SJoin, SOutput, SUnion
+from ..spe.operators import Filter, SJoin, SOutput, SUnion
 from ..spe.query_diagram import QueryDiagram
+from ..topology import SelectPredicate, Topology
 from ..workloads.generators import PayloadFactory, default_payload_factory
 from .client import ClientApplication
 from .event_loop import Simulator
@@ -41,9 +47,16 @@ class Cluster:
     network: Network
     failures: FailureInjector
     sources: list[DataSource] = field(default_factory=list)
-    #: Replica groups: nodes[i] is the list of replicas of logical node i+1.
+    #: Replica groups in topological order: nodes[i] is the list of replicas
+    #: of the i-th logical node (for a chain, the node at level i).
     nodes: list[list[ProcessingNode]] = field(default_factory=list)
     clients: list[ClientApplication] = field(default_factory=list)
+    #: Replica groups by logical node name (the canonical addressing).
+    node_groups: dict[str, list[ProcessingNode]] = field(default_factory=dict)
+    #: Source stream name -> processing-node replicas consuming it directly.
+    stream_consumers: dict[str, list[ProcessingNode]] = field(default_factory=dict)
+    #: The deployment graph this cluster was built from (None for hand wiring).
+    topology: Topology | None = None
 
     # ------------------------------------------------------------------ access helpers
     @property
@@ -55,9 +68,45 @@ class Cluster:
     def all_nodes(self) -> list[ProcessingNode]:
         return [replica for group in self.nodes for replica in group]
 
-    def node(self, level: int, replica: int = 0) -> ProcessingNode:
-        """Replica ``replica`` of the ``level``-th node in the chain (0-based)."""
-        return self.nodes[level][replica]
+    def node_group(self, key: str | int) -> list[ProcessingNode]:
+        """All replicas of a logical node, by name or topological-order index."""
+        if isinstance(key, str):
+            try:
+                return self.node_groups[key]
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"cluster has no node {key!r}; known nodes: {list(self.node_groups)}"
+                ) from exc
+        try:
+            return self.nodes[key]
+        except IndexError as exc:
+            raise ConfigurationError(
+                f"cluster has no node at level {key}; it has {len(self.nodes)} level(s)"
+            ) from exc
+
+    def node(self, key: str | int, replica: int = 0) -> ProcessingNode:
+        """Replica ``replica`` of a logical node.
+
+        ``key`` is the node's *name* (``cluster.node("merge", replica=1)``).
+        An integer ``key`` is the thin level-based shim kept for the chain
+        experiments: it indexes the topological order, which for a chain is
+        the chain level.
+        """
+        group = self.node_group(key)
+        try:
+            return group[replica]
+        except IndexError as exc:
+            raise ConfigurationError(
+                f"node {key!r} has {len(group)} replica(s); replica {replica} does not exist"
+            ) from exc
+
+    def consumers_of(self, stream: str) -> list[ProcessingNode]:
+        """Processing nodes directly consuming source stream ``stream``."""
+        consumers = self.stream_consumers.get(stream)
+        if consumers is not None:
+            return consumers
+        # Hand-wired legacy clusters: every first-group node reads every source.
+        return self.nodes[0] if self.nodes else []
 
     def source(self, index: int) -> DataSource:
         return self.sources[index]
@@ -94,12 +143,14 @@ def merge_diagram(
     output_stream: str,
     bucket_size: float,
     join_state_size: int | None = None,
+    select: SelectPredicate | None = None,
 ) -> QueryDiagram:
     """The first-node fragment: SUnion over the sources (+ optional SJoin) + SOutput.
 
     Matches the experimental setup of Section 5.2 / Figure 12: "an SUnion that
     merges these streams into one, an SJoin with a 100-tuple state size, and an
-    SOutput".
+    SOutput".  ``select`` optionally inserts a deterministic Filter before the
+    SOutput (the branch-partitioning fragments of DAG deployments).
     """
     diagram = QueryDiagram(name=name)
     merge = SUnion(name=f"{name}.sunion", arity=len(input_streams), bucket_size=bucket_size)
@@ -108,8 +159,13 @@ def merge_diagram(
     if join_state_size is not None:
         sjoin = SJoin(name=f"{name}.sjoin", state_size=join_state_size)
         diagram.add_operator(sjoin)
-        diagram.connect(merge, sjoin)
+        diagram.connect(last, sjoin)
         last = sjoin
+    if select is not None:
+        selector = Filter(name=f"{name}.filter", predicate=select)
+        diagram.add_operator(selector)
+        diagram.connect(last, selector)
+        last = selector
     soutput = SOutput(name=f"{name}.soutput")
     diagram.add_operator(soutput)
     diagram.connect(last, soutput)
@@ -125,14 +181,25 @@ def relay_diagram(
     input_stream: str,
     output_stream: str,
     bucket_size: float,
+    select: SelectPredicate | None = None,
 ) -> QueryDiagram:
-    """A downstream-node fragment: a single-input SUnion followed by an SOutput."""
+    """A downstream-node fragment: a single-input SUnion followed by an SOutput.
+
+    ``select`` optionally inserts a deterministic Filter between the two --
+    the fragment run by the partitioned branches of a diamond deployment.
+    """
     diagram = QueryDiagram(name=name)
     sunion = SUnion(name=f"{name}.sunion", arity=1, bucket_size=bucket_size)
-    soutput = SOutput(name=f"{name}.soutput")
     diagram.add_operator(sunion)
+    last = sunion
+    if select is not None:
+        selector = Filter(name=f"{name}.filter", predicate=select)
+        diagram.add_operator(selector)
+        diagram.connect(last, selector)
+        last = selector
+    soutput = SOutput(name=f"{name}.soutput")
     diagram.add_operator(soutput)
-    diagram.connect(sunion, soutput)
+    diagram.connect(last, soutput)
     diagram.bind_input(input_stream, sunion)
     diagram.bind_output(output_stream, soutput)
     diagram.validate()
@@ -140,6 +207,238 @@ def relay_diagram(
 
 
 # --------------------------------------------------------------------------- cluster builders
+def _node_delay_budgets(
+    topology: Topology, config: DPCConfig, per_node_delay: float | None
+) -> dict[str, float]:
+    """Per-node delay budgets D for every logical node of ``topology``.
+
+    An explicit ``per_node_delay`` overrides every node (the chain
+    experiments assign D per node directly).  Otherwise the budgets come
+    from a :class:`~repro.core.delay_planner.DelayPlanner` over the
+    deployment graph, so the UNIFORM strategy splits the end-to-end bound X
+    along the *longest* entry-to-sink path -- short branches under-use the
+    budget instead of over-assigning it when paths reconverge.
+    """
+    if per_node_delay is not None:
+        return {name: per_node_delay for name in topology.node_names}
+    try:
+        planner = DelayPlanner.for_topology(
+            topology,
+            total_budget=config.max_incremental_latency,
+            queuing_allowance=config.queuing_allowance,
+        )
+        return dict(planner.plan(config.delay_assignment).per_node)
+    except ConfigurationError:
+        # Degenerate planner input (e.g. queuing allowance >= X): keep the
+        # legacy clamped scalar semantics of DPCConfig.node_delay.
+        fallback = config.node_delay(topology.depth())
+        return {name: fallback for name in topology.node_names}
+
+
+def build_dag_cluster(
+    topology: Topology,
+    replicas_per_node: int = 2,
+    aggregate_rate: float = 300.0,
+    config: DPCConfig | None = None,
+    sim_config: SimulationConfig | None = None,
+    payload_factory: PayloadFactory = default_payload_factory,
+    join_state_size: int | None = 100,
+    per_node_delay: float | None = None,
+    diagram_factory: Callable[[str, Sequence[str], str], QueryDiagram] | None = None,
+    seed: int | None = None,
+) -> Cluster:
+    """Build an arbitrary replicated-DAG deployment.
+
+    The builder walks ``topology`` in topological order:
+
+    * every source stream gets one logging :class:`DataSource` (the aggregate
+      rate is split evenly across them);
+    * every node spec becomes a replica group.  *Entry* nodes (all inputs are
+      source streams) run the Figure 12 fragment (``diagram_factory`` or an
+      SUnion + optional SJoin + SOutput); internal nodes with several inputs
+      run a cross-node fan-in fragment (one SUnion merging every upstream
+      output stream); single-input internal nodes run relay fragments;
+    * every output stream is multicast to all of its downstream subscribers
+      (fan-out rides the existing ``send_many`` transport), and each
+      downstream replica group registers every upstream replica as a
+      switchable producer of that input stream;
+    * every sink node feeds one measuring :class:`ClientApplication` (the
+      first is named ``client``, further sinks ``client2``, ``client3``, ...).
+
+    ``per_node_delay`` overrides the delay budget D of every node; when
+    omitted, per-node budgets come from the Section 6.3 delay planner over
+    the deployment graph (UNIFORM divides X by the longest path).
+
+    ``seed`` makes the deployment's randomness explicit and reproducible: it
+    seeds every consistency manager's tie-breaking RNG and staggers the
+    sources' start times by a seed-derived fraction of a batch interval, so
+    two clusters built with the same seed behave identically and different
+    seeds produce measurably different (but statistically equivalent) runs.
+    ``seed=None`` keeps the exact unjittered timing of the default deployment.
+    """
+    if replicas_per_node < 1:
+        raise ConfigurationError("replicas_per_node must be >= 1")
+    config = config or DPCConfig()
+    sim_config = sim_config or SimulationConfig()
+    config.validate()
+    sim_config.validate()
+
+    simulator = Simulator()
+    network = Network(simulator, default_latency=sim_config.network_latency)
+    failures = FailureInjector(simulator=simulator, network=network)
+    cluster = Cluster(
+        simulator=simulator, network=network, failures=failures, topology=topology
+    )
+
+    delay_budgets = _node_delay_budgets(topology, config, per_node_delay)
+    # One offset for every source: the whole workload shifts in time (so runs
+    # with different seeds genuinely differ) while the sources stay mutually
+    # aligned, which the end-of-run consistency accounting relies on.
+    start_offset = (
+        random.Random(seed).uniform(0.0, sim_config.batch_interval * 0.5)
+        if seed is not None
+        else 0.0
+    )
+
+    # --- sources ---------------------------------------------------------------
+    source_streams = topology.source_streams
+    per_stream_rate = aggregate_rate / len(source_streams)
+    source_by_stream: dict[str, DataSource] = {}
+    for index, stream in enumerate(source_streams):
+        source = DataSource(
+            name=f"source.{stream}",
+            stream=stream,
+            simulator=simulator,
+            network=network,
+            rate=per_stream_rate,
+            boundary_interval=config.boundary_interval,
+            batch_interval=sim_config.batch_interval,
+            payload=payload_factory(index, len(source_streams)),
+            start_time=start_offset,
+        )
+        cluster.sources.append(source)
+        source_by_stream[stream] = source
+
+    # --- processing nodes --------------------------------------------------------
+    for spec in topology:
+        group: list[ProcessingNode] = []
+        output_stream = spec.output_stream
+        input_streams = topology.input_streams(spec)
+        replicas = topology.replicas_of(spec.name, replicas_per_node)
+        names = [spec.name + ("" if r == 0 else "'" * r) for r in range(replicas)]
+        for node_name in names:
+            if topology.is_entry(spec):
+                if diagram_factory is not None:
+                    diagram = diagram_factory(node_name, input_streams, output_stream)
+                else:
+                    diagram = merge_diagram(
+                        node_name,
+                        input_streams,
+                        output_stream,
+                        bucket_size=config.bucket_size,
+                        join_state_size=join_state_size,
+                        select=spec.select,
+                    )
+            elif len(input_streams) == 1:
+                diagram = relay_diagram(
+                    node_name,
+                    input_streams[0],
+                    output_stream,
+                    bucket_size=config.bucket_size,
+                    select=spec.select,
+                )
+            else:
+                # Cross-node fan-in: one SUnion serializes every upstream
+                # output stream; the stateful join stays on the entry nodes.
+                diagram = merge_diagram(
+                    node_name,
+                    input_streams,
+                    output_stream,
+                    bucket_size=config.bucket_size,
+                    join_state_size=None,
+                    select=spec.select,
+                )
+            partners = [other for other in names if other != node_name]
+            node = ProcessingNode(
+                name=node_name,
+                diagram=diagram,
+                simulator=simulator,
+                network=network,
+                config=config,
+                sim_config=sim_config,
+                assigned_delay=delay_budgets[spec.name],
+                replica_partners=partners,
+                rng_seed=seed,
+            )
+            group.append(node)
+        cluster.nodes.append(group)
+        cluster.node_groups[spec.name] = group
+
+    # --- wiring: sources -> consuming node replicas -------------------------------
+    for source in cluster.sources:
+        consumers: list[ProcessingNode] = []
+        for spec in topology.consumers_of(source.stream):
+            for node in cluster.node_groups[spec.name]:
+                source.subscribe(node.endpoint)
+                consumers.append(node)
+        cluster.stream_consumers[source.stream] = consumers
+    for spec in topology:
+        for node in cluster.node_groups[spec.name]:
+            for stream in spec.inputs:
+                if stream not in source_by_stream:
+                    continue
+                source = source_by_stream[stream]
+                node.register_input_stream(
+                    source.stream, producers=[source.name], source_producers=[source.name]
+                )
+
+    # --- wiring: node -> node edges ------------------------------------------------
+    # Nodes push their DPC state to registered watchers every keepalive period
+    # (replacing probe round trips) whenever the push cadence can keep up with
+    # the configured keepalive; otherwise consumers fall back to probing.
+    push_state = config.keepalive_period + 1e-12 >= sim_config.batch_interval
+    for spec in topology:
+        for upstream_spec in topology.upstream_nodes(spec):
+            upstream_group = cluster.node_groups[upstream_spec.name]
+            upstream_stream = upstream_spec.output_stream
+            upstream_names = [n.endpoint for n in upstream_group]
+            for node in cluster.node_groups[spec.name]:
+                node.register_input_stream(
+                    upstream_stream,
+                    producers=upstream_names,
+                    push_producers=upstream_names if push_state else (),
+                )
+                # Every downstream replica initially reads from the first
+                # upstream replica; DPC switches it if that replica fails.
+                upstream_group[0].register_subscriber(upstream_stream, node.endpoint)
+                if push_state:
+                    for upstream in upstream_group:
+                        upstream.add_state_watcher(node.endpoint)
+
+    # --- clients: one per sink ------------------------------------------------------
+    for sink_index, sink in enumerate(topology.sinks()):
+        sink_group = cluster.node_groups[sink.name]
+        sink_stream = sink.output_stream
+        client = ClientApplication(
+            name="client" if sink_index == 0 else f"client{sink_index + 1}",
+            stream=sink_stream,
+            simulator=simulator,
+            network=network,
+            config=config,
+            rng_seed=seed,
+        )
+        sink_names = [n.endpoint for n in sink_group]
+        client.register_upstream(
+            producers=sink_names, push_producers=sink_names if push_state else ()
+        )
+        sink_group[0].register_subscriber(sink_stream, client.endpoint)
+        if push_state:
+            for node in sink_group:
+                node.add_state_watcher(client.endpoint)
+        cluster.clients.append(client)
+    return cluster
+
+
 def build_chain_cluster(
     chain_depth: int = 1,
     replicas_per_node: int = 2,
@@ -157,157 +456,31 @@ def build_chain_cluster(
 
     ``chain_depth`` = 1 with ``replicas_per_node`` = 2 gives the single
     replicated-node setup of Figure 12; ``replicas_per_node`` = 1 gives the
-    unreplicated single-node setup of Figure 10.
+    unreplicated single-node setup of Figure 10.  The chain is sugar: it
+    compiles to a path :class:`~repro.topology.Topology` and is wired by
+    :func:`build_dag_cluster`.
 
     ``per_node_delay`` overrides the delay budget D assigned to every node;
-    when omitted it is derived from ``config.node_delay(chain_depth)`` (which
-    honours the UNIFORM / FULL delay-assignment strategies of Section 6.3).
-
-    ``seed`` makes the deployment's randomness explicit and reproducible: it
-    seeds every consistency manager's tie-breaking RNG and staggers the
-    sources' start times by a seed-derived fraction of a batch interval, so
-    two clusters built with the same seed behave identically and different
-    seeds produce measurably different (but statistically equivalent) runs.
-    ``seed=None`` keeps the exact unjittered timing of the default deployment.
+    when omitted it is derived from the Section 6.3 delay planner (UNIFORM
+    splits X across the chain, FULL assigns X minus the queuing allowance to
+    every node).
     """
     if chain_depth < 1:
         raise ConfigurationError("chain_depth must be >= 1")
-    if replicas_per_node < 1:
-        raise ConfigurationError("replicas_per_node must be >= 1")
-    config = config or DPCConfig()
-    sim_config = sim_config or SimulationConfig()
-    config.validate()
-    sim_config.validate()
-
-    simulator = Simulator()
-    network = Network(simulator, default_latency=sim_config.network_latency)
-    failures = FailureInjector(simulator=simulator, network=network)
-    cluster = Cluster(simulator=simulator, network=network, failures=failures)
-
-    if per_node_delay is None:
-        per_node_delay = config.node_delay(chain_depth)
-    # One offset for every source: the whole workload shifts in time (so runs
-    # with different seeds genuinely differ) while the sources stay mutually
-    # aligned, which the end-of-run consistency accounting relies on.
-    start_offset = (
-        random.Random(seed).uniform(0.0, sim_config.batch_interval * 0.5)
-        if seed is not None
-        else 0.0
-    )
-
-    # --- sources ---------------------------------------------------------------
-    input_streams = [f"s{i + 1}" for i in range(n_input_streams)]
-    per_stream_rate = aggregate_rate / n_input_streams
-    for index, stream in enumerate(input_streams):
-        source = DataSource(
-            name=f"source.{stream}",
-            stream=stream,
-            simulator=simulator,
-            network=network,
-            rate=per_stream_rate,
-            boundary_interval=config.boundary_interval,
-            batch_interval=sim_config.batch_interval,
-            payload=payload_factory(index, n_input_streams),
-            start_time=start_offset,
-        )
-        cluster.sources.append(source)
-
-    # --- processing nodes --------------------------------------------------------
-    def replica_names(level: int) -> list[str]:
-        return [
-            f"node{level + 1}" + ("" if r == 0 else "'" * r) for r in range(replicas_per_node)
-        ]
-
-    previous_output: str | None = None
-    for level in range(chain_depth):
-        group: list[ProcessingNode] = []
-        output_stream = f"node{level + 1}.out"
-        names = replica_names(level)
-        for replica_index, node_name in enumerate(names):
-            if level == 0:
-                if diagram_factory is not None:
-                    diagram = diagram_factory(node_name, input_streams, output_stream)
-                else:
-                    diagram = merge_diagram(
-                        node_name,
-                        input_streams,
-                        output_stream,
-                        bucket_size=config.bucket_size,
-                        join_state_size=join_state_size,
-                    )
-            else:
-                diagram = relay_diagram(
-                    node_name, previous_output, output_stream, bucket_size=config.bucket_size
-                )
-            partners = [other for other in names if other != node_name]
-            node = ProcessingNode(
-                name=node_name,
-                diagram=diagram,
-                simulator=simulator,
-                network=network,
-                config=config,
-                sim_config=sim_config,
-                assigned_delay=per_node_delay,
-                replica_partners=partners,
-                rng_seed=seed,
-            )
-            group.append(node)
-        cluster.nodes.append(group)
-        previous_output = output_stream
-
-    # --- wiring: sources -> first node replicas ----------------------------------
-    for source in cluster.sources:
-        for node in cluster.nodes[0]:
-            source.subscribe(node.endpoint)
-    for node in cluster.nodes[0]:
-        for source in cluster.sources:
-            node.register_input_stream(
-                source.stream, producers=[source.name], source_producers=[source.name]
-            )
-
-    # --- wiring: node level k -> level k+1 ----------------------------------------
-    # Nodes push their DPC state to registered watchers every keepalive period
-    # (replacing probe round trips) whenever the push cadence can keep up with
-    # the configured keepalive; otherwise consumers fall back to probing.
-    push_state = config.keepalive_period + 1e-12 >= sim_config.batch_interval
-    for level in range(1, chain_depth):
-        upstream_group = cluster.nodes[level - 1]
-        upstream_stream = f"node{level}.out"
-        upstream_names = [n.endpoint for n in upstream_group]
-        for node in cluster.nodes[level]:
-            node.register_input_stream(
-                upstream_stream,
-                producers=upstream_names,
-                push_producers=upstream_names if push_state else (),
-            )
-            # Every downstream replica initially reads from the first upstream
-            # replica; DPC switches it if that replica fails.
-            upstream_group[0].register_subscriber(upstream_stream, node.endpoint)
-            if push_state:
-                for upstream in upstream_group:
-                    upstream.add_state_watcher(node.endpoint)
-
-    # --- client --------------------------------------------------------------------
-    last_group = cluster.nodes[-1]
-    last_stream = f"node{chain_depth}.out"
-    client = ClientApplication(
-        name="client",
-        stream=last_stream,
-        simulator=simulator,
-        network=network,
+    if n_input_streams < 1:
+        raise ConfigurationError("n_input_streams must be >= 1")
+    return build_dag_cluster(
+        Topology.chain(chain_depth, n_input_streams=n_input_streams),
+        replicas_per_node=replicas_per_node,
+        aggregate_rate=aggregate_rate,
         config=config,
-        rng_seed=seed,
+        sim_config=sim_config,
+        payload_factory=payload_factory,
+        join_state_size=join_state_size,
+        per_node_delay=per_node_delay,
+        diagram_factory=diagram_factory,
+        seed=seed,
     )
-    last_names = [n.endpoint for n in last_group]
-    client.register_upstream(
-        producers=last_names, push_producers=last_names if push_state else ()
-    )
-    last_group[0].register_subscriber(last_stream, client.endpoint)
-    if push_state:
-        for node in last_group:
-            node.add_state_watcher(client.endpoint)
-    cluster.clients.append(client)
-    return cluster
 
 
 def build_single_node_cluster(

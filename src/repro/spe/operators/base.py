@@ -102,14 +102,24 @@ class Operator:
         out: list[StreamTuple] = []
         if new_watermark > previous:
             out.extend(self._on_watermark(previous, new_watermark))
-        if new_watermark > self._emitted_watermark and new_watermark > float("-inf"):
-            self._emitted_watermark = new_watermark
-            out.append(self.writer.boundary(new_watermark))
+        bound = self._boundary_to_emit(new_watermark)
+        if bound > self._emitted_watermark and bound > float("-inf"):
+            self._emitted_watermark = bound
+            out.append(self.writer.boundary(bound))
         return out
 
     def _on_watermark(self, previous: float, current: float) -> list[StreamTuple]:
         """Hook for windowed operators: emit results closed by the new watermark."""
         return []
+
+    def _boundary_to_emit(self, watermark: float) -> float:
+        """Hook: the boundary stime to forward for ``watermark``.
+
+        Operators that can withhold data the watermark already covers (an
+        SUnion holding buckets during failure handling) override this to cap
+        the promise they make downstream.
+        """
+        return watermark
 
     # ------------------------------------------------------------------ undo / rec_done
     def handle_undo(self, port: int, item: StreamTuple) -> list[StreamTuple]:

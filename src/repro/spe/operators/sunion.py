@@ -95,6 +95,25 @@ class SUnion(Operator):
             return []
         return self._emit_stable_through(current)
 
+    def _boundary_to_emit(self, watermark: float) -> float:
+        """Never let forwarded boundaries run ahead of held data.
+
+        A boundary emitted downstream promises that the stream is stable up
+        to its stime.  While :attr:`hold_buckets` is set, buckets the
+        watermark has already stabilized stay buffered, so forwarding the
+        full watermark would break that promise: a downstream consumer (in
+        particular the redo buffer it keeps for reconciliation) would see
+        "stable through t" *before* the held data for t arrives, and a later
+        replay of that buffer would stabilize and emit buckets before their
+        data is pushed, silently late-dropping it.  The boundary forwarded
+        while holding is therefore capped at the lower edge of the oldest
+        held bucket; once the hold is released and the data flows, the next
+        watermark advance emits the catch-up boundary.
+        """
+        if self.hold_buckets and self._buckets:
+            return min(watermark, min(self._buckets) * self.bucket_size)
+        return watermark
+
     def release_held_buckets(self) -> list[StreamTuple]:
         """Emit every bucket the current watermark already stabilized.
 

@@ -23,6 +23,14 @@ class FailureSpec:
       boundary tuples, the mechanism of the Section 6.2 chain experiments;
     * ``"crash"`` -- a processing node crashes (fail-stop) and recovers.
 
+    A crash names its target either by logical node name (``node``, the
+    canonical addressing for DAG topologies) or, for the chain experiments,
+    by ``node_level`` (index into the topological order); ``node`` wins when
+    both are set.  ``node_replica`` selects the replica in either case;
+    ``node_replica = -1`` crashes *every* replica of the node (resolved
+    against the actual replica count at injection time -- the branch-kill
+    schedule of the DAG experiments).
+
     ``start=None`` is only meaningful inside a
     :class:`~repro.runtime.ScenarioSpec`, which resolves it to its warmup; a
     :class:`Scenario` requires every start to be a number.
@@ -32,6 +40,7 @@ class FailureSpec:
     start: float | None
     duration: float
     stream_index: int = 0
+    node: str | None = None
     node_level: int = 0
     node_replica: int = 0
 
@@ -56,7 +65,7 @@ class Scenario:
         for spec in self.failures:
             if spec.kind == "disconnect":
                 source = cluster.source(spec.stream_index)
-                for node in cluster.nodes[0]:
+                for node in cluster.consumers_of(source.stream):
                     records.append(
                         cluster.failures.disconnect_stream(
                             source, node.endpoint, spec.start, spec.duration
@@ -68,10 +77,15 @@ class Scenario:
                     cluster.failures.silence_boundaries(source, spec.start, spec.duration)
                 )
             elif spec.kind == "crash":
-                node = cluster.node(spec.node_level, spec.node_replica)
-                records.append(
-                    cluster.failures.crash_processing_node(node, spec.start, spec.duration)
-                )
+                target = spec.node if spec.node is not None else spec.node_level
+                if spec.node_replica == -1:
+                    victims = cluster.node_group(target)
+                else:
+                    victims = [cluster.node(target, spec.node_replica)]
+                for node in victims:
+                    records.append(
+                        cluster.failures.crash_processing_node(node, spec.start, spec.duration)
+                    )
             else:
                 raise ValueError(f"unknown failure kind {spec.kind!r}")
         return records

@@ -162,3 +162,91 @@ def test_tracker_stamp_adds_attribute():
     tracker.spend("s", 1.5)
     stamped = tracker.stamp({"seq": 7}, "s")
     assert stamped == {"seq": 7, "delay_so_far": 1.5}
+
+
+# --------------------------------------------------------------------------- topology-backed planning
+def test_for_topology_mirrors_the_deployment_graph():
+    from repro.topology import Topology
+
+    planner = DelayPlanner.for_topology(Topology.diamond(), total_budget=9.0)
+    assert planner.nodes == ["ingest", "left", "right", "merge"]
+    assert planner.depth() == 3
+
+
+def test_uniform_plan_on_branching_topology_respects_longest_path():
+    """Satellite: D must be respected along the *longest* path, and short
+    branches must not be over-assigned."""
+    from repro.topology import NodeSpec, Topology
+
+    # Unbalanced diamond: ingest -> a -> b -> sink (4 nodes) vs
+    # ingest -> short -> sink (3 nodes).
+    topo = Topology(
+        [
+            NodeSpec("ingest", ("s1",)),
+            NodeSpec("a", ("ingest",)),
+            NodeSpec("b", ("a",)),
+            NodeSpec("short", ("ingest",)),
+            NodeSpec("sink", ("b", "short")),
+        ],
+        name="unbalanced",
+    )
+    planner = DelayPlanner.for_topology(topo, total_budget=8.0)
+    plan = planner.plan(DelayAssignment.UNIFORM)
+    # Split by the longest path (4 nodes), not the node count (5) or the
+    # short path (3).
+    assert all(delay == pytest.approx(2.0) for delay in plan.per_node.values())
+    diagnostics = {d.path: d for d in planner.diagnose(plan.per_node)}
+    long_path = ("ingest", "a", "b", "sink")
+    short_path = ("ingest", "short", "sink")
+    # The total budget is met exactly along the longest path...
+    assert diagnostics[long_path].accumulated_delay == pytest.approx(8.0)
+    assert diagnostics[long_path].within_budget
+    # ...and the short branch under-uses it instead of overshooting.
+    assert diagnostics[short_path].accumulated_delay == pytest.approx(6.0)
+    assert diagnostics[short_path].within_budget
+    # No path may exceed the budget under the uniform plan.
+    assert all(d.within_budget for d in planner.diagnose(plan.per_node))
+
+
+def test_uniform_plan_never_over_assigns_any_path():
+    from repro.topology import Topology
+
+    for topo in (Topology.chain(4), Topology.diamond(), Topology.fanin(3, 2)):
+        planner = DelayPlanner.for_topology(topo, total_budget=6.0)
+        plan = planner.plan(DelayAssignment.UNIFORM)
+        assert all(d.within_budget for d in planner.diagnose(plan.per_node)), topo.name
+
+
+def test_full_plan_on_topology_matches_chain_semantics():
+    from repro.topology import Topology
+
+    planner = DelayPlanner.for_topology(
+        Topology.diamond(), total_budget=8.0, queuing_allowance=1.5
+    )
+    plan = planner.plan(DelayAssignment.FULL)
+    assert all(delay == pytest.approx(6.5) for delay in plan.per_node.values())
+
+
+def test_for_chain_delegates_to_topology():
+    planner = DelayPlanner.for_chain(3, total_budget=6.0)
+    assert planner.nodes == ["node1", "node2", "node3"]
+    plan = planner.plan(DelayAssignment.UNIFORM)
+    assert plan.per_node == {f"node{i}": pytest.approx(2.0) for i in (1, 2, 3)}
+
+
+def test_depth_is_polynomial_on_stacked_diamonds():
+    from repro.topology import NodeSpec, Topology
+
+    # 15 stacked diamonds = 2^15 entry-to-sink paths; depth() must not
+    # enumerate them.
+    nodes = [NodeSpec("d0", ("s1",))]
+    for k in range(15):
+        nodes.append(NodeSpec(f"l{k}", (f"d{k}",)))
+        nodes.append(NodeSpec(f"r{k}", (f"d{k}",)))
+        nodes.append(NodeSpec(f"d{k + 1}", (f"l{k}", f"r{k}")))
+    topo = Topology(nodes, name="stacked")
+    planner = DelayPlanner.for_topology(topo, total_budget=8.0)
+    assert planner.depth() == 1 + 2 * 15
+    assert planner.depth() == topo.depth()
+    plan = planner.plan(DelayAssignment.UNIFORM)
+    assert plan.masked_failure == pytest.approx(8.0 / 31)

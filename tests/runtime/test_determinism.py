@@ -21,6 +21,16 @@ def _summary(seed):
     return _spec(seed).run().summary()
 
 
+def _diamond_spec(seed):
+    return ScenarioSpec.diamond(
+        name="determinism-diamond", aggregate_rate=90.0, warmup=4.0, settle=16.0, seed=seed
+    ).with_branch_crash("left", duration=5.0)
+
+
+def _diamond_summary(seed):
+    return _diamond_spec(seed).run().summary()
+
+
 def test_same_seed_runs_are_byte_identical():
     first = json.dumps(_summary(1), sort_keys=True, default=str)
     second = json.dumps(_summary(1), sort_keys=True, default=str)
@@ -38,4 +48,21 @@ def test_different_seeds_differ():
 def test_seeded_runs_stay_eventually_consistent():
     for seed in (1, 2, 3):
         runtime = _spec(seed).run()
+        assert runtime.eventually_consistent(), f"seed {seed}"
+
+
+# --------------------------------------------------------------------------- DAG topologies
+def test_diamond_same_seed_runs_are_byte_identical():
+    first = json.dumps(_diamond_summary(2), sort_keys=True, default=str)
+    second = json.dumps(_diamond_summary(2), sort_keys=True, default=str)
+    assert first == second
+
+
+def test_diamond_different_seeds_differ():
+    assert _diamond_summary(1) != _diamond_summary(2)
+
+
+def test_diamond_seeded_runs_stay_eventually_consistent():
+    for seed in (1, 2):
+        runtime = _diamond_spec(seed).run()
         assert runtime.eventually_consistent(), f"seed {seed}"

@@ -120,3 +120,65 @@ def test_build_parser_smoke():
     args = parser.parse_args(["run", "table3", "--scale", "quick"])
     assert args.experiment == "table3"
     assert args.scale == "quick"
+
+
+# --------------------------------------------------------------------------- DAG topologies
+def test_scenario_diamond_topology(capsys):
+    code = cli.main(
+        ["scenario", "--topology", "diamond", "--rate", "60", "--settle", "5",
+         "--warmup", "1", "--seed", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "topology=diamond" in out
+    assert "ingest,left,right,merge" in out
+
+
+def test_scenario_rejects_unknown_failure_node(capsys):
+    code = cli.main(
+        ["scenario", "--topology", "diamond", "--failure", "crash",
+         "--failure-node", "nope", "--seed", "1"]
+    )
+    assert code == 2
+    assert "invalid scenario" in capsys.readouterr().err
+
+
+def test_plan_delays_diamond_topology(capsys):
+    assert cli.main(["plan-delays", "--topology", "diamond", "--budget", "9",
+                     "--strategy", "uniform"]) == 0
+    out = capsys.readouterr().out
+    assert "longest path: 3" in out
+    assert "path ingest -> left -> merge" in out
+    assert "D = 3 s" in out
+
+
+def test_dag_experiments_registered():
+    assert "diamond" in cli.EXPERIMENTS
+    assert "fanin" in cli.EXPERIMENTS
+
+
+def test_scenario_fanin_honors_streams(capsys):
+    code = cli.main(["scenario", "--topology", "fanin", "--streams", "6", "--rate", "60",
+                     "--settle", "4", "--warmup", "1", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "topology=fanin" in out
+
+
+def test_scenario_fanin_rejects_odd_streams(capsys):
+    code = cli.main(["scenario", "--topology", "fanin", "--streams", "5"])
+    assert code == 2
+    assert "2 branches" in capsys.readouterr().err
+
+
+def test_scenario_failure_node_requires_crash(capsys):
+    code = cli.main(["scenario", "--topology", "diamond", "--failure", "disconnect",
+                     "--failure-node", "left"])
+    assert code == 2
+    assert "--failure-node" in capsys.readouterr().err
+
+
+def test_scenario_rejects_zero_streams(capsys):
+    code = cli.main(["scenario", "--streams", "0"])
+    assert code == 2
+    assert "invalid scenario" in capsys.readouterr().err

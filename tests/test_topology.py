@@ -1,0 +1,125 @@
+"""Unit tests for the deployment-topology model (repro.topology)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import NodeSpec, Topology, as_topology, modulo_partition
+
+
+# --------------------------------------------------------------------------- NodeSpec
+def test_node_spec_validation():
+    with pytest.raises(ConfigurationError):
+        NodeSpec(name="", inputs=("s1",))
+    with pytest.raises(ConfigurationError):
+        NodeSpec(name="a", inputs=())
+    with pytest.raises(ConfigurationError):
+        NodeSpec(name="a", inputs=("s1", "s1"))
+    with pytest.raises(ConfigurationError):
+        NodeSpec(name="a", inputs=("a",))
+    with pytest.raises(ConfigurationError):
+        NodeSpec(name="a", inputs=("s1",), replicas=0)
+    assert NodeSpec(name="a", inputs=("s1",)).output_stream == "a.out"
+
+
+def test_modulo_partition_predicates():
+    left = modulo_partition(0, 2, "seq", group=3)
+    right = modulo_partition(1, 2, "seq", group=3)
+    for seq in range(24):
+        assert left({"seq": seq}) != right({"seq": seq})
+        assert left({"seq": seq}) == ((seq // 3) % 2 == 0)
+    with pytest.raises(ConfigurationError):
+        modulo_partition(2, 2)
+    with pytest.raises(ConfigurationError):
+        modulo_partition(0, 2, group=0)
+
+
+# --------------------------------------------------------------------------- graph validation
+def test_topology_rejects_duplicates_and_cycles():
+    with pytest.raises(ConfigurationError):
+        Topology([NodeSpec("a", ("s1",)), NodeSpec("a", ("s2",))])
+    with pytest.raises(ConfigurationError):
+        Topology([NodeSpec("a", ("s1", "b")), NodeSpec("b", ("a",))])
+    with pytest.raises(ConfigurationError):
+        Topology([])
+
+
+def test_topology_requires_sources():
+    with pytest.raises(ConfigurationError):
+        # "b" only consumes "a"; "a" only consumes "b" -> cycle, but also a
+        # topology whose only node consumes another node is source-less.
+        Topology([NodeSpec("a", ("a2",)), NodeSpec("a2", ("a",))])
+
+
+# --------------------------------------------------------------------------- shapes
+def test_chain_topology_shape():
+    topo = Topology.chain(3, n_input_streams=2)
+    assert topo.node_names == ["node1", "node2", "node3"]
+    assert topo.source_streams == ["s1", "s2"]
+    assert topo.depth() == 3
+    assert topo.paths() == [("node1", "node2", "node3")]
+    assert topo.is_entry(topo.node("node1"))
+    assert not topo.is_entry(topo.node("node2"))
+    assert [s.name for s in topo.sinks()] == ["node3"]
+    assert topo.input_streams(topo.node("node2")) == ["node1.out"]
+
+
+def test_diamond_topology_shape():
+    topo = Topology.diamond()
+    assert topo.node_names == ["ingest", "left", "right", "merge"]
+    assert topo.source_streams == ["s1", "s2", "s3"]
+    assert topo.depth() == 3
+    assert sorted(topo.paths()) == [
+        ("ingest", "left", "merge"),
+        ("ingest", "right", "merge"),
+    ]
+    assert [s.name for s in topo.consumers_of("ingest")] == ["left", "right"]
+    assert [s.name for s in topo.sinks()] == ["merge"]
+    merge = topo.node("merge")
+    assert topo.input_streams(merge) == ["left.out", "right.out"]
+    # The branches partition the stream disjointly.
+    left, right = topo.node("left"), topo.node("right")
+    for seq in range(30):
+        assert left.select({"seq": seq}) != right.select({"seq": seq})
+
+
+def test_fanin_topology_shape():
+    topo = Topology.fanin(branches=3, streams_per_branch=2)
+    assert topo.node_names == ["branch1", "branch2", "branch3", "merge"]
+    assert topo.source_streams == [f"s{i}" for i in range(1, 7)]
+    assert topo.depth() == 2
+    assert len(topo.paths()) == 3
+    assert topo.input_streams(topo.node("merge")) == [
+        "branch1.out",
+        "branch2.out",
+        "branch3.out",
+    ]
+
+
+# --------------------------------------------------------------------------- replicas / failure targets
+def test_replicas_override_and_failure_validation():
+    topo = Topology(
+        [NodeSpec("a", ("s1",), replicas=3), NodeSpec("b", ("a",))], name="t"
+    )
+    assert topo.replicas_of("a", default=2) == 3
+    assert topo.replicas_of("b", default=2) == 2
+    topo.validate_failure_target("a", 2, default_replicas=2)
+    with pytest.raises(ConfigurationError):
+        topo.validate_failure_target("a", 3, default_replicas=2)
+    with pytest.raises(ConfigurationError):
+        topo.validate_failure_target("zzz", 0, default_replicas=2)
+
+
+# --------------------------------------------------------------------------- normalization
+def test_as_topology_normalization():
+    assert as_topology(None, chain_depth=2).node_names == ["node1", "node2"]
+    topo = Topology.diamond()
+    assert as_topology(topo) is topo
+    rebuilt = as_topology([NodeSpec("a", ("s1",))])
+    assert rebuilt.node_names == ["a"]
+
+
+def test_node_names_matching_source_convention_are_rejected():
+    with pytest.raises(ConfigurationError):
+        Topology([NodeSpec("s1", ("s2",))])
+    with pytest.raises(ConfigurationError):
+        Topology([NodeSpec("a", ("s1",)), NodeSpec("s2", ("a",))])
