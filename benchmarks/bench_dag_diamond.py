@@ -26,9 +26,16 @@ DURATIONS_QUICK = (4.0, 8.0)
 DURATIONS_FULL = (4.0, 8.0, 16.0, 30.0)
 
 
-def test_diamond_branch_crash(run_once):
+def test_diamond_branch_crash(run_once, benchmark):
     durations = DURATIONS_FULL if full_sweep() else DURATIONS_QUICK
     results = run_once(diamond_sweep, durations, seed=1)
+    for result in results:
+        # Deterministic metrics tracked against BENCH_baseline.json by
+        # check_bench_regression.py.
+        key = f"failure_{result.failure_duration:g}s"
+        benchmark.extra_info[f"{key}_events"] = result.extra["events_fired"]
+        benchmark.extra_info[f"{key}_proc_new"] = round(result.proc_new, 6)
+        benchmark.extra_info[f"{key}_stable_tuples"] = result.n_stable
     lines = [r.row() for r in results]
     for result in results:
         branches = result.extra["branches"]

@@ -1,0 +1,156 @@
+"""Sharded scale-out: throughput scaling and shard-kill recovery.
+
+Not a paper figure: the paper's evaluation never exercises a throughput
+axis, but the ROADMAP's production north-star does.  This benchmark deploys
+``Topology.shard`` -- a stateless split router fanning out to N key-hash
+shard fragments (ingress Filter -> SUnion -> SJoin -> SOutput over 1/N of
+the key space) re-merged by an N-way fan-in SUnion -- and measures:
+
+* **throughput** -- stable tuples delivered per wall-clock second for
+  shard(1, 2, 4[, 8]) against a *single chain with the same total operator
+  count* (the equal-operator baseline).  Sharding wins because every tuple
+  crosses three fragment levels instead of ~N, and the per-level
+  serialization / join / output / buffering work is partitioned N ways.
+  Asserted: shard(4) sustains >= 2x the equal-operator chain's tuples/sec
+  with both deployments eventually consistent and Proc_new within the
+  bound X.
+* **shard-kill recovery** -- crash *both* replicas of one shard (the merge
+  cannot mask the failure by switching).  Asserted across seeds: the
+  surviving shards never produce a tentative tuple and end STABLE, the
+  client's Proc_new stays below X, and the merged ledger reconciles
+  gap-free, duplicate-free, and in order.
+
+Wall-clock throughput is measured best-of-``ROUNDS`` per deployment (the
+sustained-capacity reading standard benchmarking practice calls for); the
+simulator event counts and Proc_new recorded in ``extra_info`` are
+deterministic and tracked against ``BENCH_baseline.json`` by
+``check_bench_regression.py``.
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import (
+    chain_throughput_run,
+    equivalent_chain_depth,
+    shard_kill_failure,
+    shard_throughput_run,
+)
+
+RATE = 1200.0
+DURATION = 15.0
+ROUNDS = 2
+SHARDS_QUICK = (1, 2, 4)
+SHARDS_FULL = (1, 2, 4, 8)
+KILL_SEEDS = (1, 2, 3)
+#: Availability bound X of the shard-kill scenario (DPCConfig default).
+BOUND_X = 3.0
+
+
+def _best_of(measure, rounds: int = ROUNDS) -> dict:
+    """Highest-throughput reading of ``rounds`` runs (identical sim results)."""
+    best = None
+    for _ in range(rounds):
+        row = measure()
+        if best is None or row["tuples_per_second"] > best["tuples_per_second"]:
+            best = row
+    return best
+
+
+def test_shard_throughput_scaling(run_once, benchmark):
+    shard_counts = SHARDS_FULL if full_sweep() else SHARDS_QUICK
+
+    def sweep():
+        rows = [
+            _best_of(
+                lambda n=n: shard_throughput_run(n, aggregate_rate=RATE, duration=DURATION)
+            )
+            for n in shard_counts
+        ]
+        rows.append(
+            _best_of(
+                lambda: chain_throughput_run(
+                    equivalent_chain_depth(4), aggregate_rate=RATE, duration=DURATION
+                )
+            )
+        )
+        return rows
+
+    rows = run_once(sweep)
+    lines = [
+        (
+            f"{row['label']:<10} ops={row['operators']:>3} "
+            f"tuples/s={row['tuples_per_second']:>8.0f} "
+            f"events={row['events_fired']:>6} Proc_new={row['proc_new']:.3f}s "
+            f"consistent={'yes' if row['eventually_consistent'] else 'NO'}"
+        )
+        for row in rows
+    ]
+    chain_row = rows[-1]
+    shard4_row = next(r for r in rows if r["label"] == "shard(4)")
+    ratio = shard4_row["tuples_per_second"] / chain_row["tuples_per_second"]
+    lines.append(
+        f"shard(4) vs {chain_row['label']}: {ratio:.2f}x tuples/s, "
+        f"{chain_row['events_fired'] / shard4_row['events_fired']:.2f}x fewer events"
+    )
+    print_results(
+        "Sharded scale-out: sustained throughput vs the equal-operator single chain",
+        lines,
+    )
+
+    for row in rows:
+        benchmark.extra_info[f"{row['label']}_events"] = row["events_fired"]
+        benchmark.extra_info[f"{row['label']}_proc_new"] = round(row["proc_new"], 6)
+        # The run is deterministic, so the delivered-tuple count is a trend
+        # metric too (a drop means the deployment stopped keeping up).
+        benchmark.extra_info[f"{row['label']}_stable_tuples"] = row["stable_tuples"]
+    benchmark.extra_info["shard4_vs_chain_speedup"] = round(ratio, 3)
+
+    for row in rows:
+        # Identical consistency, Proc_new within the availability bound.
+        assert row["eventually_consistent"], row["label"]
+        assert row["proc_new"] < BOUND_X, f"{row['label']}: Proc_new={row['proc_new']:.3f}"
+    # The headline scale-out claim: >= 2x the equal-operator single chain.
+    assert ratio >= 2.0, f"shard(4) only {ratio:.2f}x the equal-operator chain"
+    # Sharding must also reduce simulator events (fewer full-stream hops).
+    assert shard4_row["events_fired"] < chain_row["events_fired"]
+
+
+def test_shard_kill_recovery(run_once):
+    def sweep():
+        return [shard_kill_failure(8.0, shards=4, seed=seed) for seed in KILL_SEEDS]
+
+    results = run_once(sweep)
+    lines = []
+    for seed, result in zip(KILL_SEEDS, results):
+        shards = result.extra["shards"]
+        lines.append(result.row())
+        lines.append(
+            f"    seed={seed} killed={result.extra['killed_shard']} shard tentative: "
+            + ", ".join(f"{name}={counts['tentative']}" for name, counts in shards.items())
+        )
+    print_results(
+        "Shard-kill: both replicas of 'shard1' crashed; survivors must stay stable",
+        lines,
+    )
+
+    for seed, result in zip(KILL_SEEDS, results):
+        label = f"shard-kill seed={seed}"
+        # The merged ledger reconciles gap-free, duplicate-free, and ordered.
+        assert result.eventually_consistent, label
+        shards = result.extra["shards"]
+        for survivor in result.extra["survivors"]:
+            # Survivor shards' key-hash slices are never in doubt.
+            assert shards[survivor]["tentative"] == 0, f"{label}: {survivor}"
+            assert shards[survivor]["stable"] > 0, f"{label}: {survivor}"
+        # The dead shard's slice goes tentative at the merge.
+        assert shards["merge"]["tentative"] > 0, label
+        # Availability: Proc_new stays within the end-to-end bound X.
+        assert result.proc_new < result.extra["availability_bound"], label
+        # Every replica group has settled back to STABLE.
+        for name, states in result.extra["shard_states"].items():
+            assert all(state == "stable" for state in states), f"{label}: {name}={states}"
+        # The synthetic key space is near-uniform: the planner must not want
+        # to migrate buckets after a healthy run.
+        assert result.extra["rebalance"]["moves"] == 0, label

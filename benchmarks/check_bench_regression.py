@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Benchmark trend tracking: diff bench JSON against the checked-in baseline.
+
+The benchmarks record their *deterministic* metrics (simulator event counts,
+Proc_new, delivered stable tuples) in pytest-benchmark ``extra_info``;
+``BENCH_baseline.json`` pins the expected values per test.  This script
+compares one or more freshly produced ``--benchmark-json`` files against the
+baseline and fails (exit code 1) when a tracked metric *regresses* by more
+than the tolerance -- by default 10%, the threshold CI enforces.
+
+Only metrics whose name marks them as regression-tracked are compared:
+
+* ``*_events`` / ``*events_fired`` -- more simulator events means the
+  transport or protocol grew chattier;
+* ``*proc_new`` -- higher Proc_new means worse availability;
+* ``*_stable_tuples`` -- *fewer* delivered stable tuples means the
+  deployment stopped keeping up (inverted check).
+
+Improvements never fail the check; refresh the baseline deliberately with
+``--write-baseline`` after a change that is supposed to move the numbers.
+
+Usage::
+
+    python check_bench_regression.py --baseline BENCH_baseline.json BENCH_shard.json
+    python check_bench_regression.py --baseline BENCH_baseline.json --write-baseline *.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Default relative regression tolerance (10%).
+DEFAULT_TOLERANCE = 0.10
+
+#: Metric-name suffixes where *larger* is worse.  Only deterministic
+#: simulation metrics are tracked; wall-clock readings (tuples/sec,
+#: speedups) vary with the host and are asserted inside the benchmarks
+#: themselves instead.
+LARGER_IS_WORSE = ("_events", "events_fired", "proc_new", "_undos")
+
+#: Metric-name suffixes where *smaller* is worse.
+SMALLER_IS_WORSE = ("_stable_tuples",)
+
+
+def tracked_direction(metric: str) -> int:
+    """+1 when larger values regress, -1 when smaller values regress, 0 untracked."""
+    if metric.endswith(LARGER_IS_WORSE):
+        return 1
+    if metric.endswith(SMALLER_IS_WORSE):
+        return -1
+    return 0
+
+
+def load_metrics(path: Path) -> dict[str, dict[str, float]]:
+    """``{test_name: {metric: value}}`` from a pytest-benchmark JSON file."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    metrics: dict[str, dict[str, float]] = {}
+    for bench in data.get("benchmarks", []):
+        extra = {
+            key: float(value)
+            for key, value in (bench.get("extra_info") or {}).items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        if extra:
+            metrics[bench["name"]] = extra
+    return metrics
+
+
+def merge_metrics(paths: list[Path]) -> dict[str, dict[str, float]]:
+    merged: dict[str, dict[str, float]] = {}
+    for path in paths:
+        for test, extra in load_metrics(path).items():
+            merged.setdefault(test, {}).update(extra)
+    return merged
+
+
+def compare(
+    baseline: dict[str, dict[str, float]],
+    current: dict[str, dict[str, float]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[list[str], list[str]]:
+    """Return ``(regressions, report_lines)`` for ``current`` vs ``baseline``.
+
+    Tests or metrics missing from the baseline are reported as new (never a
+    failure: the baseline is refreshed when benchmarks are added); tracked
+    baseline metrics -- or whole tracked benchmarks -- missing from the
+    current run fail, so a benchmark cannot dodge tracking by silently
+    dropping a metric or not running at all.
+    """
+    regressions: list[str] = []
+    lines: list[str] = []
+    for test in sorted(set(baseline) | set(current)):
+        if test not in baseline:
+            lines.append(f"{test}: NEW (not in baseline)")
+            continue
+        if test not in current:
+            if any(tracked_direction(metric) for metric in baseline[test]):
+                # A tracked benchmark that simply was not run would silently
+                # disable the gate for all of its metrics.
+                regressions.append(f"{test}: tracked benchmark missing from the current run")
+            else:
+                lines.append(f"{test}: not measured this run")
+            continue
+        for metric in sorted(set(baseline[test]) | set(current[test])):
+            direction = tracked_direction(metric)
+            if direction == 0:
+                continue
+            if metric not in baseline[test]:
+                lines.append(f"{test}.{metric}: NEW (not in baseline)")
+                continue
+            base = baseline[test][metric]
+            if metric not in current[test]:
+                regressions.append(f"{test}.{metric}: missing from the current run")
+                continue
+            value = current[test][metric]
+            if base == 0:
+                # Signed growth from zero; `direction * change > tolerance`
+                # below decides whether growth is a regression.
+                change = 0.0 if value == base else float("inf") * (1 if value > base else -1)
+            else:
+                change = (value - base) / abs(base)
+            regressed = direction * change > tolerance
+            verdict = "REGRESSION" if regressed else "ok"
+            lines.append(
+                f"{test}.{metric}: {base:g} -> {value:g} ({change:+.1%}) [{verdict}]"
+            )
+            if regressed:
+                regressions.append(
+                    f"{test}.{metric}: {base:g} -> {value:g} ({change:+.1%}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+    return regressions, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", nargs="+", type=Path,
+                        help="pytest-benchmark JSON file(s) produced with --benchmark-json")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).with_name("BENCH_baseline.json"),
+                        help="baseline metrics file (default: BENCH_baseline.json here)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="relative regression tolerance (default 0.10 = 10%%)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from the given results instead of checking")
+    args = parser.parse_args(argv)
+
+    current = merge_metrics(args.results)
+    if args.write_baseline:
+        args.baseline.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.baseline} ({sum(len(v) for v in current.values())} metrics)")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --write-baseline first",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    regressions, lines = compare(baseline, current, tolerance=args.tolerance)
+    print(f"benchmark trend check vs {args.baseline.name} (tolerance {args.tolerance:.0%})")
+    for line in lines:
+        print(f"  {line}")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

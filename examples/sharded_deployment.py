@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Key-hash sharded scale-out: killing one shard of an N-way deployment.
+
+The paper evaluates single nodes and chains; this example deploys the
+reproduction's sharded scale-out shape through the declarative scenario
+layer:
+
+* ``split`` merges three source streams and multicasts its output to every
+  shard (a stateless router);
+* ``shard1`` ... ``shard4`` each keep only their slice of the key space --
+  an ingress key-hash filter whose bucket ranges are owned by the
+  ``ShardPlanner`` -- and run the deployment's stateful join over that
+  slice (partitioned state is the point of sharding);
+* ``merge`` reunites the slices with a 4-way fan-in SUnion, and a client
+  measures the merged output.
+
+The failure schedule crashes *both* replicas of ``shard1`` for 8 seconds,
+so the merge cannot mask the failure by switching upstream replicas: the
+dead shard's key-hash slice goes missing, the merge suspends for its delay
+budget and then serves the surviving shards' slices tentatively, and after
+the shard recovers reconciliation restores the gap-free ledger.
+
+Run with::
+
+    python examples/sharded_deployment.py
+"""
+
+from repro import ScenarioSpec, ShardPlanner
+from repro.sharding import bucket_loads_from_keys
+
+SHARDS = 4
+FAILURE_DURATION = 8.0
+RATE = 120.0  # aggregate tuples per simulated second (kept low for a quick run)
+
+
+def main() -> None:
+    spec = ScenarioSpec.sharded(
+        shards=SHARDS, aggregate_rate=RATE, warmup=5.0, settle=25.0, seed=7
+    ).with_shard_kill(1, duration=FAILURE_DURATION)
+
+    topology = spec.resolved_topology()
+    assignment = topology.shard_assignment
+    print(f"topology {topology.name!r}: nodes={topology.node_names}")
+    print(f"shard key: {assignment.spec.key!r} grouped by {assignment.spec.group} "
+          f"over {assignment.spec.buckets} hash buckets")
+    for shard, buckets in enumerate(assignment.buckets_by_shard):
+        print(f"  shard{shard + 1}: buckets {buckets[0]}..{buckets[-1]} "
+              f"({len(buckets)} of {assignment.spec.buckets})")
+    print(f"failures: both replicas of 'shard1' crash for {FAILURE_DURATION:g} s\n")
+
+    print("running ...")
+    runtime = spec.run()
+    client = runtime.client
+
+    print(f"\nProc_new (max latency of new results): {client.proc_new:.3f} s "
+          f"(bound X = {spec.dpc_config().max_incremental_latency:g} s)")
+    print(f"stable / tentative / undone: {client.metrics.consistency.total_stable} / "
+          f"{client.n_tentative} / {client.metrics.consistency.total_undos}")
+    for name in topology.node_names:
+        group = runtime.node_group(name)
+        tentative = sum(
+            stats["tentative"]
+            for replica in group
+            for stats in replica.statistics()["outputs"].values()
+        )
+        states = ", ".join(replica.state.value for replica in group)
+        print(f"  {name:<7} replicas=[{states}] tentative_produced={tentative}")
+    print(f"eventually consistent: {runtime.eventually_consistent()}")
+
+    # What the load-aware planner thinks of the run: the synthetic key space
+    # is near-uniform, so no bucket migrations should be needed.
+    loads = bucket_loads_from_keys(assignment.spec, client.stable_sequence)
+    plan = ShardPlanner(assignment.spec).rebalance(assignment, loads, tolerance=0.25)
+    print(f"observed shard imbalance: {plan.imbalance_before:.3f} "
+          f"(peak/mean); planned bucket moves: {len(plan.moves)}")
+    print()
+    print("The surviving shards never produced a tentative tuple: their key-hash")
+    print("slices were never in doubt.  The merge went tentative only while the")
+    print("dead shard's slice was missing, and reconciliation restored the")
+    print("gap-free merged ledger after recovery -- the DPC guarantees, running")
+    print("on a planner-owned sharded scale-out topology.")
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,14 @@ from .errors import (
 # Note: repro.sim must be imported before repro.core -- the core package's
 # modules import the simulator primitives, while repro.sim.client imports the
 # ConsistencyManager; loading sim first keeps the import graph acyclic.
+from .sharding import (
+    RebalancePlan,
+    ShardAssignment,
+    ShardMove,
+    ShardPlanner,
+    ShardSpec,
+    stable_key_hash,
+)
 from .topology import NodeSpec, Topology, modulo_partition
 from .sim import (
     ClientApplication,
@@ -110,6 +118,13 @@ __all__ = [
     "NodeSpec",
     "Topology",
     "modulo_partition",
+    # sharding
+    "RebalancePlan",
+    "ShardAssignment",
+    "ShardMove",
+    "ShardPlanner",
+    "ShardSpec",
+    "stable_key_hash",
     # simulation substrate
     "ClientApplication",
     "Cluster",

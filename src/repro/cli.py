@@ -42,7 +42,7 @@ from .analysis.tables import (
 )
 from .config import DelayAssignment
 from .core.delay_planner import DelayPlanner
-from .experiments import ablations, chains, dags, overhead, single_node
+from .experiments import ablations, chains, dags, overhead, shards, single_node
 from .experiments.harness import ExperimentResult
 from .topology import Topology
 
@@ -221,6 +221,41 @@ def _run_fanin(scale: str) -> list[ResultTable]:
     return [_dag_table(results, "Fan-in topology: boundary silence on one branch")]
 
 
+def _run_shard(scale: str) -> list[ResultTable]:
+    durations = (4.0, 8.0) if scale != "full" else (4.0, 8.0, 16.0, 30.0)
+    results = shards.shard_kill_sweep(durations, shards=4, seed=1)
+    table = ResultTable(
+        title="Sharded topology: both replicas of 'shard1' crashed",
+        row_label="failure",
+        column_label="metric",
+    )
+    for result in results:
+        key = f"{result.failure_duration:g} s"
+        table.set(key, "Proc_new (s)", result.proc_new)
+        table.set(key, "N_tentative", result.n_tentative)
+        table.set(key, "consistent", result.eventually_consistent)
+        for name, counts in result.extra.get("shards", {}).items():
+            table.set(key, f"{name} tentative", counts["tentative"])
+    return [table]
+
+
+def _run_shard_throughput(scale: str) -> list[ResultTable]:
+    counts = (1, 2, 4) if scale != "full" else (1, 2, 4, 8)
+    rows = shards.shard_throughput_sweep(counts, aggregate_rate=1200.0, duration=15.0)
+    table = ResultTable(
+        title="Sharded scale-out: sustained throughput vs the equal-operator chain",
+        row_label="deployment",
+        column_label="metric",
+    )
+    for row in rows:
+        table.set(row["label"], "tuples/s (wall)", round(row["tuples_per_second"], 1))
+        table.set(row["label"], "events fired", row["events_fired"])
+        table.set(row["label"], "Proc_new (s)", round(row["proc_new"], 3))
+        table.set(row["label"], "operators", row["operators"])
+        table.set(row["label"], "consistent", row["eventually_consistent"])
+    return [table]
+
+
 EXPERIMENTS: dict[str, ExperimentCommand] = {
     "table3": ExperimentCommand("table3", "Table III: Proc_new vs failure duration", _run_table3),
     "fig11a": ExperimentCommand("fig11a", "Figure 11(a): overlapping failures", _run_fig11(True)),
@@ -238,6 +273,14 @@ EXPERIMENTS: dict[str, ExperimentCommand] = {
     ),
     "fanin": ExperimentCommand(
         "fanin", "DAG: cross-node fan-in with one branch silenced", _run_fanin
+    ),
+    "shard": ExperimentCommand(
+        "shard", "Sharded scale-out: both replicas of one shard crashed", _run_shard
+    ),
+    "shard-throughput": ExperimentCommand(
+        "shard-throughput",
+        "Sharded scale-out: throughput vs an equal-operator single chain",
+        _run_shard_throughput,
     ),
     "replicas": ExperimentCommand("replicas", "Ablation: replicas per node", _run_replicas),
     "detection": ExperimentCommand("detection", "Ablation: detection parameters", _run_detection),
@@ -312,7 +355,13 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return 2
     streams = args.streams
     try:
-        if args.topology == "diamond":
+        if args.topology == "shard":
+            spec = ScenarioSpec.sharded(
+                shards=args.shards,
+                n_input_streams=3 if streams is None else streams,
+                **common,
+            )
+        elif args.topology == "diamond":
             spec = ScenarioSpec.diamond(
                 n_input_streams=3 if streams is None else streams, **common
             )
@@ -379,6 +428,8 @@ def _cmd_plan_delays(args: argparse.Namespace) -> int:
         topology = Topology.diamond()
     elif args.topology == "fanin":
         topology = Topology.fanin()
+    elif args.topology == "shard":
+        topology = Topology.shard(args.shards)
     else:
         topology = Topology.chain(args.depth)
     planner = DelayPlanner.for_topology(
@@ -437,9 +488,14 @@ def build_parser() -> argparse.ArgumentParser:
         "SimulationRuntime, run it, and print the client's view of the run.",
     )
     scenario.add_argument("--name", default="cli-scenario", help="label for the scenario")
-    scenario.add_argument("--topology", choices=("chain", "diamond", "fanin"), default="chain",
-                          help="deployment shape; chain uses --depth, DAG shapes are preset")
+    scenario.add_argument("--topology", choices=("chain", "diamond", "fanin", "shard"),
+                          default="chain",
+                          help="deployment shape; chain uses --depth, shard uses --shards, "
+                               "other DAG shapes are preset")
     scenario.add_argument("--depth", type=int, default=1, help="number of chained nodes")
+    scenario.add_argument("--shards", type=int, default=4,
+                          help="shard count of the sharded topology (crash one with "
+                               "--failure crash --failure-node shard1)")
     scenario.add_argument("--replicas", type=int, default=2, help="replicas per node")
     scenario.add_argument("--streams", type=int, default=None,
                           help="number of input streams (default 3; fanin splits them "
@@ -465,9 +521,11 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.set_defaults(func=_cmd_scenario)
 
     plan = sub.add_parser("plan-delays", help="plan per-node delay budgets for a deployment")
-    plan.add_argument("--topology", choices=("chain", "diamond", "fanin"), default="chain",
-                      help="deployment shape to plan over")
+    plan.add_argument("--topology", choices=("chain", "diamond", "fanin", "shard"),
+                      default="chain", help="deployment shape to plan over")
     plan.add_argument("--depth", type=int, default=4, help="number of nodes in the chain")
+    plan.add_argument("--shards", type=int, default=4,
+                      help="shard count of the sharded topology")
     plan.add_argument("--budget", type=float, default=8.0, help="end-to-end bound X in seconds")
     plan.add_argument("--queuing-allowance", type=float, default=1.5,
                       help="allowance subtracted by the FULL strategy")

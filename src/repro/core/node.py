@@ -457,11 +457,32 @@ class ProcessingNode:
         return self._fragment_dirty and not self._reconciling
 
     def apply_local_undo(self, stream: str, now: float) -> None:
-        """Drop buffered tentative tuples of ``stream`` from the fragment's SUnions."""
+        """Drop buffered tentative tuples of ``stream`` from the fragment's SUnions.
+
+        The serializer is not necessarily the fragment's entry operator (a
+        shard fragment filters its key-hash slice at the ingress, in front of
+        its SUnion), so the search walks downstream from each entry until it
+        reaches the first SUnion.
+        """
         for operator_name, _port in self.engine.entry_operators(stream):
-            operator = self.diagram.operator(operator_name)
+            sunion = self._first_sunion_from(operator_name)
+            if sunion is not None:
+                sunion.drop_tentative()
+
+    def _first_sunion_from(self, operator_name: str) -> SUnion | None:
+        """The first SUnion at or downstream of ``operator_name`` (BFS order)."""
+        frontier = [operator_name]
+        seen: set[str] = set()
+        while frontier:
+            name = frontier.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            operator = self.diagram.operator(name)
             if isinstance(operator, SUnion):
-                operator.drop_tentative()
+                return operator
+            frontier.extend(c.target for c in self.diagram.downstream_of(name))
+        return None
 
     def output_stream_states(self) -> dict[str, NodeState]:
         """Per-output-stream consistency states advertised in heartbeats."""

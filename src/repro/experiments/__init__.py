@@ -9,6 +9,7 @@ from .harness import (
     availability_run,
     check_eventual_consistency,
     format_table,
+    group_output_counts,
     summarize_run,
 )
 from .single_node import FIG13_POLICIES, TraceResult, eventual_consistency_trace, fig13, table3
@@ -20,6 +21,15 @@ from .dags import (
     fanin_branch_failure,
     fanin_spec,
     fanin_sweep,
+)
+from .shards import (
+    chain_throughput_run,
+    equivalent_chain_depth,
+    shard_kill_failure,
+    shard_kill_sweep,
+    shard_spec,
+    shard_throughput_run,
+    shard_throughput_sweep,
 )
 from .overhead import OverheadRow, serialization_overhead, table4, table5
 from .ablations import (
@@ -37,7 +47,15 @@ __all__ = [
     "availability_run",
     "check_eventual_consistency",
     "format_table",
+    "group_output_counts",
     "summarize_run",
+    "chain_throughput_run",
+    "equivalent_chain_depth",
+    "shard_kill_failure",
+    "shard_kill_sweep",
+    "shard_spec",
+    "shard_throughput_run",
+    "shard_throughput_sweep",
     "FIG13_POLICIES",
     "TraceResult",
     "eventual_consistency_trace",

@@ -25,17 +25,7 @@ from typing import Sequence
 
 from ..config import DelayPolicy, DPCConfig
 from ..runtime import ScenarioSpec, SimulationRuntime
-from .harness import ExperimentResult, summarize_run
-
-
-def _branch_output_counts(runtime: SimulationRuntime, group: str) -> dict:
-    """Stable/tentative totals across the replicas of logical node ``group``."""
-    totals = {"stable": 0, "tentative": 0, "undos": 0}
-    for node in runtime.node_group(group):
-        for stats in node.statistics()["outputs"].values():
-            for key in totals:
-                totals[key] += stats[key]
-    return totals
+from .harness import ExperimentResult, group_output_counts, summarize_run
 
 
 def diamond_spec(
@@ -101,7 +91,7 @@ def diamond_branch_failure(
     runtime = spec.run()
     result = summarize_run(runtime, failure_duration=failure_duration)
     result.extra["branches"] = {
-        name: _branch_output_counts(runtime, name)
+        name: group_output_counts(runtime, name)
         for name in ("ingest", "left", "right", "merge")
     }
     result.extra["branch_states"] = {
@@ -175,7 +165,7 @@ def fanin_branch_failure(
     runtime = spec.run()
     result = summarize_run(runtime, failure_duration=failure_duration)
     result.extra["branches"] = {
-        name: _branch_output_counts(runtime, name) for name in runtime.topology.node_names
+        name: group_output_counts(runtime, name) for name in runtime.topology.node_names
     }
     result.extra["availability_bound"] = spec.dpc_config().max_incremental_latency
     return result

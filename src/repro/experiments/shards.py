@@ -1,0 +1,258 @@
+"""Sharded scale-out experiments: shard-kill recovery and throughput scaling.
+
+The paper never deploys more than a chain, but its DPC machinery is
+topology-agnostic; combined with the :mod:`repro.sharding` planner it gives
+an N-way key-hash sharded deployment (``Topology.shard``: split -> N shard
+fragments filtering their slice at the ingress -> fan-in SUnion merge).
+These runners exercise the two questions that shape asks:
+
+* **shard-kill** -- crash *every* replica of one shard, so the merge cannot
+  mask the failure by switching.  The dead shard's key-hash slice goes
+  missing; the surviving shards must keep producing stable output (their
+  slices are never in doubt), the merge trades availability against
+  consistency within its delay budget, and after the shard recovers the
+  client's ledger must reconcile gap-free.
+* **throughput** -- how many tuples per wall-clock second the simulated
+  deployment sustains as the shard count grows, against a single chain with
+  the *same total operator count*.  Sharding wins because each tuple crosses
+  three fragment levels (split, its shard, merge) instead of every level of
+  the chain, and per-shard serialization and output work is 1/N.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from ..config import DelayPolicy, DPCConfig
+from ..runtime import ScenarioSpec
+from ..sharding import bucket_loads_from_keys
+from .harness import ExperimentResult, group_output_counts, summarize_run
+
+def shard_operator_count(shards: int) -> int:
+    """Operators in a sharded deployment.
+
+    The split is a stateless router (SUnion + SOutput), each shard runs
+    Filter + SUnion + SJoin + SOutput over its slice, and the merge is an
+    N-way SUnion + SOutput: ``4N + 4`` operators in total.
+    """
+    return 4 * shards + 4
+
+
+def equivalent_chain_depth(shards: int) -> int:
+    """Depth of the single chain with the same operator count as ``shard(N)``.
+
+    A chain deployment runs 3 operators on its entry node (SUnion + SJoin +
+    SOutput) and 2 on every relay (SUnion + SOutput): ``2 * depth + 1``
+    operators in total.  Solving ``2d + 1 = 4N + 4`` (rounding up) gives the
+    equal-operator baseline the throughput benchmark compares against.
+    """
+    return max(1, -(-(shard_operator_count(shards) - 1) // 2))
+
+
+def shard_spec(
+    shards: int = 4,
+    *,
+    aggregate_rate: float = 120.0,
+    replicas_per_node: int = 2,
+    n_input_streams: int = 3,
+    max_incremental_latency: float = 3.0,
+    policy: DelayPolicy | None = None,
+    warmup: float = 5.0,
+    settle: float = 30.0,
+    seed: int | None = None,
+) -> ScenarioSpec:
+    """The sharded deployment the experiments run (no failures scheduled)."""
+    config = DPCConfig(
+        max_incremental_latency=max_incremental_latency,
+        delay_policy=policy or DelayPolicy.process_process(),
+    )
+    return ScenarioSpec.sharded(
+        name=f"shard-{shards}",
+        shards=shards,
+        n_input_streams=n_input_streams,
+        replicas_per_node=replicas_per_node,
+        aggregate_rate=aggregate_rate,
+        config=config,
+        warmup=warmup,
+        settle=settle,
+        seed=seed,
+    )
+
+
+def shard_kill_failure(
+    failure_duration: float = 8.0,
+    *,
+    shards: int = 4,
+    kill_shard: int = 1,
+    aggregate_rate: float = 120.0,
+    replicas_per_node: int = 2,
+    max_incremental_latency: float = 3.0,
+    policy: DelayPolicy | None = None,
+    warmup: float = 5.0,
+    settle: float = 30.0,
+    seed: int | None = None,
+) -> ExperimentResult:
+    """Kill both replicas of one shard; measure the survivors and the merge.
+
+    The acceptance properties the benchmark asserts:
+
+    * every *surviving* shard keeps its output stable (their key-hash slices
+      are never in doubt) and ends STABLE;
+    * the client's Proc_new stays within the availability bound X;
+    * after the shard recovers, reconciliation converges: the merged ledger
+      is gap-free, duplicate-free, and ordered.
+    """
+    spec = shard_spec(
+        shards,
+        aggregate_rate=aggregate_rate,
+        replicas_per_node=replicas_per_node,
+        max_incremental_latency=max_incremental_latency,
+        policy=policy,
+        warmup=warmup,
+        settle=settle,
+        seed=seed,
+    ).with_shard_kill(kill_shard, duration=failure_duration)
+    runtime = spec.run()
+    result = summarize_run(runtime, failure_duration=failure_duration)
+    killed = f"shard{kill_shard}"
+    result.extra["killed_shard"] = killed
+    result.extra["shards"] = {
+        name: group_output_counts(runtime, name) for name in runtime.topology.node_names
+    }
+    result.extra["shard_states"] = {
+        name: [replica.state.value for replica in runtime.node_group(name)]
+        for name in runtime.topology.node_names
+    }
+    result.extra["survivors"] = [
+        name
+        for name in runtime.topology.node_names
+        if name.startswith("shard") and name != killed
+    ]
+    result.extra["availability_bound"] = spec.dpc_config().max_incremental_latency
+    assignment = runtime.topology.shard_assignment
+    if assignment is not None:
+        # Observed shard balance over the run, and whether the planner would
+        # migrate buckets: the synthetic key space is near-uniform, so a
+        # healthy run needs no moves.
+        from ..sharding import ShardPlanner
+
+        loads = bucket_loads_from_keys(
+            assignment.spec, runtime.client.stable_sequence
+        )
+        plan = ShardPlanner(assignment.spec).rebalance(assignment, loads, tolerance=0.25)
+        result.extra["rebalance"] = {
+            "imbalance": plan.imbalance_before,
+            "moves": len(plan.moves),
+        }
+    return result
+
+
+def shard_kill_sweep(
+    durations: Sequence[float] = (4.0, 8.0, 16.0),
+    *,
+    shards: int = 4,
+    seed: int | None = None,
+) -> list[ExperimentResult]:
+    """Shard-kill across failure durations (the CLI table)."""
+    return [
+        shard_kill_failure(float(d), shards=shards, seed=seed) for d in durations
+    ]
+
+
+def shard_throughput_run(
+    shards: int,
+    *,
+    aggregate_rate: float = 240.0,
+    duration: float = 20.0,
+    replicas_per_node: int = 1,
+    seed: int | None = 1,
+) -> dict:
+    """Run a failure-free sharded deployment and measure sustained throughput.
+
+    Reports wall-clock tuples/sec (stable tuples the client received per
+    second of host time spent simulating), the deterministic simulator event
+    count, and the consistency verdict.  ``replicas_per_node=1`` by default:
+    the throughput axis is orthogonal to replication (replicating both sides
+    scales both costs equally).
+    """
+    spec = shard_spec(
+        shards,
+        aggregate_rate=aggregate_rate,
+        replicas_per_node=replicas_per_node,
+        warmup=duration,
+        settle=0.0,
+        seed=seed,
+    )
+    return _measure_throughput(spec, label=f"shard({shards})")
+
+
+def chain_throughput_run(
+    depth: int,
+    *,
+    aggregate_rate: float = 240.0,
+    duration: float = 20.0,
+    replicas_per_node: int = 1,
+    seed: int | None = 1,
+) -> dict:
+    """The equal-operator single-chain baseline of the throughput benchmark."""
+    config = DPCConfig(delay_policy=DelayPolicy.process_process())
+    spec = ScenarioSpec.chain(
+        depth,
+        replicas_per_node=replicas_per_node,
+        aggregate_rate=aggregate_rate,
+        config=config,
+        warmup=duration,
+        settle=0.0,
+        seed=seed,
+    )
+    return _measure_throughput(spec, label=f"chain({depth})")
+
+
+def _measure_throughput(spec: ScenarioSpec, label: str) -> dict:
+    runtime = spec.build()
+    started = time.perf_counter()
+    runtime.run()
+    wall = time.perf_counter() - started
+    stable = sum(c.summary()["total_stable"] for c in runtime.clients)
+    return {
+        "label": label,
+        "scenario": spec.name,
+        "duration": spec.total_duration(),
+        "wall_seconds": wall,
+        "stable_tuples": stable,
+        "tuples_per_second": stable / wall if wall > 0 else float("inf"),
+        "events_fired": runtime.simulator.events_fired,
+        "events_per_tuple": runtime.simulator.events_fired / max(stable, 1),
+        "proc_new": max(c.summary()["proc_new"] for c in runtime.clients),
+        "eventually_consistent": runtime.eventually_consistent(),
+        "operators": sum(
+            len(node.diagram.operators) for group in runtime.cluster.nodes for node in group
+        ),
+    }
+
+
+def shard_throughput_sweep(
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    *,
+    aggregate_rate: float = 240.0,
+    duration: float = 20.0,
+    seed: int | None = 1,
+) -> list[dict]:
+    """Throughput for each shard count plus its equal-operator chain baseline."""
+    rows: list[dict] = []
+    for shards in shard_counts:
+        rows.append(
+            shard_throughput_run(
+                int(shards), aggregate_rate=aggregate_rate, duration=duration, seed=seed
+            )
+        )
+    rows.append(
+        chain_throughput_run(
+            equivalent_chain_depth(max(int(s) for s in shard_counts)),
+            aggregate_rate=aggregate_rate,
+            duration=duration,
+            seed=seed,
+        )
+    )
+    return rows

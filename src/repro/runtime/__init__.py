@@ -13,6 +13,7 @@ Every experiment module, benchmark, example, and CLI command builds its
 deployments through this layer rather than assembling clusters by hand.
 """
 
+from ..sharding import RebalancePlan, ShardAssignment, ShardPlanner, ShardSpec
 from ..topology import NodeSpec, Topology, modulo_partition
 from ..workloads.scenarios import FailureSpec
 from .runtime import SimulationRuntime, client_is_eventually_consistent, run_scenario
@@ -21,7 +22,11 @@ from .spec import ScenarioSpec
 __all__ = [
     "FailureSpec",
     "NodeSpec",
+    "RebalancePlan",
     "ScenarioSpec",
+    "ShardAssignment",
+    "ShardPlanner",
+    "ShardSpec",
     "SimulationRuntime",
     "Topology",
     "client_is_eventually_consistent",

@@ -133,7 +133,22 @@ class SimulationRuntime:
 
     # ------------------------------------------------------------------ results
     def eventually_consistent(self) -> bool:
-        return client_is_eventually_consistent(self.client)
+        """True when *every* sink's stable ledger is gap-free, duplicate-free, and ordered.
+
+        Single-sink deployments behave as before; a fan-out deployment is
+        only consistent when each of its sinks is (a second sink silently
+        dropping or reordering tuples must not hide behind the first).
+        """
+        return all(client_is_eventually_consistent(c) for c in self.clients)
+
+    def sink_summaries(self) -> dict[str, dict]:
+        """Per-sink client summaries plus each sink's own consistency verdict."""
+        summaries: dict[str, dict] = {}
+        for client in self.clients:
+            summary = client.summary()
+            summary["eventually_consistent"] = client_is_eventually_consistent(client)
+            summaries[client.name] = summary
+        return summaries
 
     def summary(self) -> dict:
         """Everything the run measured, keyed the way the experiments expect."""
@@ -146,7 +161,11 @@ class SimulationRuntime:
             "sources": self.topology.source_streams,
         }
         data["events_fired"] = self.simulator.events_fired
-        data["eventually_consistent"] = self.eventually_consistent()
+        verdicts = {
+            client.name: client_is_eventually_consistent(client) for client in self.clients
+        }
+        data["eventually_consistent"] = all(verdicts.values())
+        data["sinks_consistent"] = verdicts
         data["failures"] = [
             {
                 "type": record.failure_type.value,

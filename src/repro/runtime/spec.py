@@ -121,6 +121,15 @@ class ScenarioSpec:
                 )
             else:
                 raise ConfigurationError(f"unknown failure kind {spec.kind!r}")
+            if self.duration is not None and spec.start + spec.duration > self.duration + 1e-9:
+                # A failure that outlives an explicitly truncated run would end
+                # with the deployment mid-failure: the ledger never reconciles
+                # and every consistency assertion is vacuous.  Reject it at
+                # build time instead of producing a silently inconclusive run.
+                raise ConfigurationError(
+                    f"failure {spec.kind!r} runs until t={spec.start + spec.duration:g}s "
+                    f"but the scenario duration is only {self.duration:g}s"
+                )
         (self.config or DPCConfig()).validate()
         (self.sim_config or SimulationConfig()).validate()
 
@@ -209,6 +218,21 @@ class ScenarioSpec:
             "crash", start=start, duration=duration, node=node, node_replica=-1
         )
 
+    def with_shard_kill(
+        self, shard: int | str = 1, duration: float = 10.0, start: float | None = None
+    ) -> "ScenarioSpec":
+        """Crash every replica of one shard of a sharded deployment.
+
+        ``shard`` is the 1-based shard number (or the full node name, e.g.
+        ``"shard2"``).  With both replicas of a shard down, the fan-in merge
+        cannot mask the failure by switching: the dead shard's key-hash slice
+        goes missing, the merge suspends for its delay budget and then
+        processes the surviving shards' slices tentatively, and after the
+        shard recovers reconciliation restores the gap-free ledger.
+        """
+        node = shard if isinstance(shard, str) else f"shard{shard}"
+        return self.with_branch_crash(node, duration=duration, start=start)
+
     def with_overrides(self, **changes) -> "ScenarioSpec":
         """A copy of this spec with ``changes`` applied (dataclass replace)."""
         return replace(self, **changes)
@@ -235,6 +259,36 @@ class ScenarioSpec:
         return cls(
             name=changes.pop("name", "diamond"),
             topology=Topology.diamond(n_input_streams=n_input_streams),
+            n_input_streams=n_input_streams,
+            **changes,
+        )
+
+    @classmethod
+    def sharded(
+        cls,
+        shards: int = 4,
+        key: str = "seq",
+        n_input_streams: int = 3,
+        buckets: int | None = None,
+        **changes,
+    ) -> "ScenarioSpec":
+        """Key-hash sharded scale-out: split -> N shard fragments -> fan-in merge.
+
+        The shard predicates come from a :class:`~repro.sharding.ShardPlanner`
+        assignment (disjoint and exhaustive key-hash slices); pass a
+        pre-built ``topology`` via :meth:`with_overrides` to deploy a
+        rebalanced assignment.
+        """
+        from ..sharding import DEFAULT_BUCKETS
+
+        return cls(
+            name=changes.pop("name", f"shard-{shards}"),
+            topology=Topology.shard(
+                shards,
+                key=key,
+                n_input_streams=n_input_streams,
+                buckets=DEFAULT_BUCKETS if buckets is None else buckets,
+            ),
             n_input_streams=n_input_streams,
             **changes,
         )

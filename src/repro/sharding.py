@@ -1,0 +1,365 @@
+"""Key-hash sharding: shard specs, hash-bucket assignments, and the planner.
+
+The paper's SUnion/SOutput machinery is topology-agnostic, but until now the
+reproduction's deployments only *split* streams with hand-written modulo
+predicates (the diamond shape).  This module is the first-class scale-out
+vocabulary:
+
+* :func:`stable_key_hash` -- a process- and platform-stable hash (crc32 over
+  a canonical byte encoding) so that every replica, every run, and every
+  Python version routes a key to the same shard;
+* :class:`ShardSpec` -- the declarative description of one sharding scheme
+  (shard count, key attribute, hash-bucket count, tie-group width);
+* :class:`ShardAssignment` -- a concrete, planner-owned mapping of hash
+  buckets to shards.  Assignments are what deployments compile into
+  ``select`` predicates: the predicates of one assignment are *disjoint and
+  exhaustive* by construction (every bucket belongs to exactly one shard);
+* :class:`ShardPlanner` -- produces the initial assignment and, given
+  observed per-bucket loads, emits a :class:`RebalancePlan` (a sequence of
+  :class:`ShardMove` bucket migrations) when shard loads skew.
+
+Hashing runs per tuple, so the module is dependency-light (``zlib`` plus
+:mod:`repro.errors`); :mod:`repro.topology` builds on it for the
+``Topology.shard`` deployment shape.
+
+Ordering constraint: the fan-in SUnion that re-merges the shards orders
+stime ties by input port, so tuples sharing an stime must never straddle
+shards.  ``ShardSpec.group`` encodes that: the shard key of a tuple is
+``attribute_value // group``, and deployments partitioning an interleaved
+multi-source workload set ``group`` to the source count (exactly like
+``modulo_partition``).  Sharding on a key that does not refine the stime
+tie-groups would reorder the merged stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from .errors import ConfigurationError
+
+#: Default number of hash buckets; a multiple of every supported shard count
+#: so the initial contiguous-range assignment is even.
+DEFAULT_BUCKETS = 64
+
+#: A shard predicate (same shape as :data:`repro.topology.SelectPredicate`).
+ShardPredicate = Callable[[Mapping[str, Any]], bool]
+
+
+def stable_key_hash(value: Any) -> int:
+    """Hash ``value`` to a 32-bit integer, stably across processes and platforms.
+
+    Python's builtin ``hash`` is randomized per process (``PYTHONHASHSEED``)
+    and version-dependent, so shard routing uses crc32 over a canonical,
+    type-tagged byte encoding instead -- the same trick the consistency
+    managers use for their seeded tie-breaking RNG identity.
+    """
+    if isinstance(value, bool):
+        data = b"b1" if value else b"b0"
+    elif isinstance(value, int):
+        data = b"i" + str(value).encode("ascii")
+    elif isinstance(value, float):
+        data = b"f" + repr(value).encode("ascii")
+    elif isinstance(value, str):
+        data = b"s" + value.encode("utf-8")
+    elif isinstance(value, bytes):
+        data = b"y" + value
+    else:
+        data = b"r" + repr(value).encode("utf-8", "backslashreplace")
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One sharding scheme: how a stream's tuples map to hash buckets.
+
+    ``shards``
+        Number of parallel shard fragments.
+    ``key``
+        Tuple attribute carrying the shard key (default the global sequence
+        number the synthetic workloads stamp).
+    ``buckets``
+        Number of hash buckets.  Buckets, not raw hash values, are the unit
+        of assignment and rebalancing: moving one bucket migrates a 1/buckets
+        slice of the key space without re-hashing anything else.
+    ``group``
+        Tie-group width: the shard key is ``int(value) // group``, keeping
+        runs of ``group`` consecutive key values on one shard.  Deployments
+        over interleaved multi-source workloads set it to the source count so
+        tuples sharing an stime never straddle shards (see the module
+        docstring).
+    """
+
+    shards: int
+    key: str = "seq"
+    buckets: int = DEFAULT_BUCKETS
+    group: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if not self.key:
+            raise ConfigurationError("shard key attribute cannot be empty")
+        if self.buckets < self.shards:
+            raise ConfigurationError(
+                f"need at least one hash bucket per shard: {self.buckets} buckets "
+                f"for {self.shards} shards"
+            )
+        if self.group < 1:
+            raise ConfigurationError(f"group must be >= 1, got {self.group}")
+
+    def key_of(self, values: Mapping[str, Any]) -> int:
+        """The (tie-grouped) shard key of one tuple's attribute mapping."""
+        return int(values.get(self.key, 0)) // self.group
+
+    def bucket_of(self, key: Any) -> int:
+        """The hash bucket a shard key falls into."""
+        return stable_key_hash(key) % self.buckets
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """A planner-owned mapping of every hash bucket to exactly one shard.
+
+    ``buckets_by_shard[i]`` lists the buckets shard ``i`` owns.  The
+    constructor validates the partition property (disjoint, exhaustive over
+    ``range(spec.buckets)``, no shard empty), which is what makes the derived
+    ``select`` predicates disjoint and exhaustive over any input stream.
+    """
+
+    spec: ShardSpec
+    buckets_by_shard: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "buckets_by_shard", tuple(tuple(b) for b in self.buckets_by_shard)
+        )
+        if len(self.buckets_by_shard) != self.spec.shards:
+            raise ConfigurationError(
+                f"assignment lists {len(self.buckets_by_shard)} shard(s) for a "
+                f"{self.spec.shards}-shard spec"
+            )
+        seen: dict[int, int] = {}
+        for shard, buckets in enumerate(self.buckets_by_shard):
+            if not buckets:
+                raise ConfigurationError(f"shard {shard} owns no hash buckets")
+            for bucket in buckets:
+                if bucket in seen:
+                    raise ConfigurationError(
+                        f"bucket {bucket} assigned to both shard {seen[bucket]} "
+                        f"and shard {shard}"
+                    )
+                seen[bucket] = shard
+        missing = set(range(self.spec.buckets)) - set(seen)
+        if missing:
+            raise ConfigurationError(f"buckets {sorted(missing)} are assigned to no shard")
+        object.__setattr__(self, "_shard_by_bucket", seen)
+        # key -> shard routing memo shared by every predicate of this
+        # assignment: each of the N shard fragments evaluates its predicate
+        # against every tuple, so without the memo the same key is hashed N
+        # times.  Bounded (cleared when full) so unbounded key spaces cannot
+        # grow it without limit; purely derived state, so it does not affect
+        # equality or hashing of the assignment.
+        object.__setattr__(self, "_routing_memo", {})
+
+    # ------------------------------------------------------------------ routing
+    def shard_of_bucket(self, bucket: int) -> int:
+        try:
+            return self._shard_by_bucket[bucket]  # type: ignore[attr-defined]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"bucket {bucket} out of range for {self.spec.buckets} buckets"
+            ) from exc
+
+    #: Routing-memo entries kept before the memo is reset.
+    _MEMO_LIMIT = 65536
+
+    def shard_of_key(self, key: Any) -> int:
+        """The shard responsible for one (already tie-grouped) shard key."""
+        memo: dict = self._routing_memo  # type: ignore[attr-defined]
+        shard = memo.get(key)
+        if shard is None:
+            shard = self.shard_of_bucket(self.spec.bucket_of(key))
+            if len(memo) >= self._MEMO_LIMIT:
+                memo.clear()
+            memo[key] = shard
+        return shard
+
+    def shard_of(self, values: Mapping[str, Any]) -> int:
+        """The shard responsible for one tuple's attribute mapping."""
+        return self.shard_of_key(self.spec.key_of(values))
+
+    # ------------------------------------------------------------------ predicates
+    def predicate(self, shard: int) -> ShardPredicate:
+        """The ``select`` predicate of one shard fragment.
+
+        The predicates of all shards of one assignment are disjoint and
+        exhaustive: every tuple satisfies exactly one of them, because every
+        hash bucket belongs to exactly one shard.
+        """
+        if not 0 <= shard < self.spec.shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range for {self.spec.shards} shards"
+            )
+
+        def select(values: Mapping[str, Any]) -> bool:
+            return self.shard_of(values) == shard
+
+        select.__name__ = (
+            f"keyhash_{self.spec.key}_div{self.spec.group}_shard{shard}of{self.spec.shards}"
+        )
+        return select
+
+    def predicates(self) -> list[ShardPredicate]:
+        return [self.predicate(shard) for shard in range(self.spec.shards)]
+
+    # ------------------------------------------------------------------ load accounting
+    def load_by_shard(self, bucket_loads: Mapping[int, float]) -> list[float]:
+        """Total observed load per shard under this assignment."""
+        return [
+            float(sum(bucket_loads.get(bucket, 0.0) for bucket in buckets))
+            for buckets in self.buckets_by_shard
+        ]
+
+    def imbalance(self, bucket_loads: Mapping[int, float]) -> float:
+        """Peak-to-mean shard load ratio (1.0 = perfectly balanced)."""
+        loads = self.load_by_shard(bucket_loads)
+        total = sum(loads)
+        if total <= 0:
+            return 1.0
+        return max(loads) / (total / len(loads))
+
+    def move(self, bucket: int, target: int) -> "ShardAssignment":
+        """A copy of this assignment with ``bucket`` reassigned to ``target``."""
+        source = self.shard_of_bucket(bucket)
+        if not 0 <= target < self.spec.shards:
+            raise ConfigurationError(
+                f"target shard {target} out of range for {self.spec.shards} shards"
+            )
+        if source == target:
+            return self
+        updated = [list(buckets) for buckets in self.buckets_by_shard]
+        updated[source].remove(bucket)
+        updated[target].append(bucket)
+        return ShardAssignment(
+            spec=self.spec, buckets_by_shard=tuple(tuple(b) for b in updated)
+        )
+
+
+@dataclass(frozen=True)
+class ShardMove:
+    """One bucket migration of a rebalancing plan."""
+
+    bucket: int
+    source: int
+    target: int
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """The planner's answer to skewed shard loads.
+
+    ``moves`` applied in order transform ``before`` into ``after``; an empty
+    plan means the observed loads were already within tolerance.
+    """
+
+    before: ShardAssignment
+    after: ShardAssignment
+    moves: tuple[ShardMove, ...]
+    imbalance_before: float
+    imbalance_after: float
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.moves
+
+
+class ShardPlanner:
+    """Plans bucket-to-shard assignments and load-driven rebalancing.
+
+    The planner owns the partitioning vocabulary: deployments never write
+    shard predicates by hand, they ask the planner for an assignment and
+    compile its predicates into the shard fragments.
+    """
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+
+    def plan(self) -> ShardAssignment:
+        """The initial assignment: contiguous, maximally even bucket ranges."""
+        shards, buckets = self.spec.shards, self.spec.buckets
+        ranges = []
+        for shard in range(shards):
+            start = shard * buckets // shards
+            end = (shard + 1) * buckets // shards
+            ranges.append(tuple(range(start, end)))
+        return ShardAssignment(spec=self.spec, buckets_by_shard=tuple(ranges))
+
+    def rebalance(
+        self,
+        assignment: ShardAssignment,
+        bucket_loads: Mapping[int, float],
+        tolerance: float = 0.10,
+    ) -> RebalancePlan:
+        """Emit bucket moves until no shard exceeds ``mean * (1 + tolerance)``.
+
+        Deterministic greedy: while the most loaded shard is over tolerance,
+        move its heaviest bucket that still *strictly reduces* the pairwise
+        maximum with the least loaded shard (never emptying a shard).  Every
+        accepted move strictly decreases the sum of squared shard loads, so
+        the loop terminates; if no bucket qualifies the plan stops early.
+        """
+        if assignment.spec != self.spec:
+            raise ConfigurationError("assignment was planned for a different shard spec")
+        if tolerance < 0:
+            raise ConfigurationError(f"tolerance cannot be negative, got {tolerance}")
+        imbalance_before = assignment.imbalance(bucket_loads)
+        current = assignment
+        moves: list[ShardMove] = []
+        while True:
+            loads = current.load_by_shard(bucket_loads)
+            mean = sum(loads) / len(loads)
+            donor = max(range(len(loads)), key=lambda s: (loads[s], -s))
+            recipient = min(range(len(loads)), key=lambda s: (loads[s], s))
+            if donor == recipient or loads[donor] <= mean * (1.0 + tolerance):
+                break
+            # A candidate move must strictly reduce the pairwise maximum
+            # (which also strictly decreases the squared-load sum, the
+            # termination argument); zero-load buckets trivially pass the
+            # inequality but migrate nothing, so they are excluded.
+            candidates = [
+                bucket
+                for bucket in current.buckets_by_shard[donor]
+                if len(current.buckets_by_shard[donor]) > 1
+                and bucket_loads.get(bucket, 0.0) > 0
+                and loads[recipient] + bucket_loads.get(bucket, 0.0) < loads[donor]
+            ]
+            if not candidates:
+                break
+            bucket = max(candidates, key=lambda b: (bucket_loads.get(b, 0.0), -b))
+            current = current.move(bucket, recipient)
+            moves.append(ShardMove(bucket=bucket, source=donor, target=recipient))
+        return RebalancePlan(
+            before=assignment,
+            after=current,
+            moves=tuple(moves),
+            imbalance_before=imbalance_before,
+            imbalance_after=current.imbalance(bucket_loads),
+        )
+
+
+def bucket_loads_from_keys(
+    spec: ShardSpec, keys: Iterable[Any], *, grouped: bool = True
+) -> dict[int, int]:
+    """Count observed tuples per hash bucket (input to :meth:`ShardPlanner.rebalance`).
+
+    ``keys`` are raw key-attribute values (e.g. a client ledger's sequence
+    column); ``grouped=False`` treats them as already tie-grouped shard keys.
+    """
+    loads: dict[int, int] = {}
+    for key in keys:
+        shard_key = int(key) // spec.group if grouped else key
+        bucket = spec.bucket_of(shard_key)
+        loads[bucket] = loads.get(bucket, 0) + 1
+    return loads

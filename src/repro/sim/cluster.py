@@ -61,6 +61,12 @@ class Cluster:
     # ------------------------------------------------------------------ access helpers
     @property
     def client(self) -> ClientApplication:
+        """The *primary* sink's client (``clients[0]``).
+
+        Multi-sink deployments attach one measuring client per sink; use
+        :attr:`clients` (or the experiment harness, which aggregates across
+        every sink) when the topology fans out to several sinks.
+        """
         if not self.clients:
             raise ConfigurationError("cluster has no client")
         return self.clients[0]
@@ -182,16 +188,24 @@ def relay_diagram(
     output_stream: str,
     bucket_size: float,
     select: SelectPredicate | None = None,
+    join_state_size: int | None = None,
 ) -> QueryDiagram:
     """A downstream-node fragment: a single-input SUnion followed by an SOutput.
 
     ``select`` optionally inserts a deterministic Filter between the two --
     the fragment run by the partitioned branches of a diamond deployment.
+    ``join_state_size`` optionally gives the relay the deployment's stateful
+    SJoin (nodes marked ``stateful`` in the topology).
     """
     diagram = QueryDiagram(name=name)
     sunion = SUnion(name=f"{name}.sunion", arity=1, bucket_size=bucket_size)
     diagram.add_operator(sunion)
     last = sunion
+    if join_state_size is not None:
+        sjoin = SJoin(name=f"{name}.sjoin", state_size=join_state_size)
+        diagram.add_operator(sjoin)
+        diagram.connect(last, sjoin)
+        last = sjoin
     if select is not None:
         selector = Filter(name=f"{name}.filter", predicate=select)
         diagram.add_operator(selector)
@@ -201,6 +215,46 @@ def relay_diagram(
     diagram.add_operator(soutput)
     diagram.connect(last, soutput)
     diagram.bind_input(input_stream, sunion)
+    diagram.bind_output(output_stream, soutput)
+    diagram.validate()
+    return diagram
+
+
+def shard_relay_diagram(
+    name: str,
+    input_stream: str,
+    output_stream: str,
+    bucket_size: float,
+    select: SelectPredicate,
+    join_state_size: int | None = None,
+) -> QueryDiagram:
+    """A shard fragment: ingress Filter (key-hash slice) -> SUnion [-> SJoin] -> SOutput.
+
+    Unlike :func:`relay_diagram` (which filters *after* the SUnion), the
+    shard placement drops foreign-slice tuples before they are serialized,
+    so the SUnion's buckets, the stateful join, the redo-driven
+    reconciliation, and the SOutput's stream all carry only this shard's 1/N
+    of the data.  Boundary, UNDO, and REC_DONE tuples pass through the
+    filter untouched (the base operator routes control tuples around
+    ``_process_data``), so failure detection and bucket stabilization behave
+    exactly as in a relay.
+    """
+    diagram = QueryDiagram(name=name)
+    selector = Filter(name=f"{name}.filter", predicate=select)
+    diagram.add_operator(selector)
+    sunion = SUnion(name=f"{name}.sunion", arity=1, bucket_size=bucket_size)
+    diagram.add_operator(sunion)
+    diagram.connect(selector, sunion)
+    last: Filter | SUnion | SJoin = sunion
+    if join_state_size is not None:
+        sjoin = SJoin(name=f"{name}.sjoin", state_size=join_state_size)
+        diagram.add_operator(sjoin)
+        diagram.connect(last, sjoin)
+        last = sjoin
+    soutput = SOutput(name=f"{name}.soutput")
+    diagram.add_operator(soutput)
+    diagram.connect(last, soutput)
+    diagram.bind_input(input_stream, selector)
     diagram.bind_output(output_stream, soutput)
     diagram.validate()
     return diagram
@@ -326,6 +380,12 @@ def build_dag_cluster(
         input_streams = topology.input_streams(spec)
         replicas = topology.replicas_of(spec.name, replicas_per_node)
         names = [spec.name + ("" if r == 0 else "'" * r) for r in range(replicas)]
+        # Stateful-operator placement: by default entry nodes run the SJoin
+        # and everything downstream relays; a topology can override per node
+        # (sharded deployments join inside the shards, over partitioned state,
+        # and demote the split to a stateless router).
+        wants_join = spec.stateful if spec.stateful is not None else topology.is_entry(spec)
+        node_join_state = join_state_size if wants_join else None
         for node_name in names:
             if topology.is_entry(spec):
                 if diagram_factory is not None:
@@ -336,26 +396,39 @@ def build_dag_cluster(
                         input_streams,
                         output_stream,
                         bucket_size=config.bucket_size,
-                        join_state_size=join_state_size,
+                        join_state_size=node_join_state,
                         select=spec.select,
                     )
             elif len(input_streams) == 1:
-                diagram = relay_diagram(
-                    node_name,
-                    input_streams[0],
-                    output_stream,
-                    bucket_size=config.bucket_size,
-                    select=spec.select,
-                )
+                if spec.select is not None and spec.select_at == "ingress":
+                    # Sharded scale-out: the key-hash slice is taken at the
+                    # fragment's ingress so the SUnion only serializes 1/N.
+                    diagram = shard_relay_diagram(
+                        node_name,
+                        input_streams[0],
+                        output_stream,
+                        bucket_size=config.bucket_size,
+                        select=spec.select,
+                        join_state_size=node_join_state,
+                    )
+                else:
+                    diagram = relay_diagram(
+                        node_name,
+                        input_streams[0],
+                        output_stream,
+                        bucket_size=config.bucket_size,
+                        select=spec.select,
+                        join_state_size=node_join_state,
+                    )
             else:
                 # Cross-node fan-in: one SUnion serializes every upstream
-                # output stream; the stateful join stays on the entry nodes.
+                # output stream.
                 diagram = merge_diagram(
                     node_name,
                     input_streams,
                     output_stream,
                     bucket_size=config.bucket_size,
-                    join_state_size=None,
+                    join_state_size=node_join_state,
                     select=spec.select,
                 )
             partners = [other for other in names if other != node_name]

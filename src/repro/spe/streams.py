@@ -13,6 +13,7 @@ Two abstractions live here:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Any
 
@@ -127,26 +128,32 @@ class StreamLog:
         for item in items:
             self.append(item)
 
+    def _suffix_start(self, tuple_id: int) -> int:
+        """Index of the first entry with id > ``tuple_id`` (ids are sorted)."""
+        return bisect_right(self._entries, tuple_id, key=lambda t: t.tuple_id)
+
     def replay_after(self, tuple_id: int) -> list[StreamTuple]:
         """All tuples with id strictly greater than ``tuple_id``.
 
         Raises :class:`StreamError` if that suffix is no longer available
-        because the log was truncated past it.
+        because the log was truncated past it.  Appends keep ids strictly
+        increasing, so the suffix is located by binary search: the log is
+        scanned on every output flush and a linear scan would make long
+        retained streams quadratic over a run.
         """
         if tuple_id < self._truncated_through:
             raise StreamError(
                 f"cannot replay after id {tuple_id} on {self.stream_name!r}: "
                 f"log truncated through {self._truncated_through}"
             )
-        return [t for t in self._entries if t.tuple_id > tuple_id]
+        return self._entries[self._suffix_start(tuple_id):]
 
     def truncate_through(self, tuple_id: int) -> int:
         """Discard every tuple with id <= ``tuple_id``; returns count removed."""
-        keep = [t for t in self._entries if t.tuple_id > tuple_id]
-        removed = len(self._entries) - len(keep)
+        removed = self._suffix_start(tuple_id)
         if removed:
             self._truncated_through = max(self._truncated_through, tuple_id)
-            self._entries = keep
+            del self._entries[:removed]
         return removed
 
     def last_stable_id(self) -> int:

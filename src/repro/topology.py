@@ -29,12 +29,16 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from .errors import ConfigurationError
+from .sharding import DEFAULT_BUCKETS, ShardAssignment, ShardPlanner, ShardSpec
 
 #: The conventional source-stream names; reserved, never valid as node names.
 _SOURCE_NAME = re.compile(r"s\d+")
 
 #: Deterministic tuple predicate applied by a node's fragment (see NodeSpec.select).
 SelectPredicate = Callable[[Mapping[str, Any]], bool]
+
+#: Where a node's ``select`` predicate runs (see NodeSpec.select_at).
+SELECT_PLACEMENTS = ("egress", "ingress")
 
 
 def modulo_partition(
@@ -78,16 +82,32 @@ class NodeSpec:
     ``replicas`` overrides the deployment-wide replication factor for this
     node; ``None`` keeps the deployment default.
 
-    ``select`` optionally filters the node's output: the cluster builder
-    inserts a deterministic ``Filter`` between the node's SUnion and its
-    SOutput.  Branch nodes of reconvergent (diamond) deployments use this to
-    process disjoint partitions of the fanned-out stream.
+    ``select`` optionally filters the node's tuples with a deterministic
+    ``Filter``.  ``select_at`` places the filter within the fragment:
+
+    * ``"egress"`` (default) -- between the node's SUnion and its SOutput;
+      branch nodes of reconvergent (diamond) deployments use this to emit
+      disjoint partitions of the fanned-out stream.
+    * ``"ingress"`` -- in front of the node's SUnion, so the fragment only
+      serializes, buffers, and emits its own slice of the input.  This is
+      the sharded scale-out placement (``Topology.shard``): per-shard work
+      drops to 1/N while boundaries, undos, and REC_DONE markers still flow
+      through untouched.  Only single-input internal nodes support it.
+
+    ``stateful`` places the deployment's stateful operator (the SJoin whose
+    state the checkpoints capture): ``None`` keeps the legacy placement
+    (entry nodes run the join, downstream nodes are relays), ``True``/
+    ``False`` overrides it per node.  Sharded deployments run the join *in
+    the shards* -- partitioned state is the point of sharding -- and turn
+    the split into a stateless router.
     """
 
     name: str
     inputs: tuple[str, ...]
     replicas: int | None = None
     select: SelectPredicate | None = None
+    select_at: str = "egress"
+    stateful: bool | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -101,6 +121,15 @@ class NodeSpec:
             raise ConfigurationError(f"node {self.name!r} cannot consume its own output")
         if self.replicas is not None and self.replicas < 1:
             raise ConfigurationError(f"node {self.name!r} must have replicas >= 1")
+        if self.select_at not in SELECT_PLACEMENTS:
+            raise ConfigurationError(
+                f"node {self.name!r} has select_at {self.select_at!r}; "
+                f"expected one of {SELECT_PLACEMENTS}"
+            )
+        if self.select is None and self.select_at != "egress":
+            raise ConfigurationError(
+                f"node {self.name!r} sets select_at={self.select_at!r} without a select"
+            )
 
     @property
     def output_stream(self) -> str:
@@ -113,6 +142,9 @@ class Topology:
 
     def __init__(self, nodes: Sequence[NodeSpec], name: str = "topology") -> None:
         self.name = name
+        #: The planner-owned bucket assignment of a sharded topology (set by
+        #: :meth:`Topology.shard`); None for every other shape.
+        self.shard_assignment: ShardAssignment | None = None
         self._specs: dict[str, NodeSpec] = {}
         for spec in nodes:
             if spec.name in self._specs:
@@ -203,6 +235,69 @@ class Topology:
             NodeSpec(name="merge", inputs=tuple(f"branch{b + 1}" for b in range(branches)))
         )
         return cls(nodes, name=name)
+
+    @classmethod
+    def shard(
+        cls,
+        shards: int,
+        key: str = "seq",
+        n_input_streams: int = 3,
+        buckets: int = DEFAULT_BUCKETS,
+        assignment: ShardAssignment | None = None,
+        name: str | None = None,
+    ) -> "Topology":
+        """N-way key-hash sharded scale-out: split -> N shards -> fan-in merge.
+
+        ``split`` merges the source streams and multicasts its output to
+        every shard; ``shard1`` ... ``shardN`` each keep only their slice of
+        the key space (an *ingress* key-hash filter ahead of their SUnion,
+        so per-shard serialization, buffering, and output work is 1/N); and
+        ``merge`` reunites the slices with an N-way fan-in SUnion.
+
+        The slice predicates are owned by a :class:`~repro.sharding.ShardPlanner`:
+        pass ``assignment`` to deploy a rebalanced bucket map (e.g. the
+        ``after`` of a :class:`~repro.sharding.RebalancePlan`); by default
+        the planner's even contiguous-range assignment is used.  The
+        predicates are disjoint and exhaustive by construction, so the merge
+        reassembles exactly the original stream.
+
+        The shard key is grouped by ``n_input_streams`` so tuples sharing an
+        stime (one tick of the interleaved sources) stay on one shard -- the
+        fan-in SUnion orders stime ties by input port, and a straddling tie
+        group would be reordered (same rule as ``modulo_partition``).
+        """
+        if shards < 1:
+            raise ConfigurationError("shard count must be >= 1")
+        if n_input_streams < 1:
+            raise ConfigurationError("n_input_streams must be >= 1")
+        spec = ShardSpec(shards=shards, key=key, buckets=buckets, group=n_input_streams)
+        if assignment is None:
+            assignment = ShardPlanner(spec).plan()
+        elif assignment.spec != spec:
+            raise ConfigurationError(
+                f"assignment was planned for {assignment.spec}, but the topology "
+                f"declares {spec}"
+            )
+        sources = tuple(f"s{i + 1}" for i in range(n_input_streams))
+        # The split is a stateless router; the deployment's stateful join
+        # runs *inside* the shards, over each shard's slice of the key space.
+        nodes = [NodeSpec(name="split", inputs=sources, stateful=False)]
+        for index in range(shards):
+            nodes.append(
+                NodeSpec(
+                    name=f"shard{index + 1}",
+                    inputs=("split",),
+                    select=assignment.predicate(index),
+                    select_at="ingress",
+                    stateful=True,
+                )
+            )
+        nodes.append(
+            NodeSpec(name="merge", inputs=tuple(f"shard{i + 1}" for i in range(shards)))
+        )
+        topology = cls(nodes, name=name or f"shard-{shards}")
+        topology.shard_assignment = assignment
+        return topology
 
     # ------------------------------------------------------------------ basic queries
     def __iter__(self) -> Iterator[NodeSpec]:
@@ -333,6 +428,16 @@ class Topology:
                 raise ConfigurationError(
                     f"node name {spec.name!r} is reserved for source streams "
                     f"(s1, s2, ...); rename the node"
+                )
+            # Ingress filters slot in front of a relay fragment's single
+            # SUnion; entry fragments (which merge several source streams)
+            # and fan-in fragments have no single ingress point to filter.
+            if spec.select_at == "ingress" and (
+                len(spec.inputs) != 1 or self.is_entry(spec)
+            ):
+                raise ConfigurationError(
+                    f"node {spec.name!r} uses an ingress select, which requires "
+                    f"exactly one node-typed input (got inputs {spec.inputs!r})"
                 )
         if not self.sinks():  # pragma: no cover - impossible once acyclic
             raise ConfigurationError("topology has no sink node")

@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) for the key-hash sharding layer.
+
+Three layers of invariants:
+
+* the *predicates* of any shard assignment are disjoint and exhaustive over
+  any input stream (every tuple satisfies exactly one of them);
+* the *planner* produces valid partitions, and rebalancing preserves the
+  partition property, never empties a shard, and never worsens imbalance;
+* *end to end*, a sharded deployment's merged stable ledger is gap-free,
+  duplicate-free, and ordered for random seeds, shard counts, and key
+  distributions.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import ScenarioSpec, client_is_eventually_consistent
+from repro.sharding import (
+    ShardPlanner,
+    ShardSpec,
+    bucket_loads_from_keys,
+    stable_key_hash,
+)
+
+COMMON = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: End-to-end simulations are expensive; a handful of drawn examples is
+#: enough to cover the (seed, shard count, key distribution) grid.
+SIMULATED = settings(
+    max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+shard_specs = st.builds(
+    ShardSpec,
+    shards=st.integers(min_value=1, max_value=8),
+    key=st.just("seq"),
+    buckets=st.integers(min_value=8, max_value=64),
+    group=st.integers(min_value=1, max_value=4),
+)
+
+#: Key-attribute values as they appear in tuples (ints; negative included).
+key_values = st.integers(min_value=-10_000, max_value=10_000_000)
+
+
+# --------------------------------------------------------------------------- predicates
+@COMMON
+@given(shard_specs, st.lists(key_values, min_size=1, max_size=50))
+def test_predicates_are_disjoint_and_exhaustive(spec, values):
+    assignment = ShardPlanner(spec).plan()
+    predicates = assignment.predicates()
+    for value in values:
+        tuple_values = {"seq": value, "payload": value * 2}
+        matches = [i for i, pred in enumerate(predicates) if pred(tuple_values)]
+        assert len(matches) == 1, f"value {value} matched shards {matches}"
+        assert matches[0] == assignment.shard_of(tuple_values)
+
+
+@COMMON
+@given(shard_specs, key_values)
+def test_tie_groups_never_straddle_shards(spec, base):
+    """All ``group`` consecutive key values land on the same shard."""
+    assignment = ShardPlanner(spec).plan()
+    start = (base // spec.group) * spec.group
+    shards = {assignment.shard_of({"seq": start + i}) for i in range(spec.group)}
+    assert len(shards) == 1
+
+
+@COMMON
+@given(key_values)
+def test_stable_key_hash_is_stable_and_type_tagged(value):
+    assert stable_key_hash(value) == stable_key_hash(value)
+    assert 0 <= stable_key_hash(value) < 2**32
+    # int vs string spellings of the same digits hash independently.
+    assert isinstance(stable_key_hash(str(value)), int)
+
+
+# --------------------------------------------------------------------------- planner
+@COMMON
+@given(shard_specs)
+def test_initial_plan_partitions_every_bucket(spec):
+    assignment = ShardPlanner(spec).plan()
+    owned = [b for buckets in assignment.buckets_by_shard for b in buckets]
+    assert sorted(owned) == list(range(spec.buckets))
+    assert all(buckets for buckets in assignment.buckets_by_shard)
+
+
+@COMMON
+@given(
+    shard_specs,
+    st.dictionaries(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=10_000),
+        max_size=64,
+    ),
+)
+def test_rebalance_preserves_partition_and_reduces_imbalance(spec, raw_loads):
+    planner = ShardPlanner(spec)
+    assignment = planner.plan()
+    loads = {b: load for b, load in raw_loads.items() if b < spec.buckets}
+    plan = planner.rebalance(assignment, loads)
+    # Moves transform `before` into `after` while preserving the partition
+    # property (ShardAssignment validates it on construction) ...
+    owned = [b for buckets in plan.after.buckets_by_shard for b in buckets]
+    assert sorted(owned) == list(range(spec.buckets))
+    # ... never empty a shard ...
+    assert all(buckets for buckets in plan.after.buckets_by_shard)
+    # ... and never worsen the peak-to-mean imbalance.
+    assert plan.imbalance_after <= plan.imbalance_before + 1e-9
+    # Each move is a real migration recorded source -> target.
+    stepped = plan.before
+    for move in plan.moves:
+        assert stepped.shard_of_bucket(move.bucket) == move.source
+        stepped = stepped.move(move.bucket, move.target)
+    assert stepped.buckets_by_shard == plan.after.buckets_by_shard
+
+
+@COMMON
+@given(shard_specs, st.integers(min_value=0, max_value=1_000_000), st.integers(2, 400))
+def test_uniform_keys_need_no_rebalance(spec, start, count):
+    """A near-uniform key range keeps the planner quiet (tolerance 25%)."""
+    if spec.shards == 1:
+        return
+    planner = ShardPlanner(spec)
+    assignment = planner.plan()
+    keys = range(start, start + max(count, 40 * spec.shards))
+    loads = bucket_loads_from_keys(spec, keys)
+    plan = planner.rebalance(assignment, loads, tolerance=0.5)
+    assert plan.imbalance_after <= max(plan.imbalance_before, 1.5)
+
+
+def test_skewed_loads_produce_moves():
+    """All load on one shard's buckets => the planner migrates buckets."""
+    spec = ShardSpec(shards=4, buckets=16)
+    planner = ShardPlanner(spec)
+    assignment = planner.plan()
+    hot = {bucket: 1000 for bucket in assignment.buckets_by_shard[0]}
+    plan = planner.rebalance(assignment, hot, tolerance=0.10)
+    assert plan.moves, "fully skewed loads must trigger migrations"
+    assert plan.imbalance_after < plan.imbalance_before
+
+
+def test_rebalance_never_emits_pointless_moves():
+    """An unmovable hot bucket must not trigger zero-load bucket shuffling.
+
+    With one bucket carrying all the load, no single-bucket move can reduce
+    the peak, and migrating empty buckets would be pure churn: every
+    ShardMove stands for a real bucket/state migration.
+    """
+    spec = ShardSpec(shards=2, buckets=8)
+    planner = ShardPlanner(spec)
+    assignment = planner.plan()
+    plan = planner.rebalance(assignment, {0: 100.0}, tolerance=0.10)
+    assert plan.is_noop
+    assert plan.imbalance_after == plan.imbalance_before
+
+
+@COMMON
+@given(
+    shard_specs,
+    st.dictionaries(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=10_000),
+        max_size=64,
+    ),
+)
+def test_rebalance_moves_always_carry_load(spec, raw_loads):
+    planner = ShardPlanner(spec)
+    loads = {b: load for b, load in raw_loads.items() if b < spec.buckets}
+    plan = planner.rebalance(planner.plan(), loads)
+    assert all(loads.get(move.bucket, 0) > 0 for move in plan.moves)
+
+
+# --------------------------------------------------------------------------- end to end
+@SIMULATED
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    shards=st.sampled_from([1, 2, 3, 4]),
+    n_input_streams=st.sampled_from([1, 2, 3]),
+    aggregate_rate=st.sampled_from([60.0, 90.0, 150.0]),
+)
+def test_merged_ledger_is_gap_free_duplicate_free_and_ordered(
+    seed, shards, n_input_streams, aggregate_rate
+):
+    runtime = ScenarioSpec.sharded(
+        name="property-shard",
+        shards=shards,
+        n_input_streams=n_input_streams,
+        aggregate_rate=aggregate_rate,
+        replicas_per_node=1,
+        warmup=6.0,
+        settle=0.0,
+        seed=seed,
+    ).run()
+    client = runtime.client
+    assert client.summary()["total_stable"] > 0
+    # client_is_eventually_consistent checks exactly the three ledger
+    # properties: ordered, duplicate-free, gap-free.
+    assert client_is_eventually_consistent(client)
+    sequence = client.stable_sequence
+    assert sequence == sorted(sequence)
+    assert len(sequence) == len(set(sequence))
+    assert set(sequence) == set(range(min(sequence), max(sequence) + 1))

@@ -8,6 +8,8 @@ must produce different summaries.
 
 import json
 
+import pytest
+
 from repro.runtime import ScenarioSpec
 
 
@@ -65,4 +67,60 @@ def test_diamond_different_seeds_differ():
 def test_diamond_seeded_runs_stay_eventually_consistent():
     for seed in (1, 2):
         runtime = _diamond_spec(seed).run()
+        assert runtime.eventually_consistent(), f"seed {seed}"
+
+
+# --------------------------------------------------------------------------- shard topologies
+def _shard_spec(seed, shards=2, kill=False):
+    spec = ScenarioSpec.sharded(
+        name=f"determinism-shard{shards}",
+        shards=shards,
+        aggregate_rate=90.0,
+        warmup=4.0,
+        settle=16.0,
+        seed=seed,
+    )
+    if kill:
+        spec = spec.with_shard_kill(1, duration=5.0)
+    return spec
+
+
+def _shard_summary(seed, shards=2, kill=False):
+    return _shard_spec(seed, shards=shards, kill=kill).run().summary()
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_shard_same_seed_runs_are_byte_identical(shards):
+    first = json.dumps(_shard_summary(2, shards=shards), sort_keys=True, default=str)
+    second = json.dumps(_shard_summary(2, shards=shards), sort_keys=True, default=str)
+    assert first == second
+
+
+def test_shard_kill_same_seed_runs_are_byte_identical():
+    first = json.dumps(_shard_summary(3, kill=True), sort_keys=True, default=str)
+    second = json.dumps(_shard_summary(3, kill=True), sort_keys=True, default=str)
+    assert first == second
+
+
+def test_shard_different_seeds_differ():
+    assert _shard_summary(1) != _shard_summary(2)
+
+
+def test_shard_ledger_identical_across_shard_counts():
+    """The merged stable ledger is the *same stream* whatever the shard count.
+
+    Sharding only partitions the work: with the same seed (same source
+    timing), every deployment must reassemble the identical stable prefix.
+    """
+    ledgers = {
+        shards: _shard_spec(5, shards=shards).run().client.stable_sequence
+        for shards in (1, 2, 4)
+    }
+    assert ledgers[1] == ledgers[2] == ledgers[4]
+    assert len(ledgers[1]) > 0
+
+
+def test_shard_kill_seeded_runs_stay_eventually_consistent():
+    for seed in (1, 2, 3):
+        runtime = _shard_spec(seed, kill=True).run()
         assert runtime.eventually_consistent(), f"seed {seed}"

@@ -1,0 +1,131 @@
+"""Unit tests for the benchmark trend-tracking comparison (CI regression gate)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "check_bench_regression.py"
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+cbr = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(cbr)
+
+
+def bench_json(path: Path, metrics: dict) -> Path:
+    """Write a minimal pytest-benchmark JSON file with ``extra_info`` metrics."""
+    payload = {
+        "benchmarks": [
+            {"name": test, "extra_info": extra} for test, extra in metrics.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def test_tracked_direction_classification():
+    assert cbr.tracked_direction("shard(4)_events") == 1
+    assert cbr.tracked_direction("failure_8s_proc_new") == 1
+    assert cbr.tracked_direction("shard(4)_stable_tuples") == -1
+    # Wall-clock-derived metrics are informational, never trend-gated.
+    assert cbr.tracked_direction("shard4_vs_chain_speedup") == 0
+    assert cbr.tracked_direction("wall_seconds") == 0
+
+
+def test_compare_flags_event_and_proc_new_regressions():
+    baseline = {"t": {"x_events": 1000.0, "x_proc_new": 1.0, "x_stable_tuples": 500.0}}
+    worse = {"t": {"x_events": 1101.0, "x_proc_new": 1.0, "x_stable_tuples": 500.0}}
+    regressions, _ = cbr.compare(baseline, worse, tolerance=0.10)
+    assert len(regressions) == 1 and "x_events" in regressions[0]
+    slower = {"t": {"x_events": 1000.0, "x_proc_new": 1.2, "x_stable_tuples": 500.0}}
+    regressions, _ = cbr.compare(baseline, slower, tolerance=0.10)
+    assert len(regressions) == 1 and "x_proc_new" in regressions[0]
+
+
+def test_compare_inverts_delivered_tuple_direction():
+    baseline = {"t": {"x_stable_tuples": 500.0}}
+    # Fewer delivered tuples is a regression ...
+    regressions, _ = cbr.compare(baseline, {"t": {"x_stable_tuples": 400.0}})
+    assert regressions
+    # ... more is an improvement, as are fewer events.
+    regressions, _ = cbr.compare(baseline, {"t": {"x_stable_tuples": 600.0}})
+    assert not regressions
+    baseline = {"t": {"x_events": 1000.0}}
+    regressions, _ = cbr.compare(baseline, {"t": {"x_events": 500.0}})
+    assert not regressions
+
+
+def test_compare_within_tolerance_passes():
+    baseline = {"t": {"x_events": 1000.0}}
+    regressions, lines = cbr.compare(baseline, {"t": {"x_events": 1099.0}}, tolerance=0.10)
+    assert not regressions
+    assert any("+9.9%" in line for line in lines)
+
+
+def test_new_tests_and_metrics_never_fail_but_dropped_metrics_do():
+    baseline = {"t": {"x_events": 1000.0}}
+    # A brand-new benchmark is reported, not failed.
+    regressions, lines = cbr.compare(baseline, {"t2": {"y_events": 5.0}, "t": {"x_events": 1000.0}})
+    assert not regressions
+    assert any("NEW" in line for line in lines)
+    # Silently dropping a tracked baseline metric fails.
+    regressions, _ = cbr.compare(baseline, {"t": {"other_events": 1.0}})
+    assert regressions and "missing" in regressions[0]
+
+
+def test_dropping_a_whole_tracked_benchmark_fails():
+    """Not running a tracked benchmark must not silently disable the gate."""
+    baseline = {"t": {"x_events": 1000.0}, "info_only": {"note_count": 3.0}}
+    regressions, lines = cbr.compare(baseline, {})
+    assert len(regressions) == 1 and regressions[0].startswith("t:")
+    # A baseline test with no *tracked* metrics may be skipped freely.
+    assert any("info_only: not measured" in line for line in lines)
+
+
+def test_zero_baseline_growth_respects_metric_direction():
+    # Growth from a zero baseline: regression for larger-is-worse metrics ...
+    regressions, _ = cbr.compare({"t": {"x_events": 0.0}}, {"t": {"x_events": 5.0}})
+    assert regressions
+    # ... improvement for smaller-is-worse metrics.
+    regressions, _ = cbr.compare(
+        {"t": {"x_stable_tuples": 0.0}}, {"t": {"x_stable_tuples": 500.0}}
+    )
+    assert not regressions
+    # Zero -> zero is no change either way.
+    regressions, _ = cbr.compare({"t": {"x_events": 0.0}}, {"t": {"x_events": 0.0}})
+    assert not regressions
+
+
+def test_main_round_trip(tmp_path):
+    results = bench_json(
+        tmp_path / "run.json", {"t": {"x_events": 100, "x_stable_tuples": 50, "note": "x"}}
+    )
+    baseline = tmp_path / "baseline.json"
+    assert cbr.main([str(results), "--baseline", str(baseline), "--write-baseline"]) == 0
+    # Identical run: clean pass.
+    assert cbr.main([str(results), "--baseline", str(baseline)]) == 0
+    # Regressed run: exit 1.
+    worse = bench_json(
+        tmp_path / "worse.json", {"t": {"x_events": 200, "x_stable_tuples": 50}}
+    )
+    assert cbr.main([str(worse), "--baseline", str(baseline)]) == 1
+    # Missing baseline: exit 2.
+    assert cbr.main([str(results), "--baseline", str(tmp_path / "nope.json")]) == 2
+
+
+def test_repo_baseline_matches_benchmark_metric_names():
+    """The checked-in baseline must track the metrics the benchmarks emit."""
+    baseline = json.loads(
+        (_SCRIPT.parent / "BENCH_baseline.json").read_text(encoding="utf-8")
+    )
+    assert "test_shard_throughput_scaling" in baseline
+    assert "test_diamond_branch_crash" in baseline
+    tracked = [
+        metric
+        for metrics in baseline.values()
+        for metric in metrics
+        if cbr.tracked_direction(metric)
+    ]
+    assert tracked, "baseline contains no trend-tracked metrics"
+    for expected in ("shard(4)_events", "shard(4)_proc_new", "chain(10)_events"):
+        assert expected in baseline["test_shard_throughput_scaling"]

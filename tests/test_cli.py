@@ -182,3 +182,50 @@ def test_scenario_rejects_zero_streams(capsys):
     code = cli.main(["scenario", "--streams", "0"])
     assert code == 2
     assert "invalid scenario" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- sharded topology
+def test_scenario_shard_topology(capsys):
+    code = cli.main(
+        ["scenario", "--topology", "shard", "--shards", "2", "--rate", "60",
+         "--settle", "5", "--warmup", "1", "--seed", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "topology=shard-2" in out
+    assert "split,shard1,shard2,merge" in out
+
+
+def test_scenario_shard_kill_via_cli(capsys):
+    code = cli.main(
+        ["scenario", "--topology", "shard", "--shards", "2", "--rate", "60",
+         "--failure", "crash", "--failure-node", "shard1", "--failure-replica", "-1",
+         "--failure-duration", "4", "--settle", "18", "--warmup", "2", "--seed", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.count("node_crash on shard1") == 2  # both replicas
+    assert "eventually consistent:                 True" in out
+
+
+def test_scenario_rejects_unknown_shard(capsys):
+    code = cli.main(
+        ["scenario", "--topology", "shard", "--shards", "2", "--failure", "crash",
+         "--failure-node", "shard9", "--seed", "1"]
+    )
+    assert code == 2
+    assert "shard9" in capsys.readouterr().err
+
+
+def test_plan_delays_shard_topology(capsys):
+    assert cli.main(["plan-delays", "--topology", "shard", "--shards", "4",
+                     "--budget", "9", "--strategy", "uniform"]) == 0
+    out = capsys.readouterr().out
+    assert "longest path: 3" in out
+    assert "path split -> shard1 -> merge" in out
+    assert "D = 3 s" in out
+
+
+def test_shard_experiments_registered():
+    assert "shard" in cli.EXPERIMENTS
+    assert "shard-throughput" in cli.EXPERIMENTS

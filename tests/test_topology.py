@@ -123,3 +123,81 @@ def test_node_names_matching_source_convention_are_rejected():
         Topology([NodeSpec("s1", ("s2",))])
     with pytest.raises(ConfigurationError):
         Topology([NodeSpec("a", ("s1",)), NodeSpec("s2", ("a",))])
+
+
+# --------------------------------------------------------------------------- sharded shape
+def test_shard_topology_shape_and_assignment():
+    topo = Topology.shard(4, n_input_streams=3)
+    assert topo.node_names == ["split", "shard1", "shard2", "shard3", "shard4", "merge"]
+    assert topo.source_streams == ["s1", "s2", "s3"]
+    assert topo.depth() == 3
+    assert len(topo.paths()) == 4
+    assignment = topo.shard_assignment
+    assert assignment is not None
+    assert assignment.spec.shards == 4
+    assert assignment.spec.group == 3  # tie-groups never straddle shards
+    # The shard fragments carry the planner's predicates at the ingress and
+    # own the deployment's stateful join; the split is a stateless router.
+    assert topo.node("split").stateful is False
+    for index in range(4):
+        spec = topo.node(f"shard{index + 1}")
+        assert spec.select_at == "ingress"
+        assert spec.stateful is True
+        assert spec.select({"seq": 0}) == (assignment.shard_of({"seq": 0}) == index)
+
+
+def test_shard_topology_single_shard_is_valid():
+    topo = Topology.shard(1)
+    assert topo.node_names == ["split", "shard1", "merge"]
+    # One shard owns the whole key space: its predicate is exhaustive.
+    select = topo.node("shard1").select
+    assert all(select({"seq": value}) for value in range(100))
+
+
+def test_shard_topology_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        Topology.shard(0)
+    with pytest.raises(ConfigurationError):
+        Topology.shard(2, n_input_streams=0)
+    with pytest.raises(ConfigurationError):
+        Topology.shard(8, buckets=4)  # fewer buckets than shards
+
+
+def test_shard_topology_rejects_foreign_assignment():
+    from repro.sharding import ShardPlanner, ShardSpec
+
+    other = ShardPlanner(ShardSpec(shards=2, group=1)).plan()
+    with pytest.raises(ConfigurationError):
+        Topology.shard(2, n_input_streams=3, assignment=other)  # group mismatch
+
+
+def test_shard_topology_accepts_rebalanced_assignment():
+    from repro.sharding import ShardPlanner, ShardSpec
+
+    spec = ShardSpec(shards=2, group=3)
+    planner = ShardPlanner(spec)
+    assignment = planner.plan()
+    hot = {bucket: 100 for bucket in assignment.buckets_by_shard[0]}
+    plan = planner.rebalance(assignment, hot)
+    topo = Topology.shard(2, assignment=plan.after)
+    assert topo.shard_assignment is plan.after
+
+
+def test_ingress_select_requires_single_internal_input():
+    select = modulo_partition(0, 2)
+    with pytest.raises(ConfigurationError):
+        NodeSpec(name="a", inputs=("s1",), select_at="ingress")  # no select
+    with pytest.raises(ConfigurationError):
+        NodeSpec(name="a", inputs=("s1",), select=select, select_at="sideways")
+    # Ingress on an entry node is rejected at topology validation.
+    with pytest.raises(ConfigurationError):
+        Topology([NodeSpec(name="a", inputs=("s1",), select=select, select_at="ingress")])
+    # Ingress on a multi-input (fan-in) node is rejected too.
+    with pytest.raises(ConfigurationError):
+        Topology(
+            [
+                NodeSpec(name="a", inputs=("s1",)),
+                NodeSpec(name="b", inputs=("s2",)),
+                NodeSpec(name="c", inputs=("a", "b"), select=select, select_at="ingress"),
+            ]
+        )
