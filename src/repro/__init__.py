@@ -86,6 +86,8 @@ from .spe import (
 )
 from .workloads import Scenario, FailureSpec, single_failure
 from .runtime import ScenarioSpec, SimulationRuntime, run_scenario
+from .deploy import Deployment, Placement, SubscriptionFilter
+from . import deploy
 
 __version__ = "1.1.0"
 
@@ -158,4 +160,9 @@ __all__ = [
     "ScenarioSpec",
     "SimulationRuntime",
     "run_scenario",
+    # deployment control plane
+    "deploy",
+    "Deployment",
+    "Placement",
+    "SubscriptionFilter",
 ]

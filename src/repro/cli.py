@@ -239,6 +239,26 @@ def _run_shard(scale: str) -> list[ResultTable]:
     return [table]
 
 
+def _run_rebalance(scale: str) -> list[ResultTable]:
+    seeds = (1, 2) if scale != "full" else (1, 2, 3, 4)
+    results = shards.rebalance_sweep(seeds)
+    table = ResultTable(
+        title="Live rebalance: skewed hot-key load, mid-run Deployment.apply(plan)",
+        row_label="seed",
+        column_label="metric",
+    )
+    for seed, result in zip(seeds, results):
+        key = f"seed {seed}"
+        rebalance = result.extra["rebalance"]
+        table.set(key, "bucket moves", rebalance["moves"])
+        table.set(key, "imbalance before", round(rebalance["imbalance_before"] or 0.0, 3))
+        table.set(key, "imbalance after", round(rebalance["imbalance_after"] or 0.0, 3))
+        table.set(key, "state tuples shipped", rebalance["state_tuples_shipped"])
+        table.set(key, "Proc_new (s)", result.proc_new)
+        table.set(key, "consistent", result.eventually_consistent)
+    return [table]
+
+
 def _run_shard_throughput(scale: str) -> list[ResultTable]:
     counts = (1, 2, 4) if scale != "full" else (1, 2, 4, 8)
     rows = shards.shard_throughput_sweep(counts, aggregate_rate=1200.0, duration=15.0)
@@ -281,6 +301,11 @@ EXPERIMENTS: dict[str, ExperimentCommand] = {
         "shard-throughput",
         "Sharded scale-out: throughput vs an equal-operator single chain",
         _run_shard_throughput,
+    ),
+    "rebalance": ExperimentCommand(
+        "rebalance",
+        "Live rebalance: skewed load, mid-run bucket handoff between shards",
+        _run_rebalance,
     ),
     "replicas": ExperimentCommand("replicas", "Ablation: replicas per node", _run_replicas),
     "detection": ExperimentCommand("detection", "Ablation: detection parameters", _run_detection),
@@ -335,7 +360,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
-    from .errors import ConfigurationError
+    from .errors import ConfigurationError, SimulationError
     from .runtime import ScenarioSpec
 
     common = dict(
@@ -353,14 +378,39 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.topology != "shard":
+        for flag, value in (("--skew", args.skew), ("--rebalance-at", args.rebalance_at)):
+            if value is not None:
+                print(
+                    f"invalid scenario: {flag} only applies to --topology shard",
+                    file=sys.stderr,
+                )
+                return 2
+    if args.rebalance_tolerance is not None and args.rebalance_at is None:
+        print(
+            "invalid scenario: --rebalance-tolerance only applies together with "
+            "--rebalance-at",
+            file=sys.stderr,
+        )
+        return 2
     streams = args.streams
     try:
         if args.topology == "shard":
             spec = ScenarioSpec.sharded(
                 shards=args.shards,
                 n_input_streams=3 if streams is None else streams,
+                skew=args.skew,
                 **common,
             )
+            if args.rebalance_at is not None:
+                spec = spec.with_overrides(
+                    rebalance_at=args.rebalance_at,
+                    rebalance_tolerance=(
+                        0.10
+                        if args.rebalance_tolerance is None
+                        else args.rebalance_tolerance
+                    ),
+                )
         elif args.topology == "diamond":
             spec = ScenarioSpec.diamond(
                 n_input_streams=3 if streams is None else streams, **common
@@ -403,7 +453,10 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 args.failure, duration=args.failure_duration, stream_index=args.failure_stream
             )
         runtime = spec.run()
-    except ConfigurationError as error:
+    except (ConfigurationError, SimulationError) as error:
+        # ConfigurationError: the spec was invalid up front.  SimulationError:
+        # the run refused a scheduled action mid-simulation (e.g. a rebalance
+        # colliding with failure handling that validation could not foresee).
         print(f"invalid scenario: {error}", file=sys.stderr)
         return 2
     summary = runtime.client.summary()
@@ -413,6 +466,14 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     for record in runtime.injected:
         print(f"  failure: {record.failure_type.value} on {record.target} "
               f"at t={record.start:g}s for {record.duration:g}s")
+    for record in runtime.deployment.rebalances:
+        if record.get("noop"):
+            print(f"  rebalance at t={record['applied_at']:g}s: no-op (loads within tolerance)")
+        else:
+            print(f"  rebalance at t={record['applied_at']:g}s: "
+                  f"{len(record['moves'])} bucket move(s), imbalance "
+                  f"{record['imbalance_before']:.3f} -> {record['imbalance_after']:.3f}, "
+                  f"{record.get('state_tuples_shipped', 0)} join-state tuple(s) shipped")
     print(f"Proc_new (max latency of new results): {summary['proc_new']:.3f} s")
     print(f"stable / tentative / undone:           {summary['total_stable']} / "
           f"{summary['total_tentative']} / {summary['total_undos']}")
@@ -496,6 +557,15 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--shards", type=int, default=4,
                           help="shard count of the sharded topology (crash one with "
                                "--failure crash --failure-node shard1)")
+    scenario.add_argument("--skew", type=float, default=None,
+                          help="zipfian hot-key workload skew for the sharded topology "
+                               "(shards on the skewed 'key' attribute)")
+    scenario.add_argument("--rebalance-at", type=float, default=None,
+                          help="apply a load-driven live rebalance (bucket handoff) "
+                               "at this simulated time (sharded topology only)")
+    scenario.add_argument("--rebalance-tolerance", type=float, default=None,
+                          help="peak-to-mean shard-load tolerance of the mid-run "
+                               "rebalance (default 0.10; requires --rebalance-at)")
     scenario.add_argument("--replicas", type=int, default=2, help="replicas per node")
     scenario.add_argument("--streams", type=int, default=None,
                           help="number of input streams (default 3; fanin splits them "

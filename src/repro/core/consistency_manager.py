@@ -136,15 +136,19 @@ class ConsistencyManager:
         producers: Sequence[str],
         source_producers: Sequence[str] = (),
         push_producers: Sequence[str] = (),
+        subscription_filter: object | None = None,
     ) -> InputStreamMonitor:
         """Declare an input stream and the endpoints that can produce it.
 
         ``push_producers`` names the producers that advertise their state
         unsolicited every keepalive period; they are never probed explicitly.
+        ``subscription_filter`` optionally attaches the consumer's content
+        predicate (a :class:`~repro.deploy.SubscriptionFilter`); it rides on
+        every SubscribeRequest this manager sends for ``stream``.
         """
         if stream in self.monitors:
             raise ProtocolError(f"input stream {stream!r} already registered")
-        monitor = InputStreamMonitor(stream=stream)
+        monitor = InputStreamMonitor(stream=stream, subscription_filter=subscription_filter)
         push = set(push_producers)
         for endpoint in producers:
             info = monitor.add_producer(endpoint, is_source=endpoint in set(source_producers))
@@ -332,6 +336,7 @@ class ConsistencyManager:
             last_stable_seq=monitor.stable_received - 1,
             had_tentative=monitor.tentative_since_stable > 0,
             replay_tentative=False,
+            filter=monitor.subscription_filter,
         )
         self.network.send(self.owner.endpoint, target, SUBSCRIBE, request)
 
@@ -465,6 +470,18 @@ class ConsistencyManager:
         if monitor.producers.get(producer, None) is not None and monitor.producers[producer].is_source:
             return "primary"
         return "ignore"
+
+    def note_replay(self, stream: str) -> None:
+        """A replay-flagged batch arrived on ``stream`` (possibly empty).
+
+        Clears the stale-cursor defense at batch granularity: an *empty*
+        replay carries no tuples for :meth:`record_arrival` to clear it
+        tuple-by-tuple, yet still proves the producer has answered the
+        resubscription from the quoted position.
+        """
+        monitor = self.monitors.get(stream)
+        if monitor is not None:
+            monitor.awaiting_replay = False
 
     def record_arrival(self, stream: str, item: StreamTuple, now: float) -> str:
         """Record one arrival; returns "accept" or "duplicate" (see InputStreamMonitor)."""

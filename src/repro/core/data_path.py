@@ -38,11 +38,23 @@ class _BufferedTuple:
 
 @dataclass
 class _Subscription:
-    """Delivery state for one downstream subscriber of one stream."""
+    """Delivery state for one downstream subscriber of one stream.
+
+    ``filter`` optionally holds the subscription's content predicate (a
+    :class:`~repro.deploy.SubscriptionFilter`, duck-typed here so the data
+    path stays independent of the deploy layer): data tuples it rejects are
+    never sent to this subscriber, while control tuples always pass.
+    """
 
     subscriber: str
     next_index: int = 0
     active: bool = True
+    filter: object | None = None
+
+    @property
+    def filter_key(self) -> str:
+        """Grouping key: subscriptions sharing it may share multicast batches."""
+        return self.filter.key if self.filter is not None else ""
 
 
 class OutputStreamManager:
@@ -62,6 +74,9 @@ class OutputStreamManager:
         self._base_index = 0  # index of _buffer[0] in the full history
         self._stable_seq = -1  # sequence number of the last stable tuple produced
         self._subscriptions: dict[str, _Subscription] = {}
+        #: Largest serialization timestamp ever appended (the control plane
+        #: aligns reconfiguration cuts to the bucket boundary past this).
+        self.last_appended_stime = float("-inf")
         # Statistics
         self.stable_produced = 0
         self.tentative_produced = 0
@@ -103,6 +118,8 @@ class OutputStreamManager:
         elif physical.is_undo:
             self.undos_produced += 1
         self._buffer.append(_BufferedTuple(item=physical, stable_seq=stable_seq))
+        if physical.stime > self.last_appended_stime:
+            self.last_appended_stime = physical.stime
         return physical
 
     def append_all(self, items: Iterable[StreamTuple]) -> list[StreamTuple]:
@@ -144,6 +161,11 @@ class OutputStreamManager:
             )
         start_index = self._replay_start_index(request)
         entries = self._entries_from(start_index)
+        if request.filter is not None:
+            # Cursor translation for a filtered subscription: the quoted
+            # position was located in full-stream coordinates above; only the
+            # slice passing the filter is actually replayed.
+            entries = [item for item in entries if request.filter.passes(item)]
         if not request.replay_tentative:
             entries = self._trim_tentative_tail(entries)
         replay: list[StreamTuple] = []
@@ -153,7 +175,10 @@ class OutputStreamManager:
         # Live delivery continues from the current end of the buffer; any
         # skipped tentative tail is intentionally dropped (paper, footnote 6).
         self._subscriptions[request.subscriber] = _Subscription(
-            subscriber=request.subscriber, next_index=self._end_index(), active=True
+            subscriber=request.subscriber,
+            next_index=self._end_index(),
+            active=True,
+            filter=request.filter,
         )
         return replay
 
@@ -199,30 +224,48 @@ class OutputStreamManager:
         return entries[: last_stable + 1]
 
     def pending_for(self, subscriber: str) -> list[StreamTuple]:
-        """Tuples appended since the subscriber's cursor."""
+        """Tuples appended since the subscriber's cursor (filter applied)."""
         subscription = self._subscriptions.get(subscriber)
         if subscription is None or not subscription.active:
             return []
-        return self._entries_from(subscription.next_index)
+        entries = self._entries_from(subscription.next_index)
+        if subscription.filter is not None:
+            entries = [item for item in entries if subscription.filter.passes(item)]
+        return entries
 
     def pending_batches(self) -> list[tuple[list[StreamTuple], list[str]]]:
         """Pending tuples grouped by subscriber cursor, for multicast delivery.
 
-        Subscribers that are caught up to the same position share one batch,
-        so in the steady state a node sends a single
-        :class:`~repro.core.protocol.TupleBatch` (one simulator event) to all
-        its downstream replicas instead of one message each.
+        Subscribers that are caught up to the same position *and* share the
+        same subscription filter share one batch, so in the steady state a
+        node sends one :class:`~repro.core.protocol.TupleBatch` (one simulator
+        event) per filter group to all of that group's replicas instead of one
+        message each.  Filtered groups whose pending slice contains nothing
+        for them (every data tuple foreign, no control tuples) are advanced
+        past the slice without a send: the filter is deterministic, so the
+        slice will never hold anything for them.
         """
-        groups: dict[int, list[str]] = {}
+        groups: dict[tuple[int, str], list[_Subscription]] = {}
         end = self._end_index()
         for subscription in self._subscriptions.values():
             if not subscription.active or subscription.next_index >= end:
                 continue
-            groups.setdefault(subscription.next_index, []).append(subscription.subscriber)
-        return [
-            (self._entries_from(index), subscribers)
-            for index, subscribers in sorted(groups.items())
-        ]
+            key = (subscription.next_index, subscription.filter_key)
+            groups.setdefault(key, []).append(subscription)
+        batches: list[tuple[list[StreamTuple], list[str]]] = []
+        for (index, _filter_key), subscriptions in sorted(
+            groups.items(), key=lambda item: item[0]
+        ):
+            entries = self._entries_from(index)
+            filter_ = subscriptions[0].filter
+            if filter_ is not None:
+                entries = [item for item in entries if filter_.passes(item)]
+            if not entries:
+                for subscription in subscriptions:
+                    subscription.next_index = end
+                continue
+            batches.append((entries, [s.subscriber for s in subscriptions]))
+        return batches
 
     def mark_delivered(self, subscriber: str) -> None:
         subscription = self._subscriptions.get(subscriber)
@@ -301,12 +344,19 @@ class DataPath:
         tuples: list[StreamTuple],
         node_state=None,
         stream_state=None,
+        replay: bool = False,
     ) -> tuple[str, TupleBatch]:
         """Build the network message for a batch on ``stream``.
 
         ``node_state`` / ``stream_state`` are piggybacked on the batch so the
         receiver's consistency manager can skip its next keep-alive probe.
+        ``replay`` marks the direct response to a subscribe request.
         """
         return DATA, TupleBatch.of(
-            stream, tuples, producer=self.owner, node_state=node_state, stream_state=stream_state
+            stream,
+            tuples,
+            producer=self.owner,
+            node_state=node_state,
+            stream_state=stream_state,
+            replay=replay,
         )

@@ -64,6 +64,12 @@ class InputStreamMonitor:
     producers: dict[str, ProducerInfo] = field(default_factory=dict)
     primary: str | None = None
     correcting: str | None = None
+    #: Content predicate of this consumer's subscription (a
+    #: :class:`~repro.deploy.SubscriptionFilter`), attached to every
+    #: SubscribeRequest the consumer sends when it switches replicas or
+    #: recovers, so the new producer keeps filtering the same slice.  With a
+    #: filter, stamped stable positions legitimately arrive with gaps.
+    subscription_filter: object | None = None
 
     # --- failure detection evidence -----------------------------------------
     last_boundary_arrival: float = 0.0
@@ -118,6 +124,14 @@ class InputStreamMonitor:
         ``"duplicate"`` for stable tuples it already received from another
         replica of the same logical stream (identified by their
         replica-independent ``stable_seq``).
+
+        While :attr:`awaiting_replay` is set, stable tuples beyond the
+        expected position are rejected as stale-cursor races.  The defense is
+        disarmed at *batch* granularity when the replay-flagged response to
+        this consumer's subscribe request arrives (see
+        :meth:`~repro.core.consistency_manager.ConsistencyManager.note_replay`):
+        on a *filtered* subscription stamped gaps are routine, so no per-tuple
+        position check could tell the legitimate replay from a stale flush.
         """
         if item.is_boundary:
             self.last_boundary_arrival = now

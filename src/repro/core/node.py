@@ -121,6 +121,11 @@ class ProcessingNode:
         self.reconciliations_completed = 0
         self.reconciliations_aborted = 0
         self.checkpoints_taken = 0
+        #: Egress accounting: (batch, receiver) sends and per-receiver tuples
+        #: put on the wire across every output stream.  Filtered subscriptions
+        #: exist to shrink these (each subscriber only receives its slice).
+        self.batches_sent = 0
+        self.tuples_sent = 0
 
         network.register(self.endpoint, self._on_message)
 
@@ -197,21 +202,33 @@ class ProcessingNode:
         producers: Sequence[str],
         source_producers: Sequence[str] = (),
         push_producers: Sequence[str] = (),
+        subscription_filter=None,
     ) -> None:
         """Declare an input stream and who can produce it (build-time wiring)."""
         if stream not in self.diagram.input_streams:
             raise ProtocolError(f"fragment of {self.name!r} has no input stream {stream!r}")
-        self.cm.register_input(stream, producers, source_producers, push_producers)
+        self.cm.register_input(
+            stream,
+            producers,
+            source_producers,
+            push_producers,
+            subscription_filter=subscription_filter,
+        )
 
     def add_state_watcher(self, endpoint: str) -> None:
         """Register ``endpoint`` to receive pushed state advertisements."""
         if endpoint not in self._state_watchers:
             self._state_watchers.append(endpoint)
 
-    def register_subscriber(self, stream: str, subscriber: str) -> None:
+    def register_subscriber(self, stream: str, subscriber: str, subscription_filter=None) -> None:
         """Attach a downstream subscriber at build time (no replay needed)."""
         self.data_path.output(stream).subscribe(
-            SubscribeRequest(stream=stream, subscriber=subscriber, last_stable_seq=-1)
+            SubscribeRequest(
+                stream=stream,
+                subscriber=subscriber,
+                last_stable_seq=-1,
+                filter=subscription_filter,
+            )
         )
 
     # ------------------------------------------------------------------ message handling
@@ -230,16 +247,23 @@ class ProcessingNode:
     def _on_subscribe(self, request: SubscribeRequest, now: float) -> None:
         manager = self.data_path.output(request.stream)
         replay = manager.subscribe(request)
-        if replay:
-            kind, batch = self.data_path.make_batch(
-                request.stream,
-                replay,
-                node_state=self.cm.state,
-                stream_state=self.output_stream_states().get(request.stream),
-            )
-            if self.network.send(self.endpoint, request.subscriber, kind, batch):
-                self._last_sent_to[request.subscriber] = now
-            manager.mark_delivered(request.subscriber)
+        # The response is sent even when the replay is empty: subscribers
+        # recovering from a crash gate on the replay-flagged batch to leave
+        # their awaiting_replay defense, and on a filtered subscription no
+        # later tuple can substitute for it (stamped gaps are routine there,
+        # so position equality never re-arms acceptance).
+        kind, batch = self.data_path.make_batch(
+            request.stream,
+            replay,
+            node_state=self.cm.state,
+            stream_state=self.output_stream_states().get(request.stream),
+            replay=True,
+        )
+        if self.network.send(self.endpoint, request.subscriber, kind, batch):
+            self._last_sent_to[request.subscriber] = now
+            self.batches_sent += 1
+            self.tuples_sent += len(replay)
+        manager.mark_delivered(request.subscriber)
 
     def _on_unsubscribe(self, request: UnsubscribeRequest) -> None:
         self.data_path.output(request.stream).unsubscribe(request.subscriber)
@@ -252,6 +276,8 @@ class ProcessingNode:
         role = self.cm.classify_producer(batch.stream, sender)
         if role == "ignore":
             return
+        if batch.replay:
+            self.cm.note_replay(batch.stream)
         feed_fragment = role == "primary" and not self._reconciling
         to_feed: list[StreamTuple] = []
         for item in batch.tuples:
@@ -417,6 +443,8 @@ class ProcessingNode:
                 for subscriber in self.network.send_many(self.endpoint, reachable, kind, batch):
                     manager.mark_delivered(subscriber)
                     self._last_sent_to[subscriber] = now
+                    self.batches_sent += 1
+                    self.tuples_sent += len(pending)
 
     def _housekeeping(self, now: float) -> None:
         """Keep redo buffers bounded while the node is fully stable."""
@@ -701,6 +729,7 @@ class ProcessingNode:
                         last_stable_seq=monitor.stable_received - 1,
                         had_tentative=False,
                         replay_tentative=False,
+                        filter=monitor.subscription_filter,
                     ),
                 )
 
@@ -724,6 +753,8 @@ class ProcessingNode:
             "reconciliations_aborted": self.reconciliations_aborted,
             "switches": self.cm.switches_performed,
             "tuples_processed": self.engine.tuples_processed,
+            "batches_sent": self.batches_sent,
+            "tuples_sent": self.tuples_sent,
             "outputs": outputs,
         }
 

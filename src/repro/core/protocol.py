@@ -39,6 +39,14 @@ class DataBatch:
     transport).  Processing nodes piggyback their DPC state on every batch so
     that, while data flows, downstream consistency managers need no separate
     keep-alive round trips; sources leave the state fields ``None``.
+
+    ``replay`` marks the direct response to a :class:`SubscribeRequest`: the
+    batch starts exactly where the subscriber's quoted cursor ends.  Consumers
+    awaiting such a replay use the flag to tell it apart from stale-cursor
+    flushes racing it -- essential for *filtered* subscriptions, where the
+    replay's first stable tuple legitimately jumps the stamped position
+    (foreign tuples in between were filtered at the producer) and a position
+    check alone cannot distinguish a filter gap from a real one.
     """
 
     stream: str
@@ -46,6 +54,7 @@ class DataBatch:
     producer: str
     producer_node_state: NodeState | None = None
     producer_stream_state: NodeState | None = None
+    replay: bool = False
 
     @classmethod
     def of(
@@ -55,6 +64,7 @@ class DataBatch:
         producer: str,
         node_state: NodeState | None = None,
         stream_state: NodeState | None = None,
+        replay: bool = False,
     ) -> "DataBatch":
         return cls(
             stream=stream,
@@ -62,6 +72,7 @@ class DataBatch:
             producer=producer,
             producer_node_state=node_state,
             producer_stream_state=stream_state,
+            replay=replay,
         )
 
 
@@ -81,6 +92,13 @@ class SubscribeRequest:
     ``replay_tentative`` asks the producer to also send its current tentative
     tail; a subscriber switching to a replica that is itself in UP_FAILURE
     leaves this False and accepts the small gap the paper notes (footnote 6).
+
+    ``filter`` optionally attaches a content predicate (a
+    :class:`~repro.deploy.SubscriptionFilter`) the producer evaluates before
+    sending: the subscriber only receives the slice passing the filter, plus
+    every control tuple.  ``last_stable_seq`` stays in *full-stream*
+    coordinates (the stamped positions of the logical stream); the producer
+    translates it into a buffer position and replays the filtered suffix.
     """
 
     stream: str
@@ -88,6 +106,7 @@ class SubscribeRequest:
     last_stable_seq: int = -1
     had_tentative: bool = False
     replay_tentative: bool = False
+    filter: object | None = None
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,626 @@
+"""The deploy half of the deployment control plane.
+
+:func:`deploy_placement` materializes a compiled
+:class:`~repro.deploy.placement.Placement` onto a fresh simulator and wraps
+the result in a :class:`Deployment`: the live handle owning the cluster
+(simulator, network, sources, replica groups, clients) *and* the two
+control-plane capabilities the one-shot builders could never express:
+
+* **filtered subscriptions** -- the plan's filtered edges are wired through
+  shared :class:`~repro.deploy.SubscriptionFilter` objects, so a shard
+  fragment's key-hash slice is carved out at the *producer* and the split
+  router no longer multicasts the full stream to every shard replica;
+
+* **live reconfiguration** -- :meth:`Deployment.apply` takes a
+  :class:`~repro.sharding.RebalancePlan` and performs the bucket handoff on
+  the running deployment: the slice predicates are advanced at a bucket
+  boundary of the serialization-time axis (so routing stays a pure function
+  of each tuple and the merged ledger stays gap-free and duplicate-free
+  across the handoff), and once the boundary has drained through the data
+  path the moved buckets' SJoin state is shipped from the old owner to the
+  new one through the existing checkpoint containers.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..config import DPCConfig, SimulationConfig
+from ..core.node import ProcessingNode
+from ..core.states import NodeState
+from ..errors import ConfigurationError, SimulationError
+from ..sharding import RebalancePlan, ShardAssignment, ShardPlanner
+from ..sim.client import ClientApplication
+from ..sim.event_loop import Simulator
+from ..sim.events import EventKind
+from ..sim.failures import FailureInjector
+from ..sim.network import Network
+from ..sim.sources import DataSource
+from ..spe.checkpoint import OperatorCheckpoint
+from ..spe.operators import SJoin
+from ..workloads.generators import PayloadFactory, default_payload_factory
+from .filters import SubscriptionFilter
+from .placement import (
+    FRAGMENT_ENTRY,
+    FRAGMENT_INGRESS_FILTER,
+    FRAGMENT_RELAY,
+    Placement,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..spe.query_diagram import QueryDiagram
+
+
+def deploy_placement(
+    placement: Placement,
+    config: DPCConfig | None = None,
+    sim_config: SimulationConfig | None = None,
+    *,
+    aggregate_rate: float = 300.0,
+    payload_factory: PayloadFactory = default_payload_factory,
+    join_state_size: int | None = 100,
+    per_node_delay: float | None = None,
+    diagram_factory: "Callable[[str, Sequence[str], str], QueryDiagram] | None" = None,
+    seed: int | None = None,
+) -> "Deployment":
+    """Instantiate ``placement`` on a fresh simulator.
+
+    The walk mirrors the documented behaviour of the historical
+    ``build_dag_cluster`` exactly (those builders now delegate here): one
+    logging source per source stream, one replica group per node plan with
+    the fragment shape the plan chose, multicast fan-out over the batch
+    transport, push-based state advertisement whenever the keepalive cadence
+    allows it, and one measuring client per sink.  ``seed`` reproduces the
+    deployment's randomness; see the builder's docstring.
+
+    What the plan adds: edges marked *filtered* share one
+    :class:`SubscriptionFilter` per consumer fragment, registered both at
+    every producer replica (build-time subscription) and in every consumer
+    replica's input monitor (carried on later re-subscriptions), so the
+    producer only ships each consumer its slice.
+    """
+    # Imported late: repro.sim.cluster imports this module's shims' home.
+    from ..sim.cluster import (
+        Cluster,
+        _node_delay_budgets,
+        merge_diagram,
+        relay_diagram,
+        shard_relay_diagram,
+    )
+
+    topology = placement.topology
+    config = config or DPCConfig()
+    sim_config = sim_config or SimulationConfig()
+    config.validate()
+    sim_config.validate()
+
+    simulator = Simulator()
+    network = Network(simulator, default_latency=sim_config.network_latency)
+    failures = FailureInjector(simulator=simulator, network=network)
+    cluster = Cluster(
+        simulator=simulator, network=network, failures=failures, topology=topology
+    )
+
+    delay_budgets = _node_delay_budgets(topology, config, per_node_delay)
+    # One offset for every source: the whole workload shifts in time (so runs
+    # with different seeds genuinely differ) while the sources stay mutually
+    # aligned, which the end-of-run consistency accounting relies on.
+    start_offset = (
+        random.Random(seed).uniform(0.0, sim_config.batch_interval * 0.5)
+        if seed is not None
+        else 0.0
+    )
+
+    # --- sources ---------------------------------------------------------------
+    source_by_stream: dict[str, DataSource] = {}
+    for plan in placement.sources:
+        source = DataSource(
+            name=plan.name,
+            stream=plan.stream,
+            simulator=simulator,
+            network=network,
+            # Divided, not multiplied by the (1/n) share: the historical
+            # builder computed rate/n, and `a/n` vs `a*(1/n)` differ by an
+            # ulp for some stream counts -- enough to shift every seeded
+            # emission time and break cross-version reproducibility.
+            rate=aggregate_rate / len(placement.sources),
+            boundary_interval=config.boundary_interval,
+            batch_interval=sim_config.batch_interval,
+            payload=payload_factory(plan.payload_index, len(placement.sources)),
+            start_time=start_offset,
+        )
+        cluster.sources.append(source)
+        source_by_stream[plan.stream] = source
+
+    # --- subscription filters (one shared object per filtered consumer) --------
+    subscription_filters: dict[str, SubscriptionFilter] = {}
+    for edge in placement.filtered_subscriptions():
+        spec = topology.node(edge.consumer)
+        if spec.select is None:  # pragma: no cover - placement guarantees it
+            raise ConfigurationError(
+                f"filtered subscription of {edge.consumer!r} has no predicate"
+            )
+        subscription_filters[edge.consumer] = SubscriptionFilter(
+            spec.select, name=edge.filter_name or f"{edge.consumer}.slice"
+        )
+
+    # --- processing nodes --------------------------------------------------------
+    for plan in placement.nodes:
+        spec = topology.node(plan.name)
+        group: list[ProcessingNode] = []
+        node_join_state = join_state_size if plan.stateful else None
+        for node_name in plan.replica_names:
+            if plan.fragment == FRAGMENT_ENTRY:
+                if diagram_factory is not None:
+                    diagram = diagram_factory(node_name, plan.inputs, plan.output_stream)
+                else:
+                    diagram = merge_diagram(
+                        node_name,
+                        plan.inputs,
+                        plan.output_stream,
+                        bucket_size=config.bucket_size,
+                        join_state_size=node_join_state,
+                        select=spec.select,
+                    )
+            elif plan.fragment == FRAGMENT_INGRESS_FILTER:
+                # Legacy multicast routing: the slice is dropped at the
+                # fragment's ingress, after crossing the network.
+                diagram = shard_relay_diagram(
+                    node_name,
+                    plan.inputs[0],
+                    plan.output_stream,
+                    bucket_size=config.bucket_size,
+                    select=spec.select,
+                    join_state_size=node_join_state,
+                )
+            elif plan.fragment == FRAGMENT_RELAY:
+                # A filtered consumer's slice already arrives pre-cut (the
+                # predicate ran at the producer): its fragment is a plain
+                # relay and carries no select of its own.
+                filtered = plan.name in subscription_filters
+                diagram = relay_diagram(
+                    node_name,
+                    plan.inputs[0],
+                    plan.output_stream,
+                    bucket_size=config.bucket_size,
+                    select=None if filtered else spec.select,
+                    join_state_size=node_join_state,
+                )
+            else:  # FRAGMENT_FANIN
+                diagram = merge_diagram(
+                    node_name,
+                    plan.inputs,
+                    plan.output_stream,
+                    bucket_size=config.bucket_size,
+                    join_state_size=node_join_state,
+                    select=spec.select,
+                )
+            partners = [other for other in plan.replica_names if other != node_name]
+            node = ProcessingNode(
+                name=node_name,
+                diagram=diagram,
+                simulator=simulator,
+                network=network,
+                config=config,
+                sim_config=sim_config,
+                assigned_delay=delay_budgets[plan.name],
+                replica_partners=partners,
+                rng_seed=seed,
+            )
+            group.append(node)
+        cluster.nodes.append(group)
+        cluster.node_groups[plan.name] = group
+
+    # --- wiring: sources -> consuming node replicas -------------------------------
+    for source in cluster.sources:
+        consumers: list[ProcessingNode] = []
+        for spec in topology.consumers_of(source.stream):
+            for node in cluster.node_groups[spec.name]:
+                source.subscribe(node.endpoint)
+                consumers.append(node)
+        cluster.stream_consumers[source.stream] = consumers
+    for spec in topology:
+        for node in cluster.node_groups[spec.name]:
+            for stream in spec.inputs:
+                if stream not in source_by_stream:
+                    continue
+                source = source_by_stream[stream]
+                node.register_input_stream(
+                    source.stream, producers=[source.name], source_producers=[source.name]
+                )
+
+    # --- wiring: node -> node edges ------------------------------------------------
+    # Nodes push their DPC state to registered watchers every keepalive period
+    # (replacing probe round trips) whenever the push cadence can keep up with
+    # the configured keepalive; otherwise consumers fall back to probing.
+    push_state = config.keepalive_period + 1e-12 >= sim_config.batch_interval
+    for spec in topology:
+        consumer_filter = subscription_filters.get(spec.name)
+        for upstream_spec in topology.upstream_nodes(spec):
+            upstream_group = cluster.node_groups[upstream_spec.name]
+            upstream_stream = upstream_spec.output_stream
+            upstream_names = [n.endpoint for n in upstream_group]
+            for node in cluster.node_groups[spec.name]:
+                node.register_input_stream(
+                    upstream_stream,
+                    producers=upstream_names,
+                    push_producers=upstream_names if push_state else (),
+                    subscription_filter=consumer_filter,
+                )
+                # Every downstream replica initially reads from the first
+                # upstream replica; DPC switches it if that replica fails.
+                upstream_group[0].register_subscriber(
+                    upstream_stream, node.endpoint, subscription_filter=consumer_filter
+                )
+                if push_state:
+                    for upstream in upstream_group:
+                        upstream.add_state_watcher(node.endpoint)
+
+    # --- clients: one per sink ------------------------------------------------------
+    for plan in placement.clients:
+        sink_group = cluster.node_groups[plan.sink]
+        client = ClientApplication(
+            name=plan.name,
+            stream=plan.stream,
+            simulator=simulator,
+            network=network,
+            config=config,
+            rng_seed=seed,
+        )
+        sink_names = [n.endpoint for n in sink_group]
+        client.register_upstream(
+            producers=sink_names, push_producers=sink_names if push_state else ()
+        )
+        sink_group[0].register_subscriber(plan.stream, client.endpoint)
+        if push_state:
+            for node in sink_group:
+                node.add_state_watcher(client.endpoint)
+        cluster.clients.append(client)
+
+    deployment = Deployment(
+        placement=placement,
+        cluster=cluster,
+        config=config,
+        sim_config=sim_config,
+        subscription_filters=subscription_filters,
+        join_state_size=join_state_size,
+    )
+    cluster.deployment = deployment
+    return deployment
+
+
+class Deployment:
+    """A live deployment: the cluster plus its reconfiguration control plane."""
+
+    def __init__(
+        self,
+        placement: Placement,
+        cluster,
+        config: DPCConfig,
+        sim_config: SimulationConfig,
+        subscription_filters: dict[str, SubscriptionFilter],
+        join_state_size: int | None,
+    ) -> None:
+        self.placement = placement
+        self.cluster = cluster
+        self.config = config
+        self.sim_config = sim_config
+        #: Consumer node name -> the shared filter of its filtered subscription.
+        self.subscription_filters = subscription_filters
+        self.join_state_size = join_state_size
+        #: The bucket assignment currently routing the shard fragments (None
+        #: for unsharded deployments); advanced by :meth:`apply`.
+        self.current_assignment: ShardAssignment | None = placement.topology.shard_assignment
+        #: Completed and in-flight reconfigurations, for reporting.
+        self.rebalances: list[dict] = []
+        #: Names of shard fragments a drain plan has evacuated.  Shared with
+        #: the cluster so failure injection can validate kill targets against
+        #: the *current* deployment instead of the compile-time topology.
+        self.drained: set[str] = cluster.drained_nodes
+
+    # ------------------------------------------------------------------ delegation
+    @property
+    def simulator(self) -> Simulator:
+        return self.cluster.simulator
+
+    @property
+    def network(self) -> Network:
+        return self.cluster.network
+
+    @property
+    def topology(self):
+        return self.placement.topology
+
+    @property
+    def clients(self) -> list[ClientApplication]:
+        return self.cluster.clients
+
+    def start(self) -> None:
+        self.cluster.start()
+
+    def run_for(self, duration: float) -> float:
+        return self.cluster.run_for(duration)
+
+    def run_until(self, end_time: float) -> float:
+        return self.cluster.run_until(end_time)
+
+    def summary(self) -> dict:
+        return self.cluster.summary()
+
+    def node(self, key, replica: int = 0) -> ProcessingNode:
+        return self.cluster.node(key, replica)
+
+    def node_group(self, key) -> list[ProcessingNode]:
+        return self.cluster.node_group(key)
+
+    # ------------------------------------------------------------------ load observation
+    def observed_bucket_loads(self) -> dict[int, float]:
+        """Per-hash-bucket tuple counts observed at the split router so far.
+
+        Measured on the first split replica's output buffer (replicas produce
+        identical stable streams), keyed by the deployment's shard spec.  This
+        is the input :meth:`plan_rebalance` feeds to the planner.
+        """
+        assignment = self._require_sharded()
+        producer = self.placement.shard_producer
+        replica = self.cluster.node_group(producer)[0]
+        stream = self.placement.node_plan(producer).output_stream
+        spec = assignment.spec
+        loads: dict[int, float] = {}
+        for item in replica.data_path.output(stream).buffered_items():
+            if not item.is_stable:
+                continue
+            bucket = spec.bucket_of(spec.key_of(item.values))
+            loads[bucket] = loads.get(bucket, 0.0) + 1.0
+        return loads
+
+    def plan_rebalance(self, tolerance: float = 0.10) -> RebalancePlan:
+        """Ask the planner for a plan against the *observed* bucket loads."""
+        assignment = self._require_sharded()
+        return ShardPlanner(assignment.spec).rebalance(
+            assignment, self.observed_bucket_loads(), tolerance=tolerance
+        )
+
+    def plan_drain(self, shard: int) -> RebalancePlan:
+        """Plan the evacuation of one shard (0-based index) under observed loads."""
+        assignment = self._require_sharded()
+        return ShardPlanner(assignment.spec).drain(
+            assignment, shard, self.observed_bucket_loads()
+        )
+
+    # ------------------------------------------------------------------ live reconfiguration
+    def apply(self, plan: RebalancePlan) -> dict:
+        """Apply ``plan`` to the running deployment (bucket handoff).
+
+        The handoff happens in two deterministic steps:
+
+        1. **Cut.**  Every shard fragment's subscription filter is advanced
+           to the plan's ``after`` predicate for tuples serialized at or
+           beyond the next *bucket boundary* past everything the split has
+           produced.  Routing stays a pure function of each tuple (old epoch
+           below the cut, new epoch at or above it), so no tuple is ever
+           duplicated or lost, no stime tie group straddles owners, and
+           replays after later failures route exactly as the original
+           delivery did.
+
+        2. **State handoff.**  Once the cut has drained through the data
+           path (one bucket plus transport slack later), the moved buckets'
+           SJoin tuples are shipped from each old owner replica to the new
+           owner through the operator checkpoint containers, keeping
+           serialized-order within the target's bounded state.
+
+        Returns the reconfiguration record (also appended to
+        :attr:`rebalances`).  No-op plans return immediately.
+        """
+        assignment = self._require_sharded()
+        if not self.placement.filtered_routing:
+            raise ConfigurationError(
+                "live rebalance needs filtered subscriptions; this deployment was "
+                "compiled with filtered_routing=False (multicast routing)"
+            )
+        if plan.before != assignment:
+            raise ConfigurationError(
+                "rebalance plan was computed against a different assignment than "
+                "the one currently deployed; re-plan against the live deployment"
+            )
+        now = self.simulator.now
+        record: dict = {
+            "applied_at": now,
+            "moves": [
+                {"bucket": m.bucket, "source": m.source, "target": m.target}
+                for m in plan.moves
+            ],
+            "imbalance_before": plan.imbalance_before,
+            "imbalance_after": plan.imbalance_after,
+            "noop": plan.is_noop,
+        }
+        if plan.is_noop:
+            self.rebalances.append(record)
+            return record
+        unstable = [
+            node.name
+            for node in self.cluster.all_nodes()
+            if node.state is not NodeState.STABLE or node.fragment_dirty
+        ]
+        if unstable:
+            raise SimulationError(
+                f"cannot rebalance while the deployment is handling a failure "
+                f"(non-stable replicas: {unstable})"
+            )
+
+        # --- 1. advance the slice predicates at a bucket boundary ------------
+        cut_stime = self._next_bucket_boundary()
+        shard_names = self.placement.shard_fragments
+        for index, name in enumerate(shard_names):
+            self.subscription_filters[name].advance(
+                cut_stime, plan.after.predicate(index)
+            )
+        self.current_assignment = plan.after
+        # Recomputed (not accumulated) from the new assignment: a later plan
+        # may re-populate a previously drained shard, which must then be a
+        # legal kill target again.  The set object is shared with the
+        # cluster, so mutate it in place.
+        drained = [shard_names[i] for i in plan.after.empty_shards()]
+        self.drained.clear()
+        self.drained.update(drained)
+
+        # --- 2. ship the moved buckets' join state once the cut drains -------
+        settle = (
+            max(cut_stime - now, 0.0)
+            + self.config.bucket_size
+            + 2 * self.sim_config.batch_interval
+            + 2 * self.sim_config.network_latency
+        )
+        record.update(
+            {
+                "cut_stime": cut_stime,
+                "drained": drained,
+                "state_handoff_at": now + settle,
+                "completed": False,
+            }
+        )
+        self.simulator.schedule_in(
+            settle,
+            lambda fire_time, p=plan, r=record, c=cut_stime: self._ship_join_state(
+                p, c, r, fire_time
+            ),
+            kind=EventKind.INTERNAL,
+            description=f"rebalance handoff ({len(plan.moves)} bucket(s))",
+        )
+        self.rebalances.append(record)
+        return record
+
+    def rebalance(self, tolerance: float = 0.10) -> dict:
+        """Plan against observed loads and apply in one step (the mid-run hook)."""
+        return self.apply(self.plan_rebalance(tolerance=tolerance))
+
+    def _next_bucket_boundary(self) -> float:
+        """First bucket boundary past everything the split has serialized."""
+        producer = self.placement.shard_producer
+        stream = self.placement.node_plan(producer).output_stream
+        high = self.simulator.now
+        for replica in self.cluster.node_group(producer):
+            manager = replica.data_path.output(stream)
+            high = max(high, manager.last_appended_stime)
+        bucket = self.config.bucket_size
+        return (math.floor(high / bucket) + 1) * bucket
+
+    def _ship_join_state(
+        self, plan: RebalancePlan, cut_stime: float, record: dict, now: float
+    ) -> None:
+        """Move the migrated buckets' SJoin tuples old owner -> new owner.
+
+        Every source replica holds its own copy of the moved buckets' state;
+        all copies are removed, and the first replica's copy becomes the
+        canonical one merged into *every* target replica.  (Replica counts
+        may differ per node, so index pairing would duplicate state into one
+        target replica or leave another without it.)
+
+        The quiesce assumption is re-checked at fire time: a failure that
+        landed inside the drain window (possible for programmatic schedules;
+        ScenarioSpec validation forbids it declaratively) would let a
+        crashed-and-recovered old owner rebuild the shipped state from its
+        subscription replay.  In that case the handoff is postponed until the
+        deployment is stable again, keeping the no-duplication guarantee.
+        """
+        unstable = [
+            node.name
+            for node in self.cluster.all_nodes()
+            if node.state is not NodeState.STABLE or node.fragment_dirty
+        ]
+        if unstable:
+            record["handoff_retries"] = record.get("handoff_retries", 0) + 1
+            self.simulator.schedule_in(
+                max(self.config.bucket_size, self.sim_config.batch_interval),
+                lambda fire_time, p=plan, r=record, c=cut_stime: self._ship_join_state(
+                    p, c, r, fire_time
+                ),
+                kind=EventKind.INTERNAL,
+                description="rebalance handoff retry (deployment unstable)",
+            )
+            return
+        spec = plan.before.spec
+        shard_names = self.placement.shard_fragments
+        shipped = 0
+        moves_by_pair: dict[tuple[int, int], set[int]] = {}
+        for move in plan.moves:
+            moves_by_pair.setdefault((move.source, move.target), set()).add(move.bucket)
+        for (source, target), buckets in sorted(moves_by_pair.items()):
+            source_group = self.cluster.node_group(shard_names[source])
+            target_group = self.cluster.node_group(shard_names[target])
+            canonical: dict[int, list] = {}
+            for index, source_node in enumerate(source_group):
+                extracted = _extract_sjoin_state(source_node, spec, buckets, cut_stime)
+                if index == 0:
+                    canonical = extracted
+            for target_node in target_group:
+                _merge_sjoin_state(target_node, canonical)
+            shipped += sum(len(items) for items in canonical.values())
+        record["completed"] = True
+        record["completed_at"] = now
+        record["state_tuples_shipped"] = shipped
+
+    # ------------------------------------------------------------------ helpers
+    def _require_sharded(self) -> ShardAssignment:
+        if self.current_assignment is None:
+            raise ConfigurationError(
+                f"deployment of topology {self.topology.name!r} is not sharded; "
+                f"rebalancing needs a Topology.shard deployment"
+            )
+        return self.current_assignment
+
+    def is_drained(self, name: str) -> bool:
+        return name in self.drained
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Deployment {self.topology.name!r} now={self.simulator.now:.3f} "
+            f"rebalances={len(self.rebalances)} drained={sorted(self.drained)}>"
+        )
+
+
+def _extract_sjoin_state(
+    node: ProcessingNode, spec, buckets: set[int], cut_stime: float
+) -> dict[int, list]:
+    """Remove and return the moved buckets' tuples from each SJoin of ``node``.
+
+    Keyed by the join's position within the fragment (replica names differ,
+    positions align across replicas of one logical node).
+    """
+    extracted: dict[int, list] = {}
+    joins = [op for op in node.diagram if isinstance(op, SJoin)]
+    for position, join in enumerate(joins):
+        state = join.checkpoint().state_copy()
+        moved: list = []
+        kept: list = []
+        for item in state["custom"].get("state", ()):
+            owned = (
+                item.stime < cut_stime
+                and spec.bucket_of(spec.key_of(item.values)) in buckets
+            )
+            (moved if owned else kept).append(item)
+        extracted[position] = moved
+        if moved:
+            state["custom"]["state"] = kept
+            join.restore(OperatorCheckpoint.capture(join.name, state))
+    return extracted
+
+
+def _merge_sjoin_state(node: ProcessingNode, canonical: dict[int, list]) -> None:
+    """Merge the canonical moved-bucket tuples into each SJoin of ``node``."""
+    joins = [op for op in node.diagram if isinstance(op, SJoin)]
+    for position, join in enumerate(joins):
+        moved = canonical.get(position, [])
+        if not moved:
+            continue
+        state = join.checkpoint().state_copy()
+        merged = sorted(
+            list(state["custom"].get("state", ())) + moved,
+            key=lambda item: (item.stime, item.values.get("seq", item.tuple_id)),
+        )
+        if len(merged) > join.state_size:
+            merged = merged[len(merged) - join.state_size:]
+        state["custom"]["state"] = merged
+        join.restore(OperatorCheckpoint.capture(join.name, state))

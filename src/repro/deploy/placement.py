@@ -1,0 +1,383 @@
+"""The compile half of the deployment control plane.
+
+:func:`compile` turns a :class:`~repro.topology.Topology` into a
+:class:`Placement`: a *pure plan* of the deployment -- which sources exist,
+which replica processes run which fragment shape, and which subscriptions
+(optionally content-filtered) wire them together.  Nothing is instantiated:
+a placement can be printed, asserted against, and :meth:`diffed
+<Placement.diff>` against another placement before anything runs.
+
+:meth:`Placement.deploy` is the other half: it materializes the plan onto a
+fresh simulator and returns a live :class:`~repro.deploy.Deployment` handle
+(see :mod:`repro.deploy.deployment`).
+
+The legacy one-shot builders (:func:`repro.sim.cluster.build_dag_cluster`
+and :func:`~repro.sim.cluster.build_chain_cluster`) are thin shims over this
+pipeline, so the two paths are the same code and produce identical
+deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..errors import ConfigurationError
+from ..topology import Topology
+from ..workloads.generators import PayloadFactory, default_payload_factory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import DPCConfig, SimulationConfig
+    from ..spe.query_diagram import QueryDiagram
+    from .deployment import Deployment
+
+#: Fragment shapes the deploy step knows how to instantiate.
+FRAGMENT_ENTRY = "entry"  # SUnion over sources (+ optional SJoin / Filter) + SOutput
+FRAGMENT_RELAY = "relay"  # 1-ary SUnion (+ optional SJoin / egress Filter) + SOutput
+FRAGMENT_INGRESS_FILTER = "ingress-filter"  # ingress Filter -> SUnion (+ SJoin) + SOutput
+FRAGMENT_FANIN = "fanin"  # SUnion over several upstream streams + SOutput
+
+
+@dataclass(frozen=True)
+class SourcePlan:
+    """One data source feeding the deployment."""
+
+    stream: str
+    name: str
+    #: Fraction of the deployment's aggregate rate this source produces.
+    rate_share: float
+    #: Index handed to the payload factory (stable across recompiles).
+    payload_index: int
+
+
+@dataclass(frozen=True)
+class NodePlan:
+    """One logical processing node: replicas, fragment shape, join placement."""
+
+    name: str
+    fragment: str
+    #: Input stream names in SUnion port order.
+    inputs: tuple[str, ...]
+    output_stream: str
+    replica_names: tuple[str, ...]
+    #: Whether this node hosts the deployment's stateful SJoin.
+    stateful: bool
+    #: Whether the node's spec carries a select predicate (and where it runs).
+    has_select: bool = False
+    select_at: str = "egress"
+    is_sink: bool = False
+    #: Index into the shard assignment when this node is a shard fragment.
+    shard_index: int | None = None
+
+    @property
+    def replicas(self) -> int:
+        return len(self.replica_names)
+
+
+@dataclass(frozen=True)
+class SubscriptionPlan:
+    """One logical edge: every replica of ``consumer`` subscribes to ``producer``.
+
+    ``filtered`` marks a *filtered subscription*: the consumer's content
+    predicate is evaluated at the producer (producer-side routing), so only
+    the passing slice travels.  ``filter_name`` names the shared
+    :class:`~repro.deploy.SubscriptionFilter` the deploy step creates.
+    """
+
+    stream: str
+    producer: str
+    consumer: str
+    kind: str  # "source->node" | "node->node" | "node->client"
+    filtered: bool = False
+    filter_name: str | None = None
+
+
+@dataclass(frozen=True)
+class ClientPlan:
+    """One measuring client attached to a sink node's output stream."""
+
+    name: str
+    sink: str
+    stream: str
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A compiled deployment plan: inspectable, diffable, deployable."""
+
+    topology: Topology
+    replicas_per_node: int
+    filtered_routing: bool
+    sources: tuple[SourcePlan, ...]
+    nodes: tuple[NodePlan, ...]
+    subscriptions: tuple[SubscriptionPlan, ...]
+    clients: tuple[ClientPlan, ...]
+
+    # ------------------------------------------------------------------ queries
+    def node_plan(self, name: str) -> NodePlan:
+        for plan in self.nodes:
+            if plan.name == name:
+                return plan
+        raise ConfigurationError(f"placement has no node {name!r}")
+
+    @property
+    def shard_fragments(self) -> tuple[str, ...]:
+        """Names of the shard fragments, in shard-assignment index order."""
+        indexed = [plan for plan in self.nodes if plan.shard_index is not None]
+        return tuple(
+            plan.name for plan in sorted(indexed, key=lambda plan: plan.shard_index)
+        )
+
+    @property
+    def shard_producer(self) -> str | None:
+        """The node whose output the shard fragments slice (the split router)."""
+        for plan in self.nodes:
+            if plan.shard_index is not None:
+                return plan.inputs[0].removesuffix(".out")
+        return None
+
+    def filtered_subscriptions(self) -> list[SubscriptionPlan]:
+        return [plan for plan in self.subscriptions if plan.filtered]
+
+    # ------------------------------------------------------------------ inspection
+    def describe(self) -> dict:
+        """A plain-data rendering of the plan (stable across processes)."""
+        return {
+            "topology": self.topology.name,
+            "replicas_per_node": self.replicas_per_node,
+            "filtered_routing": self.filtered_routing,
+            "sources": [
+                {"stream": s.stream, "name": s.name, "rate_share": s.rate_share}
+                for s in self.sources
+            ],
+            "nodes": [
+                {
+                    "name": n.name,
+                    "fragment": n.fragment,
+                    "inputs": list(n.inputs),
+                    "output": n.output_stream,
+                    "replicas": list(n.replica_names),
+                    "stateful": n.stateful,
+                    "select_at": n.select_at if n.has_select else None,
+                    "sink": n.is_sink,
+                    "shard_index": n.shard_index,
+                }
+                for n in self.nodes
+            ],
+            "subscriptions": [
+                {
+                    "stream": s.stream,
+                    "producer": s.producer,
+                    "consumer": s.consumer,
+                    "kind": s.kind,
+                    "filtered": s.filtered,
+                    "filter": s.filter_name,
+                }
+                for s in self.subscriptions
+            ],
+            "clients": [
+                {"name": c.name, "sink": c.sink, "stream": c.stream} for c in self.clients
+            ],
+        }
+
+    def diff(self, other: "Placement") -> list[str]:
+        """Human-readable differences ``self -> other`` (empty when identical)."""
+        changes: list[str] = []
+        mine = {plan.name: plan for plan in self.nodes}
+        theirs = {plan.name: plan for plan in other.nodes}
+        for name in sorted(set(mine) - set(theirs)):
+            changes.append(f"node {name!r} removed")
+        for name in sorted(set(theirs) - set(mine)):
+            changes.append(f"node {name!r} added ({theirs[name].fragment})")
+        for name in sorted(set(mine) & set(theirs)):
+            a, b = mine[name], theirs[name]
+            if a.fragment != b.fragment:
+                changes.append(f"node {name!r}: fragment {a.fragment} -> {b.fragment}")
+            if a.replicas != b.replicas:
+                changes.append(f"node {name!r}: replicas {a.replicas} -> {b.replicas}")
+            if a.stateful != b.stateful:
+                changes.append(f"node {name!r}: stateful {a.stateful} -> {b.stateful}")
+            if a.inputs != b.inputs:
+                changes.append(f"node {name!r}: inputs {a.inputs} -> {b.inputs}")
+            if (a.has_select, a.select_at) != (b.has_select, b.select_at):
+                changes.append(
+                    f"node {name!r}: select "
+                    f"{a.select_at if a.has_select else None} -> "
+                    f"{b.select_at if b.has_select else None}"
+                )
+            if a.is_sink != b.is_sink:
+                changes.append(f"node {name!r}: sink {a.is_sink} -> {b.is_sink}")
+
+        def edge_key(plan: SubscriptionPlan) -> tuple[str, str, str]:
+            return (plan.producer, plan.consumer, plan.stream)
+
+        my_edges = {edge_key(p): p for p in self.subscriptions}
+        their_edges = {edge_key(p): p for p in other.subscriptions}
+        for key in sorted(set(my_edges) - set(their_edges)):
+            changes.append(f"subscription {key[0]} -> {key[1]} removed")
+        for key in sorted(set(their_edges) - set(my_edges)):
+            changes.append(f"subscription {key[0]} -> {key[1]} added")
+        for key in sorted(set(my_edges) & set(their_edges)):
+            a, b = my_edges[key], their_edges[key]
+            if a.filtered != b.filtered:
+                changes.append(
+                    f"subscription {key[0]} -> {key[1]}: filtered {a.filtered} -> {b.filtered}"
+                )
+        if [c.name for c in self.clients] != [c.name for c in other.clients]:
+            changes.append(
+                f"clients {[c.name for c in self.clients]} -> {[c.name for c in other.clients]}"
+            )
+        return changes
+
+    # ------------------------------------------------------------------ deployment
+    def deploy(
+        self,
+        config: "DPCConfig | None" = None,
+        sim_config: "SimulationConfig | None" = None,
+        *,
+        aggregate_rate: float = 300.0,
+        payload_factory: PayloadFactory = default_payload_factory,
+        join_state_size: int | None = 100,
+        per_node_delay: float | None = None,
+        diagram_factory: "Callable[[str, Sequence[str], str], QueryDiagram] | None" = None,
+        seed: int | None = None,
+    ) -> "Deployment":
+        """Materialize this plan onto a fresh simulator (see :class:`Deployment`)."""
+        from .deployment import deploy_placement
+
+        return deploy_placement(
+            self,
+            config=config,
+            sim_config=sim_config,
+            aggregate_rate=aggregate_rate,
+            payload_factory=payload_factory,
+            join_state_size=join_state_size,
+            per_node_delay=per_node_delay,
+            diagram_factory=diagram_factory,
+            seed=seed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Placement {self.topology.name!r} nodes={len(self.nodes)} "
+            f"subscriptions={len(self.subscriptions)} "
+            f"filtered={len(self.filtered_subscriptions())}>"
+        )
+
+
+def compile(  # noqa: A001 - the control-plane verb, deliberately builtin-shadowing
+    topology: Topology,
+    replicas_per_node: int = 2,
+    *,
+    filtered_routing: bool = True,
+) -> Placement:
+    """Compile ``topology`` into a :class:`Placement`.
+
+    The plan mirrors the walk the cluster builder has always performed --
+    entry nodes run the Figure 12 merge fragment, single-input internal nodes
+    relay, multi-input internal nodes fan in, and each sink feeds one client
+    -- with one new decision: a node whose spec asks for an *ingress* select
+    (the shard fragments of ``Topology.shard``) is planned as a **filtered
+    subscription** when ``filtered_routing`` is on, so its slice predicate
+    runs at the producer and the fragment itself is a plain relay.  With
+    ``filtered_routing`` off the predicate stays in the fragment (an ingress
+    Filter) and the producer multicasts the full stream -- the legacy
+    data path, kept for comparison benchmarks.
+    """
+    if replicas_per_node < 1:
+        raise ConfigurationError("replicas_per_node must be >= 1")
+
+    source_streams = topology.source_streams
+    sources = tuple(
+        SourcePlan(
+            stream=stream,
+            name=f"source.{stream}",
+            rate_share=1.0 / len(source_streams),
+            payload_index=index,
+        )
+        for index, stream in enumerate(source_streams)
+    )
+
+    sink_names = {spec.name for spec in topology.sinks()}
+    node_plans: list[NodePlan] = []
+    subscription_plans: list[SubscriptionPlan] = []
+    shard_index = 0
+    for spec in topology:
+        input_streams = tuple(topology.input_streams(spec))
+        replicas = topology.replicas_of(spec.name, replicas_per_node)
+        replica_names = tuple(
+            spec.name + ("" if r == 0 else "'" * r) for r in range(replicas)
+        )
+        stateful = spec.stateful if spec.stateful is not None else topology.is_entry(spec)
+        ingress_select = spec.select is not None and spec.select_at == "ingress"
+        filtered = ingress_select and filtered_routing
+        if topology.is_entry(spec):
+            fragment = FRAGMENT_ENTRY
+        elif len(input_streams) == 1:
+            fragment = FRAGMENT_INGRESS_FILTER if ingress_select and not filtered else FRAGMENT_RELAY
+        else:
+            fragment = FRAGMENT_FANIN
+        index: int | None = None
+        if ingress_select and topology.shard_assignment is not None:
+            index = shard_index
+            shard_index += 1
+        node_plans.append(
+            NodePlan(
+                name=spec.name,
+                fragment=fragment,
+                inputs=input_streams,
+                output_stream=spec.output_stream,
+                replica_names=replica_names,
+                stateful=stateful,
+                has_select=spec.select is not None,
+                select_at=spec.select_at,
+                is_sink=spec.name in sink_names,
+                shard_index=index,
+            )
+        )
+        for edge in spec.inputs:
+            if edge in topology:
+                subscription_plans.append(
+                    SubscriptionPlan(
+                        stream=topology.node(edge).output_stream,
+                        producer=edge,
+                        consumer=spec.name,
+                        kind="node->node",
+                        filtered=filtered,
+                        filter_name=f"{spec.name}.slice" if filtered else None,
+                    )
+                )
+            else:
+                subscription_plans.append(
+                    SubscriptionPlan(
+                        stream=edge,
+                        producer=f"source.{edge}",
+                        consumer=spec.name,
+                        kind="source->node",
+                    )
+                )
+
+    client_plans: list[ClientPlan] = []
+    for sink_index, sink in enumerate(topology.sinks()):
+        name = "client" if sink_index == 0 else f"client{sink_index + 1}"
+        client_plans.append(
+            ClientPlan(name=name, sink=sink.name, stream=sink.output_stream)
+        )
+        subscription_plans.append(
+            SubscriptionPlan(
+                stream=sink.output_stream,
+                producer=sink.name,
+                consumer=name,
+                kind="node->client",
+            )
+        )
+
+    return Placement(
+        topology=topology,
+        replicas_per_node=replicas_per_node,
+        filtered_routing=filtered_routing,
+        sources=sources,
+        nodes=tuple(node_plans),
+        subscriptions=tuple(subscription_plans),
+        clients=tuple(client_plans),
+    )

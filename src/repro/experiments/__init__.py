@@ -25,6 +25,8 @@ from .dags import (
 from .shards import (
     chain_throughput_run,
     equivalent_chain_depth,
+    rebalance_run,
+    rebalance_sweep,
     shard_kill_failure,
     shard_kill_sweep,
     shard_spec,
@@ -51,6 +53,8 @@ __all__ = [
     "summarize_run",
     "chain_throughput_run",
     "equivalent_chain_depth",
+    "rebalance_run",
+    "rebalance_sweep",
     "shard_kill_failure",
     "shard_kill_sweep",
     "shard_spec",

@@ -232,6 +232,85 @@ def _measure_throughput(spec: ScenarioSpec, label: str) -> dict:
     }
 
 
+def rebalance_run(
+    seed: int | None = 1,
+    *,
+    shards: int = 4,
+    skew: float = 1.2,
+    hot_keys: int = 64,
+    aggregate_rate: float = 120.0,
+    replicas_per_node: int = 2,
+    rebalance_at: float = 20.0,
+    tolerance: float = 0.10,
+    settle: float = 20.0,
+    max_incremental_latency: float = 3.0,
+) -> ExperimentResult:
+    """Skewed load, then a live rebalance: observed skew -> bucket handoff.
+
+    The deployment runs the zipfian hot-key workload (the hot key
+    concentrates load on a few hash buckets), and at ``rebalance_at`` the
+    runtime asks the :class:`~repro.sharding.ShardPlanner` for a plan against
+    the *observed* bucket loads and applies it to the live deployment
+    (filter-epoch cut at a bucket boundary + SJoin state shipping).  The
+    properties the benchmark asserts:
+
+    * the plan has real moves and strictly improves the peak-to-mean shard
+      imbalance;
+    * the handoff completes (state shipped) and the run stays failure-free;
+    * the merged ledger is gap-free, duplicate-free, and ordered -- the
+      handoff loses and duplicates nothing.
+    """
+    config = DPCConfig(
+        max_incremental_latency=max_incremental_latency,
+        delay_policy=DelayPolicy.process_process(),
+    )
+    spec = ScenarioSpec.sharded(
+        name=f"rebalance-{shards}",
+        shards=shards,
+        skew=skew,
+        hot_keys=hot_keys,
+        aggregate_rate=aggregate_rate,
+        replicas_per_node=replicas_per_node,
+        config=config,
+        warmup=rebalance_at,
+        settle=settle,
+        seed=seed,
+        rebalance_at=rebalance_at,
+        rebalance_tolerance=tolerance,
+    )
+    runtime = spec.run()
+    result = summarize_run(runtime, failure_duration=0.0)
+    records = runtime.deployment.rebalances
+    record = records[0] if records else {}
+    result.extra["rebalance"] = {
+        "applied_at": record.get("applied_at"),
+        "moves": len(record.get("moves", [])),
+        "imbalance_before": record.get("imbalance_before"),
+        "imbalance_after": record.get("imbalance_after"),
+        "cut_stime": record.get("cut_stime"),
+        "completed": record.get("completed", False),
+        "state_tuples_shipped": record.get("state_tuples_shipped", 0),
+        "noop": record.get("noop", True),
+    }
+    result.extra["observed_imbalance_end"] = (
+        runtime.deployment.current_assignment.imbalance(
+            runtime.deployment.observed_bucket_loads()
+        )
+    )
+    result.extra["shard_states"] = {
+        name: [replica.state.value for replica in runtime.node_group(name)]
+        for name in runtime.topology.node_names
+    }
+    return result
+
+
+def rebalance_sweep(
+    seeds: Sequence[int] = (1, 2, 3), *, shards: int = 4, skew: float = 1.2
+) -> list[ExperimentResult]:
+    """The mid-run rebalance across determinism seeds (the CLI table)."""
+    return [rebalance_run(seed, shards=shards, skew=skew) for seed in seeds]
+
+
 def shard_throughput_sweep(
     shard_counts: Sequence[int] = (1, 2, 4, 8),
     *,

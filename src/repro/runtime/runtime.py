@@ -20,11 +20,13 @@ Typical use::
 
 from __future__ import annotations
 
+from ..deploy import Deployment, compile as compile_topology
 from ..errors import SimulationError
 from ..metrics.consistency import duplicate_stable_values
 from ..sim.client import ClientApplication
-from ..sim.cluster import Cluster, build_dag_cluster
+from ..sim.cluster import Cluster
 from ..sim.event_loop import Simulator
+from ..sim.events import EventKind
 from ..sim.failures import FailureInjector, FailureRecord
 from ..sim.network import Network
 from ..sim.sources import DataSource
@@ -52,18 +54,24 @@ class SimulationRuntime:
         spec.validate()
         self.spec = spec
         self.topology = spec.resolved_topology()
-        self.cluster: Cluster = build_dag_cluster(
+        # Compile -> place -> deploy: the runtime owns the Deployment handle;
+        # self.cluster stays as the familiar accessor for everything wired.
+        self.placement = compile_topology(
             self.topology,
             replicas_per_node=spec.replicas_per_node,
+            filtered_routing=spec.filtered_routing,
+        )
+        self.deployment: Deployment = self.placement.deploy(
+            spec.config,
+            spec.sim_config,
             aggregate_rate=spec.aggregate_rate,
-            config=spec.config,
-            sim_config=spec.sim_config,
-            payload_factory=spec.payload_factory,
+            payload_factory=spec.resolved_payload_factory(),
             join_state_size=spec.join_state_size,
             per_node_delay=spec.per_node_delay,
             diagram_factory=spec.diagram_factory,
             seed=spec.seed,
         )
+        self.cluster: Cluster = self.deployment.cluster
         self._scenario = spec.as_scenario()
         self.injected: list[FailureRecord] = []
         self._started = False
@@ -112,6 +120,15 @@ class SimulationRuntime:
             return self
         self._started = True
         self.injected = self._scenario.inject(self.cluster)
+        if self.spec.rebalance_at is not None:
+            self.simulator.schedule_at(
+                self.spec.rebalance_at,
+                lambda now: self.deployment.rebalance(
+                    tolerance=self.spec.rebalance_tolerance
+                ),
+                kind=EventKind.INTERNAL,
+                description=f"scheduled rebalance (tolerance {self.spec.rebalance_tolerance:g})",
+            )
         self.cluster.start()
         return self
 
@@ -175,6 +192,8 @@ class SimulationRuntime:
             }
             for record in self.injected
         ]
+        if self.deployment.rebalances:
+            data["rebalances"] = [dict(record) for record in self.deployment.rebalances]
         return data
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

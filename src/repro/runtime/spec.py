@@ -67,6 +67,22 @@ class ScenarioSpec:
     sim_config: SimulationConfig | None = None
     #: Delay budget D assigned to every node; None derives it from the config.
     per_node_delay: float | None = None
+    # --- routing / reconfiguration --------------------------------------------
+    #: Producer-side evaluation of ingress-select predicates (filtered
+    #: subscriptions).  False restores the legacy multicast + ingress-Filter
+    #: data path (kept for comparison benchmarks).
+    filtered_routing: bool = True
+    #: Apply a load-driven rebalance to the live deployment at this simulated
+    #: time: observed bucket loads -> ShardPlanner.rebalance -> Deployment.apply.
+    #: Requires a sharded topology and filtered routing.
+    rebalance_at: float | None = None
+    #: Peak-to-mean tolerance handed to the planner by the mid-run rebalance.
+    rebalance_tolerance: float = 0.10
+    #: Zipfian skew of the hot-key workload (set by ``sharded(skew=...)``).
+    #: Resolved into a payload factory at build time so a later
+    #: ``with_overrides(seed=...)`` re-seeds the key sequence too.
+    hot_key_skew: float | None = None
+    hot_key_count: int = 64
     # --- schedule -------------------------------------------------------------
     warmup: float = 5.0
     settle: float = 30.0
@@ -94,6 +110,65 @@ class ScenarioSpec:
             raise ConfigurationError("duration must be positive when given")
         topology = self.resolved_topology()  # validates the graph itself
         n_sources = len(topology.source_streams)
+        if self.rebalance_at is not None:
+            if topology.shard_assignment is None:
+                raise ConfigurationError(
+                    "rebalance_at requires a sharded topology (Topology.shard); "
+                    f"topology {topology.name!r} has no shard assignment"
+                )
+            if not self.filtered_routing:
+                raise ConfigurationError(
+                    "rebalance_at requires filtered_routing=True (live rebalance "
+                    "rides on producer-side subscription filters)"
+                )
+            if self.rebalance_at <= 0:
+                raise ConfigurationError("rebalance_at must be positive")
+            if self.rebalance_at >= self.total_duration():
+                raise ConfigurationError(
+                    f"rebalance_at={self.rebalance_at:g}s lies beyond the run "
+                    f"({self.total_duration():g}s); nothing would be rebalanced"
+                )
+            # The bucket handoff needs drain slack after the cut (at most one
+            # bucket to reach the boundary, one bucket plus transport slack to
+            # drain); a rebalance scheduled closer to the end of the run than
+            # that would switch routing but never ship the join state.
+            config = self.dpc_config()
+            sim = self.simulation_config()
+            handoff_slack = (
+                2 * config.bucket_size
+                + 2 * sim.batch_interval
+                + 2 * sim.network_latency
+            )
+            if self.rebalance_at + handoff_slack >= self.total_duration():
+                raise ConfigurationError(
+                    f"rebalance_at={self.rebalance_at:g}s leaves less than the "
+                    f"~{handoff_slack:g}s bucket-handoff drain slack before the "
+                    f"run ends ({self.total_duration():g}s); the state handoff "
+                    f"would never complete"
+                )
+            for failure in self._resolved_failures():
+                # The live rebalance quiesces first and its handoff assumes
+                # the drain window stays failure-free, so reject schedules
+                # whose failure window overlaps [rebalance_at, rebalance_at +
+                # handoff_slack] up front instead of dying (or endlessly
+                # retrying the handoff) mid-simulation.
+                if (
+                    failure.start < self.rebalance_at + handoff_slack
+                    and self.rebalance_at < failure.start + failure.duration
+                ):
+                    raise ConfigurationError(
+                        f"rebalance_at={self.rebalance_at:g}s (plus "
+                        f"~{handoff_slack:g}s of handoff drain) overlaps the "
+                        f"{failure.kind!r} failure window "
+                        f"[{failure.start:g}s, {failure.start + failure.duration:g}s); "
+                        f"rebalance before the failure or after it heals"
+                    )
+        if self.rebalance_tolerance < 0:
+            raise ConfigurationError("rebalance_tolerance cannot be negative")
+        if self.hot_key_skew is not None and self.hot_key_skew <= 0:
+            raise ConfigurationError("hot_key_skew must be positive when given")
+        if self.hot_key_count < 1:
+            raise ConfigurationError("hot_key_count must be >= 1")
         for spec in self._resolved_failures():
             if spec.start < 0 or spec.duration <= 0:
                 raise ConfigurationError(
@@ -141,6 +216,16 @@ class ScenarioSpec:
             chain_depth=self.chain_depth,
             n_input_streams=self.n_input_streams,
         )
+
+    def resolved_payload_factory(self) -> PayloadFactory:
+        """The workload factory, with the hot-key knob bound to the final seed."""
+        if self.hot_key_skew is not None:
+            from ..workloads.generators import hot_key_payload_factory
+
+            return hot_key_payload_factory(
+                skew=self.hot_key_skew, keys=self.hot_key_count, seed=self.seed or 0
+            )
+        return self.payload_factory
 
     def dpc_config(self) -> DPCConfig:
         return self.config or DPCConfig()
@@ -270,6 +355,8 @@ class ScenarioSpec:
         key: str = "seq",
         n_input_streams: int = 3,
         buckets: int | None = None,
+        skew: float | None = None,
+        hot_keys: int = 64,
         **changes,
     ) -> "ScenarioSpec":
         """Key-hash sharded scale-out: split -> N shard fragments -> fan-in merge.
@@ -278,16 +365,35 @@ class ScenarioSpec:
         assignment (disjoint and exhaustive key-hash slices); pass a
         pre-built ``topology`` via :meth:`with_overrides` to deploy a
         rebalanced assignment.
+
+        ``skew`` switches the workload to the zipfian hot-key generator
+        (:func:`~repro.workloads.generators.hot_key_sequence`): tuples carry a
+        skewed integer ``key`` attribute -- constant across each stime tie
+        group -- and the deployment shards on it (``tie_group=1``), so
+        per-bucket loads genuinely skew and a mid-run ``rebalance_at`` has
+        real bucket moves to apply.  ``hot_keys`` sizes the key universe.
         """
         from ..sharding import DEFAULT_BUCKETS
 
+        shard_key = key
+        tie_group = None
+        if skew is not None:
+            shard_key = "key" if key == "seq" else key
+            tie_group = 1
+            if "payload_factory" not in changes:
+                # Deferred: resolved_payload_factory() derives the generator
+                # from the spec's *final* seed, so with_overrides(seed=...)
+                # re-seeds the key sequence along with everything else.
+                changes.setdefault("hot_key_skew", skew)
+                changes.setdefault("hot_key_count", hot_keys)
         return cls(
             name=changes.pop("name", f"shard-{shards}"),
             topology=Topology.shard(
                 shards,
-                key=key,
+                key=shard_key,
                 n_input_streams=n_input_streams,
                 buckets=DEFAULT_BUCKETS if buckets is None else buckets,
+                tie_group=tie_group,
             ),
             n_input_streams=n_input_streams,
             **changes,

@@ -109,9 +109,27 @@ class ShardSpec:
         if self.group < 1:
             raise ConfigurationError(f"group must be >= 1, got {self.group}")
 
-    def key_of(self, values: Mapping[str, Any]) -> int:
+    def group_key(self, value: Any) -> Any:
+        """Collapse one raw key-attribute value into its tie-grouped shard key.
+
+        Numeric keys are divided by ``group`` (runs of ``group`` consecutive
+        values share a shard).  Non-numeric keys (the hot-key workloads shard
+        on an opaque key attribute) require ``group == 1`` and are used as-is.
+        """
+        if not isinstance(value, (int, float, bool)):
+            if self.group != 1:
+                raise ConfigurationError(
+                    f"shard key attribute {self.key!r} carries non-numeric value "
+                    f"{value!r}, which cannot be tie-grouped by group={self.group}; "
+                    f"non-numeric keys require group == 1 (e.g. "
+                    f"Topology.shard(..., tie_group=1))"
+                )
+            return value
+        return int(value) // self.group
+
+    def key_of(self, values: Mapping[str, Any]) -> Any:
         """The (tie-grouped) shard key of one tuple's attribute mapping."""
-        return int(values.get(self.key, 0)) // self.group
+        return self.group_key(values.get(self.key, 0))
 
     def bucket_of(self, key: Any) -> int:
         """The hash bucket a shard key falls into."""
@@ -130,6 +148,11 @@ class ShardAssignment:
 
     spec: ShardSpec
     buckets_by_shard: tuple[tuple[int, ...], ...]
+    #: Permit shards owning zero buckets.  Only drain plans set this: a
+    #: drained shard keeps relaying punctuation (the fan-in merge still needs
+    #: its port's boundaries) but routes no data, as a prelude to
+    #: decommissioning the fragment.
+    allow_empty: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -142,7 +165,7 @@ class ShardAssignment:
             )
         seen: dict[int, int] = {}
         for shard, buckets in enumerate(self.buckets_by_shard):
-            if not buckets:
+            if not buckets and not self.allow_empty:
                 raise ConfigurationError(f"shard {shard} owns no hash buckets")
             for bucket in buckets:
                 if bucket in seen:
@@ -243,8 +266,16 @@ class ShardAssignment:
         updated[source].remove(bucket)
         updated[target].append(bucket)
         return ShardAssignment(
-            spec=self.spec, buckets_by_shard=tuple(tuple(b) for b in updated)
+            spec=self.spec,
+            buckets_by_shard=tuple(tuple(b) for b in updated),
+            allow_empty=self.allow_empty,
         )
+
+    def empty_shards(self) -> list[int]:
+        """Shards owning no hash buckets (drained fragments)."""
+        return [
+            shard for shard, buckets in enumerate(self.buckets_by_shard) if not buckets
+        ]
 
 
 @dataclass(frozen=True)
@@ -348,6 +379,64 @@ class ShardPlanner:
             imbalance_after=current.imbalance(bucket_loads),
         )
 
+    def drain(
+        self,
+        assignment: ShardAssignment,
+        shard: int,
+        bucket_loads: Mapping[int, float] | None = None,
+    ) -> RebalancePlan:
+        """Plan the complete evacuation of one shard (a decommission prelude).
+
+        Every bucket ``shard`` owns is reassigned to the remaining shards,
+        heaviest bucket first onto the currently least-loaded recipient (with
+        no observed loads, buckets spread evenly by count).  The resulting
+        ``after`` assignment leaves ``shard`` empty (``allow_empty``): a
+        deployment applying the plan stops routing data to the fragment, which
+        then only relays punctuation and is no longer a meaningful failure
+        target.
+        """
+        if assignment.spec != self.spec:
+            raise ConfigurationError("assignment was planned for a different shard spec")
+        if not 0 <= shard < self.spec.shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range for {self.spec.shards} shards"
+            )
+        if self.spec.shards < 2:
+            raise ConfigurationError("cannot drain the only shard of a deployment")
+        loads = dict(bucket_loads or {})
+        imbalance_before = assignment.imbalance(loads)
+        updated = [list(buckets) for buckets in assignment.buckets_by_shard]
+        recipients = [s for s in range(self.spec.shards) if s != shard]
+        recipient_load = {
+            s: sum(loads.get(b, 0.0) for b in updated[s]) for s in recipients
+        }
+        recipient_count = {s: len(updated[s]) for s in recipients}
+        moves: list[ShardMove] = []
+        evacuating = sorted(
+            updated[shard], key=lambda b: (-loads.get(b, 0.0), b)
+        )
+        for bucket in evacuating:
+            target = min(
+                recipients, key=lambda s: (recipient_load[s], recipient_count[s], s)
+            )
+            updated[target].append(bucket)
+            recipient_load[target] += loads.get(bucket, 0.0)
+            recipient_count[target] += 1
+            moves.append(ShardMove(bucket=bucket, source=shard, target=target))
+        updated[shard] = []
+        after = ShardAssignment(
+            spec=self.spec,
+            buckets_by_shard=tuple(tuple(b) for b in updated),
+            allow_empty=True,
+        )
+        return RebalancePlan(
+            before=assignment,
+            after=after,
+            moves=tuple(moves),
+            imbalance_before=imbalance_before,
+            imbalance_after=after.imbalance(loads),
+        )
+
 
 def bucket_loads_from_keys(
     spec: ShardSpec, keys: Iterable[Any], *, grouped: bool = True
@@ -359,7 +448,7 @@ def bucket_loads_from_keys(
     """
     loads: dict[int, int] = {}
     for key in keys:
-        shard_key = int(key) // spec.group if grouped else key
+        shard_key = spec.group_key(key) if grouped else key
         bucket = spec.bucket_of(shard_key)
         loads[bucket] = loads.get(bucket, 0) + 1
     return loads

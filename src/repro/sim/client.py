@@ -89,6 +89,8 @@ class ClientApplication:
         role = self.cm.classify_producer(batch.stream, message.sender)
         if role == "ignore":
             return
+        if batch.replay:
+            self.cm.note_replay(batch.stream)
         for item in batch.tuples:
             verdict = self.cm.record_arrival(batch.stream, item, now)
             if verdict == "duplicate":

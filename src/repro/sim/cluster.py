@@ -1,26 +1,29 @@
-"""Cluster assembly: wire sources, replicated processing nodes, and clients.
+"""Cluster container, fragment diagram factories, and the legacy builders.
 
 The paper's experiments use two deployment shapes -- a single (optionally
 replicated) processing node fed by three data sources (Figures 10 and 12,
 Table III, Figure 13) and a chain of up to four replicated nodes
 (Figures 15, 16, 18, 19, 20) -- but its query diagrams are general DAGs.
-:func:`build_dag_cluster` wires an arbitrary replicated
-:class:`~repro.topology.Topology`: it walks the node specs in topological
-order, gives every node one SUnion merging all of its (possibly cross-node)
-input streams, multicasts every output stream to all downstream subscribers
-via the batch transport, and attaches one measuring client per sink.
-:func:`build_chain_cluster` survives as the sugar that compiles the paper's
-chain shape to a path topology.
+
+Deployment construction lives in the layered :mod:`repro.deploy` control
+plane: ``compile(topology)`` produces an inspectable
+:class:`~repro.deploy.Placement`, and ``placement.deploy(...)`` materializes
+it into a live :class:`~repro.deploy.Deployment`.  The historical one-shot
+builders survive here as thin shims over that pipeline --
+:func:`build_dag_cluster` compiles-and-deploys in one call and returns the
+deployment's :class:`Cluster`, and :func:`build_chain_cluster` is the sugar
+that compiles the paper's chain shape to a path topology first.
 
 :class:`Cluster` owns the simulator, network, failure injector, sources,
 nodes, and clients of one such deployment and provides the small amount of
 orchestration the experiments need (start everything, run for a while, look at
-the client's metrics).
+the client's metrics).  The fragment diagram factories
+(:func:`merge_diagram`, :func:`relay_diagram`, :func:`shard_relay_diagram`)
+also live here; the deploy step instantiates them per replica.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -57,6 +60,14 @@ class Cluster:
     stream_consumers: dict[str, list[ProcessingNode]] = field(default_factory=dict)
     #: The deployment graph this cluster was built from (None for hand wiring).
     topology: Topology | None = None
+    #: Logical nodes a live reconfiguration has drained (they route no data
+    #: anymore, only punctuation).  Shared with the owning Deployment; failure
+    #: injection consults it at fire time so kill schedules validated against
+    #: the compile-time topology cannot target an already-drained node.
+    drained_nodes: set[str] = field(default_factory=set)
+    #: The control-plane handle that built this cluster (None for hand wiring
+    #: or direct builder use before the deployment handle is attached).
+    deployment: object | None = None
 
     # ------------------------------------------------------------------ access helpers
     @property
@@ -116,6 +127,23 @@ class Cluster:
 
     def source(self, index: int) -> DataSource:
         return self.sources[index]
+
+    def assert_kill_target_live(self, name: str) -> None:
+        """Reject killing a node a live reconfiguration has already drained.
+
+        Failure schedules are validated against the compile-time topology
+        when they are built; this is the fire-time complement, validated
+        against the *current* deployment: once ``Deployment.apply`` has
+        evacuated a shard, crashing it no longer models anything (the
+        fragment routes no data) and almost certainly indicates a schedule
+        that predates the reconfiguration.
+        """
+        if name in self.drained_nodes:
+            raise ConfigurationError(
+                f"failure schedule kills node {name!r}, but a rebalance plan has "
+                f"drained it; kill targets must be validated against the current "
+                f"deployment, not the compile-time topology"
+            )
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -300,6 +328,7 @@ def build_dag_cluster(
     per_node_delay: float | None = None,
     diagram_factory: Callable[[str, Sequence[str], str], QueryDiagram] | None = None,
     seed: int | None = None,
+    filtered_routing: bool = True,
 ) -> Cluster:
     """Build an arbitrary replicated-DAG deployment.
 
@@ -329,187 +358,36 @@ def build_dag_cluster(
     two clusters built with the same seed behave identically and different
     seeds produce measurably different (but statistically equivalent) runs.
     ``seed=None`` keeps the exact unjittered timing of the default deployment.
+
+    This function is now a thin shim over the layered control plane: it
+    compiles the topology into a :class:`~repro.deploy.Placement` and deploys
+    it (``repro.deploy.compile(...).deploy(...)``), returning the deployment's
+    cluster.  Callers that want the live reconfiguration surface (filtered
+    subscription handles, ``apply(RebalancePlan)``) should use the
+    :mod:`repro.deploy` API directly -- or reach it through
+    ``cluster.deployment``.
+
+    ``filtered_routing`` selects the data path for ingress-select consumers
+    (the shard fragments): ``True`` evaluates their slice predicate at the
+    producer (filtered subscriptions), ``False`` keeps the legacy multicast +
+    ingress-Filter placement.
     """
-    if replicas_per_node < 1:
-        raise ConfigurationError("replicas_per_node must be >= 1")
-    config = config or DPCConfig()
-    sim_config = sim_config or SimulationConfig()
-    config.validate()
-    sim_config.validate()
+    from ..deploy import compile as compile_topology
 
-    simulator = Simulator()
-    network = Network(simulator, default_latency=sim_config.network_latency)
-    failures = FailureInjector(simulator=simulator, network=network)
-    cluster = Cluster(
-        simulator=simulator, network=network, failures=failures, topology=topology
+    placement = compile_topology(
+        topology, replicas_per_node=replicas_per_node, filtered_routing=filtered_routing
     )
-
-    delay_budgets = _node_delay_budgets(topology, config, per_node_delay)
-    # One offset for every source: the whole workload shifts in time (so runs
-    # with different seeds genuinely differ) while the sources stay mutually
-    # aligned, which the end-of-run consistency accounting relies on.
-    start_offset = (
-        random.Random(seed).uniform(0.0, sim_config.batch_interval * 0.5)
-        if seed is not None
-        else 0.0
+    deployment = placement.deploy(
+        config,
+        sim_config,
+        aggregate_rate=aggregate_rate,
+        payload_factory=payload_factory,
+        join_state_size=join_state_size,
+        per_node_delay=per_node_delay,
+        diagram_factory=diagram_factory,
+        seed=seed,
     )
-
-    # --- sources ---------------------------------------------------------------
-    source_streams = topology.source_streams
-    per_stream_rate = aggregate_rate / len(source_streams)
-    source_by_stream: dict[str, DataSource] = {}
-    for index, stream in enumerate(source_streams):
-        source = DataSource(
-            name=f"source.{stream}",
-            stream=stream,
-            simulator=simulator,
-            network=network,
-            rate=per_stream_rate,
-            boundary_interval=config.boundary_interval,
-            batch_interval=sim_config.batch_interval,
-            payload=payload_factory(index, len(source_streams)),
-            start_time=start_offset,
-        )
-        cluster.sources.append(source)
-        source_by_stream[stream] = source
-
-    # --- processing nodes --------------------------------------------------------
-    for spec in topology:
-        group: list[ProcessingNode] = []
-        output_stream = spec.output_stream
-        input_streams = topology.input_streams(spec)
-        replicas = topology.replicas_of(spec.name, replicas_per_node)
-        names = [spec.name + ("" if r == 0 else "'" * r) for r in range(replicas)]
-        # Stateful-operator placement: by default entry nodes run the SJoin
-        # and everything downstream relays; a topology can override per node
-        # (sharded deployments join inside the shards, over partitioned state,
-        # and demote the split to a stateless router).
-        wants_join = spec.stateful if spec.stateful is not None else topology.is_entry(spec)
-        node_join_state = join_state_size if wants_join else None
-        for node_name in names:
-            if topology.is_entry(spec):
-                if diagram_factory is not None:
-                    diagram = diagram_factory(node_name, input_streams, output_stream)
-                else:
-                    diagram = merge_diagram(
-                        node_name,
-                        input_streams,
-                        output_stream,
-                        bucket_size=config.bucket_size,
-                        join_state_size=node_join_state,
-                        select=spec.select,
-                    )
-            elif len(input_streams) == 1:
-                if spec.select is not None and spec.select_at == "ingress":
-                    # Sharded scale-out: the key-hash slice is taken at the
-                    # fragment's ingress so the SUnion only serializes 1/N.
-                    diagram = shard_relay_diagram(
-                        node_name,
-                        input_streams[0],
-                        output_stream,
-                        bucket_size=config.bucket_size,
-                        select=spec.select,
-                        join_state_size=node_join_state,
-                    )
-                else:
-                    diagram = relay_diagram(
-                        node_name,
-                        input_streams[0],
-                        output_stream,
-                        bucket_size=config.bucket_size,
-                        select=spec.select,
-                        join_state_size=node_join_state,
-                    )
-            else:
-                # Cross-node fan-in: one SUnion serializes every upstream
-                # output stream.
-                diagram = merge_diagram(
-                    node_name,
-                    input_streams,
-                    output_stream,
-                    bucket_size=config.bucket_size,
-                    join_state_size=node_join_state,
-                    select=spec.select,
-                )
-            partners = [other for other in names if other != node_name]
-            node = ProcessingNode(
-                name=node_name,
-                diagram=diagram,
-                simulator=simulator,
-                network=network,
-                config=config,
-                sim_config=sim_config,
-                assigned_delay=delay_budgets[spec.name],
-                replica_partners=partners,
-                rng_seed=seed,
-            )
-            group.append(node)
-        cluster.nodes.append(group)
-        cluster.node_groups[spec.name] = group
-
-    # --- wiring: sources -> consuming node replicas -------------------------------
-    for source in cluster.sources:
-        consumers: list[ProcessingNode] = []
-        for spec in topology.consumers_of(source.stream):
-            for node in cluster.node_groups[spec.name]:
-                source.subscribe(node.endpoint)
-                consumers.append(node)
-        cluster.stream_consumers[source.stream] = consumers
-    for spec in topology:
-        for node in cluster.node_groups[spec.name]:
-            for stream in spec.inputs:
-                if stream not in source_by_stream:
-                    continue
-                source = source_by_stream[stream]
-                node.register_input_stream(
-                    source.stream, producers=[source.name], source_producers=[source.name]
-                )
-
-    # --- wiring: node -> node edges ------------------------------------------------
-    # Nodes push their DPC state to registered watchers every keepalive period
-    # (replacing probe round trips) whenever the push cadence can keep up with
-    # the configured keepalive; otherwise consumers fall back to probing.
-    push_state = config.keepalive_period + 1e-12 >= sim_config.batch_interval
-    for spec in topology:
-        for upstream_spec in topology.upstream_nodes(spec):
-            upstream_group = cluster.node_groups[upstream_spec.name]
-            upstream_stream = upstream_spec.output_stream
-            upstream_names = [n.endpoint for n in upstream_group]
-            for node in cluster.node_groups[spec.name]:
-                node.register_input_stream(
-                    upstream_stream,
-                    producers=upstream_names,
-                    push_producers=upstream_names if push_state else (),
-                )
-                # Every downstream replica initially reads from the first
-                # upstream replica; DPC switches it if that replica fails.
-                upstream_group[0].register_subscriber(upstream_stream, node.endpoint)
-                if push_state:
-                    for upstream in upstream_group:
-                        upstream.add_state_watcher(node.endpoint)
-
-    # --- clients: one per sink ------------------------------------------------------
-    for sink_index, sink in enumerate(topology.sinks()):
-        sink_group = cluster.node_groups[sink.name]
-        sink_stream = sink.output_stream
-        client = ClientApplication(
-            name="client" if sink_index == 0 else f"client{sink_index + 1}",
-            stream=sink_stream,
-            simulator=simulator,
-            network=network,
-            config=config,
-            rng_seed=seed,
-        )
-        sink_names = [n.endpoint for n in sink_group]
-        client.register_upstream(
-            producers=sink_names, push_producers=sink_names if push_state else ()
-        )
-        sink_group[0].register_subscriber(sink_stream, client.endpoint)
-        if push_state:
-            for node in sink_group:
-                node.add_state_watcher(client.endpoint)
-        cluster.clients.append(client)
-    return cluster
+    return deployment.cluster
 
 
 def build_chain_cluster(
@@ -524,6 +402,7 @@ def build_chain_cluster(
     per_node_delay: float | None = None,
     diagram_factory: Callable[[str, Sequence[str], str], QueryDiagram] | None = None,
     seed: int | None = None,
+    filtered_routing: bool = True,
 ) -> Cluster:
     """Build the replicated chain deployment of Figure 14.
 
@@ -553,6 +432,7 @@ def build_chain_cluster(
         per_node_delay=per_node_delay,
         diagram_factory=diagram_factory,
         seed=seed,
+        filtered_routing=filtered_routing,
     )
 
 

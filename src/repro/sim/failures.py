@@ -108,19 +108,33 @@ class FailureInjector:
         return record
 
     # ------------------------------------------------------------------ node / network failures
-    def crash_processing_node(self, node, start: float, duration: float) -> FailureRecord:
+    def crash_processing_node(
+        self, node, start: float, duration: float, guard=None
+    ) -> FailureRecord:
         """Fail-stop ``node`` (a :class:`~repro.core.node.ProcessingNode`).
 
         Unlike :meth:`crash_node` this goes through the node's own
         crash/recover hooks, so on recovery it resubscribes to its upstream
         neighbors instead of merely rejoining the network.
+
+        ``guard`` is an optional callable invoked at *fire time*, immediately
+        before the crash: schedules validated against the compile-time
+        topology use it to re-validate the target against the live deployment
+        (a mid-run reconfiguration may have drained the node since the
+        schedule was built).
         """
         self._check_times(start, duration)
         record = FailureRecord(FailureType.NODE_CRASH, node.name, start, duration)
         self.history.append(record)
+
+        def crash(now, n=node, check=guard):
+            if check is not None:
+                check()
+            n.crash()
+
         self.simulator.schedule_at(
             start,
-            lambda now, n=node: n.crash(),
+            crash,
             kind=EventKind.FAILURE,
             description=f"crash {node.name}",
         )

@@ -57,13 +57,18 @@ class WindowSpec:
     def first_window_index(self, stime: float) -> int:
         """Index of the earliest window containing ``stime``."""
         # Window k spans [origin + k*slide, origin + k*slide + size).
-        last = self.last_window_index(stime)
         span = int(math.ceil(self.size / self.slide)) - 1
-        return last - span
+        return self.last_window_index(stime) - span
 
     def last_window_index(self, stime: float) -> int:
-        """Index of the latest window containing ``stime``."""
-        return int(math.floor((stime - self.origin) / self.slide))
+        """Index of the latest window whose span starts at or before ``stime``."""
+        index = int(math.floor((stime - self.origin) / self.slide))
+        # floor() of a quotient that rounded toward zero (e.g. a subnormal
+        # negative stime underflowing to -0.0) can overestimate by one: step
+        # back until the window actually starts at or before stime.
+        while self.window_start(index) > stime:
+            index -= 1
+        return index
 
     def window_indices(self, stime: float) -> range:
         """All window indices whose span contains ``stime``."""

@@ -244,6 +244,7 @@ class Topology:
         n_input_streams: int = 3,
         buckets: int = DEFAULT_BUCKETS,
         assignment: ShardAssignment | None = None,
+        tie_group: int | None = None,
         name: str | None = None,
     ) -> "Topology":
         """N-way key-hash sharded scale-out: split -> N shards -> fan-in merge.
@@ -261,16 +262,26 @@ class Topology:
         predicates are disjoint and exhaustive by construction, so the merge
         reassembles exactly the original stream.
 
-        The shard key is grouped by ``n_input_streams`` so tuples sharing an
-        stime (one tick of the interleaved sources) stay on one shard -- the
-        fan-in SUnion orders stime ties by input port, and a straddling tie
-        group would be reordered (same rule as ``modulo_partition``).
+        The shard key is grouped by ``tie_group`` (default ``n_input_streams``)
+        so tuples sharing an stime (one tick of the interleaved sources) stay
+        on one shard -- the fan-in SUnion orders stime ties by input port, and
+        a straddling tie group would be reordered (same rule as
+        ``modulo_partition``).  Workloads whose key attribute is already
+        constant across a tick (the hot-key generators stamp one key per
+        tick) pass ``tie_group=1``.
         """
         if shards < 1:
             raise ConfigurationError("shard count must be >= 1")
         if n_input_streams < 1:
             raise ConfigurationError("n_input_streams must be >= 1")
-        spec = ShardSpec(shards=shards, key=key, buckets=buckets, group=n_input_streams)
+        if tie_group is not None and tie_group < 1:
+            raise ConfigurationError("tie_group must be >= 1 when given")
+        spec = ShardSpec(
+            shards=shards,
+            key=key,
+            buckets=buckets,
+            group=n_input_streams if tie_group is None else tie_group,
+        )
         if assignment is None:
             assignment = ShardPlanner(spec).plan()
         elif assignment.spec != spec:

@@ -4,6 +4,8 @@ from .generators import (
     PayloadFactory,
     PayloadGenerator,
     default_payload_factory,
+    hot_key_payload_factory,
+    hot_key_sequence,
     interleaved_sequence,
     network_monitoring,
     sensor_readings,
@@ -23,6 +25,8 @@ __all__ = [
     "PayloadFactory",
     "PayloadGenerator",
     "default_payload_factory",
+    "hot_key_payload_factory",
+    "hot_key_sequence",
     "interleaved_sequence",
     "network_monitoring",
     "sensor_readings",

@@ -9,7 +9,9 @@ run (and every replica) sees exactly the same data.
 
 from __future__ import annotations
 
+import bisect
 import random
+import zlib
 from typing import Any, Callable, Mapping
 
 #: A payload generator maps (sequence number, stime) -> attribute mapping.
@@ -95,6 +97,60 @@ def sensor_readings(stream_index: int, n_streams: int, seed: int = 0) -> Payload
     return generate
 
 
+def hot_key_sequence(
+    stream_index: int,
+    n_streams: int,
+    skew: float = 1.2,
+    keys: int = 64,
+    seed: int = 0,
+) -> PayloadGenerator:
+    """Zipfian hot-key workload: interleaved sequence numbers plus a skewed key.
+
+    Every tuple keeps the globally increasing ``seq`` the consistency ledger
+    checks, and additionally carries an integer ``key`` drawn from a zipf(s =
+    ``skew``) distribution over ``keys`` distinct keys -- rank 0 is the hot
+    key.  Two properties matter for sharded deployments:
+
+    * the key is a pure function of the *tick* (the per-source sequence
+      number), so the ``n_streams`` tuples sharing an stime all carry the
+      same key and a key-sharded deployment never splits a tie group
+      (``ShardSpec`` with ``key="key"``, ``group=1``);
+    * the draw is crc32-based, so every source, every replica, and every
+      rerun of the same ``seed`` sees exactly the same key sequence.
+
+    This is the workload that gives :meth:`ShardPlanner.rebalance` something
+    to do: the hot key concentrates load on a single hash bucket, so the
+    observed per-bucket loads skew far beyond any tolerance.
+    """
+    if not 0 <= stream_index < n_streams:
+        raise ValueError(f"stream_index {stream_index} out of range for {n_streams} streams")
+    if skew <= 0:
+        raise ValueError(f"skew must be positive, got {skew}")
+    if keys < 1:
+        raise ValueError(f"keys must be >= 1, got {keys}")
+    weights = [1.0 / (rank + 1) ** skew for rank in range(keys)]
+    total = sum(weights)
+    cdf: list[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cdf.append(acc)
+
+    def generate(sequence: int, stime: float) -> dict[str, Any]:
+        seq = sequence * n_streams + stream_index
+        # One uniform draw per tick, identical across the interleaved sources.
+        draw = zlib.crc32(f"hotkey:{seed}:{sequence}".encode("ascii")) / 2**32
+        rank = bisect.bisect_left(cdf, draw)
+        return {
+            "seq": seq,
+            "value": float(seq),
+            "stream": stream_index,
+            "key": min(rank, keys - 1),
+        }
+
+    return generate
+
+
 #: Factory signature used by the cluster builder: (stream_index, n_streams) -> generator.
 PayloadFactory = Callable[[int, int], PayloadGenerator]
 
@@ -102,3 +158,14 @@ PayloadFactory = Callable[[int, int], PayloadGenerator]
 def default_payload_factory(stream_index: int, n_streams: int) -> PayloadGenerator:
     """The factory the experiments use: interleaved global sequence numbers."""
     return interleaved_sequence(stream_index, n_streams)
+
+
+def hot_key_payload_factory(
+    skew: float = 1.2, keys: int = 64, seed: int = 0
+) -> PayloadFactory:
+    """Factory producing :func:`hot_key_sequence` generators with fixed skew."""
+
+    def factory(stream_index: int, n_streams: int) -> PayloadGenerator:
+        return hot_key_sequence(stream_index, n_streams, skew=skew, keys=keys, seed=seed)
+
+    return factory

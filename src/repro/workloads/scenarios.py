@@ -83,8 +83,25 @@ class Scenario:
                 else:
                     victims = [cluster.node(target, spec.node_replica)]
                 for node in victims:
+                    # Build-time validation ran against the compile-time
+                    # topology; the guard re-validates at fire time against
+                    # the *live* deployment, which a mid-run rebalance may
+                    # have reconfigured (e.g. drained the targeted shard).
+                    group = next(
+                        (
+                            name
+                            for name, members in cluster.node_groups.items()
+                            if node in members
+                        ),
+                        node.name,
+                    )
                     records.append(
-                        cluster.failures.crash_processing_node(node, spec.start, spec.duration)
+                        cluster.failures.crash_processing_node(
+                            node,
+                            spec.start,
+                            spec.duration,
+                            guard=lambda c=cluster, g=group: c.assert_kill_target_live(g),
+                        )
                     )
             else:
                 raise ValueError(f"unknown failure kind {spec.kind!r}")

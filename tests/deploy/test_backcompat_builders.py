@@ -1,0 +1,74 @@
+"""The legacy builders are byte-identical shims over compile().deploy().
+
+``build_dag_cluster`` / ``build_chain_cluster`` survive as the one-shot API;
+they must produce exactly the same deployments -- byte-identical run
+summaries across seeds and topology shapes -- as the layered
+``repro.deploy.compile(...).deploy(...)`` path they delegate to.
+"""
+
+import json
+
+import pytest
+
+from repro import deploy
+from repro.sim.cluster import build_chain_cluster, build_dag_cluster
+from repro.topology import Topology
+from repro.workloads.scenarios import Scenario, single_failure
+
+
+def run_and_summarize(cluster, scenario):
+    scenario.run(cluster)
+    return json.dumps(cluster.summary(), sort_keys=True, default=str)
+
+
+def scenarios():
+    return Scenario(warmup=4.0, settle=6.0)
+
+
+@pytest.mark.parametrize("seed", [None, 1, 7])
+def test_chain_builder_matches_compile_deploy(seed):
+    scenario = scenarios()
+    shim = run_and_summarize(
+        build_chain_cluster(chain_depth=2, aggregate_rate=90.0, seed=seed), scenario
+    )
+    layered = run_and_summarize(
+        deploy.compile(Topology.chain(2), replicas_per_node=2)
+        .deploy(aggregate_rate=90.0, seed=seed)
+        .cluster,
+        scenarios(),
+    )
+    assert shim == layered
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_shard_builder_matches_compile_deploy(seed):
+    topology = Topology.shard(2)
+    shim = run_and_summarize(
+        build_dag_cluster(topology, aggregate_rate=90.0, seed=seed), scenarios()
+    )
+    layered = run_and_summarize(
+        deploy.compile(Topology.shard(2)).deploy(aggregate_rate=90.0, seed=seed).cluster,
+        scenarios(),
+    )
+    assert shim == layered
+
+
+def test_diamond_builder_matches_under_failure():
+    scenario = single_failure("disconnect", start=4.0, duration=4.0, settle=10.0)
+    shim = run_and_summarize(
+        build_dag_cluster(Topology.diamond(), aggregate_rate=90.0, seed=3), scenario
+    )
+    layered = run_and_summarize(
+        deploy.compile(Topology.diamond()).deploy(aggregate_rate=90.0, seed=3).cluster,
+        single_failure("disconnect", start=4.0, duration=4.0, settle=10.0),
+    )
+    assert shim == layered
+
+
+def test_multicast_flag_round_trips_through_the_shim():
+    cluster = build_dag_cluster(
+        Topology.shard(2), aggregate_rate=90.0, seed=1, filtered_routing=False
+    )
+    assert cluster.deployment is not None
+    assert not cluster.deployment.placement.filtered_routing
+    assert cluster.deployment.subscription_filters == {}

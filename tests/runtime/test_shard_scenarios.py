@@ -36,18 +36,35 @@ def test_sharded_spec_compiles_split_shards_merge():
     assert [c.name for c in runtime.clients] == ["client"]
 
 
-def test_shard_fragments_filter_at_ingress_and_own_the_join():
+def test_shard_fragments_receive_their_slice_and_own_the_join():
+    """Default routing: the slice is cut at the producer, fragments relay."""
     runtime = small_shard_spec(shards=2).build()
     shard_node = runtime.node("shard1")
     ops = shard_node.diagram.operators
-    # Filter -> SUnion -> SJoin -> SOutput: the filter is the entry operator.
+    # The slice predicate runs at the split (filtered subscription), so the
+    # fragment is SUnion -> SJoin -> SOutput with no Filter of its own.
     entry = shard_node.diagram.inputs[0].operator
-    assert isinstance(ops[entry], Filter)
+    assert isinstance(ops[entry], SUnion)
+    assert not any(isinstance(op, Filter) for op in ops.values())
     assert any(isinstance(op, SJoin) for op in ops.values())
+    # The consumer carries the shared filter for later re-subscriptions.
+    monitor = shard_node.cm.monitor("split.out")
+    assert monitor.subscription_filter is not None
+    assert monitor.subscription_filter.name == "shard1.slice"
     # The split is a stateless router: SUnion + SOutput only.
     split_ops = runtime.node("split").diagram.operators.values()
     assert not any(isinstance(op, SJoin) for op in split_ops)
     assert any(isinstance(op, SUnion) for op in split_ops)
+
+
+def test_multicast_routing_keeps_the_ingress_filter():
+    """filtered_routing=False restores the legacy multicast + ingress Filter."""
+    runtime = small_shard_spec(shards=2, filtered_routing=False).build()
+    shard_node = runtime.node("shard1")
+    ops = shard_node.diagram.operators
+    entry = shard_node.diagram.inputs[0].operator
+    assert isinstance(ops[entry], Filter)
+    assert shard_node.cm.monitor("split.out").subscription_filter is None
 
 
 def test_shard_slices_are_disjoint_and_cover_the_stream():

@@ -229,3 +229,26 @@ def test_plan_delays_shard_topology(capsys):
 def test_shard_experiments_registered():
     assert "shard" in cli.EXPERIMENTS
     assert "shard-throughput" in cli.EXPERIMENTS
+    assert "rebalance" in cli.EXPERIMENTS
+
+
+def test_scenario_live_rebalance_via_cli(capsys):
+    code = cli.main(
+        ["scenario", "--topology", "shard", "--shards", "4", "--rate", "120",
+         "--skew", "1.2", "--rebalance-at", "14", "--warmup", "14",
+         "--settle", "16", "--seed", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "rebalance at t=14s" in out
+    assert "bucket move(s)" in out
+    assert "eventually consistent:                 True" in out
+
+
+def test_scenario_rebalance_flags_require_shard_topology(capsys):
+    code = cli.main(["scenario", "--depth", "1", "--rebalance-at", "5"])
+    assert code == 2
+    assert "--rebalance-at" in capsys.readouterr().err
+    code = cli.main(["scenario", "--topology", "diamond", "--skew", "1.2"])
+    assert code == 2
+    assert "--skew" in capsys.readouterr().err
