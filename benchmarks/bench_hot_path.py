@@ -1,0 +1,178 @@
+"""Data-plane hot path: wall-clock tuples/sec through the engine and a deployment.
+
+Not a paper figure: the paper evaluates DPC on a physical cluster at high
+input rates (Section 9); this benchmark is the reproduction's equivalent of
+that axis.  It measures the per-tuple cost of the data plane two ways:
+
+* **engine fragment** -- a standalone ``LocalEngine`` running the workhorse
+  fragment shape (3-way SUnion -> Filter -> Map -> SOutput) fed pre-generated
+  batches of data + boundary tuples.  No simulator, no network: pure
+  per-tuple operator cost (tuple construction, bucketing, predicate and
+  transform evaluation, stabilization, relabeling).
+* **full deployment** -- a failure-free ``shard(4)`` scenario (split router,
+  4 key-hash shard fragments with SJoins, fan-in merge) run end to end,
+  reporting stable tuples delivered to the client per wall-clock second.
+
+Wall-clock readings are best-of-``ROUNDS`` and recorded in ``extra_info`` as
+``*_wall_ms`` / ``*_tuples_per_sec``; ``check_bench_regression.py`` tracks
+those warn-only (noisy runners must not flake CI) while the deterministic
+companion metrics (output counts, simulator events, Proc_new) stay hard-fail.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import shard_throughput_run
+from repro.spe.engine import LocalEngine
+from repro.spe.operators import Filter, Map, SOutput, SUnion
+from repro.spe.query_diagram import QueryDiagram
+from repro.spe.streams import StreamWriter
+
+ROUNDS = 3
+#: Data tuples pushed through the standalone fragment per round.
+FRAGMENT_TUPLES = 18_000
+FRAGMENT_PORTS = 3
+FRAGMENT_RATE = 100.0  # stimes per port advance at 1/rate
+BUCKET_SIZE = 0.1
+BOUNDARY_INTERVAL = 0.1
+BATCH_TUPLES = 20  # tuples per pushed batch, mirroring the transport batching
+
+SHARD_RATE = 1200.0
+SHARD_DURATION = 15.0
+
+
+def build_fragment_engine() -> LocalEngine:
+    """The workhorse fragment: 3-way SUnion -> Filter -> Map -> SOutput."""
+    diagram = QueryDiagram(name="hot-path")
+    merge = SUnion("merge", arity=FRAGMENT_PORTS, bucket_size=BUCKET_SIZE)
+    keep = Filter("keep", lambda values: values["seq"] % 10 != 0)
+    scale = Map("scale", lambda values: {"seq": values["seq"], "value": values["value"] * 2.0})
+    out = SOutput("out.soutput")
+    for operator in (merge, keep, scale, out):
+        diagram.add_operator(operator)
+    diagram.connect(merge, keep)
+    diagram.connect(keep, scale)
+    diagram.connect(scale, out)
+    for port in range(FRAGMENT_PORTS):
+        diagram.bind_input(f"in{port}", merge, port)
+    diagram.bind_output("out", out)
+    diagram.validate()
+    return LocalEngine(diagram)
+
+
+def generate_batches(n_tuples: int) -> list[tuple[str, list]]:
+    """Pre-generate the input batches (generation cost stays out of the timing).
+
+    Every port carries an interleaved stream of insertion tuples (stimes
+    advancing at ``FRAGMENT_RATE``) with a boundary every
+    ``BOUNDARY_INTERVAL`` so SUnion buckets keep stabilizing, exactly like a
+    source-fed deployment in the steady state.
+    """
+    writers = [StreamWriter(stream_name=f"in{port}") for port in range(FRAGMENT_PORTS)]
+    next_boundary = [BOUNDARY_INTERVAL] * FRAGMENT_PORTS
+    pending: list[list] = [[] for _ in range(FRAGMENT_PORTS)]
+    batches: list[tuple[str, list]] = []
+    period = 1.0 / FRAGMENT_RATE
+    for sequence in range(n_tuples):
+        port = sequence % FRAGMENT_PORTS
+        stime = (sequence // FRAGMENT_PORTS) * period
+        if stime >= next_boundary[port]:
+            pending[port].append(writers[port].boundary(next_boundary[port]))
+            next_boundary[port] += BOUNDARY_INTERVAL
+        pending[port].append(
+            writers[port].insertion(stime, {"seq": sequence, "value": float(sequence)})
+        )
+        if len(pending[port]) >= BATCH_TUPLES:
+            batches.append((f"in{port}", pending[port]))
+            pending[port] = []
+    for port in range(FRAGMENT_PORTS):
+        # Closing boundaries so the last buckets stabilize and flush.
+        pending[port].append(writers[port].boundary(next_boundary[port] + BOUNDARY_INTERVAL))
+        batches.append((f"in{port}", pending[port]))
+    return batches
+
+
+def run_fragment_once(batches: list[tuple[str, list]]) -> dict:
+    engine = build_fragment_engine()
+    produced = 0
+    started = time.perf_counter()
+    for stream, batch in batches:
+        out = engine.push(stream, batch)["out"]
+        produced += sum(1 for item in out if item.is_data)
+    wall = time.perf_counter() - started
+    return {
+        "wall_seconds": wall,
+        "tuples_in": FRAGMENT_TUPLES,
+        "tuples_out": produced,
+        "tuples_per_second": FRAGMENT_TUPLES / wall if wall > 0 else float("inf"),
+        "processed": engine.tuples_processed,
+    }
+
+
+def best_fragment_run(rounds: int = ROUNDS) -> dict:
+    batches = generate_batches(FRAGMENT_TUPLES)
+    best = None
+    for _ in range(rounds):
+        row = run_fragment_once(batches)
+        if best is None or row["tuples_per_second"] > best["tuples_per_second"]:
+            best = row
+    return best
+
+
+def best_shard_run(rounds: int = ROUNDS) -> dict:
+    best = None
+    for _ in range(rounds):
+        row = shard_throughput_run(4, aggregate_rate=SHARD_RATE, duration=SHARD_DURATION)
+        if best is None or row["tuples_per_second"] > best["tuples_per_second"]:
+            best = row
+    return best
+
+
+def test_engine_fragment_hot_path(run_once, benchmark):
+    rounds = ROUNDS * 2 if full_sweep() else ROUNDS
+    row = run_once(lambda: best_fragment_run(rounds))
+    print_results(
+        "Engine-fragment hot path: SUnion(3) -> Filter -> Map -> SOutput",
+        [
+            f"tuples in        {row['tuples_in']:>8}",
+            f"tuples out       {row['tuples_out']:>8}",
+            f"wall time        {row['wall_seconds'] * 1000:>8.1f} ms (best of {rounds})",
+            f"throughput       {row['tuples_per_second']:>8.0f} tuples/s",
+        ],
+    )
+    benchmark.extra_info["fragment_wall_ms"] = round(row["wall_seconds"] * 1000, 3)
+    benchmark.extra_info["fragment_tuples_per_sec"] = round(row["tuples_per_second"], 1)
+    # Deterministic companions: the fragment's output count and the engine's
+    # processed-tuple counter must never drift under a perf refactor.
+    benchmark.extra_info["fragment_stable_tuples"] = row["tuples_out"]
+    benchmark.extra_info["fragment_processed_events"] = row["processed"]
+
+    # The Filter drops every 10th tuple; everything else must come out stably.
+    assert row["tuples_out"] == FRAGMENT_TUPLES - FRAGMENT_TUPLES // 10
+    # Every data tuple is counted once per operator it traverses (4 stages,
+    # minus the filtered-out share that never reaches Map/SOutput).
+    assert row["processed"] > FRAGMENT_TUPLES * 3
+
+
+def test_shard4_deployment_hot_path(run_once, benchmark):
+    row = run_once(best_shard_run)
+    print_results(
+        "Full shard(4) deployment: wall-clock stable tuples/sec at the sink",
+        [
+            f"{row['label']:<10} tuples/s={row['tuples_per_second']:>8.0f} "
+            f"wall={row['wall_seconds'] * 1000:>7.1f} ms events={row['events_fired']} "
+            f"Proc_new={row['proc_new']:.3f}s "
+            f"consistent={'yes' if row['eventually_consistent'] else 'NO'}",
+        ],
+    )
+    benchmark.extra_info["shard4_wall_ms"] = round(row["wall_seconds"] * 1000, 3)
+    benchmark.extra_info["shard4_tuples_per_sec"] = round(row["tuples_per_second"], 1)
+    benchmark.extra_info["shard4_hot_path_events"] = row["events_fired"]
+    benchmark.extra_info["shard4_hot_path_proc_new"] = round(row["proc_new"], 6)
+    benchmark.extra_info["shard4_hot_path_stable_tuples"] = row["stable_tuples"]
+
+    assert row["eventually_consistent"]
+    assert row["stable_tuples"] > 0

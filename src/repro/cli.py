@@ -11,6 +11,7 @@ without writing any code::
     python -m repro scenario --depth 2 --failure disconnect --failure-duration 10
     python -m repro scenario --topology diamond --failure crash --failure-node left
     python -m repro claims
+    python -m repro profile shard --shards 4 --duration 15
     python -m repro plan-delays --depth 4 --budget 8 --strategy full
     python -m repro plan-delays --topology diamond --budget 9 --strategy uniform
 
@@ -484,6 +485,55 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0 if consistent else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one scenario under cProfile and print the hottest call sites.
+
+    Future perf work should start from this data, not from guesses: the
+    hot-path overhaul (slotted tuples, batch operator loops) was driven by
+    exactly this view of a shard(4) run.
+    """
+    import cProfile
+    import pstats
+
+    from .runtime import ScenarioSpec
+
+    common = dict(
+        name=f"profile-{args.scenario}",
+        aggregate_rate=args.rate,
+        warmup=args.duration,
+        settle=0.0,
+        seed=args.seed,
+        replicas_per_node=args.replicas,
+    )
+    if args.scenario == "shard":
+        spec = ScenarioSpec.sharded(shards=args.shards, **common)
+    elif args.scenario == "diamond":
+        spec = ScenarioSpec.diamond(**common)
+    elif args.scenario == "fanin":
+        spec = ScenarioSpec.fanin(**common)
+    else:
+        spec = ScenarioSpec(chain_depth=args.depth, **common)
+    runtime = spec.build()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        runtime.run()
+    finally:
+        profiler.disable()
+    stable = sum(c.summary()["total_stable"] for c in runtime.clients)
+    wall = runtime.wall_seconds
+    print(
+        f"profiled scenario {spec.name!r}: {spec.total_duration():g} simulated s, "
+        f"{runtime.simulator.events_fired} events, {stable} stable tuples delivered"
+    )
+    if wall > 0:
+        print(f"wall time {wall * 1000:.1f} ms -> {stable / wall:,.0f} stable tuples/s")
+    print(f"top {args.top} by {args.sort}:")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def _cmd_plan_delays(args: argparse.Namespace) -> int:
     if args.topology == "diamond":
         topology = Topology.diamond()
@@ -589,6 +639,31 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--seed", type=int, default=None,
                           help="determinism seed (same seed => identical run)")
     scenario.set_defaults(func=_cmd_scenario)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one scenario under cProfile and print the hottest call sites",
+        description="Run a failure-free scenario of the given shape under "
+        "cProfile and print the top-N hot spots, so perf PRs start from data "
+        "instead of guesses.",
+    )
+    profile.add_argument("scenario", choices=("chain", "diamond", "fanin", "shard"),
+                         help="deployment shape to profile")
+    profile.add_argument("--depth", type=int, default=2, help="chain depth (chain only)")
+    profile.add_argument("--shards", type=int, default=4, help="shard count (shard only)")
+    profile.add_argument("--replicas", type=int, default=1,
+                         help="replicas per node (1: profile the data plane, "
+                              "not the replication factor)")
+    profile.add_argument("--rate", type=float, default=1200.0,
+                         help="aggregate source rate in tuples per simulated second")
+    profile.add_argument("--duration", type=float, default=15.0,
+                         help="simulated seconds to run")
+    profile.add_argument("--seed", type=int, default=1, help="determinism seed")
+    profile.add_argument("--top", type=int, default=25,
+                         help="number of entries to print")
+    profile.add_argument("--sort", choices=("cumulative", "tottime", "ncalls"),
+                         default="cumulative", help="pstats sort order")
+    profile.set_defaults(func=_cmd_profile)
 
     plan = sub.add_parser("plan-delays", help="plan per-node delay budgets for a deployment")
     plan.add_argument("--topology", choices=("chain", "diamond", "fanin", "shard"),

@@ -29,14 +29,6 @@ from .protocol import DATA, SubscribeRequest, TupleBatch
 
 
 @dataclass
-class _BufferedTuple:
-    """One entry of the output buffer."""
-
-    item: StreamTuple
-    stable_seq: int | None  # sequence number when the tuple is stable, else None
-
-
-@dataclass
 class _Subscription:
     """Delivery state for one downstream subscriber of one stream.
 
@@ -70,7 +62,10 @@ class OutputStreamManager:
         self.owner = owner
         self.buffer_policy = buffer_policy or BufferPolicy()
         self._writer = StreamWriter(stream_name=f"{owner}:{stream}")
-        self._buffer: list[_BufferedTuple] = []
+        #: Relabeled tuples in production order.  Stable entries carry their
+        #: stamped ``stable_seq`` directly on the tuple (no wrapper records:
+        #: one list cell per buffered tuple).
+        self._buffer: list[StreamTuple] = []
         self._base_index = 0  # index of _buffer[0] in the full history
         self._stable_seq = -1  # sequence number of the last stable tuple produced
         self._subscriptions: dict[str, _Subscription] = {}
@@ -104,28 +99,30 @@ class OutputStreamManager:
             # Convergent-capable diagrams may drop the oldest buffered tuples.
             self._drop_oldest(1)
         physical = self._relabel(item)
-        stable_seq: int | None = None
         if physical.is_stable:
             self._stable_seq += 1
-            stable_seq = self._stable_seq
             # Stamp the replica-independent position onto the tuple so that a
             # subscriber connected to several replicas of this stream can
             # discard stable tuples it already received elsewhere.
-            physical = physical.with_stable_seq(stable_seq)
+            physical = physical.with_stable_seq(self._stable_seq)
             self.stable_produced += 1
         elif physical.is_tentative:
             self.tentative_produced += 1
         elif physical.is_undo:
             self.undos_produced += 1
-        self._buffer.append(_BufferedTuple(item=physical, stable_seq=stable_seq))
+        self._buffer.append(physical)
         if physical.stime > self.last_appended_stime:
             self.last_appended_stime = physical.stime
         return physical
 
     def append_all(self, items: Iterable[StreamTuple]) -> list[StreamTuple]:
-        return [self.append(item) for item in items]
+        append = self.append
+        return [append(item) for item in items]
 
     def _relabel(self, item: StreamTuple) -> StreamTuple:
+        if item.is_data:
+            # Fast path: relabeled data tuples share the payload mapping.
+            return self._writer.data(item.stime, item.values, item.is_stable)
         if item.is_undo:
             # Cross-node undo semantics: revoke everything after the last
             # stable tuple the subscriber received (see protocol.py), so the
@@ -133,11 +130,7 @@ class OutputStreamManager:
             return self._writer.undo(item.stime, item.undo_from_id or -1)
         if item.is_boundary:
             return self._writer.boundary(max(item.stime, self._writer.last_boundary_stime))
-        if item.is_rec_done:
-            return self._writer.rec_done(item.stime)
-        if item.is_stable:
-            return self._writer.insertion(item.stime, item.values)
-        return self._writer.tentative(item.stime, item.values)
+        return self._writer.rec_done(item.stime)
 
     # ------------------------------------------------------------------ subscriptions
     @property
@@ -191,8 +184,8 @@ class OutputStreamManager:
         return self._base_index + len(self._buffer)
 
     def _entries_from(self, index: int) -> list[StreamTuple]:
-        offset = max(index - self._base_index, 0)
-        return [entry.item for entry in self._buffer[offset:]]
+        offset = index - self._base_index
+        return self._buffer[offset if offset > 0 else 0:]
 
     def _replay_start_index(self, request: SubscribeRequest) -> int:
         """Index in the full history where this subscriber's replay starts."""
@@ -301,8 +294,8 @@ class OutputStreamManager:
         return len(self._buffer)
 
     def buffered_items(self) -> list[StreamTuple]:
-        """Copies of the buffered tuples (diagnostics and tests)."""
-        return [entry.item for entry in self._buffer]
+        """The buffered tuples, in production order (diagnostics and tests)."""
+        return list(self._buffer)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

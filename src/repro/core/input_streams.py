@@ -133,26 +133,8 @@ class InputStreamMonitor:
         on a *filtered* subscription stamped gaps are routine, so no per-tuple
         position check could tell the legitimate replay from a stale flush.
         """
-        if item.is_boundary:
-            self.last_boundary_arrival = now
-            self.last_boundary_stime = max(self.last_boundary_stime, item.stime)
-            if self.awaiting_replay:
-                # Stale-cursor punctuation racing the resubscription replay:
-                # it promises stability for stimes whose data we have not
-                # received yet (the replay re-delivers data and boundaries
-                # interleaved).  Feeding it would advance the fragment's
-                # watermark past the replayed data.  It still counts as
-                # liveness evidence (above), but is not processed.
-                return "duplicate"
-            self.stable_buffer.append(item)
-            return "accept"
-        if item.is_undo:
-            self.undos_received += 1
-            self.tentative_since_stable = 0
-            return "accept"
-        if item.is_rec_done:
-            self.rec_done_received = True
-            return "accept"
+        # Ordered by steady-state frequency: stable data first, then
+        # punctuation, then the failure-handling tuple kinds.
         if item.is_stable:
             if item.stable_seq is not None and item.stable_seq < self.stable_received:
                 return "duplicate"
@@ -173,10 +155,30 @@ class InputStreamMonitor:
             self.tentative_since_stable = 0
             self.stable_buffer.append(item)
             return "accept"
+        if item.is_boundary:
+            self.last_boundary_arrival = now
+            self.last_boundary_stime = max(self.last_boundary_stime, item.stime)
+            if self.awaiting_replay:
+                # Stale-cursor punctuation racing the resubscription replay:
+                # it promises stability for stimes whose data we have not
+                # received yet (the replay re-delivers data and boundaries
+                # interleaved).  Feeding it would advance the fragment's
+                # watermark past the replayed data.  It still counts as
+                # liveness evidence (above), but is not processed.
+                return "duplicate"
+            self.stable_buffer.append(item)
+            return "accept"
         if item.is_tentative:
             self.last_data_arrival = now
             self.tentative_received += 1
             self.tentative_since_stable += 1
+            return "accept"
+        if item.is_undo:
+            self.undos_received += 1
+            self.tentative_since_stable = 0
+            return "accept"
+        if item.is_rec_done:
+            self.rec_done_received = True
         return "accept"
 
     # ------------------------------------------------------------------ failure / healing

@@ -279,22 +279,27 @@ class ProcessingNode:
         if batch.replay:
             self.cm.note_replay(batch.stream)
         feed_fragment = role == "primary" and not self._reconciling
+        stream = batch.stream
+        record_arrival = self.cm.monitor(stream).record_tuple
         to_feed: list[StreamTuple] = []
+        append = to_feed.append
+        saw_tentative = False
         for item in batch.tuples:
-            verdict = self.cm.record_arrival(batch.stream, item, now)
-            if verdict == "duplicate":
+            if record_arrival(item, now) == "duplicate":
                 continue
             if item.is_undo:
-                self.apply_local_undo(batch.stream, now)
+                self.apply_local_undo(stream, now)
                 continue
             if item.is_rec_done:
                 continue
             if feed_fragment:
-                to_feed.append(item)
+                append(item)
+                if item.is_tentative:
+                    saw_tentative = True
         if to_feed:
-            if any(item.is_tentative for item in to_feed):
+            if saw_tentative:
                 self._set_dirty(True)
-            outputs = self.engine.push(batch.stream, to_feed)
+            outputs = self.engine.push(stream, to_feed)
             self._handle_fragment_outputs(outputs)
 
     # ------------------------------------------------------------------ fragment outputs
@@ -339,11 +344,8 @@ class ProcessingNode:
 
     def _handle_fragment_outputs(self, outputs: Mapping[str, list[StreamTuple]]) -> None:
         for stream, tuples in outputs.items():
-            if not tuples:
-                continue
-            manager = self.data_path.output(stream)
-            for item in tuples:
-                manager.append(item)
+            if tuples:
+                self.data_path.output(stream).append_all(tuples)
 
     # ------------------------------------------------------------------ periodic work
     def _periodic_tick(self, now: float) -> None:

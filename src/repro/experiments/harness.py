@@ -162,11 +162,17 @@ def summarize_run(
     summaries = list(per_sink.values())
     if failure_duration is None:
         failure_duration = max((f.duration for f in spec.failures), default=0.0)
+    total_stable = sum(s["total_stable"] for s in summaries)
+    wall = runtime.wall_seconds
     extra = {
         "switches": sum(s["switches"] for s in summaries),
         "node_states": [n.state.value for n in runtime.nodes()],
         "reconciliations": sum(n.reconciliations_completed for n in runtime.nodes()),
         "events_fired": runtime.simulator.events_fired,
+        # Host wall clock of the run (not deterministic; excluded from the
+        # byte-identical summary digests, tracked warn-only by the bench CI).
+        "wall_ms": round(wall * 1000, 3),
+        "tuples_per_sec": round(total_stable / wall, 1) if wall > 0 else 0.0,
     }
     if len(summaries) > 1:
         extra["per_sink"] = per_sink
@@ -178,7 +184,7 @@ def summarize_run(
         proc_new=max(s["proc_new"] for s in summaries),
         max_gap=max(s["max_gap"] for s in summaries),
         n_tentative=sum(s["total_tentative"] for s in summaries),
-        n_stable=sum(s["total_stable"] for s in summaries),
+        n_stable=total_stable,
         n_undos=sum(s["total_undos"] for s in summaries),
         n_rec_done=sum(s["total_rec_done"] for s in summaries),
         eventually_consistent=all(s["eventually_consistent"] for s in summaries),

@@ -21,13 +21,13 @@ These runners exercise the two questions that shape asks:
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 from ..config import DelayPolicy, DPCConfig
 from ..runtime import ScenarioSpec
 from ..sharding import bucket_loads_from_keys
 from .harness import ExperimentResult, group_output_counts, summarize_run
+
 
 def shard_operator_count(shards: int) -> int:
     """Operators in a sharded deployment.
@@ -211,9 +211,10 @@ def chain_throughput_run(
 
 def _measure_throughput(spec: ScenarioSpec, label: str) -> dict:
     runtime = spec.build()
-    started = time.perf_counter()
     runtime.run()
-    wall = time.perf_counter() - started
+    # The runtime's own wall clock: one definition of "wall time for a run"
+    # everywhere (harness extra["wall_ms"], bench baselines, this sweep).
+    wall = runtime.wall_seconds
     stable = sum(c.summary()["total_stable"] for c in runtime.clients)
     return {
         "label": label,

@@ -9,9 +9,14 @@ from .consistency import ConsistencyTracker
 from .latency import LatencyTracker, OutputRecord
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TraceEntry:
-    """One row of the client trace (what Figure 11 plots)."""
+    """One row of the client trace (what Figure 11 plots).
+
+    A slotted, non-frozen dataclass: one is allocated per received tuple, so
+    construction must be a plain ``__init__`` (no ``object.__setattr__``
+    indirection) -- treat instances as immutable by convention.
+    """
 
     time: float
     stime: float

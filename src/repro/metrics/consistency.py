@@ -40,14 +40,14 @@ class ConsistencyTracker:
 
     def observe(self, item: StreamTuple) -> None:
         """Account for one received tuple."""
-        if item.is_tentative:
-            self.total_tentative += 1
-            self.tentative_since_stable += 1
-            if self.keep_ledger:
-                self.ledger.append(item)
-        elif item.is_stable:
+        if item.is_stable:
             self.total_stable += 1
             self.tentative_since_stable = 0
+            if self.keep_ledger:
+                self.ledger.append(item)
+        elif item.is_tentative:
+            self.total_tentative += 1
+            self.tentative_since_stable += 1
             if self.keep_ledger:
                 self.ledger.append(item)
         elif item.is_undo:

@@ -14,9 +14,13 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class OutputRecord:
-    """One tuple observed by a client: when it arrived and what it was."""
+    """One tuple observed by a client: when it arrived and what it was.
+
+    Slotted and non-frozen (allocated per observed data tuple); treat
+    instances as immutable by convention.
+    """
 
     arrival_time: float
     stime: float

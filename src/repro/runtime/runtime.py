@@ -20,6 +20,8 @@ Typical use::
 
 from __future__ import annotations
 
+import time
+
 from ..deploy import Deployment, compile as compile_topology
 from ..errors import SimulationError
 from ..metrics.consistency import duplicate_stable_values
@@ -76,6 +78,11 @@ class SimulationRuntime:
         self.injected: list[FailureRecord] = []
         self._started = False
         self._completed = False
+        #: Host seconds spent inside :meth:`run` / :meth:`run_for` (wall
+        #: clock, cumulative).  Reported by the experiment harness as
+        #: ``extra["wall_ms"]`` but deliberately *not* part of
+        #: :meth:`summary`, which must stay byte-identical across hosts.
+        self.wall_seconds = 0.0
 
     # ------------------------------------------------------------------ owned components
     @property
@@ -139,7 +146,11 @@ class SimulationRuntime:
                 f"scenario {self.spec.name!r} already ran; build a new runtime to rerun it"
             )
         self.start()
-        self.cluster.run_for(self.spec.total_duration() if duration is None else duration)
+        started = time.perf_counter()
+        try:
+            self.cluster.run_for(self.spec.total_duration() if duration is None else duration)
+        finally:
+            self.wall_seconds += time.perf_counter() - started
         if duration is None:
             self._completed = True
         return self

@@ -226,8 +226,28 @@ class ShardAssignment:
                 f"shard {shard} out of range for {self.spec.shards} shards"
             )
 
+        # The predicate runs once per tuple per shard fragment (the split's
+        # data path evaluates every fragment's slice), so the routing chain
+        # (key extraction -> tie grouping -> memoized key-hash lookup) is
+        # flattened into one closure over locals instead of four method calls.
+        spec = self.spec
+        key_attr = spec.key
+        group = spec.group
+        group_key = spec.group_key
+        memo: dict = self._routing_memo  # type: ignore[attr-defined]
+        shard_of_key = self.shard_of_key
+
         def select(values: Mapping[str, Any]) -> bool:
-            return self.shard_of(values) == shard
+            value = values.get(key_attr, 0)
+            if isinstance(value, (int, float, bool)):
+                key = int(value) // group
+            else:
+                # Non-numeric keys: delegate for the group-width validation.
+                key = group_key(value)
+            route = memo.get(key)
+            if route is None:
+                route = shard_of_key(key)
+            return route == shard
 
         select.__name__ = (
             f"keyhash_{self.spec.key}_div{self.spec.group}_shard{shard}of{self.spec.shards}"

@@ -91,9 +91,9 @@ class ClientApplication:
             return
         if batch.replay:
             self.cm.note_replay(batch.stream)
+        record_arrival = self.cm.monitor(batch.stream).record_tuple
         for item in batch.tuples:
-            verdict = self.cm.record_arrival(batch.stream, item, now)
-            if verdict == "duplicate":
+            if record_arrival(item, now) == "duplicate":
                 continue
             self._record(item, now, role)
 

@@ -156,27 +156,42 @@ class DataSource:
             )
 
     def _produce_until(self, now: float) -> None:
-        """Generate data and boundary tuples with stimes up to ``now``."""
+        """Generate data and boundary tuples with stimes up to ``now``.
+
+        The loop state and collaborator methods are hoisted into locals: at
+        high rates this loop constructs most of the tuples in a run.  The
+        payload mapping is materialized exactly once per tuple (``dict`` of
+        whatever the generator returns, which may be a reused mapping) and
+        attached without a second defensive copy.
+        """
         period = 1.0 / self.rate
-        while self._next_tuple_time <= now or (
-            self._boundaries_enabled and self._next_boundary_time <= now
-        ):
-            produce_boundary_first = (
-                self._boundaries_enabled and self._next_boundary_time <= self._next_tuple_time
-            )
-            if produce_boundary_first and self._next_boundary_time <= now:
-                boundary = self._writer.boundary(self._next_boundary_time)
-                self.log.append(boundary)
-                self._next_boundary_time += self.boundary_interval
+        writer = self._writer
+        log_append = self.log.append
+        payload = self.payload
+        boundaries_enabled = self._boundaries_enabled
+        boundary_interval = self.boundary_interval
+        next_tuple_time = self._next_tuple_time
+        next_boundary_time = self._next_boundary_time
+        sequence = self._sequence
+        while next_tuple_time <= now or (boundaries_enabled and next_boundary_time <= now):
+            if (
+                boundaries_enabled
+                and next_boundary_time <= next_tuple_time
+                and next_boundary_time <= now
+            ):
+                log_append(writer.boundary(next_boundary_time))
+                next_boundary_time += boundary_interval
                 continue
-            if self._next_tuple_time <= now:
-                values = dict(self.payload(self._sequence, self._next_tuple_time))
-                item = self._writer.insertion(self._next_tuple_time, values)
-                self.log.append(item)
-                self._sequence += 1
-                self._next_tuple_time += period
+            if next_tuple_time <= now:
+                values = dict(payload(sequence, next_tuple_time))
+                log_append(writer.data(next_tuple_time, values, True))
+                sequence += 1
+                next_tuple_time += period
                 continue
             break
+        self._next_tuple_time = next_tuple_time
+        self._next_boundary_time = next_boundary_time
+        self._sequence = sequence
 
     def _flush(self) -> None:
         """Deliver the pending suffix of the log to every connected subscriber.

@@ -37,6 +37,15 @@ class LocalEngine:
         #: cost model used by the simulator).
         self.tuples_processed = 0
         self._order = {name: i for i, name in enumerate(diagram.topological_order())}
+        # Routing tables precomputed once: the diagram is immutable after
+        # validation, and resolving operators / connections per work item
+        # would otherwise dominate the drain loop.
+        self._operators = dict(diagram.operators)
+        self._output_of = {o.operator: o.stream for o in diagram.outputs}
+        self._downstream = {
+            name: [(c.target, c.port) for c in diagram.downstream_of(name)]
+            for name in diagram.operators
+        }
 
     # ------------------------------------------------------------------ execution
     def push(self, input_stream: str, tuples: Iterable[StreamTuple]) -> dict[str, list[StreamTuple]]:
@@ -81,14 +90,13 @@ class LocalEngine:
         """
         produced = list(produced)
         outputs: dict[str, list[StreamTuple]] = {o.stream: [] for o in self.diagram.outputs}
-        output_of = {o.operator: o.stream for o in self.diagram.outputs}
-        stream = output_of.get(operator_name)
+        stream = self._output_of.get(operator_name)
         if stream is not None:
             outputs[stream].extend(produced)
         work: deque[tuple[str, int, list[StreamTuple]]] = deque()
         if produced:
-            for connection in self.diagram.downstream_of(operator_name):
-                work.append((connection.target, connection.port, produced))
+            for target, port in self._downstream[operator_name]:
+                work.append((target, port, produced))
         self._drain(work, outputs)
         return outputs
 
@@ -100,19 +108,22 @@ class LocalEngine:
         # Batch-at-a-time execution: each work item carries a vector of tuples
         # that the operator consumes run-to-completion before its outputs are
         # forwarded, also as one batch, to every downstream connection.
-        output_of = {o.operator: o.stream for o in self.diagram.outputs}
+        operators = self._operators
+        output_of = self._output_of
+        downstream = self._downstream
+        popleft = work.popleft
+        append = work.append
         while work:
-            operator_name, port, items = work.popleft()
-            operator = self.diagram.operator(operator_name)
-            produced = operator.process_batch(port, items)
+            operator_name, port, items = popleft()
+            produced = operators[operator_name].process_batch(port, items)
             self.tuples_processed += sum(1 for item in items if item.is_data)
             if not produced:
                 continue
             stream = output_of.get(operator_name)
             if stream is not None:
                 outputs[stream].extend(produced)
-            for connection in self.diagram.downstream_of(operator_name):
-                work.append((connection.target, connection.port, produced))
+            for target, target_port in downstream[operator_name]:
+                append((target, target_port, produced))
 
     # ------------------------------------------------------------------ checkpoint / restore
     def checkpoint(self, created_at: float = 0.0) -> DiagramCheckpoint:

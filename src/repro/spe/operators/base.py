@@ -26,7 +26,7 @@ from ...errors import OperatorError
 from ..checkpoint import OperatorCheckpoint
 from ..schema import ANY_SCHEMA, Schema
 from ..streams import StreamWriter
-from ..tuples import StreamTuple, TupleType
+from ..tuples import StreamTuple
 
 
 class Operator:
@@ -74,23 +74,47 @@ class Operator:
     def process(self, port: int, item: StreamTuple) -> list[StreamTuple]:
         """Process one input tuple and return the output tuples it triggers."""
         self._check_port(port)
-        if item.tuple_type is TupleType.BOUNDARY:
-            return self._accept_boundary(port, item)
-        if item.tuple_type is TupleType.UNDO:
-            return self.handle_undo(port, item)
-        if item.tuple_type is TupleType.REC_DONE:
-            return self.handle_rec_done(port, item)
+        # Dispatch on the predicate flags precomputed at tuple construction;
+        # most frequent kind (data) first.
         if item.is_data:
             if item.is_tentative:
                 self._seen_tentative_input = True
             return self._process_data(port, item)
+        if item.is_boundary:
+            return self._accept_boundary(port, item)
+        if item.is_undo:
+            return self.handle_undo(port, item)
+        if item.is_rec_done:
+            return self.handle_rec_done(port, item)
         raise OperatorError(f"operator {self.name!r} cannot process {item.tuple_type}")
 
     def process_batch(self, port: int, items: Iterable[StreamTuple]) -> list[StreamTuple]:
-        """Process a sequence of tuples from one port, concatenating outputs."""
+        """Process a sequence of tuples from one port, concatenating outputs.
+
+        This is the engine's entry point into every operator (the engine is
+        batch-at-a-time); operators with a cheaper whole-batch strategy
+        (Filter, Map, SUnion, SJoin, SOutput) override it.  The base version
+        hoists the per-tuple dispatch out of :meth:`process`.
+        """
+        self._check_port(port)
         out: list[StreamTuple] = []
+        extend = out.extend
+        process_data = self._process_data
         for item in items:
-            out.extend(self.process(port, item))
+            if item.is_data:
+                if item.is_tentative:
+                    self._seen_tentative_input = True
+                extend(process_data(port, item))
+            elif item.is_boundary:
+                extend(self._accept_boundary(port, item))
+            elif item.is_undo:
+                extend(self.handle_undo(port, item))
+            elif item.is_rec_done:
+                extend(self.handle_rec_done(port, item))
+            else:
+                raise OperatorError(
+                    f"operator {self.name!r} cannot process {item.tuple_type}"
+                )
         return out
 
     # ------------------------------------------------------------------ boundaries
@@ -144,10 +168,23 @@ class Operator:
         raise NotImplementedError
 
     def _emit(self, stime: float, values: Mapping[str, Any], tentative: bool) -> StreamTuple:
-        """Create an output data tuple with the correct stability label."""
+        """Create an output data tuple with the correct stability label.
+
+        ``values`` is copied; use :meth:`_forward` when relabeling the payload
+        of an existing tuple (already frozen by convention, so no copy is
+        needed).
+        """
         if tentative:
             return self.writer.tentative(stime, values)
         return self.writer.insertion(stime, values)
+
+    def _forward(self, item: StreamTuple, tentative: bool) -> StreamTuple:
+        """Re-emit ``item``'s payload on this operator's output, allocation-free.
+
+        The output tuple gets a fresh stream-local id and the requested
+        stability label but *shares* the input's payload mapping.
+        """
+        return self.writer.data(item.stime, item.values, stable=not tentative)
 
     # ------------------------------------------------------------------ checkpointing
     def checkpoint(self) -> OperatorCheckpoint:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Mapping
 
 from ..schema import ANY_SCHEMA, Schema
-from ..tuples import StreamTuple, TupleType
+from ..tuples import StreamTuple
 from .base import StatelessOperator
 
 Predicate = Callable[[Mapping[str, Any]], bool]
@@ -43,15 +43,13 @@ class Filter(StatelessOperator):
         self._check_port(port)
         predicate = self.predicate
         out: list[StreamTuple] = []
+        append = out.append
         for item in items:
-            tuple_type = item.tuple_type
-            if tuple_type is TupleType.INSERTION:
+            if item.is_data:
+                if item.is_tentative:
+                    self._seen_tentative_input = True
                 if predicate(item.values):
-                    out.append(item)
-            elif tuple_type is TupleType.TENTATIVE:
-                self._seen_tentative_input = True
-                if predicate(item.values):
-                    out.append(item)
+                    append(item)
             else:
                 out.extend(self.process(port, item))
         return out

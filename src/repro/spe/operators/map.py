@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from ..schema import ANY_SCHEMA, Schema
 from ..tuples import StreamTuple
@@ -16,7 +16,8 @@ class Map(StatelessOperator):
 
     ``transform`` must be a pure function of the input attributes; the output
     tuple keeps the input's ``stime`` so downstream window boundaries stay
-    deterministic.
+    deterministic.  The transform's result is copied exactly once into the
+    output tuple (so a transform may safely return a mapping it reuses).
     """
 
     def __init__(self, name: str, transform: Transform, output_schema: Schema = ANY_SCHEMA) -> None:
@@ -25,4 +26,22 @@ class Map(StatelessOperator):
 
     def _process_data(self, port: int, item: StreamTuple) -> list[StreamTuple]:
         values = dict(self.transform(item.values))
-        return [self._emit(item.stime, values, tentative=item.is_tentative)]
+        return [self.writer.data(item.stime, values, stable=not item.is_tentative)]
+
+    def process_batch(self, port: int, items: Iterable[StreamTuple]) -> list[StreamTuple]:
+        """Bulk fast path: one transform call and one tuple per data tuple."""
+        self._check_port(port)
+        transform = self.transform
+        writer_data = self.writer.data
+        out: list[StreamTuple] = []
+        append = out.append
+        for item in items:
+            if item.is_data:
+                if item.is_tentative:
+                    self._seen_tentative_input = True
+                    append(writer_data(item.stime, dict(transform(item.values)), False))
+                else:
+                    append(writer_data(item.stime, dict(transform(item.values)), True))
+            else:
+                out.extend(self.process(port, item))
+        return out

@@ -91,10 +91,40 @@ class SJoin(Operator):
                 tentative = candidate.is_tentative or item.is_tentative
                 out.append(self._emit(item.stime, values, tentative=tentative))
         else:
-            out.append(self._emit(item.stime, item.values, tentative=item.is_tentative))
+            out.append(self._forward(item, tentative=item.is_tentative))
         self._state.append(item)
         if len(self._state) > self.state_size:
             del self._state[0: len(self._state) - self.state_size]
+        return out
+
+    def process_batch(self, port: int, items) -> list[StreamTuple]:
+        """Bulk fast path for the pass-through configuration (no match output).
+
+        One relabeled output tuple (sharing the input payload) and one state
+        append per data tuple; the match-emitting configuration falls back to
+        the generic per-tuple path.
+        """
+        if self.emit_matches:
+            return super().process_batch(port, items)
+        self._check_port(port)
+        out: list[StreamTuple] = []
+        append = out.append
+        writer_data = self.writer.data
+        state = self._state
+        state_size = self.state_size
+        for item in items:
+            if item.is_data:
+                if item.is_tentative:
+                    self._seen_tentative_input = True
+                    append(writer_data(item.stime, item.values, False))
+                else:
+                    append(writer_data(item.stime, item.values, True))
+                state.append(item)
+                if len(state) > state_size:
+                    del state[0]
+            else:
+                out.extend(self.process(port, item))
+                state = self._state  # _on_watermark rebinds the state list
         return out
 
     def _on_watermark(self, previous: float, current: float) -> list[StreamTuple]:

@@ -90,6 +90,48 @@ class SUnion(Operator):
         self._buckets.setdefault(index, []).append((port, item))
         return []
 
+    def process_batch(self, port: int, items) -> list[StreamTuple]:
+        """Bucket a whole batch with the per-tuple float math hoisted.
+
+        Identical semantics to pushing each tuple through :meth:`process`
+        (same ``floor(stime / bucket_size)`` arithmetic, so buckets cannot
+        shift), but the attribute lookups, the late-drop comparison bound,
+        and the bucket-dict handling are resolved once per batch instead of
+        once per tuple.  Control tuples fall back to the single-tuple path,
+        after which the hoisted locals are refreshed (a boundary can emit
+        buckets and advance ``_emitted_through``).
+        """
+        self._check_port(port)
+        out: list[StreamTuple] = []
+        buckets = self._buckets
+        bucket_size = self.bucket_size
+        clock = self.arrival_clock
+        floor = math.floor
+        emitted_through = self._emitted_through
+        for item in items:
+            if item.is_data:
+                if item.is_tentative:
+                    self._seen_tentative_input = True
+                index = int(floor(item.stime / bucket_size))
+                if (index + 1) * bucket_size <= emitted_through:
+                    self.late_drops += 1
+                    continue
+                entries = buckets.get(index)
+                if entries is not None:
+                    entries.append((port, item))
+                else:
+                    if clock is not None:
+                        self._bucket_first_arrival[index] = float(clock())
+                    buckets[index] = [(port, item)]
+            else:
+                out.extend(self.process(port, item))
+                # The fallback can emit buckets (boundary) or restore a
+                # checkpoint (undo), which *rebinds* self._buckets — refresh
+                # every hoisted local before touching another data tuple.
+                buckets = self._buckets
+                emitted_through = self._emitted_through
+        return out
+
     def _on_watermark(self, previous: float, current: float) -> list[StreamTuple]:
         if self.hold_buckets:
             return []
@@ -130,10 +172,11 @@ class SUnion(Operator):
 
     def _serialize_bucket(self, entries: list[tuple[int, StreamTuple]]) -> list[StreamTuple]:
         ordered = sorted(entries, key=lambda e: (e[1].stime, e[0], e[1].tuple_id))
-        out = []
-        for _port, item in ordered:
-            out.append(self._emit(item.stime, item.values, tentative=item.is_tentative))
-        return out
+        writer_data = self.writer.data
+        return [
+            writer_data(item.stime, item.values, stable=not item.is_tentative)
+            for _port, item in ordered
+        ]
 
     def _emit_stable_through(self, watermark: float) -> list[StreamTuple]:
         """Emit, in order, every buffered bucket the watermark has stabilized."""
@@ -176,7 +219,7 @@ class SUnion(Operator):
             for _port, item in sorted(
                 self._buckets.pop(index), key=lambda e: (e[1].stime, e[0], e[1].tuple_id)
             ):
-                out.append(self._emit(item.stime, item.values, tentative=True))
+                out.append(self.writer.data(item.stime, item.values, stable=False))
             self._bucket_first_arrival.pop(index, None)
             self._emitted_through = max(self._emitted_through, (index + 1) * self.bucket_size)
         return out

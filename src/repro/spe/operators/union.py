@@ -45,7 +45,7 @@ class Union(Operator):
     # ------------------------------------------------------------------ processing
     def _process_data(self, port: int, item: StreamTuple) -> list[StreamTuple]:
         tentative = item.is_tentative or self.has_missing_inputs
-        return [self._emit(item.stime, item.values, tentative=tentative)]
+        return [self._forward(item, tentative=tentative)]
 
     def _checkpoint_state(self) -> dict:
         return {"missing_ports": sorted(self._missing_ports)}

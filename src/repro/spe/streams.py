@@ -40,6 +40,17 @@ class StreamWriter:
     def tentative(self, stime: float, values: Mapping[str, Any]) -> StreamTuple:
         return StreamTuple.tentative(self._take_id(), stime, values)
 
+    def data(self, stime: float, values: Mapping[str, Any], stable: bool) -> StreamTuple:
+        """Emit a data tuple **sharing** ``values`` (relabeling fast path).
+
+        Callers must hand over a mapping that is already frozen by convention
+        (typically the payload of an existing tuple); see
+        :meth:`StreamTuple.data`.
+        """
+        tuple_id = self.next_id
+        self.next_id = tuple_id + 1
+        return StreamTuple.data(tuple_id, stime, values, stable)
+
     def boundary(self, stime: float) -> StreamTuple:
         """Emit a boundary; boundaries must carry non-decreasing stimes."""
         if stime < self.last_boundary_stime:

@@ -10,17 +10,39 @@ every stream in the reproduction, plus :class:`TupleType` covering both the
 data-stream types (INSERTION, TENTATIVE, BOUNDARY, UNDO, REC_DONE) and the
 control-stream signals SUnion/SOutput send to the Consistency Manager
 (UP_FAILURE, REC_REQUEST).
+
+Hot-path design (see DESIGN.md, "Performance"): a simulated run pushes tens
+of thousands of tuples through every operator of every replica, so the tuple
+model is built for per-instance cost rather than generic convenience:
+
+* ``StreamTuple`` is a ``__slots__`` class.  The type predicates
+  (``is_data``, ``is_stable``, ...) are **plain attributes** precomputed from
+  the interned :class:`TupleType` at construction -- reading one costs a slot
+  load, not a property call plus an ``Enum`` membership test.
+* The factory classmethods and the copying transforms build instances with
+  ``object.__new__`` and direct slot stores, skipping ``__init__`` dispatch
+  and, for the transforms, skipping payload-dict allocation entirely: the
+  copy *shares* the source tuple's ``values`` mapping.
+* Instances are immutable **by convention**: nothing in the codebase ever
+  mutates a tuple (payload dicts included) after construction, and
+  checkpoint containers deep-copy whatever they capture, so sharing payload
+  mappings across relabeled copies is safe.  ``__slots__`` still rejects
+  foreign attributes outright.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Iterable, Mapping
 
 
 class TupleType(str, Enum):
-    """Tuple types from Table I of the paper."""
+    """Tuple types from Table I of the paper.
+
+    Members are interned singletons; the predicate table below precomputes
+    each member's classification once so per-tuple code never re-tests
+    membership in a set of string enums.
+    """
 
     #: Regular stable tuple.
     INSERTION = "insertion"
@@ -39,6 +61,19 @@ class TupleType(str, Enum):
     REC_REQUEST = "rec_request"
 
 
+#: tuple_type -> (is_data, is_stable, is_tentative, is_boundary, is_undo,
+#: is_rec_done), unpacked into the slots of every constructed tuple.
+_PREDICATES_BY_TYPE: dict[TupleType, tuple[bool, bool, bool, bool, bool, bool]] = {
+    TupleType.INSERTION: (True, True, False, False, False, False),
+    TupleType.TENTATIVE: (True, False, True, False, False, False),
+    TupleType.BOUNDARY: (False, False, False, True, False, False),
+    TupleType.UNDO: (False, False, False, False, True, False),
+    TupleType.REC_DONE: (False, False, False, False, False, True),
+    TupleType.UP_FAILURE: (False, False, False, False, False, False),
+    TupleType.REC_REQUEST: (False, False, False, False, False, False),
+}
+
+
 #: Tuple types that carry application data (payload values).
 DATA_TYPES = frozenset({TupleType.INSERTION, TupleType.TENTATIVE})
 
@@ -53,8 +88,14 @@ STREAM_TYPES = frozenset(
     }
 )
 
+_new = object.__new__
+_INSERTION = TupleType.INSERTION
+_TENTATIVE = TupleType.TENTATIVE
+_BOUNDARY = TupleType.BOUNDARY
+_UNDO = TupleType.UNDO
+_REC_DONE = TupleType.REC_DONE
 
-@dataclass(frozen=True)
+
 class StreamTuple:
     """One immutable tuple on a stream.
 
@@ -71,7 +112,8 @@ class StreamTuple:
         tuples and by window operators to delimit windows.
     values:
         Mapping of attribute name to value.  Empty for BOUNDARY / UNDO /
-        REC_DONE tuples.
+        REC_DONE tuples.  Treated as frozen once attached; relabeled copies
+        share it.
     undo_from_id:
         For UNDO tuples only: the id of the *last tuple not to be undone*.
     stable_seq:
@@ -81,102 +123,297 @@ class StreamTuple:
         position is replica-independent; consumers use it to resume
         subscriptions after switching replicas and to discard stable tuples
         they already received from another replica.
+    is_data, is_stable, is_tentative, is_boundary, is_undo, is_rec_done:
+        Predicate flags precomputed from ``tuple_type`` at construction.
     """
 
-    tuple_type: TupleType
-    tuple_id: int
-    stime: float
-    values: Mapping[str, Any] = field(default_factory=dict)
-    undo_from_id: int | None = None
-    stable_seq: int | None = None
+    __slots__ = (
+        "tuple_type",
+        "tuple_id",
+        "stime",
+        "values",
+        "undo_from_id",
+        "stable_seq",
+        "is_data",
+        "is_stable",
+        "is_tentative",
+        "is_boundary",
+        "is_undo",
+        "is_rec_done",
+    )
+
+    def __init__(
+        self,
+        tuple_type: TupleType,
+        tuple_id: int,
+        stime: float,
+        values: Mapping[str, Any] | None = None,
+        undo_from_id: int | None = None,
+        stable_seq: int | None = None,
+    ) -> None:
+        self.tuple_type = tuple_type
+        self.tuple_id = tuple_id
+        self.stime = stime
+        self.values = {} if values is None else values
+        self.undo_from_id = undo_from_id
+        self.stable_seq = stable_seq
+        (
+            self.is_data,
+            self.is_stable,
+            self.is_tentative,
+            self.is_boundary,
+            self.is_undo,
+            self.is_rec_done,
+        ) = _PREDICATES_BY_TYPE[tuple_type]
 
     # ---------------------------------------------------------------- classmethods
     @classmethod
     def insertion(cls, tuple_id: int, stime: float, values: Mapping[str, Any]) -> "StreamTuple":
-        """Create a stable data tuple."""
-        return cls(TupleType.INSERTION, tuple_id, stime, dict(values))
+        """Create a stable data tuple (the payload mapping is copied)."""
+        t = _new(cls)
+        t.tuple_type = _INSERTION
+        t.tuple_id = tuple_id
+        t.stime = stime
+        t.values = dict(values)
+        t.undo_from_id = None
+        t.stable_seq = None
+        t.is_data = True
+        t.is_stable = True
+        t.is_tentative = False
+        t.is_boundary = False
+        t.is_undo = False
+        t.is_rec_done = False
+        return t
 
     @classmethod
     def tentative(cls, tuple_id: int, stime: float, values: Mapping[str, Any]) -> "StreamTuple":
-        """Create a tentative data tuple."""
-        return cls(TupleType.TENTATIVE, tuple_id, stime, dict(values))
+        """Create a tentative data tuple (the payload mapping is copied)."""
+        t = _new(cls)
+        t.tuple_type = _TENTATIVE
+        t.tuple_id = tuple_id
+        t.stime = stime
+        t.values = dict(values)
+        t.undo_from_id = None
+        t.stable_seq = None
+        t.is_data = True
+        t.is_stable = False
+        t.is_tentative = True
+        t.is_boundary = False
+        t.is_undo = False
+        t.is_rec_done = False
+        return t
+
+    @classmethod
+    def data(
+        cls, tuple_id: int, stime: float, values: Mapping[str, Any], stable: bool
+    ) -> "StreamTuple":
+        """Create a data tuple **sharing** ``values`` (no defensive copy).
+
+        The allocation-free sibling of :meth:`insertion` / :meth:`tentative`
+        for relabeling paths whose payload already belongs to another tuple
+        (SUnion serialization, SOutput forwarding, the node data path): the
+        payload of a constructed tuple is frozen by convention, so re-wrapping
+        it needs no copy.
+        """
+        t = _new(cls)
+        t.tuple_id = tuple_id
+        t.stime = stime
+        t.values = values
+        t.undo_from_id = None
+        t.stable_seq = None
+        t.is_data = True
+        t.is_boundary = False
+        t.is_undo = False
+        t.is_rec_done = False
+        if stable:
+            t.tuple_type = _INSERTION
+            t.is_stable = True
+            t.is_tentative = False
+        else:
+            t.tuple_type = _TENTATIVE
+            t.is_stable = False
+            t.is_tentative = True
+        return t
 
     @classmethod
     def boundary(cls, tuple_id: int, stime: float) -> "StreamTuple":
         """Create a boundary tuple promising no later tuple has stime < ``stime``."""
-        return cls(TupleType.BOUNDARY, tuple_id, stime)
+        t = _new(cls)
+        t.tuple_type = _BOUNDARY
+        t.tuple_id = tuple_id
+        t.stime = stime
+        t.values = {}
+        t.undo_from_id = None
+        t.stable_seq = None
+        t.is_data = False
+        t.is_stable = False
+        t.is_tentative = False
+        t.is_boundary = True
+        t.is_undo = False
+        t.is_rec_done = False
+        return t
 
     @classmethod
     def undo(cls, tuple_id: int, stime: float, undo_from_id: int) -> "StreamTuple":
         """Create an undo tuple revoking every tuple after ``undo_from_id``."""
-        return cls(TupleType.UNDO, tuple_id, stime, undo_from_id=undo_from_id)
+        t = _new(cls)
+        t.tuple_type = _UNDO
+        t.tuple_id = tuple_id
+        t.stime = stime
+        t.values = {}
+        t.undo_from_id = undo_from_id
+        t.stable_seq = None
+        t.is_data = False
+        t.is_stable = False
+        t.is_tentative = False
+        t.is_boundary = False
+        t.is_undo = True
+        t.is_rec_done = False
+        return t
 
     @classmethod
     def rec_done(cls, tuple_id: int, stime: float) -> "StreamTuple":
         """Create a tuple marking the end of a burst of corrections."""
-        return cls(TupleType.REC_DONE, tuple_id, stime)
-
-    # ---------------------------------------------------------------- predicates
-    @property
-    def is_data(self) -> bool:
-        """True for INSERTION and TENTATIVE tuples."""
-        return self.tuple_type in DATA_TYPES
-
-    @property
-    def is_stable(self) -> bool:
-        """True for stable (INSERTION) data tuples."""
-        return self.tuple_type is TupleType.INSERTION
-
-    @property
-    def is_tentative(self) -> bool:
-        return self.tuple_type is TupleType.TENTATIVE
-
-    @property
-    def is_boundary(self) -> bool:
-        return self.tuple_type is TupleType.BOUNDARY
-
-    @property
-    def is_undo(self) -> bool:
-        return self.tuple_type is TupleType.UNDO
-
-    @property
-    def is_rec_done(self) -> bool:
-        return self.tuple_type is TupleType.REC_DONE
+        t = _new(cls)
+        t.tuple_type = _REC_DONE
+        t.tuple_id = tuple_id
+        t.stime = stime
+        t.values = {}
+        t.undo_from_id = None
+        t.stable_seq = None
+        t.is_data = False
+        t.is_stable = False
+        t.is_tentative = False
+        t.is_boundary = False
+        t.is_undo = False
+        t.is_rec_done = True
+        return t
 
     # ---------------------------------------------------------------- transforms
     def as_tentative(self) -> "StreamTuple":
-        """Return a tentative copy of this tuple (data tuples only)."""
+        """Return a tentative copy of this tuple (data tuples only).
+
+        The copy shares this tuple's payload mapping and **deliberately drops
+        ``stable_seq`` and ``undo_from_id``**: a relabeled data tuple is a
+        *new fact on a new stream position*.  ``stable_seq`` is the stamped
+        position in a producer's logical *stable* stream -- a tentative copy
+        has no such position (only stable tuples are numbered), and the
+        stability downgrade happens before the data path stamps positions
+        anyway.  ``undo_from_id`` only ever travels on UNDO tuples, which are
+        not data and are returned unchanged.  Non-data tuples (boundaries,
+        undos, REC_DONE) pass through as ``self``.
+        """
         if not self.is_data:
             return self
-        return StreamTuple(TupleType.TENTATIVE, self.tuple_id, self.stime, self.values)
+        t = _new(StreamTuple)
+        t.tuple_type = _TENTATIVE
+        t.tuple_id = self.tuple_id
+        t.stime = self.stime
+        t.values = self.values
+        t.undo_from_id = None
+        t.stable_seq = None
+        t.is_data = True
+        t.is_stable = False
+        t.is_tentative = True
+        t.is_boundary = False
+        t.is_undo = False
+        t.is_rec_done = False
+        return t
 
     def as_stable(self) -> "StreamTuple":
-        """Return a stable copy of this tuple (data tuples only)."""
+        """Return a stable copy of this tuple (data tuples only).
+
+        Mirror of :meth:`as_tentative`: shares the payload and drops
+        ``stable_seq`` / ``undo_from_id``.  The dropped ``stable_seq`` is
+        load-bearing -- an upgraded tuple must *not* carry the position some
+        other producer stamped on its tentative ancestor; the data path of
+        whichever node emits the stable version assigns the authoritative
+        position when it appends the tuple to its output buffer.
+        """
         if not self.is_data:
             return self
-        return StreamTuple(TupleType.INSERTION, self.tuple_id, self.stime, self.values)
+        t = _new(StreamTuple)
+        t.tuple_type = _INSERTION
+        t.tuple_id = self.tuple_id
+        t.stime = self.stime
+        t.values = self.values
+        t.undo_from_id = None
+        t.stable_seq = None
+        t.is_data = True
+        t.is_stable = True
+        t.is_tentative = False
+        t.is_boundary = False
+        t.is_undo = False
+        t.is_rec_done = False
+        return t
 
     def with_id(self, tuple_id: int) -> "StreamTuple":
         """Return a copy of this tuple carrying a different stream-local id."""
-        return StreamTuple(
-            self.tuple_type, tuple_id, self.stime, self.values, self.undo_from_id, self.stable_seq
-        )
+        t = _new(StreamTuple)
+        t.tuple_type = self.tuple_type
+        t.tuple_id = tuple_id
+        t.stime = self.stime
+        t.values = self.values
+        t.undo_from_id = self.undo_from_id
+        t.stable_seq = self.stable_seq
+        t.is_data = self.is_data
+        t.is_stable = self.is_stable
+        t.is_tentative = self.is_tentative
+        t.is_boundary = self.is_boundary
+        t.is_undo = self.is_undo
+        t.is_rec_done = self.is_rec_done
+        return t
 
     def with_stable_seq(self, stable_seq: int) -> "StreamTuple":
         """Return a copy carrying its position in the logical stable stream."""
-        return StreamTuple(
-            self.tuple_type, self.tuple_id, self.stime, self.values, self.undo_from_id, stable_seq
-        )
+        t = _new(StreamTuple)
+        t.tuple_type = self.tuple_type
+        t.tuple_id = self.tuple_id
+        t.stime = self.stime
+        t.values = self.values
+        t.undo_from_id = self.undo_from_id
+        t.stable_seq = stable_seq
+        t.is_data = self.is_data
+        t.is_stable = self.is_stable
+        t.is_tentative = self.is_tentative
+        t.is_boundary = self.is_boundary
+        t.is_undo = self.is_undo
+        t.is_rec_done = self.is_rec_done
+        return t
 
     def with_values(self, values: Mapping[str, Any]) -> "StreamTuple":
-        """Return a copy of this tuple with different attribute values."""
-        return StreamTuple(
-            self.tuple_type, self.tuple_id, self.stime, dict(values), self.undo_from_id, self.stable_seq
-        )
+        """Return a copy of this tuple with different attribute values (copied)."""
+        t = self.with_id(self.tuple_id)
+        t.values = dict(values)
+        return t
 
     def value(self, name: str, default: Any = None) -> Any:
         """Return attribute ``name`` or ``default`` when missing."""
         return self.values.get(name, default)
+
+    # ---------------------------------------------------------------- dunder protocol
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not StreamTuple:
+            return NotImplemented
+        return (
+            self.tuple_type is other.tuple_type
+            and self.tuple_id == other.tuple_id
+            and self.stime == other.stime
+            and self.values == other.values
+            and self.undo_from_id == other.undo_from_id
+            and self.stable_seq == other.stable_seq
+        )
+
+    __hash__ = None  # mutable payload mapping: identity-free hashing is a bug farm
+
+    def __getstate__(self):
+        """Slot state for pickling / deep-copying (checkpoint containers)."""
+        return None, {slot: getattr(self, slot) for slot in StreamTuple.__slots__}
+
+    def __setstate__(self, state) -> None:
+        _dict, slots = state
+        for slot, value in slots.items():
+            setattr(self, slot, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = self.tuple_type.value.upper()

@@ -128,3 +128,46 @@ def test_tentative_input_stays_tentative_through_serialization():
     op.process(0, StreamTuple.tentative(0, 0.5, {"seq": 0}))
     out = op.process(0, boundary(5.0))
     assert [t for t in out if t.is_data][0].is_tentative
+
+
+def test_batch_with_undo_keeps_bucketing_later_data():
+    """Regression: a mid-batch control fallback must not orphan the buckets.
+
+    handle_undo on a checkpointed SUnion restores the checkpoint, which
+    *rebinds* the internal bucket dict; the batch fast path must refresh its
+    hoisted locals or every data tuple after the undo lands in the orphaned
+    dict and is silently lost.
+    """
+    op = SUnion("su", arity=1, bucket_size=1.0)
+    op.process(0, StreamTuple.insertion(0, 0.5, {"seq": 0}))
+    op.checkpoint()
+    out = op.process_batch(
+        0,
+        [
+            StreamTuple.undo(1, 0.6, undo_from_id=0),
+            StreamTuple.insertion(2, 0.7, {"seq": 1}),
+            StreamTuple.insertion(3, 0.8, {"seq": 2}),
+        ],
+    )
+    assert [t for t in out if t.is_undo]
+    # The post-undo data tuples must live in the *current* bucket dict...
+    assert op.pending_tuples == 3  # the checkpointed tuple + the two new ones
+    # ...and stabilize normally once a boundary closes the bucket.
+    emitted = op.process(0, boundary(2.0, tid=4))
+    assert [t.value("seq") for t in emitted if t.is_data] == [0, 1, 2]
+
+
+def test_batch_boundary_then_late_data_is_dropped_like_per_tuple_path():
+    """The hoisted late-drop bound must refresh after a mid-batch boundary."""
+    op = SUnion("su", arity=1, bucket_size=1.0)
+    out = op.process_batch(
+        0,
+        [
+            StreamTuple.insertion(0, 0.5, {"seq": 0}),
+            boundary(2.0, tid=1),  # stabilizes and emits bucket 0
+            StreamTuple.insertion(2, 0.4, {"seq": 99}),  # late: bucket 0 closed
+        ],
+    )
+    assert [t.value("seq") for t in out if t.is_data] == [0]
+    assert op.late_drops == 1
+    assert op.pending_tuples == 0

@@ -78,7 +78,89 @@ def test_counting_helpers():
     assert max_stime([]) == float("-inf")
 
 
-def test_tuples_are_immutable():
+def test_tuples_reject_foreign_attributes():
+    """``__slots__``: no per-instance dict, no accidental attribute growth."""
     t = StreamTuple.insertion(0, 0.0, {"x": 1})
     with pytest.raises(AttributeError):
-        t.stime = 5.0
+        t.not_a_field = 5.0
+    assert not hasattr(t, "__dict__")
+
+
+def test_tuples_are_unhashable():
+    """Payload mappings are mutable, so tuples must not silently hash."""
+    with pytest.raises(TypeError):
+        hash(StreamTuple.insertion(0, 0.0, {"x": 1}))
+
+
+def test_predicate_flags_match_tuple_type():
+    cases = {
+        TupleType.INSERTION: "is_stable",
+        TupleType.TENTATIVE: "is_tentative",
+        TupleType.BOUNDARY: "is_boundary",
+        TupleType.UNDO: "is_undo",
+        TupleType.REC_DONE: "is_rec_done",
+    }
+    for tuple_type, flag in cases.items():
+        t = StreamTuple(tuple_type, 0, 0.0, undo_from_id=0)
+        assert getattr(t, flag), tuple_type
+        others = set(cases.values()) - {flag}
+        assert not any(getattr(t, other) for other in others), tuple_type
+        assert t.is_data == (tuple_type in (TupleType.INSERTION, TupleType.TENTATIVE))
+
+
+def test_equality_matches_field_comparison():
+    a = StreamTuple.insertion(1, 2.0, {"x": 1})
+    b = StreamTuple.insertion(1, 2.0, {"x": 1})
+    assert a == b
+    assert a != b.with_stable_seq(0)
+    assert a != StreamTuple.tentative(1, 2.0, {"x": 1})
+    assert a != "not a tuple"
+
+
+def test_deepcopy_round_trips_slots():
+    """Checkpoint containers deep-copy buffered tuples; slots must survive."""
+    import copy
+
+    original = StreamTuple.insertion(7, 1.25, {"seq": 7}).with_stable_seq(3)
+    clone = copy.deepcopy(original)
+    assert clone == original
+    assert clone.values == original.values and clone.values is not original.values
+    assert clone.is_stable and clone.stable_seq == 3
+
+
+# --------------------------------------------------------------------------- relabeling semantics
+def test_as_tentative_drops_stable_seq_and_undo_from_id():
+    """A relabeled copy is a new fact: positional metadata must not survive.
+
+    ``stable_seq`` names a position in a producer's logical *stable* stream;
+    a tentative copy has no such position (only stable tuples are numbered).
+    Regression-pinned so the slotted rewrite (and any future one) cannot
+    silently start leaking the ancestor's position onto corrections.
+    """
+    stamped = StreamTuple.insertion(4, 2.0, {"seq": 9}).with_stable_seq(17)
+    downgraded = stamped.as_tentative()
+    assert downgraded.is_tentative
+    assert downgraded.stable_seq is None
+    assert downgraded.undo_from_id is None
+    assert downgraded.tuple_id == 4 and downgraded.stime == 2.0
+
+
+def test_as_stable_drops_stable_seq_and_undo_from_id():
+    """Upgrades must not inherit a position stamped on the tentative ancestor."""
+    stamped = StreamTuple.tentative(4, 2.0, {"seq": 9}).with_stable_seq(17)
+    upgraded = stamped.as_stable()
+    assert upgraded.is_stable
+    assert upgraded.stable_seq is None
+    assert upgraded.undo_from_id is None
+
+
+def test_relabeled_copies_share_the_payload_mapping():
+    """Allocation-free transforms: the payload is shared, never copied."""
+    stable = StreamTuple.insertion(1, 1.0, {"x": 1})
+    assert stable.as_tentative().values is stable.values
+    assert stable.as_tentative().as_stable().values is stable.values
+    assert stable.with_id(9).values is stable.values
+    assert stable.with_stable_seq(2).values is stable.values
+    # with_values still copies: the caller's mapping stays caller-owned.
+    replacement = {"y": 2}
+    assert stable.with_values(replacement).values is not replacement

@@ -55,6 +55,32 @@ def test_compare_inverts_delivered_tuple_direction():
     assert not regressions
 
 
+def test_wall_clock_metrics_warn_but_never_fail():
+    assert cbr.wall_direction("fragment_wall_ms") == 1
+    assert cbr.wall_direction("shard(4)_tuples_per_sec") == -1
+    assert cbr.wall_direction("x_events") == 0
+    baseline = {"t": {"x_wall_ms": 100.0, "x_tuples_per_sec": 1000.0}}
+    # A 3x wall-clock blowup: warned about, but never a failing regression.
+    regressions, lines = cbr.compare(
+        baseline, {"t": {"x_wall_ms": 300.0, "x_tuples_per_sec": 300.0}}
+    )
+    assert not regressions
+    assert sum("WALL-CLOCK WARNING" in line for line in lines) == 2
+    # Within the generous tolerance: plain trajectory lines.
+    regressions, lines = cbr.compare(
+        baseline, {"t": {"x_wall_ms": 120.0, "x_tuples_per_sec": 900.0}}
+    )
+    assert not regressions
+    assert sum("[wall ok]" in line for line in lines) == 2
+    # A benchmark with only wall metrics may be skipped without failing, and
+    # a dropped wall metric is noted, not failed.
+    regressions, lines = cbr.compare(baseline, {})
+    assert not regressions and any("not measured" in line for line in lines)
+    regressions, lines = cbr.compare(baseline, {"t": {"x_wall_ms": 100.0}})
+    assert not regressions
+    assert any("x_tuples_per_sec" in line and "not measured" in line for line in lines)
+
+
 def test_compare_within_tolerance_passes():
     baseline = {"t": {"x_events": 1000.0}}
     regressions, lines = cbr.compare(baseline, {"t": {"x_events": 1099.0}}, tolerance=0.10)

@@ -252,3 +252,29 @@ def test_scenario_rebalance_flags_require_shard_topology(capsys):
     code = cli.main(["scenario", "--topology", "diamond", "--skew", "1.2"])
     assert code == 2
     assert "--skew" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- profile
+def test_profile_runs_scenario_under_cprofile(capsys):
+    code = cli.main(
+        ["profile", "chain", "--depth", "1", "--rate", "120", "--duration", "3",
+         "--top", "5"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "profiled scenario 'profile-chain'" in out
+    assert "stable tuples/s" in out
+    # The pstats table with the requested restriction and sort order.
+    assert "cumtime" in out
+    assert "due to restriction <5>" in out
+
+
+def test_profile_shard_sort_by_tottime(capsys):
+    code = cli.main(
+        ["profile", "shard", "--shards", "2", "--rate", "120", "--duration", "3",
+         "--top", "4", "--sort", "tottime"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "top 4 by tottime" in out
+    assert "Ordered by: internal time" in out
