@@ -511,6 +511,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         spec = ScenarioSpec.diamond(**common)
     elif args.scenario == "fanin":
         spec = ScenarioSpec.fanin(**common)
+    elif args.scenario == "aggregate":
+        spec = ScenarioSpec.windowed_aggregate(
+            window_size=args.window_size, window_slide=args.window_slide, **common
+        )
     else:
         spec = ScenarioSpec(chain_depth=args.depth, **common)
     runtime = spec.build()
@@ -647,10 +651,14 @@ def build_parser() -> argparse.ArgumentParser:
         "cProfile and print the top-N hot spots, so perf PRs start from data "
         "instead of guesses.",
     )
-    profile.add_argument("scenario", choices=("chain", "diamond", "fanin", "shard"),
+    profile.add_argument("scenario", choices=("chain", "diamond", "fanin", "shard", "aggregate"),
                          help="deployment shape to profile")
     profile.add_argument("--depth", type=int, default=2, help="chain depth (chain only)")
     profile.add_argument("--shards", type=int, default=4, help="shard count (shard only)")
+    profile.add_argument("--window-size", type=float, default=1.0,
+                         help="window size in seconds (aggregate only)")
+    profile.add_argument("--window-slide", type=float, default=0.25,
+                         help="window slide in seconds (aggregate only)")
     profile.add_argument("--replicas", type=int, default=1,
                          help="replicas per node (1: profile the data plane, "
                               "not the replication factor)")

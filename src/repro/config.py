@@ -41,10 +41,17 @@ class DelayAssignment(str, Enum):
     SUnion.  The latter masks longer failures without producing tentative
     tuples while still meeting the bound, because all SUnions downstream of a
     failure suspend simultaneously.
+
+    ACCUMULATED is the per-path refinement the paper sketches at the end of
+    Section 6.3 (Figure 21): each node spends only the budget its most
+    delayed input path has not already consumed, divided by the longest
+    remaining path to a sink.  On a chain it degenerates to UNIFORM; on
+    unbalanced DAGs it stops short branches from being under-assigned.
     """
 
     UNIFORM = "uniform"
     FULL = "full"
+    ACCUMULATED = "accumulated"
 
 
 @dataclass(frozen=True)
@@ -192,15 +199,18 @@ class DPCConfig:
     def node_delay(self, chain_depth: int) -> float:
         """Per-SUnion delay bound ``D`` for a chain of ``chain_depth`` nodes.
 
-        With :attr:`DelayAssignment.UNIFORM`, ``X`` is divided evenly; with
-        :attr:`DelayAssignment.FULL` every SUnion receives the whole budget
-        minus the queuing allowance (Section 6.3).
+        With :attr:`DelayAssignment.FULL` every SUnion receives the whole
+        budget minus the queuing allowance (Section 6.3); the other
+        strategies divide ``X`` evenly -- on a plain chain the per-path
+        ACCUMULATED plan is exactly the uniform split, so this fallback (used
+        when no :class:`~repro.core.delay_planner.DelayPlanner` ran) treats
+        them alike.
         """
         if chain_depth <= 0:
             raise ConfigurationError("chain_depth must be >= 1")
-        if self.delay_assignment is DelayAssignment.UNIFORM:
-            return self.max_incremental_latency / chain_depth
-        return max(self.max_incremental_latency - self.queuing_allowance, 0.0)
+        if self.delay_assignment is DelayAssignment.FULL:
+            return max(self.max_incremental_latency - self.queuing_allowance, 0.0)
+        return self.max_incremental_latency / chain_depth
 
     def with_(self, **changes: object) -> "DPCConfig":
         """Return a copy of this configuration with ``changes`` applied."""

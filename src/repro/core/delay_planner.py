@@ -178,6 +178,26 @@ class DelayPlanner:
             walk(entry, ())
         return paths
 
+    def _topological_order(self) -> list[str]:
+        """Nodes in a topological order of the deployment graph (cycle-checked)."""
+        self._check_nonempty()
+        indegree = {name: 0 for name in self._nodes}
+        for targets in self._edges.values():
+            for target in targets:
+                indegree[target] += 1
+        ready = [name for name in self._nodes if indegree[name] == 0]
+        order: list[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for target in self._edges[current]:
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    ready.append(target)
+        if len(order) != len(self._nodes):
+            raise ConfigurationError("deployment graph has a cycle")
+        return order
+
     def depth(self) -> int:
         """Length of the longest entry-to-sink path.
 
@@ -186,24 +206,10 @@ class DelayPlanner:
         *enumeration* (kept for :meth:`diagnose`) is exponential in
         reconvergent DAGs.
         """
-        self._check_nonempty()
-        indegree = {name: 0 for name in self._nodes}
-        for targets in self._edges.values():
-            for target in targets:
-                indegree[target] += 1
-        ready = [name for name in self._nodes if indegree[name] == 0]
         longest = {name: 1 for name in self._nodes}
-        visited = 0
-        while ready:
-            current = ready.pop(0)
-            visited += 1
+        for current in self._topological_order():
             for target in self._edges[current]:
                 longest[target] = max(longest[target], longest[current] + 1)
-                indegree[target] -= 1
-                if indegree[target] == 0:
-                    ready.append(target)
-        if visited != len(self._nodes):
-            raise ConfigurationError("deployment graph has a cycle")
         return max(longest.values())
 
     # ------------------------------------------------------------------ planning
@@ -213,6 +219,8 @@ class DelayPlanner:
             return self._plan_uniform()
         if strategy is DelayAssignment.FULL:
             return self._plan_full()
+        if strategy is DelayAssignment.ACCUMULATED:
+            return self._plan_accumulated()
         raise ConfigurationError(f"unknown delay assignment strategy {strategy!r}")
 
     def _plan_uniform(self) -> DelayPlan:
@@ -245,6 +253,51 @@ class DelayPlanner:
                 "every SUnion suspends simultaneously when a failure occurs, so the full "
                 f"budget (minus a {self.queuing_allowance:g} s queuing allowance) can be "
                 "assigned to each of them; failures up to that long are masked entirely",
+            ),
+        )
+
+    def _plan_accumulated(self) -> DelayPlan:
+        """Per-path budgets driven by an :class:`AccumulatedDelayTracker`.
+
+        Walk the deployment graph in topological order.  Each node inherits
+        the accumulated delay of its most delayed upstream (the tracker's
+        ``merge`` rule -- exactly what a runtime stamping delays into tuples
+        would see at a Figure 21 join) and spends the remaining budget evenly
+        over the longest path still ahead of it.  On a chain this reduces to
+        the uniform ``X / depth`` split; on unbalanced DAGs short branches
+        receive the budget the static strategies strand.
+        """
+        order = self._topological_order()
+        # Longest path from each node to a sink, inclusive of the node.
+        togo = {name: 1 for name in self._nodes}
+        for name in reversed(order):
+            for target in self._edges[name]:
+                togo[name] = max(togo[name], togo[target] + 1)
+        upstreams: dict[str, list[str]] = {name: [] for name in self._nodes}
+        for name, targets in self._edges.items():
+            for target in targets:
+                upstreams[target].append(name)
+        tracker = AccumulatedDelayTracker(self.total_budget)
+        budgets: dict[str, float] = {}
+        for name in order:
+            inherited = tracker.merge(upstreams[name])
+            tracker.observe_upstream_delay(name, inherited)
+            budget = max(self.total_budget - inherited, 0.0) / togo[name]
+            tracker.spend(name, budget)
+            budgets[name] = budget
+        per_node = {name: budgets[name] for name in self._nodes}
+        sinks = [name for name in self._nodes if not self._edges[name]]
+        worst_case = max(tracker.accumulated(name) for name in sinks)
+        return DelayPlan(
+            strategy=DelayAssignment.ACCUMULATED,
+            total_budget=self.total_budget,
+            per_node=per_node,
+            masked_failure=min(per_node.values()),
+            worst_case_sequential=worst_case,
+            notes=(
+                "each node spends the budget its most delayed input path has not already "
+                "consumed, split over the longest remaining path; every path accumulates "
+                f"at most the full {self.total_budget:g} s bound (Figure 21)",
             ),
         )
 

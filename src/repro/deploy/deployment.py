@@ -64,6 +64,7 @@ def deploy_placement(
     per_node_delay: float | None = None,
     diagram_factory: "Callable[[str, Sequence[str], str], QueryDiagram] | None" = None,
     seed: int | None = None,
+    rate_profile: Callable[[float], float] | None = None,
 ) -> "Deployment":
     """Instantiate ``placement`` on a fresh simulator.
 
@@ -130,6 +131,10 @@ def deploy_placement(
             batch_interval=sim_config.batch_interval,
             payload=payload_factory(plan.payload_index, len(placement.sources)),
             start_time=start_offset,
+            # The same profile object for every source: profiles are pure
+            # functions of the emission stime, so shared use keeps the
+            # interleaved sources aligned (tie groups stay intact).
+            rate_profile=rate_profile,
         )
         cluster.sources.append(source)
         source_by_stream[plan.stream] = source

@@ -27,7 +27,7 @@ from ..topology import Topology
 from ..workloads.generators import PayloadFactory, default_payload_factory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..config import DPCConfig, SimulationConfig
+    from ..config import DelayAssignment, DPCConfig, SimulationConfig
     from ..spe.query_diagram import QueryDiagram
     from .deployment import Deployment
 
@@ -229,6 +229,25 @@ class Placement:
             )
         return changes
 
+    # ------------------------------------------------------------------ delay planning
+    def delay_plan(self, config: "DPCConfig", strategy: "DelayAssignment | None" = None):
+        """Per-node delay budgets for this plan's deployment graph.
+
+        Builds a :class:`~repro.core.delay_planner.DelayPlanner` over the
+        placement's topology and plans with ``strategy`` (defaulting to the
+        config's ``delay_assignment``).  This is what ``plan-delays
+        --strategy`` renders, and with ``accumulated`` it is the per-path
+        Figure 21 assignment rather than the uniform longest-path split.
+        """
+        from ..core.delay_planner import DelayPlanner
+
+        planner = DelayPlanner.for_topology(
+            self.topology,
+            total_budget=config.max_incremental_latency,
+            queuing_allowance=config.queuing_allowance,
+        )
+        return planner.plan(strategy if strategy is not None else config.delay_assignment)
+
     # ------------------------------------------------------------------ deployment
     def deploy(
         self,
@@ -241,6 +260,7 @@ class Placement:
         per_node_delay: float | None = None,
         diagram_factory: "Callable[[str, Sequence[str], str], QueryDiagram] | None" = None,
         seed: int | None = None,
+        rate_profile: "Callable[[float], float] | None" = None,
     ) -> "Deployment":
         """Materialize this plan onto a fresh simulator (see :class:`Deployment`)."""
         from .deployment import deploy_placement
@@ -255,6 +275,7 @@ class Placement:
             per_node_delay=per_node_delay,
             diagram_factory=diagram_factory,
             seed=seed,
+            rate_profile=rate_profile,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

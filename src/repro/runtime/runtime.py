@@ -72,6 +72,7 @@ class SimulationRuntime:
             per_node_delay=spec.per_node_delay,
             diagram_factory=spec.diagram_factory,
             seed=spec.seed,
+            rate_profile=spec.rate_profile,
         )
         self.cluster: Cluster = self.deployment.cluster
         self._scenario = spec.as_scenario()

@@ -62,6 +62,11 @@ class ScenarioSpec:
     #: the overhead experiments); downstream nodes always run relay fragments.
     diagram_factory: DiagramFactory | None = None
     payload_factory: PayloadFactory = default_payload_factory
+    #: Optional rate profile (stime -> multiplier of the base rate) shared by
+    #: every source -- see :func:`~repro.workloads.generators.bursty_rate` and
+    #: :func:`~repro.workloads.generators.diurnal_rate`.  Pure functions of
+    #: the emission stime, so sources stay mutually aligned.
+    rate_profile: Callable[[float], float] | None = None
     # --- configuration --------------------------------------------------------
     config: DPCConfig | None = None
     sim_config: SimulationConfig | None = None
@@ -396,6 +401,37 @@ class ScenarioSpec:
                 tie_group=tie_group,
             ),
             n_input_streams=n_input_streams,
+            **changes,
+        )
+
+    @classmethod
+    def windowed_aggregate(
+        cls,
+        window_size: float = 1.0,
+        window_slide: float | None = None,
+        n_input_streams: int = 3,
+        incremental: bool | None = None,
+        **changes,
+    ) -> "ScenarioSpec":
+        """Windowed-aggregation exerciser: sliding rollup over the value stream.
+
+        A single replicated node runs
+        :func:`~repro.workloads.queries.windowed_rollup_diagram`
+        (SUnion -> sliding Aggregate -> seq-stamping Map -> SOutput), so the
+        pane-based aggregation path -- including its checkpoint/restore during
+        failures -- flows through the standard harness and the client-side
+        consistency ledger.  ``incremental=False`` pins the naive reference
+        path for comparisons.
+        """
+        from ..workloads.queries import windowed_rollup_factory
+
+        return cls(
+            name=changes.pop("name", "windowed-aggregate"),
+            chain_depth=1,
+            n_input_streams=n_input_streams,
+            diagram_factory=windowed_rollup_factory(
+                size=window_size, slide=window_slide, incremental=incremental
+            ),
             **changes,
         )
 

@@ -57,6 +57,7 @@ class DataSource:
         payload: PayloadGenerator = sequential_payload,
         start_time: float = 0.0,
         stop_time: float | None = None,
+        rate_profile: Callable[[float], float] | None = None,
     ) -> None:
         if rate <= 0:
             raise SimulationError(f"source rate must be positive, got {rate}")
@@ -72,6 +73,11 @@ class DataSource:
         self.payload = payload
         self.start_time = start_time
         self.stop_time = stop_time
+        #: Optional multiplier of ``rate`` as a pure function of the emission
+        #: stime (see :data:`repro.workloads.generators.RateProfile`).  Being
+        #: a function of the stime -- not of wall progress -- keeps sources
+        #: sharing a profile aligned, so stime tie groups are preserved.
+        self.rate_profile = rate_profile
         #: Persistent log of everything ever produced on this stream.
         self.log = StreamLog(stream_name=stream)
         self._writer = StreamWriter(stream_name=stream)
@@ -165,6 +171,7 @@ class DataSource:
         attached without a second defensive copy.
         """
         period = 1.0 / self.rate
+        rate_profile = self.rate_profile
         writer = self._writer
         log_append = self.log.append
         payload = self.payload
@@ -186,7 +193,16 @@ class DataSource:
                 values = dict(payload(sequence, next_tuple_time))
                 log_append(writer.data(next_tuple_time, values, True))
                 sequence += 1
-                next_tuple_time += period
+                if rate_profile is None:
+                    next_tuple_time += period
+                else:
+                    factor = rate_profile(next_tuple_time)
+                    if factor <= 0:
+                        raise SimulationError(
+                            f"rate profile of source {self.name!r} returned "
+                            f"{factor!r} at stime {next_tuple_time}; factors must be positive"
+                        )
+                    next_tuple_time += period / factor
                 continue
             break
         self._next_tuple_time = next_tuple_time

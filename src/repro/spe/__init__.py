@@ -10,7 +10,8 @@ deterministic local execution engine with fragment-level checkpoint/restore.
 from .tuples import StreamTuple, TupleType
 from .schema import Schema, Field, ANY_SCHEMA
 from .streams import StreamWriter, StreamLog, apply_undo
-from .windows import WindowSpec
+from .windows import WindowSpec, PaneAssignment
+from .accumulators import Accumulator, BufferingAccumulator, make_accumulator
 from .checkpoint import DiagramCheckpoint, OperatorCheckpoint
 from .query_diagram import QueryDiagram, linear_diagram, Connection, InputBinding, OutputBinding
 from .engine import LocalEngine
@@ -38,6 +39,10 @@ __all__ = [
     "StreamLog",
     "apply_undo",
     "WindowSpec",
+    "PaneAssignment",
+    "Accumulator",
+    "BufferingAccumulator",
+    "make_accumulator",
     "DiagramCheckpoint",
     "OperatorCheckpoint",
     "QueryDiagram",

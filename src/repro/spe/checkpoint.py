@@ -6,6 +6,12 @@ processing any tentative tuple; during STABILIZATION it restores that snapshot
 and reprocesses the stable input buffered since.  The containers here are thin
 but give checkpoints an identity (id + creation time) and verify on restore
 that they are applied to the diagram they came from.
+
+Operator state is opaque plain data supplied by ``_checkpoint_state``.  Since
+the pane-based Aggregate rewrite, windowed aggregates contribute per-(pane,
+group) accumulator snapshots -- O(groups x panes) scalars -- rather than the
+raw value buffers they used to hold, which shrinks both crash-recovery
+checkpoints and the state containers live rebalance ships between shards.
 """
 
 from __future__ import annotations

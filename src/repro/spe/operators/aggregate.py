@@ -10,6 +10,16 @@ Window results are emitted when the operator's stable watermark (the minimum
 boundary stime across its inputs) passes the window's end, which makes the
 output deterministic given the input sequence.  A window's output is labelled
 tentative when any tuple that contributed to it was tentative.
+
+Accumulation is **pane-based** whenever the window spec admits an exact
+gcd decomposition (:class:`~repro.spe.windows.PaneAssignment`) and every
+spec uses an incremental builtin: each tuple updates exactly one
+``(pane, group)`` cell of mergeable accumulators in O(1), and closing a
+window merges its ``size/gcd`` pane partials -- O(groups x panes) state
+instead of the legacy O(tuples x overlap) value buffers.  Custom aggregate
+callables (and undecomposable window specs) fall back to whole-window
+cells keyed by window index, which accumulate in arrival order and
+reproduce the legacy buffered semantics byte for byte.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping, Sequence
 
 from ...errors import OperatorError
+from ..accumulators import Accumulator, is_incremental, make_accumulator
 from ..schema import ANY_SCHEMA, Schema
 from ..tuples import StreamTuple
 from ..windows import WindowSpec
@@ -64,6 +75,9 @@ class AggregateSpec:
         if callable(function):
             self.function: AggregateFunction = function
             self.function_name = getattr(function, "__name__", "custom")
+            # A callable -- even one shadowing a builtin name -- has opaque
+            # semantics, so it never qualifies for incremental accumulation.
+            self.incremental = False
         else:
             try:
                 self.function = BUILTIN_FUNCTIONS[function]
@@ -73,6 +87,7 @@ class AggregateSpec:
                     f"expected one of {sorted(BUILTIN_FUNCTIONS)} or a callable"
                 ) from exc
             self.function_name = function
+            self.incremental = is_incremental(function)
         if self.function_name != "count" and attribute is None:
             raise OperatorError(f"aggregate {name!r} ({self.function_name}) needs an attribute")
 
@@ -82,41 +97,41 @@ class AggregateSpec:
             return 1
         return values.get(self.attribute)
 
+    def make_accumulator(self) -> Accumulator:
+        """Fresh accumulator honouring this spec's function semantics."""
+        if self.incremental:
+            return make_accumulator(self.function_name, self.function)
+        from ..accumulators import BufferingAccumulator
+
+        return BufferingAccumulator(self.function)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"AggregateSpec({self.name}={self.function_name}({self.attribute}))"
 
 
-class _WindowState:
-    """Accumulated contents of one (window index, group key) cell."""
+class _CellState:
+    """Accumulated contents of one (pane-or-window index, group key) cell."""
 
-    __slots__ = ("values_per_spec", "count", "has_tentative")
+    __slots__ = ("accumulators", "count", "has_tentative")
 
-    def __init__(self, n_specs: int) -> None:
-        self.values_per_spec: list[list[Any]] = [[] for _ in range(n_specs)]
+    def __init__(self, accumulators: list[Accumulator]) -> None:
+        self.accumulators = accumulators
         self.count = 0
         self.has_tentative = False
 
     def add(self, extracted: Sequence[Any], tentative: bool) -> None:
-        for bucket, value in zip(self.values_per_spec, extracted):
+        for accumulator, value in zip(self.accumulators, extracted):
             if value is not None:
-                bucket.append(value)
+                accumulator.add(value)
         self.count += 1
         self.has_tentative = self.has_tentative or tentative
 
     def snapshot(self) -> dict:
         return {
-            "values_per_spec": [list(v) for v in self.values_per_spec],
+            "accumulators": [accumulator.snapshot() for accumulator in self.accumulators],
             "count": self.count,
             "has_tentative": self.has_tentative,
         }
-
-    @classmethod
-    def from_snapshot(cls, data: Mapping[str, Any]) -> "_WindowState":
-        state = cls(len(data["values_per_spec"]))
-        state.values_per_spec = [list(v) for v in data["values_per_spec"]]
-        state.count = int(data["count"])
-        state.has_tentative = bool(data["has_tentative"])
-        return state
 
 
 class Aggregate(Operator):
@@ -133,10 +148,19 @@ class Aggregate(Operator):
         ``(name, function, attribute)`` tuples.
     group_by:
         Attribute names to group on.  Each closed window emits one output
-        tuple per group observed in it.
+        tuple per group observed in it.  **Grouped windows with no tuples
+        emit nothing** even under ``emit_empty_windows`` (there is no group
+        key to attach a zero row to); only the ungrouped form emits empties.
     emit_empty_windows:
-        When True, windows with no tuples still emit a single tuple with
-        count-like aggregates at zero (useful for gap detection workloads).
+        When True and ``group_by`` is empty, windows with no tuples still
+        emit a single tuple with count-like aggregates at zero (useful for
+        gap detection workloads).
+    incremental:
+        ``None`` (default) selects pane-based accumulation automatically
+        whenever the window decomposes and every spec is an incremental
+        builtin.  ``False`` forces the whole-window reference path (used by
+        the window benchmark's naive-recompute comparison); ``True`` demands
+        the pane path and raises when the spec cannot support it.
     """
 
     def __init__(
@@ -147,6 +171,7 @@ class Aggregate(Operator):
         group_by: Sequence[str] = (),
         output_schema: Schema = ANY_SCHEMA,
         emit_empty_windows: bool = False,
+        incremental: bool | None = None,
     ) -> None:
         super().__init__(name, arity=1, output_schema=output_schema)
         self.window = window
@@ -155,81 +180,296 @@ class Aggregate(Operator):
             raise OperatorError(f"aggregate {name!r} needs at least one aggregate spec")
         self.group_by = tuple(group_by)
         self.emit_empty_windows = emit_empty_windows
-        #: (window_index, group_key) -> _WindowState
-        self._windows: dict[tuple[int, tuple], _WindowState] = {}
+        supported = window.pane is not None and all(spec.incremental for spec in self.specs)
+        if incremental is None:
+            self._pane_mode = supported
+        elif incremental and not supported:
+            reasons = []
+            if window.pane is None:
+                reasons.append("the window spec has no exact pane decomposition")
+            customs = [spec.name for spec in self.specs if not spec.incremental]
+            if customs:
+                reasons.append(f"spec(s) {customs} use custom callables")
+            raise OperatorError(
+                f"aggregate {name!r} cannot run incrementally: {'; '.join(reasons)}"
+            )
+        else:
+            self._pane_mode = bool(incremental)
+        #: (pane index, group key) -> cell in pane mode;
+        #: (window index, group key) -> cell in whole-window mode.
+        self._cells: dict[tuple[int, tuple], _CellState] = {}
         self._last_closed_watermark = float("-inf")
 
     # ------------------------------------------------------------------ data path
     def _group_key(self, values: Mapping[str, Any]) -> tuple:
         return tuple(values.get(attr) for attr in self.group_by)
 
+    def _new_cell(self) -> _CellState:
+        return _CellState([spec.make_accumulator() for spec in self.specs])
+
     def _process_data(self, port: int, item: StreamTuple) -> list[StreamTuple]:
         extracted = [spec.extract(item.values) for spec in self.specs]
         key = self._group_key(item.values)
-        for index in self.window.window_indices(item.stime):
-            cell = self._windows.get((index, key))
+        cells = self._cells
+        if self._pane_mode:
+            indices: Sequence[int] = (self.window.pane_index(item.stime),)
+        else:
+            indices = self.window.window_indices(item.stime)
+        for index in indices:
+            cell = cells.get((index, key))
             if cell is None:
-                cell = _WindowState(len(self.specs))
-                self._windows[(index, key)] = cell
+                cell = self._new_cell()
+                cells[(index, key)] = cell
             cell.add(extracted, item.is_tentative)
         return []
 
+    def process_batch(self, port: int, items: Sequence[StreamTuple]) -> list[StreamTuple]:
+        """Batch entry point with the per-tuple work hoisted into locals.
+
+        In pane mode the inner loop touches exactly one cell per data tuple;
+        the attribute extraction, group keying, and cell lookup run on local
+        bindings so the hot path performs no repeated attribute loads.
+        """
+        self._check_port(port)
+        out: list[StreamTuple] = []
+        extend = out.extend
+        cells = self._cells
+        window = self.window
+        pane_mode = self._pane_mode
+        pane_index = window.pane_index if pane_mode else None
+        window_indices = window.window_indices
+        attributes = tuple(spec.attribute for spec in self.specs)
+        group_attrs = self.group_by
+        new_cell = self._new_cell
+        cells_get = cells.get
+        for item in items:
+            if item.is_data:
+                tentative = item.is_tentative
+                if tentative:
+                    self._seen_tentative_input = True
+                values = item.values
+                extracted = [
+                    1 if attr is None else values.get(attr) for attr in attributes
+                ]
+                key = (
+                    tuple(values.get(attr) for attr in group_attrs) if group_attrs else ()
+                )
+                if pane_mode:
+                    cell_key = (pane_index(item.stime), key)
+                    cell = cells_get(cell_key)
+                    if cell is None:
+                        cell = new_cell()
+                        cells[cell_key] = cell
+                    cell.add(extracted, tentative)
+                else:
+                    for index in window_indices(item.stime):
+                        cell_key = (index, key)
+                        cell = cells_get(cell_key)
+                        if cell is None:
+                            cell = new_cell()
+                            cells[cell_key] = cell
+                        cell.add(extracted, tentative)
+            elif item.is_boundary:
+                extend(self._accept_boundary(port, item))
+            elif item.is_undo:
+                extend(self.handle_undo(port, item))
+            elif item.is_rec_done:
+                extend(self.handle_rec_done(port, item))
+            else:
+                raise OperatorError(
+                    f"operator {self.name!r} cannot process {item.tuple_type}"
+                )
+        return out
+
+    # ------------------------------------------------------------------ window closing
     def _on_watermark(self, previous: float, current: float) -> list[StreamTuple]:
         if self._last_closed_watermark > float("-inf"):
             previous = max(previous, self._last_closed_watermark)
-        # Windows that held data and are now closed by the watermark.
-        closed = {
-            index for (index, _key) in self._windows if self.window.is_closed(index, current)
-        }
+        window = self.window
+        closed: set[int] = set()
+        by_pane: dict[int, dict[tuple, _CellState]] | None = None
+        if self._pane_mode:
+            # Windows derived from live panes: closed by the new watermark and
+            # not emitted at an earlier one (panes are shared across windows,
+            # so emission cannot simply delete the cells that fed it).  The
+            # candidate range spans the live panes; each candidate is kept
+            # only if one of its panes is actually live, so a gap in the pane
+            # population never surfaces as a spurious empty window.
+            threshold = self._last_closed_watermark
+            if self._cells:
+                live_panes = {pane for pane, _key in self._cells}
+                first = window.pane_windows(min(live_panes)).start
+                last = window.pane_windows(max(live_panes)).stop
+                window_end = window.window_end
+                window_panes = window.window_panes
+                for index in range(first, last):
+                    end = window_end(index)
+                    if end <= current and end > threshold and any(
+                        pane in live_panes for pane in window_panes(index)
+                    ):
+                        closed.add(index)
+        else:
+            closed = {
+                index for (index, _key) in self._cells if window.is_closed(index, current)
+            }
         if self.emit_empty_windows:
-            closed.update(self.window.windows_closed_by(previous, current))
+            closed.update(window.windows_closed_by(previous, current))
         out: list[StreamTuple] = []
+        if closed and self._pane_mode:
+            # One pane -> cells index shared by every window emitted at this
+            # watermark (consecutive closed windows overlap in most panes).
+            by_pane = {}
+            for (pane, key), cell in self._cells.items():
+                by_pane.setdefault(pane, {})[key] = cell
         for index in sorted(closed):
-            out.extend(self._emit_window(index))
+            out.extend(self._emit_window(index, by_pane))
         self._last_closed_watermark = max(self._last_closed_watermark, current)
+        if self._pane_mode:
+            self._collect_dead_panes(current)
         return out
 
-    def _emit_window(self, index: int) -> list[StreamTuple]:
-        stime = self.window.window_end(index)
-        cells = {
-            key: cell for (win, key), cell in self._windows.items() if win == index
+    def _collect_dead_panes(self, watermark: float) -> None:
+        """Drop panes whose last containing window the watermark closed."""
+        window = self.window
+        per_slide = window.pane.per_slide
+        is_closed = window.is_closed
+        dead = [
+            cell_key
+            for cell_key in self._cells
+            if is_closed(cell_key[0] // per_slide, watermark)
+        ]
+        for cell_key in dead:
+            del self._cells[cell_key]
+
+    def _empty_window_tuple(self, index: int, stime: float) -> StreamTuple:
+        values = {
+            spec.name: spec.function([]) if spec.function_name == "count" else None
+            for spec in self.specs
         }
+        values["window_start"] = self.window.window_start(index)
+        return self._emit(stime, values, tentative=False)
+
+    def _emit_window(
+        self,
+        index: int,
+        by_pane: dict[int, dict[tuple, _CellState]] | None = None,
+    ) -> list[StreamTuple]:
+        if self._pane_mode:
+            return self._emit_window_from_panes(index, by_pane)
+        return self._emit_window_from_cells(index)
+
+    def _emit_window_from_panes(
+        self,
+        index: int,
+        by_pane: dict[int, dict[tuple, _CellState]] | None = None,
+    ) -> list[StreamTuple]:
+        window = self.window
+        stime = window.window_end(index)
+        if by_pane is None:
+            by_pane = {}
+            for (pane, key), cell in self._cells.items():
+                by_pane.setdefault(pane, {})[key] = cell
+        # Walking the pane range in ascending order keeps each group's cell
+        # list in pane (stime) order without a per-window sort.
+        groups: dict[tuple, list[_CellState]] = {}
+        by_pane_get = by_pane.get
+        for pane in window.window_panes(index):
+            bucket = by_pane_get(pane)
+            if bucket:
+                for key, cell in bucket.items():
+                    groups.setdefault(key, []).append(cell)
+        out: list[StreamTuple] = []
+        if not groups and self.emit_empty_windows and not self.group_by:
+            out.append(self._empty_window_tuple(index, stime))
+        for key in sorted(groups, key=repr):
+            # Merge the pane partials in pane (stime) order into fresh
+            # accumulators; the shared pane cells are never mutated.
+            merged = [spec.make_accumulator() for spec in self.specs]
+            tentative = False
+            for cell in groups[key]:
+                for accumulator, partial in zip(merged, cell.accumulators):
+                    accumulator.merge(partial)
+                tentative = tentative or cell.has_tentative
+            values: dict[str, Any] = dict(zip(self.group_by, key))
+            values["window_start"] = window.window_start(index)
+            for spec, accumulator in zip(self.specs, merged):
+                values[spec.name] = accumulator.result()
+            out.append(self._emit(stime, values, tentative=tentative))
+        return out
+
+    def _emit_window_from_cells(self, index: int) -> list[StreamTuple]:
+        window = self.window
+        stime = window.window_end(index)
+        cells = {key: cell for (win, key), cell in self._cells.items() if win == index}
         out: list[StreamTuple] = []
         if not cells and self.emit_empty_windows and not self.group_by:
-            values = {spec.name: spec.function([]) if spec.function_name == "count" else None
-                      for spec in self.specs}
-            values["window_start"] = self.window.window_start(index)
-            out.append(self._emit(stime, values, tentative=False))
+            out.append(self._empty_window_tuple(index, stime))
         for key in sorted(cells, key=repr):
             cell = cells[key]
             values: dict[str, Any] = dict(zip(self.group_by, key))
-            values["window_start"] = self.window.window_start(index)
-            for spec, accumulated in zip(self.specs, cell.values_per_spec):
-                values[spec.name] = spec.function(accumulated)
+            values["window_start"] = window.window_start(index)
+            for spec, accumulator in zip(self.specs, cell.accumulators):
+                values[spec.name] = accumulator.result()
             out.append(self._emit(stime, values, tentative=cell.has_tentative))
-        # Drop state for the emitted window.
+        # Whole-window cells are exclusive to this window: drop them now.
         for key in cells:
-            del self._windows[(index, key)]
+            del self._cells[(index, key)]
         return out
 
     # ------------------------------------------------------------------ checkpointing
     def _checkpoint_state(self) -> dict:
         return {
-            "windows": [
-                {"index": win, "key": list(key), "state": cell.snapshot()}
-                for (win, key), cell in self._windows.items()
+            "format": "pane" if self._pane_mode else "window",
+            "cells": [
+                {
+                    "index": index,
+                    "key": list(key),
+                    "count": cell.count,
+                    "has_tentative": cell.has_tentative,
+                    "accumulators": [
+                        accumulator.snapshot() for accumulator in cell.accumulators
+                    ],
+                }
+                for (index, key), cell in self._cells.items()
             ],
             "last_closed_watermark": self._last_closed_watermark,
         }
 
     def _restore_state(self, state: Mapping[str, Any]) -> None:
-        self._windows = {
-            (int(entry["index"]), tuple(entry["key"])): _WindowState.from_snapshot(entry["state"])
-            for entry in state.get("windows", ())
-        }
+        expected = "pane" if self._pane_mode else "window"
+        recorded = state.get("format", expected)
+        if recorded != expected:
+            raise OperatorError(
+                f"aggregate {self.name!r} runs in {expected!r} mode but the "
+                f"checkpoint was taken in {recorded!r} mode"
+            )
+        cells: dict[tuple[int, tuple], _CellState] = {}
+        for entry in state.get("cells", ()):
+            cell = self._new_cell()
+            for accumulator, snapshot in zip(cell.accumulators, entry["accumulators"]):
+                accumulator.restore(snapshot)
+            cell.count = int(entry["count"])
+            cell.has_tentative = bool(entry["has_tentative"])
+            cells[(int(entry["index"]), tuple(entry["key"]))] = cell
+        self._cells = cells
         self._last_closed_watermark = float(state.get("last_closed_watermark", float("-inf")))
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def pane_mode(self) -> bool:
+        """True when accumulation is per (pane, group) cell."""
+        return self._pane_mode
+
+    @property
+    def open_cell_count(self) -> int:
+        """Number of (pane-or-window, group) cells currently held in memory.
+
+        In pane mode this is the quantity bounded by O(groups x panes); the
+        window benchmark asserts the bound through this counter.
+        """
+        return len(self._cells)
 
     @property
     def open_window_count(self) -> int:
-        """Number of (window, group) cells currently held in memory."""
-        return len(self._windows)
+        """Backward-compatible alias of :attr:`open_cell_count`."""
+        return len(self._cells)

@@ -12,8 +12,66 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from fractions import Fraction
 
 from ..errors import ConfigurationError
+
+#: Upper bound on panes per window for a usable pane decomposition.  Window
+#: specs whose size/slide ratio is pathological once expressed exactly (e.g.
+#: ``(0.3, 0.1)``: both are *inexact* binary floats whose true gcd is ~2**-55,
+#: giving astronomically many panes) fall back to per-window accumulation.
+MAX_PANES_PER_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class PaneAssignment:
+    """Decomposition of a window spec into equal, non-overlapping slices.
+
+    A *pane* is the gcd-sized slice shared by all overlapping windows (the
+    classic paired-window / panes construction): pane ``p`` spans
+    ``[origin + p*size, origin + (p+1)*size)`` and window ``k`` is exactly the
+    concatenation of panes ``k*per_slide .. k*per_slide + per_window - 1``.
+    Every tuple lands in exactly one pane, so an aggregate maintains one
+    mergeable partial per (pane, group) instead of one raw-value buffer per
+    (window, group).
+    """
+
+    #: Pane width: ``gcd(size, slide)``, exactly representable as a float.
+    size: float
+    #: Panes per slide: ``slide / size`` of the pane (an exact integer).
+    per_slide: int
+    #: Panes per window: ``window size / pane size`` (an exact integer).
+    per_window: int
+
+
+def _pane_assignment(size: float, slide: float) -> PaneAssignment | None:
+    """The exact pane decomposition of ``(size, slide)``, or None.
+
+    Every float is a dyadic rational, so ``Fraction`` arithmetic computes the
+    *exact* gcd of the two spans.  The decomposition is only usable when the
+    gcd round-trips through a float unchanged (its numerator never exceeds
+    the smaller operand's 53-bit significand, so in practice it always does)
+    and the pane count per window stays below :data:`MAX_PANES_PER_WINDOW`.
+    """
+    try:
+        exact_size, exact_slide = Fraction(size), Fraction(slide)
+    except (ValueError, OverflowError):  # nan / inf window spans
+        return None
+    gcd = Fraction(
+        math.gcd(
+            exact_size.numerator * exact_slide.denominator,
+            exact_slide.numerator * exact_size.denominator,
+        ),
+        exact_size.denominator * exact_slide.denominator,
+    )
+    per_window = exact_size / gcd
+    per_slide = exact_slide / gcd
+    if per_window > MAX_PANES_PER_WINDOW:
+        return None
+    pane_size = float(gcd)
+    if Fraction(pane_size) != gcd:
+        return None
+    return PaneAssignment(size=pane_size, per_slide=int(per_slide), per_window=int(per_window))
 
 
 @dataclass(frozen=True)
@@ -29,6 +87,11 @@ class WindowSpec:
         tumbling windows; ``slide < size`` gives overlapping sliding windows.
     origin:
         Alignment origin; window starts are ``origin + k * slide``.
+
+    The derived attribute ``pane`` holds the :class:`PaneAssignment` slicing
+    the spec into gcd-sized panes (None when no float-exact decomposition
+    exists); it is computed once at construction and is not a dataclass
+    field, so equality and hashing still compare only the three spec values.
     """
 
     size: float
@@ -42,6 +105,9 @@ class WindowSpec:
         if slide <= 0:
             raise ConfigurationError(f"window slide must be positive, got {slide}")
         object.__setattr__(self, "slide", slide)
+        # Derived (not a dataclass field): the pane decomposition, or None
+        # when size/slide admit no float-exact gcd slicing.
+        object.__setattr__(self, "pane", _pane_assignment(self.size, slide))
 
     @classmethod
     def tumbling(cls, size: float, origin: float = 0.0) -> "WindowSpec":
@@ -72,6 +138,8 @@ class WindowSpec:
 
     def window_indices(self, stime: float) -> range:
         """All window indices whose span contains ``stime``."""
+        if self.pane is not None:
+            return self.pane_windows(self.pane_index(stime))
         first = self.first_window_index(stime)
         last = self.last_window_index(stime)
         # Filter out windows that start after stime (can happen at exact edges).
@@ -83,8 +151,59 @@ class WindowSpec:
         return self.origin + index * self.slide
 
     def window_end(self, index: int) -> float:
-        """Exclusive end of window ``index``."""
+        """Exclusive end of window ``index``.
+
+        With a pane decomposition the end is computed on the pane grid
+        (``origin + (k*a + b) * pane``), which is the same real number as
+        ``start + size`` but not always the same *float*; using the pane
+        grid everywhere makes per-window and per-pane accumulation close
+        windows at byte-identical stimes.
+        """
+        pane = self.pane
+        if pane is not None:
+            return self.origin + (index * pane.per_slide + pane.per_window) * pane.size
         return self.window_start(index) + self.size
+
+    # ------------------------------------------------------------------ panes
+    def pane_start(self, pane_index: int) -> float:
+        """Inclusive start of pane ``pane_index`` (requires a decomposition)."""
+        return self.origin + pane_index * self.pane.size
+
+    def pane_index(self, stime: float) -> int:
+        """Index of the single pane containing ``stime``.
+
+        Half-open pane membership (``pane_start(p) <= stime < pane_start(p+1)``)
+        is resolved on the float pane grid itself: the floor estimate is
+        corrected in both directions, so the result is exact even when the
+        division rounds across a pane edge.
+        """
+        pane = self.pane
+        index = int(math.floor((stime - self.origin) / pane.size))
+        while self.pane_start(index) > stime:
+            index -= 1
+        while self.pane_start(index + 1) <= stime:
+            index += 1
+        return index
+
+    def window_panes(self, index: int) -> range:
+        """The panes window ``index`` is the concatenation of."""
+        pane = self.pane
+        first = index * pane.per_slide
+        return range(first, first + pane.per_window)
+
+    def pane_windows(self, pane_index: int) -> range:
+        """All window indices containing pane ``pane_index`` (integer math)."""
+        pane = self.pane
+        first = -((pane.per_window - 1 - pane_index) // pane.per_slide)
+        return range(first, pane_index // pane.per_slide + 1)
+
+    def last_pane_window(self, pane_index: int) -> int:
+        """The latest window containing pane ``pane_index``.
+
+        Once the watermark closes this window the pane's partials can never
+        contribute to another result and may be garbage-collected.
+        """
+        return pane_index // self.pane.per_slide
 
     def contains(self, index: int, stime: float) -> bool:
         """True when window ``index`` covers ``stime`` (inclusive start, exclusive end)."""

@@ -3,6 +3,9 @@
 from .generators import (
     PayloadFactory,
     PayloadGenerator,
+    RateProfile,
+    bursty_rate,
+    diurnal_rate,
     default_payload_factory,
     hot_key_payload_factory,
     hot_key_sequence,
@@ -18,12 +21,17 @@ from .queries import (
     sensor_alert_factory,
     traffic_rollup_diagram,
     traffic_rollup_factory,
+    windowed_rollup_diagram,
+    windowed_rollup_factory,
 )
 from .scenarios import FailureSpec, Scenario, single_failure
 
 __all__ = [
     "PayloadFactory",
     "PayloadGenerator",
+    "RateProfile",
+    "bursty_rate",
+    "diurnal_rate",
     "default_payload_factory",
     "hot_key_payload_factory",
     "hot_key_sequence",
@@ -40,4 +48,6 @@ __all__ = [
     "sensor_alert_factory",
     "traffic_rollup_diagram",
     "traffic_rollup_factory",
+    "windowed_rollup_diagram",
+    "windowed_rollup_factory",
 ]

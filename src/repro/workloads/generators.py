@@ -10,6 +10,7 @@ run (and every replica) sees exactly the same data.
 from __future__ import annotations
 
 import bisect
+import math
 import random
 import zlib
 from typing import Any, Callable, Mapping
@@ -149,6 +150,58 @@ def hot_key_sequence(
         }
 
     return generate
+
+
+#: A rate profile maps a simulation time to a multiplier of the base rate.
+#: Sources evaluate it at each emission; the next tuple follows after
+#: ``period / profile(now)`` seconds.  Profiles must stay strictly positive.
+RateProfile = Callable[[float], float]
+
+
+def bursty_rate(
+    period: float = 60.0,
+    burst_length: float = 10.0,
+    burst_factor: float = 4.0,
+    base_factor: float = 1.0,
+) -> RateProfile:
+    """Square-wave rate profile: bursts of ``burst_factor`` x the base rate.
+
+    Every ``period`` seconds the sources spend ``burst_length`` seconds at
+    ``burst_factor`` times the base rate and the remainder at
+    ``base_factor``.  The profile is a pure function of simulation time, so
+    all sources sharing it stay aligned and stime tie groups are preserved.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if not 0 < burst_length < period:
+        raise ValueError(f"burst_length must be in (0, {period}), got {burst_length}")
+    if burst_factor <= 0 or base_factor <= 0:
+        raise ValueError("rate factors must be positive")
+
+    def profile(now: float) -> float:
+        return burst_factor if (now % period) < burst_length else base_factor
+
+    return profile
+
+
+def diurnal_rate(
+    day_length: float = 600.0, amplitude: float = 0.5, phase: float = 0.0
+) -> RateProfile:
+    """Sinusoidal day/night rate profile around the base rate.
+
+    The multiplier is ``1 + amplitude * sin(2 * pi * (now - phase) / day_length)``;
+    ``amplitude`` must stay below 1 so the rate never reaches zero.
+    """
+    if day_length <= 0:
+        raise ValueError(f"day_length must be positive, got {day_length}")
+    if not 0 <= amplitude < 1:
+        raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+    two_pi = 2.0 * math.pi
+
+    def profile(now: float) -> float:
+        return 1.0 + amplitude * math.sin(two_pi * (now - phase) / day_length)
+
+    return profile
 
 
 #: Factory signature used by the cluster builder: (stream_index, n_streams) -> generator.

@@ -211,3 +211,83 @@ def traffic_rollup_factory(*, bucket_size: float = 0.1, window: float = 1.0) -> 
         )
 
     return factory
+
+
+# --------------------------------------------------------------------------- windowed rollups
+def windowed_rollup_diagram(
+    name: str,
+    input_streams: Sequence[str],
+    output_stream: str,
+    *,
+    bucket_size: float = 0.1,
+    size: float = 1.0,
+    slide: float | None = None,
+    incremental: bool | None = None,
+) -> QueryDiagram:
+    """Sliding-window rollup over ``value`` with a ledger-friendly output.
+
+    The windowed-aggregation exerciser: SUnion merges the input streams, a
+    sliding (or, with ``slide`` omitted, tumbling) Aggregate computes
+    count/sum/min/max of the standard workload's ``value`` attribute, and a
+    Map stamps each result with ``seq = round(window_start / slide)``.  The
+    window index is monotone and gap-free while sources keep producing, so
+    the client-side consistency ledger can verify the output stream the same
+    way it verifies the plain forwarding scenarios.  ``incremental`` is
+    passed through to :class:`Aggregate` (None selects the pane path when
+    the spec supports it; False pins the naive reference path).
+    """
+    effective_slide = slide if slide is not None else size
+    diagram = QueryDiagram(name=name)
+    merge = SUnion(name=f"{name}.sunion", arity=len(input_streams), bucket_size=bucket_size)
+    rollup = Aggregate(
+        name=f"{name}.rollup",
+        window=WindowSpec.sliding(size=size, slide=effective_slide),
+        aggregates=[
+            AggregateSpec("n", "count"),
+            AggregateSpec("total", "sum", "value"),
+            AggregateSpec("lo", "min", "value"),
+            AggregateSpec("hi", "max", "value"),
+        ],
+        incremental=incremental,
+    )
+
+    def stamp(values):
+        stamped = dict(values)
+        stamped["seq"] = int(round(values["window_start"] / effective_slide))
+        return stamped
+
+    number = Map(name=f"{name}.number", transform=stamp)
+    soutput = SOutput(name=f"{name}.soutput")
+    for operator in (merge, rollup, number, soutput):
+        diagram.add_operator(operator)
+    diagram.connect(merge, rollup)
+    diagram.connect(rollup, number)
+    diagram.connect(number, soutput)
+    for port, stream in enumerate(input_streams):
+        diagram.bind_input(stream, merge, port)
+    diagram.bind_output(output_stream, soutput)
+    diagram.validate()
+    return diagram
+
+
+def windowed_rollup_factory(
+    *,
+    bucket_size: float = 0.1,
+    size: float = 1.0,
+    slide: float | None = None,
+    incremental: bool | None = None,
+) -> DiagramFactory:
+    """A cluster-builder factory for :func:`windowed_rollup_diagram`."""
+
+    def factory(node_name: str, input_streams: Sequence[str], output_stream: str) -> QueryDiagram:
+        return windowed_rollup_diagram(
+            node_name,
+            input_streams,
+            output_stream,
+            bucket_size=bucket_size,
+            size=size,
+            slide=slide,
+            incremental=incremental,
+        )
+
+    return factory

@@ -5,6 +5,7 @@ import pytest
 from repro.config import DelayAssignment
 from repro.core.delay_planner import AccumulatedDelayTracker, DelayPlanner
 from repro.errors import ConfigurationError
+from repro.topology import Topology
 
 
 # --------------------------------------------------------------------------- planner construction
@@ -250,3 +251,59 @@ def test_depth_is_polynomial_on_stacked_diamonds():
     assert planner.depth() == topo.depth()
     plan = planner.plan(DelayAssignment.UNIFORM)
     assert plan.masked_failure == pytest.approx(8.0 / 31)
+
+
+# --------------------------------------------------------------------------- accumulated strategy
+def test_accumulated_reduces_to_uniform_on_chains():
+    planner = DelayPlanner.for_chain(4, total_budget=8.0)
+    plan = planner.plan(DelayAssignment.ACCUMULATED)
+    assert plan.per_node == {f"node{i}": pytest.approx(2.0) for i in (1, 2, 3, 4)}
+    assert plan.worst_case_sequential == pytest.approx(8.0)
+
+
+def test_accumulated_gives_short_branches_the_stranded_budget():
+    # Figure 21 shape: a long branch (entry -> relay -> merge) and a short
+    # branch (entry -> merge).  UNIFORM assigns X/3 everywhere, so the short
+    # path accumulates only 2X/3; ACCUMULATED lets the short entry spend more.
+    planner = DelayPlanner(total_budget=9.0)
+    planner.add_node("long-entry", entry=True)
+    planner.add_node("short-entry", entry=True)
+    planner.add_node("relay")
+    planner.add_node("merge")
+    planner.connect("long-entry", "relay")
+    planner.connect("relay", "merge")
+    planner.connect("short-entry", "merge")
+    plan = planner.plan(DelayAssignment.ACCUMULATED)
+    assert plan.per_node["long-entry"] == pytest.approx(3.0)
+    assert plan.per_node["relay"] == pytest.approx(3.0)
+    # The short entry has only 2 nodes ahead of it on its path: X/2, not X/3.
+    assert plan.per_node["short-entry"] == pytest.approx(4.5)
+    # The merge inherits the *most delayed* input (6.0 from the long branch).
+    assert plan.per_node["merge"] == pytest.approx(3.0)
+    # Every path accumulates exactly the full budget: nothing stranded.
+    for diagnostic in planner.diagnose(plan.per_node):
+        assert diagnostic.within_budget
+    uniform = planner.plan(DelayAssignment.UNIFORM)
+    assert planner.mismatched_paths(uniform.per_node)
+
+
+def test_accumulated_never_exceeds_the_budget_on_any_path():
+    planner = DelayPlanner.for_topology(Topology.diamond(), total_budget=8.0)
+    plan = planner.plan(DelayAssignment.ACCUMULATED)
+    for diagnostic in planner.diagnose(plan.per_node):
+        assert diagnostic.accumulated_delay <= 8.0 + 1e-9
+    assert plan.strategy is DelayAssignment.ACCUMULATED
+    assert plan.masked_failure == pytest.approx(min(plan.per_node.values()))
+
+
+def test_placement_delay_plan_uses_the_config_strategy():
+    from repro.config import DPCConfig
+    from repro.deploy import compile as compile_placement
+
+    placement = compile_placement(Topology.diamond(), replicas_per_node=1)
+    config = DPCConfig(max_incremental_latency=8.0)
+    default_plan = placement.delay_plan(config)
+    assert default_plan.strategy is config.delay_assignment
+    accumulated = placement.delay_plan(config, DelayAssignment.ACCUMULATED)
+    assert accumulated.strategy is DelayAssignment.ACCUMULATED
+    assert set(accumulated.per_node) == {spec.name for spec in Topology.diamond()}

@@ -1,0 +1,149 @@
+"""Property tests: pane-based aggregation is byte-identical to naive recompute.
+
+The pane path and the forced-naive reference path are fed the same random
+workloads -- random window specs (including one that admits no pane
+decomposition), random group keys, tentative mixes, and interleaved
+watermarks -- and must produce byte-identical output streams.  Values are
+integers so that every arithmetic fold is exact and "identical" really means
+identical, not approximately equal.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.spe.operators import Aggregate
+from repro.spe.tuples import StreamTuple
+from repro.spe.windows import WindowSpec
+
+COMMON = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: (size, slide) pool: tumbling, aligned sliding, coprime sliding, fractional
+#: panes, the bench shapes, and one undecomposable pair (pane is None, both
+#: operators run whole-window cells -- the fallback must stay equivalent too).
+WINDOW_SPECS = [
+    (5.0, 5.0),
+    (10.0, 5.0),
+    (7.0, 3.0),
+    (1.0, 0.25),
+    (60.0, 10.0),
+    (0.3, 0.1),
+]
+
+AGGREGATES = [
+    ("n", "count", None),
+    ("total", "sum", "v"),
+    ("mean", "avg", "v"),
+    ("lo", "min", "v"),
+    ("hi", "max", "v"),
+]
+
+
+@st.composite
+def workloads(draw):
+    size, slide = draw(st.sampled_from(WINDOW_SPECS))
+    grouped = draw(st.booleans())
+    emit_empty = draw(st.booleans())
+    n = draw(st.integers(min_value=0, max_value=50))
+    # Stimes on a 0.05 grid: inexact binary floats on purpose -- both paths
+    # must agree on membership at rounded pane/window edges.
+    ticks = sorted(draw(st.lists(st.integers(min_value=0, max_value=600), min_size=n, max_size=n)))
+    items = []
+    for i, tick in enumerate(ticks):
+        values = {"v": draw(st.integers(min_value=-100, max_value=100))}
+        if grouped:
+            values["g"] = draw(st.sampled_from(["a", "b", None]))
+        factory = StreamTuple.tentative if draw(st.booleans()) else StreamTuple.insertion
+        items.append(factory(i, tick * 0.05, values))
+    # Watermarks: a few mid-stream cuts plus one closing everything.
+    cuts = (
+        sorted(draw(st.sets(st.integers(min_value=1, max_value=len(items)), max_size=3)))
+        if items
+        else []
+    )
+    boundaries = {cut: (ticks[cut - 1] * 0.05) for cut in cuts}
+    return size, slide, grouped, emit_empty, items, boundaries
+
+
+def run(size, slide, grouped, emit_empty, items, boundaries, incremental, batched=True):
+    op = Aggregate(
+        "a",
+        WindowSpec.sliding(size=size, slide=slide),
+        aggregates=AGGREGATES,
+        group_by=("g",) if grouped else (),
+        emit_empty_windows=emit_empty,
+        incremental=incremental,
+    )
+    out = []
+    batch = []
+    for i, item in enumerate(items):
+        batch.append(item)
+        if i + 1 in boundaries:
+            batch.append(StreamTuple.boundary(10_000 + i, boundaries[i + 1]))
+    batch.append(StreamTuple.boundary(99_999, 1000.0))
+    if batched:
+        out = op.process_batch(0, batch)
+    else:
+        for item in batch:
+            out += op.process(0, item)
+    return [
+        (t.stime, t.tuple_type, tuple(sorted(t.values.items(), key=repr)))
+        for t in out
+        if t.is_data
+    ], op
+
+
+@COMMON
+@given(workloads())
+def test_pane_path_matches_naive_recompute(case):
+    size, slide, grouped, emit_empty, items, boundaries = case
+    pane_out, pane_op = run(size, slide, grouped, emit_empty, items, boundaries, None)
+    naive_out, naive_op = run(size, slide, grouped, emit_empty, items, boundaries, False)
+    assert pane_out == naive_out
+    assert not naive_op.pane_mode
+
+
+@COMMON
+@given(workloads())
+def test_batched_and_tuple_at_a_time_agree(case):
+    size, slide, grouped, emit_empty, items, boundaries = case
+    batched, _ = run(size, slide, grouped, emit_empty, items, boundaries, None, batched=True)
+    single, _ = run(size, slide, grouped, emit_empty, items, boundaries, None, batched=False)
+    assert batched == single
+
+
+@COMMON
+@given(workloads(), st.integers(min_value=0, max_value=50))
+def test_checkpoint_restore_mid_stream_is_byte_identical(case, cut_seed):
+    size, slide, grouped, emit_empty, items, boundaries = case
+    expected, _ = run(size, slide, grouped, emit_empty, items, boundaries, None)
+
+    def make():
+        return Aggregate(
+            "a",
+            WindowSpec.sliding(size=size, slide=slide),
+            aggregates=AGGREGATES,
+            group_by=("g",) if grouped else (),
+            emit_empty_windows=emit_empty,
+            incremental=None,
+        )
+
+    batch = []
+    for i, item in enumerate(items):
+        batch.append(item)
+        if i + 1 in boundaries:
+            batch.append(StreamTuple.boundary(10_000 + i, boundaries[i + 1]))
+    batch.append(StreamTuple.boundary(99_999, 1000.0))
+    cut = cut_seed % (len(batch) + 1)
+
+    op = make()
+    out = op.process_batch(0, batch[:cut])
+    snapshot = op.checkpoint()
+    replacement = make()
+    replacement.restore(snapshot)
+    out += replacement.process_batch(0, batch[cut:])
+    resumed = [
+        (t.stime, t.tuple_type, tuple(sorted(t.values.items(), key=repr)))
+        for t in out
+        if t.is_data
+    ]
+    assert resumed == expected

@@ -111,3 +111,172 @@ def test_determinism_same_input_same_output():
         return [(t.stime, tuple(sorted(t.values.items()))) for t in out if t.is_data]
 
     assert run() == run()
+
+
+def test_pane_mode_selected_for_builtin_specs_only():
+    pane_op = Aggregate("a", WindowSpec.sliding(10.0, 5.0), aggregates=[("n", "count", None)])
+    assert pane_op.pane_mode
+    custom = Aggregate(
+        "a",
+        WindowSpec.sliding(10.0, 5.0),
+        aggregates=[AggregateSpec("spread", lambda vs: max(vs) - min(vs), "v")],
+    )
+    assert not custom.pane_mode
+    # A callable shadowing a builtin's name must not get incremental treatment.
+    shadowing = Aggregate(
+        "a", WindowSpec.tumbling(10.0), aggregates=[AggregateSpec("total", sum, "v")]
+    )
+    assert not shadowing.pane_mode
+    undecomposable = Aggregate(
+        "a", WindowSpec.sliding(0.3, 0.1), aggregates=[("n", "count", None)]
+    )
+    assert not undecomposable.pane_mode
+
+
+def test_forcing_incremental_on_unsupported_specs_raises():
+    with pytest.raises(OperatorError):
+        Aggregate(
+            "a",
+            WindowSpec.sliding(0.3, 0.1),
+            aggregates=[("n", "count", None)],
+            incremental=True,
+        )
+    with pytest.raises(OperatorError):
+        Aggregate(
+            "a",
+            WindowSpec.tumbling(10.0),
+            aggregates=[AggregateSpec("spread", lambda vs: max(vs) - min(vs), "v")],
+            incremental=True,
+        )
+
+
+def test_naive_reference_path_can_be_forced():
+    op = Aggregate(
+        "a",
+        WindowSpec.sliding(10.0, 5.0),
+        aggregates=[("n", "count", None)],
+        incremental=False,
+    )
+    assert not op.pane_mode
+    feed(op, [(6.0, {"v": 1})])
+    out = [t for t in op.process(0, StreamTuple.boundary(9, 30.0)) if t.is_data]
+    assert len(out) == 2
+
+
+def test_pane_and_naive_paths_agree_on_a_sliding_window():
+    def run(incremental):
+        op = Aggregate(
+            "a",
+            WindowSpec.sliding(6.0, 2.0),
+            aggregates=[("n", "count", None), ("total", "sum", "v"), ("lo", "min", "v")],
+            group_by=("g",),
+            incremental=incremental,
+        )
+        out = feed(op, [(i * 0.5, {"v": i, "g": i % 3}) for i in range(30)])
+        out += op.process(0, StreamTuple.boundary(99, 50.0))
+        return [(t.stime, tuple(sorted(t.values.items()))) for t in out if t.is_data]
+
+    assert run(None) == run(False)
+
+
+def test_grouped_empty_windows_emit_nothing_even_with_emit_empty_windows():
+    # Explicit contract: emit_empty_windows only applies to the ungrouped
+    # form -- an empty grouped window has no group key to attach a row to.
+    grouped = Aggregate(
+        "a",
+        WindowSpec.tumbling(10.0),
+        aggregates=[("n", "count", None)],
+        group_by=("room",),
+        emit_empty_windows=True,
+    )
+    out = [t for t in grouped.process(0, StreamTuple.boundary(9, 30.0)) if t.is_data]
+    assert out == []
+    ungrouped = Aggregate(
+        "a",
+        WindowSpec.tumbling(10.0),
+        aggregates=[("n", "count", None), ("total", "sum", "v")],
+        emit_empty_windows=True,
+    )
+    out = [t for t in ungrouped.process(0, StreamTuple.boundary(9, 30.0)) if t.is_data]
+    assert len(out) == 3
+    assert all(t.values["n"] == 0 and t.values["total"] is None for t in out)
+
+
+def test_checkpoint_round_trip_is_byte_identical_mid_stream():
+    def make():
+        return Aggregate(
+            "a",
+            WindowSpec.sliding(6.0, 2.0),
+            aggregates=[("n", "count", None), ("total", "sum", "v"), ("hi", "max", "v")],
+            group_by=("g",),
+        )
+
+    def canonical(tuples):
+        return [(t.stime, t.tuple_type, tuple(sorted(t.values.items()))) for t in tuples if t.is_data]
+
+    head = [(i * 0.7, {"v": i, "g": i % 2}) for i in range(12)]
+    tail = [(i * 0.7, {"v": i, "g": i % 2}) for i in range(12, 24)]
+
+    reference = make()
+    expected = feed(reference, head + tail)
+    expected += reference.process(0, StreamTuple.boundary(99, 50.0))
+
+    op = make()
+    feed(op, head)
+    snapshot = op.checkpoint()
+    feed(op, [(100.0, {"v": 999, "g": 0})])  # diverge, then roll back
+    op.restore(snapshot)
+    resumed = feed(op, tail)
+    resumed += op.process(0, StreamTuple.boundary(99, 50.0))
+    assert canonical(resumed) == canonical(expected)
+
+
+def test_restore_rejects_checkpoints_from_the_other_mode():
+    pane_op = Aggregate("a", WindowSpec.tumbling(10.0), aggregates=[("n", "count", None)])
+    naive_op = Aggregate(
+        "a", WindowSpec.tumbling(10.0), aggregates=[("n", "count", None)], incremental=False
+    )
+    feed(pane_op, [(1.0, {"v": 1})])
+    with pytest.raises(OperatorError):
+        naive_op.restore(pane_op.checkpoint())
+
+
+def test_pane_state_is_bounded_by_groups_times_panes():
+    op = Aggregate(
+        "a",
+        WindowSpec.sliding(10.0, 1.0),
+        aggregates=[("n", "count", None)],
+        group_by=("g",),
+    )
+    groups = 3
+    for i in range(400):
+        stime = i * 0.25
+        op.process(0, StreamTuple.insertion(i, stime, {"v": i, "g": i % groups}))
+        if i % 40 == 39:
+            op.process(0, StreamTuple.boundary(1000 + i, stime))
+            # Live panes span at most the window size plus the pane not yet
+            # closed: groups * (panes_per_window + 1) cells.
+            assert op.open_cell_count <= groups * (op.window.pane.per_window + 1)
+
+
+def test_process_batch_matches_tuple_at_a_time_processing():
+    items = [StreamTuple.insertion(i, i * 0.3, {"v": i, "g": i % 2}) for i in range(40)]
+    items.append(StreamTuple.boundary(99, 20.0))
+
+    def canonical(tuples):
+        return [(t.stime, tuple(sorted(t.values.items()))) for t in tuples if t.is_data]
+
+    def make():
+        return Aggregate(
+            "a",
+            WindowSpec.sliding(3.0, 1.0),
+            aggregates=[("n", "count", None), ("total", "sum", "v")],
+            group_by=("g",),
+        )
+
+    batched = make().process_batch(0, items)
+    one_at_a_time: list = []
+    op = make()
+    for item in items:
+        one_at_a_time += op.process(0, item)
+    assert canonical(batched) == canonical(one_at_a_time)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.spe.windows import WindowSpec
+from repro.spe.windows import PaneAssignment, WindowSpec
 
 
 def test_tumbling_window_indices():
@@ -51,3 +51,60 @@ def test_contains():
     assert spec.contains(0, 1.0)
     assert spec.contains(0, 4.99)
     assert not spec.contains(0, 5.0)
+
+
+# --------------------------------------------------------------------------- panes
+def test_pane_assignment_is_the_exact_gcd():
+    spec = WindowSpec.sliding(size=60.0, slide=10.0)
+    assert spec.pane == PaneAssignment(size=10.0, per_slide=1, per_window=6)
+    spec = WindowSpec.sliding(size=100.0, slide=1.0)
+    assert spec.pane == PaneAssignment(size=1.0, per_slide=1, per_window=100)
+    spec = WindowSpec.sliding(size=7.0, slide=3.0)
+    assert spec.pane == PaneAssignment(size=1.0, per_slide=3, per_window=7)
+    assert WindowSpec.tumbling(5.0).pane == PaneAssignment(size=5.0, per_slide=1, per_window=1)
+
+
+def test_inexact_binary_pairs_have_no_pane_assignment():
+    # 0.3 and 0.1 are inexact binary floats whose true gcd is astronomically
+    # small: the spec must fall back to whole-window accumulation.
+    assert WindowSpec.sliding(size=0.3, slide=0.1).pane is None
+
+
+def test_pane_attribute_does_not_affect_equality_or_hashing():
+    a = WindowSpec.sliding(size=10.0, slide=5.0)
+    b = WindowSpec.sliding(size=10.0, slide=5.0)
+    assert a == b and hash(a) == hash(b)
+
+
+def test_window_panes_and_pane_windows_are_inverse():
+    spec = WindowSpec.sliding(size=7.0, slide=3.0)
+    for window in range(-4, 5):
+        for pane in spec.window_panes(window):
+            assert window in spec.pane_windows(pane)
+    for pane in range(-12, 13):
+        for window in spec.pane_windows(pane):
+            assert pane in spec.window_panes(window)
+        assert spec.last_pane_window(pane) == max(spec.pane_windows(pane))
+
+
+def test_pane_membership_matches_float_window_membership():
+    for size, slide in ((10.0, 5.0), (7.0, 3.0), (1.0, 0.25), (60.0, 10.0)):
+        spec = WindowSpec.sliding(size=size, slide=slide)
+        for i in range(-200, 400):
+            stime = i * 0.15
+            pane = spec.pane_index(stime)
+            assert spec.pane_start(pane) <= stime < spec.pane_start(pane + 1)
+            assert list(spec.window_indices(stime)) == [
+                k for k in spec.pane_windows(pane)
+            ]
+            for k in spec.window_indices(stime):
+                assert spec.contains(k, stime)
+
+
+def test_window_boundaries_sit_on_the_pane_grid():
+    for size, slide in ((10.0, 5.0), (7.0, 3.0), (1.0, 0.25), (100.0, 1.0)):
+        spec = WindowSpec.sliding(size=size, slide=slide)
+        pane = spec.pane
+        for k in range(-20, 20):
+            assert spec.window_start(k) == spec.pane_start(k * pane.per_slide)
+            assert spec.window_end(k) == spec.pane_start(k * pane.per_slide + pane.per_window)

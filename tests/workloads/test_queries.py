@@ -154,3 +154,43 @@ def test_traffic_rollup_counts_per_window():
 def test_traffic_rollup_factory():
     diagram = traffic_rollup_factory(window=2.0)("node1", ["s1"], "out")
     assert diagram.operator("node1.rollup").window.size == 2.0
+
+
+# --------------------------------------------------------------------------- windowed rollup
+def test_windowed_rollup_stamps_gap_free_window_sequence():
+    from repro.workloads.queries import windowed_rollup_diagram
+
+    diagram = windowed_rollup_diagram("n1", ["s1"], "out", size=1.0, slide=0.25)
+    engine = LocalEngine(diagram)
+    tuples = [
+        StreamTuple.insertion(i, i * 0.1, {"seq": i, "value": float(i)}) for i in range(40)
+    ]
+    out = push_with_boundaries(engine, "s1", tuples, boundary_stime=10.0)["out"]
+    data = [t for t in out if t.is_data]
+    assert data, "rollup emitted nothing"
+    seqs = [t.values["seq"] for t in data]
+    assert seqs == sorted(seqs)
+    assert seqs == list(range(min(seqs), max(seqs) + 1))
+    # A full window [0.75, 1.75) holds 10 tuples at 0.1 s spacing.
+    full = [t for t in data if t.values["n"] == 10]
+    assert full
+    checked = full[0]
+    assert checked.values["hi"] - checked.values["lo"] == 9.0
+
+
+def test_windowed_rollup_pane_and_naive_paths_agree():
+    from repro.workloads.queries import windowed_rollup_diagram
+
+    def run(incremental):
+        diagram = windowed_rollup_diagram(
+            "n1", ["s1"], "out", size=1.0, slide=0.25, incremental=incremental
+        )
+        engine = LocalEngine(diagram)
+        tuples = [
+            StreamTuple.insertion(i, i * 0.07, {"seq": i, "value": float(i)})
+            for i in range(60)
+        ]
+        out = push_with_boundaries(engine, "s1", tuples, boundary_stime=20.0)["out"]
+        return [(t.stime, tuple(sorted(t.values.items()))) for t in out if t.is_data]
+
+    assert run(None) == run(False)

@@ -76,3 +76,62 @@ def test_scenario_inject_schedules_failures():
     records = scenario.inject(cluster)
     assert len(records) >= 2
     assert cluster.simulator.pending_events > 0
+
+
+# --------------------------------------------------------------------------- rate profiles
+def test_bursty_rate_square_wave():
+    from repro.workloads.generators import bursty_rate
+
+    profile = bursty_rate(period=60.0, burst_length=10.0, burst_factor=4.0)
+    assert profile(0.0) == 4.0
+    assert profile(9.9) == 4.0
+    assert profile(10.0) == 1.0
+    assert profile(59.9) == 1.0
+    assert profile(60.0) == 4.0  # periodic
+
+
+def test_diurnal_rate_oscillates_around_one():
+    from repro.workloads.generators import diurnal_rate
+
+    profile = diurnal_rate(day_length=600.0, amplitude=0.5)
+    assert profile(0.0) == pytest.approx(1.0)
+    assert profile(150.0) == pytest.approx(1.5)
+    assert profile(450.0) == pytest.approx(0.5)
+    assert min(profile(t * 10.0) for t in range(120)) > 0.0
+
+
+def test_rate_profile_validation():
+    from repro.workloads.generators import bursty_rate, diurnal_rate
+
+    with pytest.raises(ValueError):
+        bursty_rate(period=0.0)
+    with pytest.raises(ValueError):
+        bursty_rate(period=10.0, burst_length=10.0)
+    with pytest.raises(ValueError):
+        bursty_rate(burst_factor=0.0)
+    with pytest.raises(ValueError):
+        diurnal_rate(day_length=-1.0)
+    with pytest.raises(ValueError):
+        diurnal_rate(amplitude=1.0)
+
+
+def test_bursty_source_produces_more_tuples_during_bursts():
+    from repro.sim.event_loop import Simulator
+    from repro.sim.network import Network
+    from repro.sim.sources import DataSource
+    from repro.workloads.generators import bursty_rate
+
+    def produced(profile):
+        simulator = Simulator()
+        network = Network(simulator)
+        source = DataSource(
+            "s", "s1", simulator, network, rate=100.0, rate_profile=profile
+        )
+        source.start()
+        simulator.run_until(20.0)
+        return source.tuples_produced
+
+    flat = produced(None)
+    bursty = produced(bursty_rate(period=10.0, burst_length=5.0, burst_factor=3.0))
+    # Half the time at 3x, half at 1x -> ~2x the flat tuple count.
+    assert bursty > flat * 1.5
