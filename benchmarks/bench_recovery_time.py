@@ -1,0 +1,96 @@
+"""Recovery time vs retained-suffix length: checkpoint-shipped vs full replay.
+
+Not a paper figure: Section 4.5 of the paper recovers a crashed replica by
+replaying its inputs from the retained upstream logs, which makes recovery
+time O(retained window).  The ``repro.statexfer`` layer instead ships the
+surviving partner's latest recovery checkpoint and replays only the short
+suffix past the checkpoint's stream cursors -- O(suffix since last capture).
+This benchmark sweeps the failure duration (the knob that grows the replay
+suffix) on a fig18-style chain and measures, per mode:
+
+* **recovery_s** -- the modeled rejoin time
+  ``transfer_delay + replayed / redo_rate`` recorded by the recovering
+  replica (the simulation applies replay instantaneously in simulated time,
+  so the model is where the recovery-time axis lives);
+* **replayed / shipped_items** -- the suffix length each mode pays for and
+  the checkpoint items shipped in exchange;
+* **Proc_new** -- the client availability metric, which must not regress
+  when checkpointing is on.
+
+Asserted: for long failures checkpoint-shipped recovery actually engages
+(mode ``checkpoint``), its modeled recovery time and replay suffix are
+strictly smaller than full replay's, its recovery time stays roughly flat as
+the outage grows (while full replay's grows linearly), and -- the consistency
+half of the claim -- both modes converge to byte-identical stable ledgers.
+
+All recorded metrics are deterministic simulation outputs tracked against
+``BENCH_baseline.json`` by ``check_bench_regression.py`` (``*_recovery_s``
+and ``*proc_new`` are larger-is-worse).
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import recovery_time_sweep
+
+DURATIONS_QUICK = (4.0, 10.0)
+DURATIONS_FULL = (2.0, 4.0, 10.0, 20.0)
+#: Outages at least this long must take the checkpoint path (shorter ones may
+#: legitimately prefer full replay under the cost model).
+LONG_FAILURE = 4.0
+
+
+def test_recovery_time_vs_suffix(run_once, benchmark):
+    durations = DURATIONS_FULL if full_sweep() else DURATIONS_QUICK
+
+    pairs = run_once(recovery_time_sweep, durations)
+
+    lines = []
+    for checkpointed, replay in pairs:
+        lines.append(checkpointed.row())
+        lines.append(replay.row())
+        lines.append(
+            f"    -> recovery {checkpointed.recovery_s:.3f}s vs {replay.recovery_s:.3f}s "
+            f"({replay.recovery_s / checkpointed.recovery_s:.1f}x), suffix "
+            f"{checkpointed.replayed} vs {replay.replayed} tuples"
+        )
+    print_results(
+        "Recovery time vs retained-suffix length (checkpoint-shipped vs full replay)",
+        lines,
+    )
+
+    for checkpointed, replay in pairs:
+        tag = f"{checkpointed.failure_duration:g}s"
+        benchmark.extra_info[f"ckpt_{tag}_recovery_s"] = round(checkpointed.recovery_s, 6)
+        benchmark.extra_info[f"replay_{tag}_recovery_s"] = round(replay.recovery_s, 6)
+        benchmark.extra_info[f"ckpt_{tag}_proc_new"] = round(checkpointed.proc_new, 6)
+        benchmark.extra_info[f"replay_{tag}_proc_new"] = round(replay.proc_new, 6)
+        benchmark.extra_info[f"ckpt_{tag}_replayed"] = checkpointed.replayed
+        benchmark.extra_info[f"replay_{tag}_replayed"] = replay.replayed
+        benchmark.extra_info[f"ckpt_{tag}_shipped_items"] = checkpointed.shipped_items
+
+    for checkpointed, replay in pairs:
+        label = f"failure {checkpointed.failure_duration:g}s"
+        # Both modes heal to a consistent ledger...
+        assert checkpointed.eventually_consistent, label
+        assert replay.eventually_consistent, label
+        # ...and to the *same* ledger: checkpoint adoption must not change
+        # a single stable tuple the client ends up with.
+        assert checkpointed.ledger_rows == replay.ledger_rows, label
+        assert replay.mode == "replay", label
+        if checkpointed.failure_duration >= LONG_FAILURE:
+            # The headline claim: on long failures the checkpoint path engages
+            # and beats full replay on both the modeled time and the suffix.
+            assert checkpointed.mode == "checkpoint", label
+            assert checkpointed.recovery_s < replay.recovery_s, label
+            assert checkpointed.replayed < replay.replayed, label
+
+    # Full replay's cost grows with the outage; the checkpoint path's stays
+    # bounded by the capture cadence, so the gap widens with the failure.
+    longest_ckpt, longest_replay = pairs[-1]
+    shortest_ckpt, shortest_replay = pairs[0]
+    assert longest_replay.recovery_s > shortest_replay.recovery_s
+    growth_ckpt = longest_ckpt.recovery_s - shortest_ckpt.recovery_s
+    growth_replay = longest_replay.recovery_s - shortest_replay.recovery_s
+    assert growth_ckpt < growth_replay

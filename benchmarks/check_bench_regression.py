@@ -14,7 +14,9 @@ Only metrics whose name marks them as regression-tracked are compared:
   transport or protocol grew chattier;
 * ``*proc_new`` -- higher Proc_new means worse availability;
 * ``*_stable_tuples`` -- *fewer* delivered stable tuples means the
-  deployment stopped keeping up (inverted check).
+  deployment stopped keeping up (inverted check);
+* ``*_recovery_s`` -- longer modeled recovery time means a crashed replica
+  takes longer to rejoin (the checkpoint-shipped recovery axis).
 
 Improvements never fail the check; refresh the baseline deliberately with
 ``--write-baseline`` after a change that is supposed to move the numbers.
@@ -44,7 +46,7 @@ DEFAULT_WALL_TOLERANCE = 0.50
 #: Metric-name suffixes where *larger* is worse.  Only deterministic
 #: simulation metrics are hard-tracked; wall-clock readings vary with the
 #: host and are tracked warn-only (below) instead.
-LARGER_IS_WORSE = ("_events", "events_fired", "proc_new", "_undos")
+LARGER_IS_WORSE = ("_events", "events_fired", "proc_new", "_undos", "_recovery_s")
 
 #: Metric-name suffixes where *smaller* is worse.
 SMALLER_IS_WORSE = ("_stable_tuples",)

@@ -192,6 +192,27 @@ def _run_crash(scale: str) -> list[ResultTable]:
     return [table]
 
 
+def _run_recovery(scale: str) -> list[ResultTable]:
+    durations = (4.0, 10.0) if scale != "full" else (2.0, 4.0, 10.0, 20.0)
+    pairs = ablations.recovery_time_sweep(durations)
+    table = ResultTable(
+        title="Crash recovery: checkpoint-shipped rejoin vs full subscription replay",
+        row_label="failure",
+        column_label="metric",
+    )
+    for checkpointed, replay in pairs:
+        key = f"{checkpointed.failure_duration:g} s"
+        table.set(key, "ckpt mode", checkpointed.mode)
+        table.set(key, "ckpt recovery (s)", round(checkpointed.recovery_s, 3))
+        table.set(key, "replay recovery (s)", round(replay.recovery_s, 3))
+        table.set(key, "ckpt suffix", checkpointed.replayed)
+        table.set(key, "replay suffix", replay.replayed)
+        table.set(key, "shipped items", checkpointed.shipped_items)
+        table.set(key, "ledgers identical",
+                  checkpointed.ledger_rows == replay.ledger_rows)
+    return [table]
+
+
 def _run_granularity(scale: str) -> list[ResultTable]:
     results = [ablations.granularity_run(False), ablations.granularity_run(True)]
     return _results_to_tables(results, "Ablation: failure granularity", by="duration")
@@ -312,6 +333,11 @@ EXPERIMENTS: dict[str, ExperimentCommand] = {
     "detection": ExperimentCommand("detection", "Ablation: detection parameters", _run_detection),
     "crash": ExperimentCommand("crash", "Ablation: crash failover", _run_crash),
     "granularity": ExperimentCommand("granularity", "Ablation: failure granularity", _run_granularity),
+    "recovery": ExperimentCommand(
+        "recovery",
+        "State transfer: checkpoint-shipped vs full-replay crash recovery",
+        _run_recovery,
+    ),
 }
 
 
@@ -364,6 +390,12 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     from .errors import ConfigurationError, SimulationError
     from .runtime import ScenarioSpec
 
+    checkpoint_interval = "inherit"
+    if args.checkpoint_interval is not None:
+        # <= 0 disables recovery checkpoints (forces full-replay recovery).
+        checkpoint_interval = (
+            None if args.checkpoint_interval <= 0 else args.checkpoint_interval
+        )
     common = dict(
         name=args.name,
         replicas_per_node=args.replicas,
@@ -371,6 +403,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         settle=args.settle,
         seed=args.seed,
+        checkpoint_interval=checkpoint_interval,
     )
     if args.failure_node and args.failure != "crash":
         print(
@@ -507,6 +540,23 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     if args.scenario == "shard":
         spec = ScenarioSpec.sharded(shards=args.shards, **common)
+    elif args.scenario == "recovery":
+        # Crash one replica mid-run so the profile covers capture, transfer,
+        # adoption, and the post-rejoin replay suffix -- the statexfer path.
+        common.update(
+            replicas_per_node=max(args.replicas, 2),
+            warmup=5.0,
+            settle=max(args.duration - 5.0, 10.0),
+        )
+        spec = ScenarioSpec.chain(
+            args.depth, checkpoint_interval=2.0, **common
+        ).with_failure(
+            "crash",
+            start=5.0,
+            duration=max(args.duration * 0.4, 4.0),
+            node_level=0,
+            node_replica=0,
+        )
     elif args.scenario == "diamond":
         spec = ScenarioSpec.diamond(**common)
     elif args.scenario == "fanin":
@@ -640,6 +690,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="chain level of the node hit by a crash failure")
     scenario.add_argument("--failure-replica", type=int, default=0,
                           help="replica index of the node hit by a crash failure")
+    scenario.add_argument("--checkpoint-interval", type=float, default=None,
+                          help="recovery-checkpoint capture cadence in simulated seconds "
+                               "(default: the DPCConfig cadence; <= 0 disables checkpoints "
+                               "and forces full-replay crash recovery)")
     scenario.add_argument("--seed", type=int, default=None,
                           help="determinism seed (same seed => identical run)")
     scenario.set_defaults(func=_cmd_scenario)
@@ -651,8 +705,10 @@ def build_parser() -> argparse.ArgumentParser:
         "cProfile and print the top-N hot spots, so perf PRs start from data "
         "instead of guesses.",
     )
-    profile.add_argument("scenario", choices=("chain", "diamond", "fanin", "shard", "aggregate"),
-                         help="deployment shape to profile")
+    profile.add_argument("scenario",
+                         choices=("chain", "diamond", "fanin", "shard", "aggregate", "recovery"),
+                         help="deployment shape to profile ('recovery' crashes one replica "
+                              "mid-run and profiles the checkpoint-shipped rejoin)")
     profile.add_argument("--depth", type=int, default=2, help="chain depth (chain only)")
     profile.add_argument("--shards", type=int, default=4, help="shard count (shard only)")
     profile.add_argument("--window-size", type=float, default=1.0,

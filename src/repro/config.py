@@ -153,6 +153,15 @@ class DPCConfig:
     * ``tentative_bucket_wait`` -- minimum wait before processing a tentative
       bucket (300 ms in the implementation described by the paper, because
       tentative boundaries are not produced).
+    * ``checkpoint_interval`` -- cadence (seconds) at which a STABLE replica
+      captures a recovery checkpoint of its whole fragment so a crashed peer
+      can rejoin from shipped state plus a short replay suffix instead of
+      replaying the entire retained window.  ``None`` disables periodic
+      capture, forcing full-replay recovery.
+    * ``checkpoint_transfer_cost`` -- simulated seconds per checkpointed
+      state item when shipping a recovery checkpoint between replicas, on
+      top of the fixed ``checkpoint_cost``; makes transfer non-instantaneous
+      so shipping races the replay it replaces.
     """
 
     max_incremental_latency: float = 3.0
@@ -171,6 +180,8 @@ class DPCConfig:
     tentative_bucket_wait: float = 0.3
     per_stream_granularity: bool = False
     buffer_policy: BufferPolicy = field(default_factory=BufferPolicy)
+    checkpoint_interval: float | None = 2.0
+    checkpoint_transfer_cost: float = 0.00002
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` if any field is inconsistent."""
@@ -194,6 +205,10 @@ class DPCConfig:
             raise ConfigurationError("queuing_allowance cannot be negative")
         if self.startup_grace < 0:
             raise ConfigurationError("startup_grace cannot be negative")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ConfigurationError("checkpoint_interval must be positive or None")
+        if self.checkpoint_transfer_cost < 0:
+            raise ConfigurationError("checkpoint_transfer_cost cannot be negative")
         self.buffer_policy.validate()
 
     def node_delay(self, chain_depth: int) -> float:

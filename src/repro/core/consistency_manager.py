@@ -190,6 +190,11 @@ class ConsistencyManager:
 
     # ------------------------------------------------------------------ control loop
     def control_tick(self, now: float) -> None:
+        if getattr(self.owner, "is_adopting", False):
+            # Mid-adoption of a shipped recovery checkpoint: detection and
+            # switching would act on monitor state the adoption is about to
+            # overwrite, and every outbound message would be wasted.
+            return
         self._send_heartbeats(now)
         self._detect_and_switch(now)
         self._check_healing(now)

@@ -19,7 +19,7 @@ by an :class:`OutputStreamManager`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from ..config import BufferPolicy
 from ..errors import BufferOverflowError, ProtocolError
@@ -131,6 +131,37 @@ class OutputStreamManager:
         if item.is_boundary:
             return self._writer.boundary(max(item.stime, self._writer.last_boundary_stime))
         return self._writer.rec_done(item.stime)
+
+    # ------------------------------------------------------------------ state transfer
+    def snapshot_state(self) -> dict:
+        """Capture this manager's transferable state (tuples are immutable,
+        so a shallow buffer copy suffices)."""
+        return {
+            "stream": self.stream,
+            "writer": self._writer.snapshot(),
+            "buffer": list(self._buffer),
+            "base_index": self._base_index,
+            "stable_seq": self._stable_seq,
+            "last_appended_stime": self.last_appended_stime,
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Adopt a partner replica's output state (checkpoint-shipped recovery).
+
+        Every live subscription cursor is moved to the adopted *end* index:
+        subscribers followed another replica while this one was down, so
+        replaying the adopted buffer's historical tentative/undo tail to them
+        would be harmful; a later switch-back renegotiates its own position
+        through a stable-seq :class:`SubscribeRequest`.
+        """
+        self._writer.restore(state["writer"])
+        self._buffer = list(state["buffer"])
+        self._base_index = int(state["base_index"])
+        self._stable_seq = int(state["stable_seq"])
+        self.last_appended_stime = float(state["last_appended_stime"])
+        end = self._end_index()
+        for subscription in self._subscriptions.values():
+            subscription.next_index = end
 
     # ------------------------------------------------------------------ subscriptions
     @property

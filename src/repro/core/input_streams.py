@@ -84,6 +84,13 @@ class InputStreamMonitor:
 
     # --- replica-independent position ----------------------------------------
     stable_received: int = 0
+    #: Last source-log tuple id processed on this stream (data *or* boundary;
+    #: source tuples carry no stable_seq, so this is the replayable cursor a
+    #: recovery checkpoint records for source-fed streams).  Only maintained
+    #: when :attr:`track_source_ids` is set, i.e. a data source feeds the
+    #: stream directly.
+    source_position: int = -1
+    track_source_ids: bool = False
     #: True between a crash-recovery resubscription and the arrival of its
     #: replay.  While set, stable tuples *beyond* the expected position are
     #: rejected: they come from the producer's stale pre-crash cursor (whose
@@ -103,6 +110,8 @@ class InputStreamMonitor:
     def add_producer(self, endpoint: str, is_source: bool = False) -> ProducerInfo:
         info = ProducerInfo(endpoint=endpoint, is_source=is_source)
         self.producers[endpoint] = info
+        if is_source:
+            self.track_source_ids = True
         if self.primary is None:
             self.primary = endpoint
         return info
@@ -136,6 +145,12 @@ class InputStreamMonitor:
         # Ordered by steady-state frequency: stable data first, then
         # punctuation, then the failure-handling tuple kinds.
         if item.is_stable:
+            if self.track_source_ids and item.tuple_id <= self.source_position:
+                # Source tuples carry no stable_seq; their log id is the
+                # replica-independent position instead.  Re-deliveries below
+                # the processed cursor happen after a checkpoint adoption
+                # rewound the source's delivery cursor.
+                return "duplicate"
             if item.stable_seq is not None and item.stable_seq < self.stable_received:
                 return "duplicate"
             if (
@@ -152,12 +167,18 @@ class InputStreamMonitor:
                 self.stable_received = item.stable_seq + 1
             else:
                 self.stable_received += 1
+            if self.track_source_ids:
+                self.source_position = item.tuple_id
             self.tentative_since_stable = 0
             self.stable_buffer.append(item)
             return "accept"
         if item.is_boundary:
             self.last_boundary_arrival = now
             self.last_boundary_stime = max(self.last_boundary_stime, item.stime)
+            if self.track_source_ids and item.tuple_id <= self.source_position:
+                # Re-delivered source punctuation (see the stable-data path);
+                # it already served as liveness evidence above.
+                return "duplicate"
             if self.awaiting_replay:
                 # Stale-cursor punctuation racing the resubscription replay:
                 # it promises stability for stimes whose data we have not

@@ -38,14 +38,21 @@ from ..spe.engine import LocalEngine
 from ..spe.operators.sunion import SUnion
 from ..spe.query_diagram import QueryDiagram
 from ..spe.tuples import StreamTuple
+from ..statexfer import PeerRegistry, RecoveryCheckpoint, adopt_checkpoint, capture_checkpoint, transfer_delay
 from .consistency_manager import ConsistencyManager
 from .data_path import DataPath
 from .protocol import (
+    CHECKPOINT_REQUEST,
+    CHECKPOINT_RESPONSE,
     DATA,
     HEARTBEAT_RESPONSE,
+    SOURCE_RESUBSCRIBE,
     SUBSCRIBE,
     UNSUBSCRIBE,
+    CheckpointRequest,
+    CheckpointResponse,
     HeartbeatResponse,
+    SourceResubscribe,
     SubscribeRequest,
     TupleBatch,
     UnsubscribeRequest,
@@ -109,6 +116,25 @@ class ProcessingNode:
         self._crashed = False
         self._started = False
         self._next_control_at = 0.0
+
+        # --- checkpoint-shipped recovery (repro.statexfer) -------------------------
+        #: Peer registry wired by the deploy layer; ``None`` (hand-built
+        #: nodes) keeps the legacy full-replay recovery path.
+        self.statexfer_registry: PeerRegistry | None = None
+        #: Latest periodic recovery checkpoint.  Held in memory only, so a
+        #: crash loses it -- exactly the fail-stop model the paper assumes.
+        self._recovery_checkpoint: RecoveryCheckpoint | None = None
+        #: True between sending a CHECKPOINT_REQUEST to a partner and adopting
+        #: (or giving up on) its response; all other traffic is dropped.
+        self._adopting = False
+        self._recovery_epoch = 0
+        self._next_recovery_capture_at = 0.0
+        self._recovery_started_at = 0.0
+        self.recovery_checkpoints_taken = 0
+        #: One record per recover() call: mode ("checkpoint" / "replay" /
+        #: "replay-fallback"), replay-suffix length, shipped item count, and
+        #: the modeled recovery time.  Surfaced by the runtime summary.
+        self.recoveries: list[dict] = []
         # --- unsolicited state advertisement ---------------------------------------
         #: Endpoints that monitor this node's state (downstream consumers and
         #: the client proxy); they receive a pushed HeartbeatResponse every
@@ -187,6 +213,11 @@ class ProcessingNode:
         return self.cm.state
 
     @property
+    def is_adopting(self) -> bool:
+        """True while waiting for a partner's checkpoint transfer."""
+        return self._adopting
+
+    @property
     def fragment_dirty(self) -> bool:
         """True while the fragment state reflects tentative processing."""
         return self._fragment_dirty
@@ -235,6 +266,27 @@ class ProcessingNode:
     def _on_message(self, message: Message, now: float) -> None:
         if self._crashed:
             return
+        if self._adopting:
+            # While adopting a partner checkpoint, data and control traffic is
+            # dropped: stale-cursor flushes racing the adoption would
+            # interleave with state the checkpoint already covers.
+            # Subscription management still goes through (it only touches the
+            # output managers, and stable-seq dedup makes any overlap with the
+            # adopted buffer harmless) so a subscriber switching to this
+            # replica mid-window is not left waiting for its replay.
+            if message.kind == CHECKPOINT_RESPONSE:
+                self._on_checkpoint_response(message.payload, now)
+            elif message.kind == SUBSCRIBE:
+                self._on_subscribe(message.payload, now)
+            elif message.kind == UNSUBSCRIBE:
+                self._on_unsubscribe(message.payload)
+            return
+        if message.kind == CHECKPOINT_REQUEST:
+            self._on_checkpoint_request(message.payload, now)
+            return
+        if message.kind == CHECKPOINT_RESPONSE:
+            self._on_checkpoint_response(message.payload, now)
+            return
         if self.cm.handle_message(message, now):
             return
         if message.kind == DATA:
@@ -278,9 +330,16 @@ class ProcessingNode:
             return
         if batch.replay:
             self.cm.note_replay(batch.stream)
-        feed_fragment = role == "primary" and not self._reconciling
         stream = batch.stream
-        record_arrival = self.cm.monitor(stream).record_tuple
+        monitor = self.cm.monitor(stream)
+        if monitor.awaiting_replay and monitor.track_source_ids and not batch.replay:
+            # A stale-cursor source flush racing the SOURCE_RESUBSCRIBE
+            # replay: the link is FIFO, so everything arriving before the
+            # replay-flagged batch predates the cursor reset and is covered
+            # by the adopted checkpoint plus the replay.
+            return
+        feed_fragment = role == "primary" and not self._reconciling
+        record_arrival = monitor.record_tuple
         to_feed: list[StreamTuple] = []
         append = to_feed.append
         saw_tentative = False
@@ -349,12 +408,13 @@ class ProcessingNode:
 
     # ------------------------------------------------------------------ periodic work
     def _periodic_tick(self, now: float) -> None:
-        if self._crashed:
+        if self._crashed or self._adopting:
             return
         self._emit_tentative_if_due(now)
         self._flush_outputs(now)
         self._push_state(now)
         self._housekeeping(now)
+        self._maybe_capture_recovery_checkpoint(now)
 
     def _push_state(self, now: float) -> None:
         """Advertise this node's state to watchers that saw no recent data.
@@ -458,6 +518,38 @@ class ProcessingNode:
         ):
             for monitor in self.cm.monitors.values():
                 monitor.clear_stable_buffer()
+
+    def _maybe_capture_recovery_checkpoint(self, now: float) -> None:
+        """Periodically capture the fragment for checkpoint-shipped recovery.
+
+        Only while the node is clean and STABLE: a checkpoint taken during
+        tentative processing or reconciliation would ship unstable state.
+        The capture is a pure in-memory read (no simulated events), but it
+        acknowledges the captured input positions to the data sources so they
+        can truncate the log prefixes the checkpoint now covers.
+        """
+        interval = self.config.checkpoint_interval
+        registry = self.statexfer_registry
+        if (
+            interval is None
+            or registry is None
+            or self._fragment_dirty
+            or self._reconciling
+            or self._checkpoint is not None
+            or self.cm.state is not NodeState.STABLE
+            or self.cm.failed_streams()
+            or now + 1e-9 < self._next_recovery_capture_at
+        ):
+            return
+        self._next_recovery_capture_at = now + interval
+        self._recovery_checkpoint = capture_checkpoint(self, now)
+        self.recovery_checkpoints_taken += 1
+        for stream, monitor in self.cm.monitors.items():
+            if not monitor.track_source_ids:
+                continue
+            source = registry.source_of(stream)
+            if source is not None:
+                source.acknowledge_checkpoint(self.endpoint, monitor.source_position)
 
     # ------------------------------------------------------------------ ConsistencyOwner interface
     def on_input_failure(self, stream: str, now: float) -> None:
@@ -693,27 +785,45 @@ class ProcessingNode:
     def crash(self) -> None:
         """Fail-stop this replica: it stops sending, receiving, and processing."""
         self._crashed = True
+        # Fail-stop loses everything in memory, including the recovery
+        # checkpoint this replica held for *its* partners.
+        self._recovery_checkpoint = None
+        self._adopting = False
         self.network.crash(self.endpoint)
 
     def recover(self) -> None:
-        """Restart from an empty state and resubscribe to upstream neighbors.
+        """Restart and rejoin the replica group.
 
-        Rebuilding the full pre-crash state is delegated to the normal
-        subscription replay: the node resubscribes to every input stream from
-        the beginning of what its upstream neighbors still buffer.
+        Fast path (checkpoint-shipped): when a reachable replica partner holds
+        a recovery checkpoint, fetch it and rejoin from shipped state plus the
+        short replay suffix past the checkpoint's stream cursors -- O(suffix
+        since last capture) instead of O(retained window).  Fallback: rebuild
+        the pre-crash state through full subscription replay, as before.
         """
         self.network.recover(self.endpoint)
         self._crashed = False
         self._checkpoint = None
         self._fragment_dirty = False
         self._reconciling = False
+        now = self.simulator.now
+        if self._begin_checkpoint_recovery(now):
+            return
+        self._legacy_recover(now, mode="replay")
+
+    def _legacy_recover(self, now: float, mode: str) -> None:
+        """Rebuild state via full subscription replay (the pre-statexfer path)."""
+        replayed = self._pending_replay_estimate()
         for monitor in self.cm.monitors.values():
             monitor.clear_stable_buffer()
             # Failure flags raised while the node was down are deliberately
             # kept: the normal healing path (boundaries flowing again on every
             # failed input) is what moves the node back to STABLE once it has
             # caught up with the replayed input.
-            monitor.last_boundary_arrival = self.simulator.now
+            monitor.last_boundary_arrival = now
+            # Source streams replay automatically from the source's frozen
+            # delivery cursor; no replay-flagged response will come, so any
+            # gate left armed by an abandoned adoption must be cleared.
+            monitor.awaiting_replay = False
             primary = monitor.primary
             if primary is not None and not monitor.producers[primary].is_source:
                 # Until the replay arrives, reject stable data beyond the
@@ -734,6 +844,224 @@ class ProcessingNode:
                         filter=monitor.subscription_filter,
                     ),
                 )
+        self.recoveries.append(
+            {
+                "mode": mode,
+                "at": now,
+                "replayed": replayed,
+                "shipped_items": 0,
+                "transfer_delay": 0.0,
+                "recovery_s": replayed / self.config.redo_rate,
+            }
+        )
+
+    def _begin_checkpoint_recovery(self, now: float) -> bool:
+        """Start adopting a partner's checkpoint; False when none is usable.
+
+        Discovery is a zero-message registry peek (no simulated events are
+        spent finding out that nothing is available -- crucial for keeping
+        checkpoint-less runs byte-identical); the transfer itself travels as
+        messages with a size-proportional delay.
+        """
+        registry = self.statexfer_registry
+        if registry is None or self.config.checkpoint_interval is None:
+            return False
+        partner: str | None = None
+        expected_items = 0
+        for candidate in self.cm.replica_partners:
+            if not self.network.can_communicate(self.endpoint, candidate):
+                continue
+            peer = registry.node_of(candidate)
+            if peer is None or peer._recovery_checkpoint is None:
+                continue
+            # "Usable" means cheaper under the recovery-time model than full
+            # replay from this node's own frozen positions.  A partner that
+            # stopped capturing before we crashed (e.g. it spent the failure
+            # window in UP_FAILURE) can hold a checkpoint *older* than our own
+            # state; paying the transfer to then replay a longer suffix would
+            # be a strictly worse rejoin.
+            candidate_ckpt = peer._recovery_checkpoint
+            own_s = self._pending_replay_estimate() / self.config.redo_rate
+            ckpt_s = (
+                transfer_delay(self.config, candidate_ckpt.item_count)
+                + self._checkpoint_replay_estimate(candidate_ckpt) / self.config.redo_rate
+            )
+            if ckpt_s >= own_s:
+                continue
+            partner = candidate
+            expected_items = candidate_ckpt.item_count
+            break
+        if partner is None:
+            return False
+        self._adopting = True
+        self._recovery_epoch += 1
+        self._recovery_started_at = now
+        epoch = self._recovery_epoch
+        self.network.send(
+            self.endpoint,
+            partner,
+            CHECKPOINT_REQUEST,
+            CheckpointRequest(requester=self.endpoint),
+        )
+        # Safety net: if the partner (or its response) dies mid-transfer, give
+        # up on adoption and fall back to full subscription replay.
+        deadline = (
+            transfer_delay(self.config, expected_items)
+            + 2 * self.sim_config.network_latency
+            + 3 * self.config.keepalive_period
+        )
+        self.simulator.schedule_in(
+            deadline,
+            lambda fire_time, expected_epoch=epoch: self._adoption_fallback(
+                fire_time, expected_epoch
+            ),
+            kind=EventKind.INTERNAL,
+            description=f"{self.name} checkpoint-recovery fallback",
+        )
+        return True
+
+    def _adoption_fallback(self, now: float, expected_epoch: int) -> None:
+        if expected_epoch != self._recovery_epoch or not self._adopting or self._crashed:
+            return
+        self._adopting = False
+        self._legacy_recover(now, mode="replay-fallback")
+
+    def _on_checkpoint_request(self, request: CheckpointRequest, now: float) -> None:
+        """Serve this replica's latest recovery checkpoint to a partner.
+
+        The response is delayed by the modeled transfer time (fixed cost plus
+        a per-item cost), so shipping a large checkpoint genuinely races the
+        replay it replaces.
+        """
+        checkpoint = self._recovery_checkpoint
+        delay = transfer_delay(self.config, checkpoint.item_count if checkpoint else 0)
+
+        def _respond(fire_time: float) -> None:
+            if self._crashed:
+                return
+            self.network.send(
+                self.endpoint,
+                request.requester,
+                CHECKPOINT_RESPONSE,
+                CheckpointResponse(responder=self.endpoint, checkpoint=checkpoint),
+            )
+
+        self.simulator.schedule_in(
+            delay,
+            _respond,
+            kind=EventKind.INTERNAL,
+            description=f"{self.name} checkpoint transfer",
+        )
+
+    def _on_checkpoint_response(self, response: CheckpointResponse, now: float) -> None:
+        if not self._adopting:
+            return  # late response; the fallback already took over
+        self._adopting = False
+        self._recovery_epoch += 1  # disarm the pending fallback timer
+        checkpoint = response.checkpoint
+        if checkpoint is None:
+            self._legacy_recover(now, mode="replay-fallback")
+            return
+        adopt_checkpoint(self, checkpoint, now)
+        self._resubscribe_from_adopted(now)
+        replayed = self._pending_replay_estimate()
+        self.recoveries.append(
+            {
+                "mode": "checkpoint",
+                "at": now,
+                "replayed": replayed,
+                "shipped_items": checkpoint.item_count,
+                "transfer_delay": now - self._recovery_started_at,
+                "recovery_s": (now - self._recovery_started_at)
+                + replayed / self.config.redo_rate,
+            }
+        )
+        # Captures resume on the normal cadence relative to the rejoin.
+        self._next_recovery_capture_at = now + (self.config.checkpoint_interval or 0.0)
+
+    def _resubscribe_from_adopted(self, now: float) -> None:
+        """Resubscribe every input from the adopted checkpoint's cursors."""
+        registry = self.statexfer_registry
+        for monitor in self.cm.monitors.values():
+            monitor.last_boundary_arrival = now
+            primary = monitor.primary
+            if primary is None:
+                continue
+            if monitor.producers[primary].is_source:
+                # The source's delivery cursor froze at this node's pre-crash
+                # position; reposition it to the adopted cursor.  The replay
+                # gate stays armed until the replay-flagged response arrives
+                # (FIFO links: everything before it predates the reset).
+                monitor.awaiting_replay = True
+                self.network.send(
+                    self.endpoint,
+                    primary,
+                    SOURCE_RESUBSCRIBE,
+                    SourceResubscribe(
+                        stream=monitor.stream,
+                        subscriber=self.endpoint,
+                        after_tuple_id=monitor.source_position,
+                    ),
+                )
+            else:
+                monitor.awaiting_replay = True
+                self.network.send(
+                    self.endpoint,
+                    primary,
+                    SUBSCRIBE,
+                    SubscribeRequest(
+                        stream=monitor.stream,
+                        subscriber=self.endpoint,
+                        last_stable_seq=monitor.stable_received - 1,
+                        had_tentative=False,
+                        replay_tentative=False,
+                        filter=monitor.subscription_filter,
+                    ),
+                )
+
+    def _pending_replay_estimate(self) -> int:
+        """Tuples upstream neighbors will replay past this node's positions.
+
+        A zero-cost read through the peer registry (0 when the node was wired
+        by hand without one); feeds the recovery-time model
+        ``recovery_s = transfer + replayed / redo_rate``.
+        """
+        return self._replay_estimate(
+            lambda monitor: (monitor.stable_received, monitor.source_position)
+        )
+
+    def _checkpoint_replay_estimate(self, checkpoint) -> int:
+        """Replay suffix a rejoin from ``checkpoint``'s cursors would incur."""
+        cursors = checkpoint.input_cursors
+
+        def positions(monitor):
+            cursor = cursors.get(monitor.stream)
+            if cursor is None:
+                return (monitor.stable_received, monitor.source_position)
+            return (cursor.stable_received, cursor.source_position)
+
+        return self._replay_estimate(positions)
+
+    def _replay_estimate(self, positions) -> int:
+        registry = self.statexfer_registry
+        if registry is None:
+            return 0
+        total = 0
+        for stream, monitor in self.cm.monitors.items():
+            primary = monitor.primary
+            if primary is None:
+                continue
+            stable_received, source_position = positions(monitor)
+            if monitor.producers[primary].is_source:
+                source = registry.source_of(stream)
+                if source is not None:
+                    total += len(source.log.replay_after(source_position))
+            else:
+                peer = registry.node_of(primary)
+                if peer is not None:
+                    produced = peer.data_path.output(stream).stable_seq
+                    total += max(0, produced - stable_received + 1)
+        return total
 
     # ------------------------------------------------------------------ introspection
     def statistics(self) -> dict:

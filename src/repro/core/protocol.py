@@ -29,6 +29,9 @@ HEARTBEAT_REQUEST = "heartbeat_request"
 HEARTBEAT_RESPONSE = "heartbeat_response"
 RECONCILE_REQUEST = "reconcile_request"
 RECONCILE_REPLY = "reconcile_reply"
+CHECKPOINT_REQUEST = "checkpoint_request"
+CHECKPOINT_RESPONSE = "checkpoint_response"
+SOURCE_RESUBSCRIBE = "source_resubscribe"
 
 
 @dataclass(frozen=True)
@@ -133,6 +136,50 @@ class HeartbeatResponse:
 
     def state_of(self, stream: str) -> NodeState:
         return self.stream_states.get(stream, self.node_state)
+
+
+@dataclass(frozen=True)
+class CheckpointRequest:
+    """Ask a replica partner for its latest recovery checkpoint.
+
+    Sent by a replica that just restarted after a crash (Section 4.3: a
+    recovering node "rebuilds its state" from a peer).  The responder answers
+    with a :class:`CheckpointResponse` after a size-proportional transfer
+    delay, so shipping state races the subscription replay it replaces.
+    """
+
+    requester: str
+
+
+@dataclass(frozen=True)
+class CheckpointResponse:
+    """Reply to a :class:`CheckpointRequest`.
+
+    ``checkpoint`` is a :class:`repro.statexfer.RecoveryCheckpoint` (or
+    ``None`` when the responder has no usable checkpoint, e.g. checkpointing
+    is disabled or no capture has happened yet); the requester falls back to
+    full subscription replay on ``None``.
+    """
+
+    responder: str
+    checkpoint: object | None = None
+
+
+@dataclass(frozen=True)
+class SourceResubscribe:
+    """Reposition a data source's delivery cursor for one subscriber.
+
+    ``after_tuple_id`` is a tuple id in the source's :class:`StreamLog`
+    coordinates: the source rewinds (or advances) the subscriber's cursor to
+    it and replays everything after it, flagging the first batch ``replay``
+    so the subscriber can tell it apart from stale-cursor flushes already in
+    flight.  Used when a recovering replica adopts a peer checkpoint whose
+    input cursor differs from the cursor the source froze at crash time.
+    """
+
+    stream: str
+    subscriber: str
+    after_tuple_id: int
 
 
 @dataclass(frozen=True)

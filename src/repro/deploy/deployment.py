@@ -38,8 +38,7 @@ from ..sim.events import EventKind
 from ..sim.failures import FailureInjector
 from ..sim.network import Network
 from ..sim.sources import DataSource
-from ..spe.checkpoint import OperatorCheckpoint
-from ..spe.operators import SJoin
+from ..statexfer import PeerRegistry, extract_sjoin_state, merge_sjoin_state
 from ..workloads.generators import PayloadFactory, default_payload_factory
 from .filters import SubscriptionFilter
 from .placement import (
@@ -283,6 +282,19 @@ def deploy_placement(
             for node in sink_group:
                 node.add_state_watcher(client.endpoint)
         cluster.clients.append(client)
+
+    # --- state-transfer peer registry -----------------------------------------------
+    # Checkpoint-shipped recovery discovers partners and prices replay
+    # suffixes through this registry (zero simulated messages); nodes built
+    # outside the deploy layer keep registry=None and fall back to full
+    # subscription replay.
+    registry = PeerRegistry()
+    for source in cluster.sources:
+        registry.register_source(source)
+    for group in cluster.nodes:
+        for node in group:
+            registry.register_node(node)
+            node.statexfer_registry = registry
 
     deployment = Deployment(
         placement=placement,
@@ -557,11 +569,11 @@ class Deployment:
             target_group = self.cluster.node_group(shard_names[target])
             canonical: dict[int, list] = {}
             for index, source_node in enumerate(source_group):
-                extracted = _extract_sjoin_state(source_node, spec, buckets, cut_stime)
+                extracted = extract_sjoin_state(source_node, spec, buckets, cut_stime)
                 if index == 0:
                     canonical = extracted
             for target_node in target_group:
-                _merge_sjoin_state(target_node, canonical)
+                merge_sjoin_state(target_node, canonical)
             shipped += sum(len(items) for items in canonical.values())
         record["completed"] = True
         record["completed_at"] = now
@@ -584,48 +596,3 @@ class Deployment:
             f"<Deployment {self.topology.name!r} now={self.simulator.now:.3f} "
             f"rebalances={len(self.rebalances)} drained={sorted(self.drained)}>"
         )
-
-
-def _extract_sjoin_state(
-    node: ProcessingNode, spec, buckets: set[int], cut_stime: float
-) -> dict[int, list]:
-    """Remove and return the moved buckets' tuples from each SJoin of ``node``.
-
-    Keyed by the join's position within the fragment (replica names differ,
-    positions align across replicas of one logical node).
-    """
-    extracted: dict[int, list] = {}
-    joins = [op for op in node.diagram if isinstance(op, SJoin)]
-    for position, join in enumerate(joins):
-        state = join.checkpoint().state_copy()
-        moved: list = []
-        kept: list = []
-        for item in state["custom"].get("state", ()):
-            owned = (
-                item.stime < cut_stime
-                and spec.bucket_of(spec.key_of(item.values)) in buckets
-            )
-            (moved if owned else kept).append(item)
-        extracted[position] = moved
-        if moved:
-            state["custom"]["state"] = kept
-            join.restore(OperatorCheckpoint.capture(join.name, state))
-    return extracted
-
-
-def _merge_sjoin_state(node: ProcessingNode, canonical: dict[int, list]) -> None:
-    """Merge the canonical moved-bucket tuples into each SJoin of ``node``."""
-    joins = [op for op in node.diagram if isinstance(op, SJoin)]
-    for position, join in enumerate(joins):
-        moved = canonical.get(position, [])
-        if not moved:
-            continue
-        state = join.checkpoint().state_copy()
-        merged = sorted(
-            list(state["custom"].get("state", ())) + moved,
-            key=lambda item: (item.stime, item.values.get("seq", item.tuple_id)),
-        )
-        if len(merged) > join.state_size:
-            merged = merged[len(merged) - join.state_size:]
-        state["custom"]["state"] = merged
-        join.restore(OperatorCheckpoint.capture(join.name, state))

@@ -37,11 +37,15 @@ from .overhead import OverheadRow, serialization_overhead, table4, table5
 from .ablations import (
     BufferBoundResult,
     DetectionResult,
+    RecoveryResult,
     buffer_bound_run,
     crash_failover,
     detection_sweep,
     granularity_run,
+    recovery_run,
+    recovery_time_sweep,
     replica_sweep,
+    stable_ledger_rows,
 )
 
 __all__ = [
@@ -83,9 +87,13 @@ __all__ = [
     "table5",
     "BufferBoundResult",
     "DetectionResult",
+    "RecoveryResult",
     "buffer_bound_run",
     "crash_failover",
     "detection_sweep",
     "granularity_run",
+    "recovery_run",
+    "recovery_time_sweep",
     "replica_sweep",
+    "stable_ledger_rows",
 ]

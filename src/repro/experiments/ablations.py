@@ -244,6 +244,126 @@ def buffer_bound_run(
     )
 
 
+# --------------------------------------------------------------------------- checkpoint-shipped recovery
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Outcome of one crash-recovery run under one recovery mode."""
+
+    label: str
+    mode: str
+    failure_duration: float
+    recovery_s: float
+    replayed: int
+    shipped_items: int
+    transfer_delay: float
+    proc_new: float
+    tuples_processed: int
+    recovery_checkpoints: int
+    eventually_consistent: bool
+    ledger_rows: tuple = ()
+
+    def row(self) -> str:
+        return (
+            f"{self.label:<16} fail={self.failure_duration:5.1f}s  mode={self.mode:<16} "
+            f"recovery={self.recovery_s:6.3f}s  replayed={self.replayed:>5}  "
+            f"shipped={self.shipped_items:>5}  Proc_new={self.proc_new:5.2f}s  "
+            f"consistent={'yes' if self.eventually_consistent else 'NO'}"
+        )
+
+
+def stable_ledger_rows(client) -> tuple:
+    """The client's stable ledger as replica-independent rows.
+
+    Tuple ids are assigned per replica, so after a failure the ids in two
+    otherwise identical runs differ; ``(stable_seq, stime, values)`` is the
+    content the paper's eventual-consistency guarantee is about.
+    """
+    return tuple(
+        (item.stable_seq, repr(item.stime), tuple(sorted(item.values.items())))
+        for item in client.metrics.consistency.ledger
+        if item.is_stable
+    )
+
+
+def recovery_run(
+    *,
+    checkpoint_interval: float | None,
+    failure_duration: float = 8.0,
+    chain_depth: int = 2,
+    aggregate_rate: float = 90.0,
+    seed: int = 1,
+    warmup: float = 5.0,
+    settle: float = 20.0,
+    label: str | None = None,
+) -> RecoveryResult:
+    """Crash one replica for ``failure_duration`` and measure its rejoin.
+
+    With ``checkpoint_interval`` set, the surviving partner keeps capturing
+    recovery checkpoints during the outage, so the crashed replica rejoins
+    from shipped state plus a short replay suffix (O(suffix since the last
+    capture)); with ``None`` it rebuilds through full subscription replay of
+    the whole outage (O(retained window)).  Both modes must converge to the
+    same stable ledger -- compare :attr:`RecoveryResult.ledger_rows`.
+    """
+    if label is None:
+        label = "full replay" if checkpoint_interval is None else (
+            f"checkpoint@{checkpoint_interval:g}s"
+        )
+    spec = ScenarioSpec.chain(
+        chain_depth,
+        name=f"recovery-{label}",
+        aggregate_rate=aggregate_rate,
+        seed=seed,
+        warmup=warmup,
+        settle=settle + failure_duration * 0.5,
+        checkpoint_interval=checkpoint_interval,
+    ).with_failure(
+        "crash", start=warmup, duration=failure_duration, node_level=0, node_replica=0
+    )
+    runtime = spec.run()
+    node = runtime.node(0, 0)
+    record = (
+        node.recoveries[-1]
+        if node.recoveries
+        else {"mode": "none", "replayed": 0, "shipped_items": 0,
+              "transfer_delay": 0.0, "recovery_s": 0.0}
+    )
+    return RecoveryResult(
+        label=label,
+        mode=record["mode"],
+        failure_duration=failure_duration,
+        recovery_s=record["recovery_s"],
+        replayed=record["replayed"],
+        shipped_items=record["shipped_items"],
+        transfer_delay=record["transfer_delay"],
+        proc_new=runtime.client.proc_new,
+        tuples_processed=node.engine.tuples_processed,
+        recovery_checkpoints=sum(
+            n.recovery_checkpoints_taken for g in runtime.cluster.nodes for n in g
+        ),
+        eventually_consistent=runtime.eventually_consistent(),
+        ledger_rows=stable_ledger_rows(runtime.client),
+    )
+
+
+def recovery_time_sweep(
+    durations: Sequence[float] = (2.0, 4.0, 8.0, 16.0),
+    *,
+    checkpoint_interval: float = 2.0,
+    **kwargs,
+) -> list[tuple[RecoveryResult, RecoveryResult]]:
+    """``(checkpoint-shipped, full-replay)`` result pair per failure duration."""
+    return [
+        (
+            recovery_run(
+                checkpoint_interval=checkpoint_interval, failure_duration=duration, **kwargs
+            ),
+            recovery_run(checkpoint_interval=None, failure_duration=duration, **kwargs),
+        )
+        for duration in durations
+    ]
+
+
 # --------------------------------------------------------------------------- failure granularity
 def granularity_run(
     per_stream: bool,

@@ -64,7 +64,7 @@ class SimulationRuntime:
             filtered_routing=spec.filtered_routing,
         )
         self.deployment: Deployment = self.placement.deploy(
-            spec.config,
+            spec.dpc_config(),
             spec.sim_config,
             aggregate_rate=spec.aggregate_rate,
             payload_factory=spec.resolved_payload_factory(),
@@ -206,6 +206,17 @@ class SimulationRuntime:
         ]
         if self.deployment.rebalances:
             data["rebalances"] = [dict(record) for record in self.deployment.rebalances]
+        recoveries = [
+            dict(record, node=node.name)
+            for group in self.cluster.nodes
+            for node in group
+            for record in node.recoveries
+        ]
+        # Only surfaced when a checkpoint-shipped (or fallback) recovery
+        # actually happened: plain full-replay records would change the
+        # summary shape -- and the golden digests -- of legacy scenarios.
+        if any(record["mode"] != "replay" for record in recoveries):
+            data["recoveries"] = recoveries
         return data
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -72,6 +72,12 @@ class ScenarioSpec:
     sim_config: SimulationConfig | None = None
     #: Delay budget D assigned to every node; None derives it from the config.
     per_node_delay: float | None = None
+    #: Recovery-checkpoint cadence override: the sentinel ``"inherit"`` keeps
+    #: whatever ``config`` (or the default DPCConfig) says, ``None`` disables
+    #: periodic capture (forcing full-replay recovery), and a float sets the
+    #: cadence in simulated seconds.  A spec-level knob so recovery-mode
+    #: comparisons don't have to rebuild the whole DPCConfig.
+    checkpoint_interval: float | None | str = "inherit"
     # --- routing / reconfiguration --------------------------------------------
     #: Producer-side evaluation of ingress-select predicates (filtered
     #: subscriptions).  False restores the legacy multicast + ingress-Filter
@@ -210,7 +216,12 @@ class ScenarioSpec:
                     f"failure {spec.kind!r} runs until t={spec.start + spec.duration:g}s "
                     f"but the scenario duration is only {self.duration:g}s"
                 )
-        (self.config or DPCConfig()).validate()
+        if isinstance(self.checkpoint_interval, str) and self.checkpoint_interval != "inherit":
+            raise ConfigurationError(
+                f"checkpoint_interval must be a number, None, or 'inherit', "
+                f"got {self.checkpoint_interval!r}"
+            )
+        self.dpc_config().validate()
         (self.sim_config or SimulationConfig()).validate()
 
     # ------------------------------------------------------------------ derived values
@@ -233,7 +244,10 @@ class ScenarioSpec:
         return self.payload_factory
 
     def dpc_config(self) -> DPCConfig:
-        return self.config or DPCConfig()
+        config = self.config or DPCConfig()
+        if self.checkpoint_interval != "inherit":
+            config = config.with_(checkpoint_interval=self.checkpoint_interval)
+        return config
 
     def simulation_config(self) -> SimulationConfig:
         return self.sim_config or SimulationConfig()

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping
 
-from ..core.protocol import DATA, TupleBatch
+from ..core.protocol import DATA, SOURCE_RESUBSCRIBE, SourceResubscribe, TupleBatch
 from ..errors import SimulationError
 from ..spe.streams import StreamLog, StreamWriter
 from ..spe.tuples import StreamTuple
@@ -88,7 +88,53 @@ class DataSource:
         #: subscriber endpoint -> last tuple_id delivered (on this source's log).
         self._subscribers: dict[str, int] = {}
         self._connected: dict[str, bool] = {}
+        #: subscriber endpoint -> last tuple_id covered by a durable recovery
+        #: checkpoint at that subscriber; the log prefix every subscriber has
+        #: checkpointed is truncated (bounded retention).
+        self._checkpoint_acks: dict[str, int] = {}
+        #: Subscribers owed a replay-flagged batch once their link heals
+        #: (their cursor was repositioned while they were disconnected).
+        self._pending_replay: set[str] = set()
         self._started = False
+        # Addressable for cursor-repositioning requests from recovering nodes.
+        network.register(self.name, self._on_message)
+
+    # ------------------------------------------------------------------ messages
+    def _on_message(self, message, now: float) -> None:
+        if message.kind == SOURCE_RESUBSCRIBE:
+            self._on_resubscribe(message.payload)
+
+    def _on_resubscribe(self, request: SourceResubscribe) -> None:
+        """Reposition one subscriber's cursor and replay the suffix after it.
+
+        Used by checkpoint-shipped recovery: the adopted checkpoint's input
+        cursor supersedes whatever delivery position this source froze when
+        the subscriber crashed.  The response batch is flagged ``replay`` --
+        and sent even when empty -- so the subscriber can discard any
+        stale-cursor flushes racing it (the link is FIFO, so everything sent
+        before this reply predates the cursor reset).  While the subscriber's
+        stream is disconnected (an injected failure), only the cursor is
+        repositioned; the reply is owed -- and sent -- when the link heals,
+        so recovery cannot smuggle data through a failure window.
+        """
+        if request.subscriber not in self._subscribers:
+            return
+        self._subscribers[request.subscriber] = request.after_tuple_id
+        if not self._connected.get(request.subscriber, False):
+            self._pending_replay.add(request.subscriber)
+            return
+        self._send_replay(request.subscriber)
+
+    def _send_replay(self, endpoint: str) -> None:
+        pending = self.log.replay_after(self._subscribers[endpoint])
+        sent = self.network.send(
+            self.name,
+            endpoint,
+            DATA_MESSAGE,
+            TupleBatch.of(self.stream, pending, producer=self.name, replay=True),
+        )
+        if sent and pending:
+            self._subscribers[endpoint] = pending[-1].tuple_id
 
     # ------------------------------------------------------------------ subscriptions
     def subscribe(self, endpoint: str) -> None:
@@ -109,6 +155,7 @@ class DataSource:
         if endpoint not in self._subscribers:
             raise SimulationError(f"{endpoint!r} is not subscribed to {self.name!r}")
         self._connected[endpoint] = True
+        self._flush_pending_replay(endpoint)
 
     def disconnect_all(self) -> None:
         for endpoint in self._subscribers:
@@ -117,6 +164,14 @@ class DataSource:
     def reconnect_all(self) -> None:
         for endpoint in self._subscribers:
             self._connected[endpoint] = True
+        for endpoint in list(self._pending_replay):
+            self._flush_pending_replay(endpoint)
+
+    def _flush_pending_replay(self, endpoint: str) -> None:
+        """Send the replay-flagged batch owed from a resubscribe made mid-failure."""
+        if endpoint in self._pending_replay:
+            self._pending_replay.discard(endpoint)
+            self._send_replay(endpoint)
 
     def is_connected(self, endpoint: str) -> bool:
         return self._connected.get(endpoint, False)
@@ -232,6 +287,28 @@ class DataSource:
             )
             for endpoint in sent:
                 self._subscribers[endpoint] = pending[-1].tuple_id
+
+    # ------------------------------------------------------------------ checkpoint retention
+    def acknowledge_checkpoint(self, endpoint: str, tuple_id: int) -> int:
+        """Record that ``endpoint`` durably checkpointed through ``tuple_id``.
+
+        The log prefix that *every* subscriber has acknowledged is truncated
+        (subscribers that never acknowledged pin the log at its start), so
+        retained-log memory is bounded by the checkpoint cadence instead of
+        growing for the whole run.  Returns the number of entries truncated.
+        """
+        if endpoint not in self._subscribers:
+            return 0
+        acks = self._checkpoint_acks
+        acks[endpoint] = max(acks.get(endpoint, -1), tuple_id)
+        safe = min(acks.get(ep, -1) for ep in self._subscribers)
+        if safe < 0:
+            return 0
+        return self.log.truncate_through(safe)
+
+    def cursor_of(self, endpoint: str) -> int:
+        """Last tuple id delivered to ``endpoint`` (-1 when never delivered)."""
+        return self._subscribers.get(endpoint, -1)
 
     # ------------------------------------------------------------------ introspection
     @property

@@ -187,16 +187,25 @@ class Operator:
         return self.writer.data(item.stime, item.values, stable=not tentative)
 
     # ------------------------------------------------------------------ checkpointing
-    def checkpoint(self) -> OperatorCheckpoint:
-        """Snapshot all mutable state of this operator."""
-        state = {
+    def checkpoint_state(self) -> dict:
+        """All mutable state of this operator, as plain data.
+
+        Side-effect free, unlike :meth:`checkpoint`: it does not install a
+        per-operator undo point, so periodic recovery capture (the
+        ``repro.statexfer`` layer) can read state without perturbing the
+        reconciliation machinery.
+        """
+        return {
             "writer": self.writer.snapshot(),
             "port_boundaries": list(self._port_boundaries),
             "emitted_watermark": self._emitted_watermark,
             "seen_tentative_input": self._seen_tentative_input,
             "custom": self._checkpoint_state(),
         }
-        snapshot = OperatorCheckpoint.capture(self.name, state)
+
+    def checkpoint(self) -> OperatorCheckpoint:
+        """Snapshot all mutable state of this operator."""
+        snapshot = OperatorCheckpoint.capture(self.name, self.checkpoint_state())
         self._own_checkpoint = snapshot
         return snapshot
 
