@@ -1,0 +1,84 @@
+"""Elastic scale-out / scale-in under a load surge (the autoscaler loop).
+
+Not a paper figure: the paper's evaluation holds the deployment fixed, but
+the ROADMAP's production north-star needs elasticity.  This benchmark drives
+the surge-and-subside schedule of ``autoscale_run``: a zipfian hot-key
+workload doubles its rate mid-run, the autoscaler's watermark loop reacts by
+attaching shard fragments live (seeded cursors, widened merge fan-in, priced
+state handoff), and when the surge subsides it drains and decommissions the
+extra fragments again.  Asserted across determinism seeds:
+
+* the deployment scales out beyond its initial shard count and returns to
+  it within the run (the elastic round trip actually happens);
+* every handoff completes and none aborts on this failure-free schedule;
+* the merged ledger stays gap-free, duplicate-free, and ordered -- the
+  elastic round trip loses and duplicates nothing.
+
+The simulator event counts, Proc_new, and delivered stable tuples recorded
+in ``extra_info`` are deterministic and tracked against
+``BENCH_baseline.json`` by ``check_bench_regression.py``; wall-clock is
+recorded warn-only.
+"""
+
+from __future__ import annotations
+
+from conftest import full_sweep, print_results
+
+from repro.experiments import autoscale_run
+
+SEEDS_QUICK = (1, 2)
+SEEDS_FULL = (1, 2, 3, 4)
+
+
+def test_autoscale_surge_round_trip(run_once):
+    seeds = SEEDS_FULL if full_sweep() else SEEDS_QUICK
+
+    def sweep():
+        return [(seed, autoscale_run(seed)) for seed in seeds]
+
+    results = run_once(sweep)
+    lines = []
+    for seed, result in results:
+        autoscale = result.extra["autoscale"]
+        lines.append(result.row())
+        lines.append(
+            f"    seed={seed} shards 2 -> {autoscale['peak_shards']} -> "
+            f"{autoscale['final_shards']} actions={len(autoscale['actions'])} "
+            f"handoffs={autoscale['handoffs_completed']} "
+            f"aborts={autoscale['handoff_aborts']} "
+            f"state_shipped={autoscale['state_tuples_shipped']}"
+        )
+    print_results(
+        "Elasticity: autoscaler round trip under a 2x surge (2 shards -> peak -> 2)",
+        lines,
+    )
+
+    for seed, result in results:
+        label = f"autoscale seed={seed}"
+        autoscale = result.extra["autoscale"]
+        assert autoscale["peak_shards"] > 2, label
+        assert autoscale["final_shards"] == 2, label
+        assert autoscale["handoff_aborts"] == 0, label
+        assert autoscale["handoffs_completed"] >= 3, label
+        assert result.eventually_consistent, label
+
+
+def test_autoscale_trend_metrics(run_once, benchmark):
+    result = run_once(lambda: autoscale_run(1))
+    autoscale = result.extra["autoscale"]
+    print_results(
+        "Elasticity trend metrics (seed 1)",
+        [
+            result.row(),
+            f"    events={result.extra['events_fired']} "
+            f"scale_events={len(autoscale['scale_events'])} "
+            f"shipped={autoscale['state_tuples_shipped']} "
+            f"trimmed={autoscale['state_tuples_trimmed']}",
+        ],
+    )
+    benchmark.extra_info["autoscale_events"] = result.extra["events_fired"]
+    benchmark.extra_info["autoscale_proc_new"] = round(result.proc_new, 6)
+    benchmark.extra_info["autoscale_stable_tuples"] = result.n_stable
+    benchmark.extra_info["autoscale_peak_shards"] = autoscale["peak_shards"]
+    benchmark.extra_info["autoscale_state_shipped"] = autoscale["state_tuples_shipped"]
+    assert result.eventually_consistent

@@ -281,6 +281,28 @@ def _run_rebalance(scale: str) -> list[ResultTable]:
     return [table]
 
 
+def _run_autoscale(scale: str) -> list[ResultTable]:
+    seeds = (1, 2) if scale != "full" else (1, 2, 3, 4)
+    results = shards.autoscale_sweep(seeds)
+    table = ResultTable(
+        title="Elastic autoscaling: load surge -> scale-out, subsidence -> scale-in",
+        row_label="seed",
+        column_label="metric",
+    )
+    for seed, result in zip(seeds, results):
+        key = f"seed {seed}"
+        autoscale = result.extra["autoscale"]
+        table.set(key, "actions", len(autoscale["actions"]))
+        table.set(key, "peak shards", autoscale["peak_shards"])
+        table.set(key, "final shards", autoscale["final_shards"])
+        table.set(key, "handoffs completed", autoscale["handoffs_completed"])
+        table.set(key, "handoff aborts", autoscale["handoff_aborts"])
+        table.set(key, "state tuples shipped", autoscale["state_tuples_shipped"])
+        table.set(key, "Proc_new (s)", result.proc_new)
+        table.set(key, "consistent", result.eventually_consistent)
+    return [table]
+
+
 def _run_shard_throughput(scale: str) -> list[ResultTable]:
     counts = (1, 2, 4) if scale != "full" else (1, 2, 4, 8)
     rows = shards.shard_throughput_sweep(counts, aggregate_rate=1200.0, duration=15.0)
@@ -328,6 +350,11 @@ EXPERIMENTS: dict[str, ExperimentCommand] = {
         "rebalance",
         "Live rebalance: skewed load, mid-run bucket handoff between shards",
         _run_rebalance,
+    ),
+    "autoscale": ExperimentCommand(
+        "autoscale",
+        "Elastic autoscaling: surge-driven scale-out, subsidence-driven scale-in",
+        _run_autoscale,
     ),
     "replicas": ExperimentCommand("replicas", "Ablation: replicas per node", _run_replicas),
     "detection": ExperimentCommand("detection", "Ablation: detection parameters", _run_detection),
@@ -413,7 +440,11 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         )
         return 2
     if args.topology != "shard":
-        for flag, value in (("--skew", args.skew), ("--rebalance-at", args.rebalance_at)):
+        for flag, value in (
+            ("--skew", args.skew),
+            ("--rebalance-at", args.rebalance_at),
+            ("--autoscale", args.autoscale or None),
+        ):
             if value is not None:
                 print(
                     f"invalid scenario: {flag} only applies to --topology shard",
@@ -424,6 +455,12 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         print(
             "invalid scenario: --rebalance-tolerance only applies together with "
             "--rebalance-at",
+            file=sys.stderr,
+        )
+        return 2
+    if args.surge_until is not None and args.surge_at is None:
+        print(
+            "invalid scenario: --surge-until only applies together with --surge-at",
             file=sys.stderr,
         )
         return 2
@@ -444,6 +481,17 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                         if args.rebalance_tolerance is None
                         else args.rebalance_tolerance
                     ),
+                )
+            if args.autoscale:
+                from .deploy import AutoscalePolicy
+
+                spec = spec.with_overrides(
+                    autoscale=AutoscalePolicy(
+                        high_watermark=args.autoscale_high,
+                        low_watermark=args.autoscale_low,
+                        min_shards=args.shards,
+                        max_shards=args.shards + 2,
+                    )
                 )
         elif args.topology == "diamond":
             spec = ScenarioSpec.diamond(
@@ -486,6 +534,14 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             spec = spec.with_failure(
                 args.failure, duration=args.failure_duration, stream_index=args.failure_stream
             )
+        if args.surge_at is not None:
+            from .workloads.generators import step_rate
+
+            spec = spec.with_overrides(
+                rate_profile=step_rate(
+                    args.surge_at, args.surge_factor, until=args.surge_until
+                )
+            )
         runtime = spec.run()
     except (ConfigurationError, SimulationError) as error:
         # ConfigurationError: the spec was invalid up front.  SimulationError:
@@ -508,6 +564,17 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                   f"{len(record['moves'])} bucket move(s), imbalance "
                   f"{record['imbalance_before']:.3f} -> {record['imbalance_after']:.3f}, "
                   f"{record.get('state_tuples_shipped', 0)} join-state tuple(s) shipped")
+        for abort in record.get("aborts", ()):
+            print(f"    handoff aborted at t={abort['at']:g}s ({abort['reason']}); "
+                  f"{abort['restored_tuples']} tuple(s) restored to the old owner")
+    if runtime.autoscaler is not None:
+        for action in runtime.autoscaler.actions:
+            print(f"  autoscale at t={action['at']:g}s: {action['action']} -> "
+                  f"{action['shards']} shard(s) "
+                  f"(mean {action['rate_per_shard']:.1f} tuples/s per shard)")
+        print(f"  autoscale: {len(runtime.autoscaler.actions)} action(s), "
+              f"{len(runtime.autoscaler.skipped)} skipped tick(s), final "
+              f"{runtime.deployment.active_shards()} shard(s)")
     print(f"Proc_new (max latency of new results): {summary['proc_new']:.3f} s")
     print(f"stable / tentative / undone:           {summary['total_stable']} / "
           f"{summary['total_tentative']} / {summary['total_undos']}")
@@ -670,6 +737,24 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--rebalance-tolerance", type=float, default=None,
                           help="peak-to-mean shard-load tolerance of the mid-run "
                                "rebalance (default 0.10; requires --rebalance-at)")
+    scenario.add_argument("--autoscale", action="store_true",
+                          help="arm the elastic autoscaler loop on the sharded "
+                               "topology (scale-out past the high watermark, "
+                               "scale-in below the low one)")
+    scenario.add_argument("--autoscale-high", type=float, default=200.0,
+                          help="autoscaler high watermark in per-shard processed "
+                               "tuples per simulated second (default 200)")
+    scenario.add_argument("--autoscale-low", type=float, default=140.0,
+                          help="autoscaler low watermark in per-shard processed "
+                               "tuples per simulated second (default 140)")
+    scenario.add_argument("--surge-at", type=float, default=None,
+                          help="step every source to --surge-factor times its base "
+                               "rate at this simulated time")
+    scenario.add_argument("--surge-until", type=float, default=None,
+                          help="step the rate back down at this simulated time "
+                               "(requires --surge-at)")
+    scenario.add_argument("--surge-factor", type=float, default=2.0,
+                          help="rate multiplier of the surge window (default 2.0)")
     scenario.add_argument("--replicas", type=int, default=2, help="replicas per node")
     scenario.add_argument("--streams", type=int, default=None,
                           help="number of input streams (default 3; fanin splits them "

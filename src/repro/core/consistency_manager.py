@@ -108,6 +108,9 @@ class ConsistencyManager:
         self._reconcile_pending = False
         self._reconcile_requested_at: float | None = None
         self._started = False
+        #: Handle of the self-driven control chain (None when the owner's
+        #: unified tick drives the loop); cancelled on owner retirement.
+        self.control_handle = None
         # Statistics
         self.switches_performed = 0
         self.heartbeats_sent = 0
@@ -180,7 +183,7 @@ class ConsistencyManager:
         if self._started:
             return
         self._started = True
-        self.simulator.schedule_periodic(
+        self.control_handle = self.simulator.schedule_periodic(
             self.config.keepalive_period,
             self.control_tick,
             kind=EventKind.TIMER,

@@ -115,7 +115,12 @@ class ProcessingNode:
         self._redo_positions: dict[str, int] = {}
         self._crashed = False
         self._started = False
+        self._retired = False
         self._next_control_at = 0.0
+        #: Periodic timer chains started by :meth:`start`; cancelled when the
+        #: replica is retired by a scale-in so a decommissioned fragment stops
+        #: consuming simulator events.
+        self._tick_handles: list = []
 
         # --- checkpoint-shipped recovery (repro.statexfer) -------------------------
         #: Peer registry wired by the deploy layer; ``None`` (hand-built
@@ -177,21 +182,25 @@ class ProcessingNode:
         if ratio >= 1.0 and abs(ratio - round(ratio)) < 1e-9:
             self.cm.attach_external_driver()
             self._next_control_at = self.simulator.now + keepalive
-            self.simulator.schedule_periodic(
-                batch,
-                self._unified_tick,
-                kind=EventKind.TIMER,
-                description=f"{self.name} tick",
-                start_delay=batch,
+            self._tick_handles.append(
+                self.simulator.schedule_periodic(
+                    batch,
+                    self._unified_tick,
+                    kind=EventKind.TIMER,
+                    description=f"{self.name} tick",
+                    start_delay=batch,
+                )
             )
         else:
             self.cm.start()
-            self.simulator.schedule_periodic(
-                batch,
-                self._periodic_tick,
-                kind=EventKind.TIMER,
-                description=f"{self.name} data tick",
-                start_delay=batch,
+            self._tick_handles.append(
+                self.simulator.schedule_periodic(
+                    batch,
+                    self._periodic_tick,
+                    kind=EventKind.TIMER,
+                    description=f"{self.name} data tick",
+                    start_delay=batch,
+                )
             )
 
     def _unified_tick(self, now: float) -> None:
@@ -246,10 +255,25 @@ class ProcessingNode:
             subscription_filter=subscription_filter,
         )
 
+    def deregister_input_stream(self, stream: str) -> None:
+        """Forget an input stream whose producer fragment was decommissioned.
+
+        Live scale-in rewiring: the monitor is dropped, so the control loop
+        stops probing the retired producers and data still in flight from
+        them is classified "ignore" and discarded at arrival.
+        """
+        self.cm.monitors.pop(stream, None)
+
     def add_state_watcher(self, endpoint: str) -> None:
         """Register ``endpoint`` to receive pushed state advertisements."""
         if endpoint not in self._state_watchers:
             self._state_watchers.append(endpoint)
+
+    def remove_state_watcher(self, endpoint: str) -> None:
+        """Stop advertising state to a retired endpoint."""
+        if endpoint in self._state_watchers:
+            self._state_watchers.remove(endpoint)
+        self._last_sent_to.pop(endpoint, None)
 
     def register_subscriber(self, stream: str, subscriber: str, subscription_filter=None) -> None:
         """Attach a downstream subscriber at build time (no replay needed)."""
@@ -261,6 +285,66 @@ class ProcessingNode:
                 filter=subscription_filter,
             )
         )
+
+    def subscribe_live(self, stream: str) -> None:
+        """Subscribe to ``stream``'s primary producer from the monitor's cursor.
+
+        The scale-out attach path: unlike the build-time
+        :meth:`register_subscriber` (which wires the producer side directly
+        and discards replay), this sends a real SUBSCRIBE quoting the seeded
+        ``stable_received`` cursor, so the producer replays exactly the
+        suffix the new fragment has not covered -- the same request shape the
+        checkpoint-adoption rejoin uses.
+        """
+        monitor = self.cm.monitor(stream)
+        primary = monitor.primary
+        if primary is None or monitor.producers[primary].is_source:
+            return
+        monitor.awaiting_replay = True
+        self.network.send(
+            self.endpoint,
+            primary,
+            SUBSCRIBE,
+            SubscribeRequest(
+                stream=stream,
+                subscriber=self.endpoint,
+                last_stable_seq=monitor.stable_received - 1,
+                had_tentative=False,
+                replay_tentative=False,
+                filter=monitor.subscription_filter,
+            ),
+        )
+
+    def invalidate_recovery_checkpoint(self) -> None:
+        """Drop the held recovery checkpoint after a live rewiring.
+
+        Changing an operator's port layout (or extracting handoff state)
+        makes previously captured state stale: adopting it would restore a
+        ``port_boundaries`` list of the wrong length or resurrect state that
+        was shipped away.  The next periodic capture replaces it.
+        """
+        self._recovery_checkpoint = None
+
+    def retire(self) -> None:
+        """Gracefully and permanently remove this replica (scale-in).
+
+        Unlike :meth:`crash`, retirement is final: the periodic timer chains
+        are cancelled so the fragment stops consuming simulator events, and
+        the endpoint is unregistered from the network so late traffic is
+        dropped at delivery.  The caller (the deployment) is responsible for
+        unsubscribing this endpoint from its upstreams *before* retiring it.
+        """
+        self._retired = True
+        self._crashed = True
+        self._recovery_checkpoint = None
+        self._adopting = False
+        for handle in self._tick_handles:
+            handle.cancel()
+        self._tick_handles.clear()
+        if self.cm.control_handle is not None:
+            self.cm.control_handle.cancel()
+            self.cm.control_handle = None
+        self.network.unregister(self.endpoint)
 
     # ------------------------------------------------------------------ message handling
     def _on_message(self, message: Message, now: float) -> None:

@@ -16,6 +16,7 @@ monolithic one-shot cluster builders):
 See DESIGN.md, "Deployment control plane".
 """
 
+from .autoscaler import AutoscalePolicy, Autoscaler
 from .deployment import Deployment, deploy_placement
 from .filters import SubscriptionFilter
 from .placement import (
@@ -32,6 +33,8 @@ from .placement import (
 )
 
 __all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
     "ClientPlan",
     "Deployment",
     "FRAGMENT_ENTRY",

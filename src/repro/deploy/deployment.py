@@ -27,6 +27,9 @@ import math
 import random
 from typing import TYPE_CHECKING, Callable, Sequence
 
+import warnings
+from dataclasses import replace as dataclass_replace
+
 from ..config import DPCConfig, SimulationConfig
 from ..core.node import ProcessingNode
 from ..core.states import NodeState
@@ -38,14 +41,24 @@ from ..sim.events import EventKind
 from ..sim.failures import FailureInjector
 from ..sim.network import Network
 from ..sim.sources import DataSource
-from ..statexfer import PeerRegistry, extract_sjoin_state, merge_sjoin_state
+from ..spe.query_diagram import InputBinding
+from ..statexfer import (
+    PeerRegistry,
+    capture_checkpoint,
+    extract_sjoin_state,
+    merge_sjoin_state,
+    seed_cursors,
+    transfer_delay,
+)
 from ..workloads.generators import PayloadFactory, default_payload_factory
 from .filters import SubscriptionFilter
 from .placement import (
     FRAGMENT_ENTRY,
     FRAGMENT_INGRESS_FILTER,
     FRAGMENT_RELAY,
+    NodePlan,
     Placement,
+    SubscriptionPlan,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -303,6 +316,10 @@ def deploy_placement(
         sim_config=sim_config,
         subscription_filters=subscription_filters,
         join_state_size=join_state_size,
+        seed=seed,
+        registry=registry,
+        delay_budgets=delay_budgets,
+        push_state=push_state,
     )
     cluster.deployment = deployment
     return deployment
@@ -319,6 +336,10 @@ class Deployment:
         sim_config: SimulationConfig,
         subscription_filters: dict[str, SubscriptionFilter],
         join_state_size: int | None,
+        seed: int | None = None,
+        registry: PeerRegistry | None = None,
+        delay_budgets: dict[str, float] | None = None,
+        push_state: bool = False,
     ) -> None:
         self.placement = placement
         self.cluster = cluster
@@ -327,6 +348,13 @@ class Deployment:
         #: Consumer node name -> the shared filter of its filtered subscription.
         self.subscription_filters = subscription_filters
         self.join_state_size = join_state_size
+        #: Deployment-construction context the elastic paths replay when they
+        #: attach a fragment to the running cluster (None/empty when the
+        #: deployment was hand-wired rather than built by deploy_placement).
+        self.seed = seed
+        self.registry = registry
+        self.delay_budgets = dict(delay_budgets or {})
+        self.push_state = push_state
         #: The bucket assignment currently routing the shard fragments (None
         #: for unsharded deployments); advanced by :meth:`apply`.
         self.current_assignment: ShardAssignment | None = placement.topology.shard_assignment
@@ -336,6 +364,21 @@ class Deployment:
         #: the cluster so failure injection can validate kill targets against
         #: the *current* deployment instead of the compile-time topology.
         self.drained: set[str] = cluster.drained_nodes
+        #: Shard-assignment indices whose fragments a scale-in retired.  The
+        #: NodePlans stay in the placement (shard_fragments indexing must stay
+        #: positional) but the slots never receive buckets again.
+        self.decommissioned: set[int] = set()
+        #: Retired replica groups, kept addressable for post-mortem assertions.
+        self.retired_groups: dict[str, list[ProcessingNode]] = {}
+        #: Scale-out / scale-in actions, for reporting.
+        self.scale_events: list[dict] = []
+        #: The reconfiguration record currently between cut and completed
+        #: state handoff; a second apply() is rejected until it resolves.
+        self._pending_handoff: dict | None = None
+        #: Total shipped-state tuples the bounded join windows trimmed across
+        #: every handoff (including legacy-path handoffs whose records cannot
+        #: carry the count without perturbing pinned summaries).
+        self.handoff_trimmed_total = 0
 
     # ------------------------------------------------------------------ delegation
     @property
@@ -376,19 +419,29 @@ class Deployment:
     def observed_bucket_loads(self) -> dict[int, float]:
         """Per-hash-bucket tuple counts observed at the split router so far.
 
-        Measured on the first split replica's output buffer (replicas produce
-        identical stable streams), keyed by the deployment's shard spec.  This
-        is the input :meth:`plan_rebalance` feeds to the planner.
+        Replicas produce identical stable streams, but their *retained*
+        buffers can differ: a replica that recovered through checkpoint
+        adoption holds only the suffix its partner's checkpoint shipped, so
+        reading a fixed replica can badly undercount the load history.  The
+        measurement therefore uses the live replica retaining the most stable
+        tuples (ties resolve to the lowest replica index, which keeps the
+        historical replica-0 behaviour whenever the buffers agree), keyed by
+        the deployment's shard spec.  This is the input :meth:`plan_rebalance`
+        feeds to the planner.
         """
         assignment = self._require_sharded()
         producer = self.placement.shard_producer
-        replica = self.cluster.node_group(producer)[0]
+        group = self.cluster.node_group(producer)
         stream = self.placement.node_plan(producer).output_stream
+        candidates = [replica for replica in group if not replica._crashed] or group
+        buffers = [
+            [item for item in r.data_path.output(stream).buffered_items() if item.is_stable]
+            for r in candidates
+        ]
+        items = max(buffers, key=len)
         spec = assignment.spec
         loads: dict[int, float] = {}
-        for item in replica.data_path.output(stream).buffered_items():
-            if not item.is_stable:
-                continue
+        for item in items:
             bucket = spec.bucket_of(spec.key_of(item.values))
             loads[bucket] = loads.get(bucket, 0.0) + 1.0
         return loads
@@ -397,14 +450,20 @@ class Deployment:
         """Ask the planner for a plan against the *observed* bucket loads."""
         assignment = self._require_sharded()
         return ShardPlanner(assignment.spec).rebalance(
-            assignment, self.observed_bucket_loads(), tolerance=tolerance
+            assignment,
+            self.observed_bucket_loads(),
+            tolerance=tolerance,
+            excluded=sorted(self.decommissioned),
         )
 
     def plan_drain(self, shard: int) -> RebalancePlan:
         """Plan the evacuation of one shard (0-based index) under observed loads."""
         assignment = self._require_sharded()
         return ShardPlanner(assignment.spec).drain(
-            assignment, shard, self.observed_bucket_loads()
+            assignment,
+            shard,
+            self.observed_bucket_loads(),
+            excluded=sorted(self.decommissioned),
         )
 
     # ------------------------------------------------------------------ live reconfiguration
@@ -442,6 +501,12 @@ class Deployment:
                 "rebalance plan was computed against a different assignment than "
                 "the one currently deployed; re-plan against the live deployment"
             )
+        if self._pending_handoff is not None:
+            raise SimulationError(
+                f"cannot apply a new reconfiguration while the handoff applied at "
+                f"t={self._pending_handoff['applied_at']:.3f} is still pending "
+                f"(completes or aborts at the scheduled state transfer)"
+            )
         now = self.simulator.now
         record: dict = {
             "applied_at": now,
@@ -454,13 +519,22 @@ class Deployment:
             "noop": plan.is_noop,
         }
         if plan.is_noop:
+            # Same record shape as an applied plan: nothing was cut and no
+            # state moves, but downstream consumers of the record never have
+            # to special-case missing keys.
+            record.update(
+                {
+                    "cut_stime": None,
+                    "drained": sorted(self.drained),
+                    "state_handoff_at": None,
+                    "completed": True,
+                    "completed_at": now,
+                    "state_tuples_shipped": 0,
+                }
+            )
             self.rebalances.append(record)
             return record
-        unstable = [
-            node.name
-            for node in self.cluster.all_nodes()
-            if node.state is not NodeState.STABLE or node.fragment_dirty
-        ]
+        unstable = self._unstable_replicas()
         if unstable:
             raise SimulationError(
                 f"cannot rebalance while the deployment is handling a failure "
@@ -471,6 +545,8 @@ class Deployment:
         cut_stime = self._next_bucket_boundary()
         shard_names = self.placement.shard_fragments
         for index, name in enumerate(shard_names):
+            if index in self.decommissioned:
+                continue  # retired slot: no fragment carries its filter
             self.subscription_filters[name].advance(
                 cut_stime, plan.after.predicate(index)
             )
@@ -507,6 +583,7 @@ class Deployment:
             description=f"rebalance handoff ({len(plan.moves)} bucket(s))",
         )
         self.rebalances.append(record)
+        self._pending_handoff = record
         return record
 
     def rebalance(self, tolerance: float = 0.10) -> dict:
@@ -541,12 +618,14 @@ class Deployment:
         crashed-and-recovered old owner rebuild the shipped state from its
         subscription replay.  In that case the handoff is postponed until the
         deployment is stable again, keeping the no-duplication guarantee.
+
+        With ``config.handoff_pricing`` the transfer is two-phase instead of
+        instantaneous: the state is extracted here, priced through
+        :func:`repro.statexfer.transfer_delay`, and merged into the targets
+        only after the simulated transfer time has passed -- during which a
+        crash *aborts* the handoff (see :meth:`_complete_priced_transfer`).
         """
-        unstable = [
-            node.name
-            for node in self.cluster.all_nodes()
-            if node.state is not NodeState.STABLE or node.fragment_dirty
-        ]
+        unstable = self._unstable_replicas()
         if unstable:
             record["handoff_retries"] = record.get("handoff_retries", 0) + 1
             self.simulator.schedule_in(
@@ -558,28 +637,500 @@ class Deployment:
                 description="rebalance handoff retry (deployment unstable)",
             )
             return
-        spec = plan.before.spec
-        shard_names = self.placement.shard_fragments
-        shipped = 0
-        moves_by_pair: dict[tuple[int, int], set[int]] = {}
-        for move in plan.moves:
-            moves_by_pair.setdefault((move.source, move.target), set()).add(move.bucket)
-        for (source, target), buckets in sorted(moves_by_pair.items()):
-            source_group = self.cluster.node_group(shard_names[source])
-            target_group = self.cluster.node_group(shard_names[target])
-            canonical: dict[int, list] = {}
-            for index, source_node in enumerate(source_group):
-                extracted = extract_sjoin_state(source_node, spec, buckets, cut_stime)
-                if index == 0:
-                    canonical = extracted
-            for target_node in target_group:
-                merge_sjoin_state(target_node, canonical)
-            shipped += sum(len(items) for items in canonical.values())
+        if self.config.handoff_pricing:
+            self._begin_priced_transfer(plan, cut_stime, record, now)
+            return
+        transfers, shipped = self._extract_handoff_state(plan, cut_stime)
+        trimmed = 0
+        for _source, target, canonical in transfers:
+            for target_node in self._live_replicas(target):
+                trimmed += merge_sjoin_state(target_node, canonical)
+        self._note_trimmed(trimmed, record, count_in_record=False)
         record["completed"] = True
         record["completed_at"] = now
         record["state_tuples_shipped"] = shipped
+        self._finish_handoff(record)
+
+    # ------------------------------------------------------------------ priced handoff
+    def _extract_handoff_state(
+        self, plan: RebalancePlan, cut_stime: float
+    ) -> tuple[list[tuple[int, int, dict[int, list]]], int]:
+        """Extract the moved buckets' state from every live old-owner replica.
+
+        Returns ``([(source, target, canonical), ...], item_count)``.  The
+        extraction invalidates the source replicas' recovery checkpoints: a
+        checkpoint captured before the extraction would resurrect the shipped
+        buckets if a partner adopted it later.
+        """
+        spec = plan.before.spec
+        moves_by_pair: dict[tuple[int, int], set[int]] = {}
+        for move in plan.moves:
+            moves_by_pair.setdefault((move.source, move.target), set()).add(move.bucket)
+        transfers: list[tuple[int, int, dict[int, list]]] = []
+        shipped = 0
+        for (source, target), buckets in sorted(moves_by_pair.items()):
+            canonical: dict[int, list] = {}
+            for index, source_node in enumerate(self._live_replicas(source)):
+                extracted = extract_sjoin_state(source_node, spec, buckets, cut_stime)
+                source_node.invalidate_recovery_checkpoint()
+                if index == 0:
+                    canonical = extracted
+            transfers.append((source, target, canonical))
+            shipped += sum(len(items) for items in canonical.values())
+        return transfers, shipped
+
+    def _begin_priced_transfer(
+        self, plan: RebalancePlan, cut_stime: float, record: dict, now: float
+    ) -> None:
+        """Phase one of a priced handoff: extract, then ship for a priced delay."""
+        transfers, shipped = self._extract_handoff_state(plan, cut_stime)
+        delay = transfer_delay(self.config, shipped)
+        record["transfer_started_at"] = now
+        record["transfer_delay"] = delay
+        self.simulator.schedule_in(
+            delay,
+            lambda fire_time, t=transfers, p=plan, r=record, c=cut_stime, s=shipped: (
+                self._complete_priced_transfer(t, p, c, r, s, fire_time)
+            ),
+            kind=EventKind.INTERNAL,
+            description=f"rebalance state transfer ({shipped} tuple(s))",
+        )
+
+    def _complete_priced_transfer(
+        self,
+        transfers: list[tuple[int, int, dict[int, list]]],
+        plan: RebalancePlan,
+        cut_stime: float,
+        record: dict,
+        shipped: int,
+        now: float,
+    ) -> None:
+        """Phase two: merge into the new owners -- or abort if a crash landed.
+
+        The abort path restores the extracted-but-unmerged state to the old
+        owner's live replicas (their bounded join windows re-admit it in
+        serialized order), invalidates their recovery checkpoints again, and
+        re-arms the handoff from scratch once the deployment stabilizes.
+        Without it, a crash between cut and merge would leave the moved
+        buckets' state in limbo: extracted from the old owner, never merged
+        into the new one.
+        """
+        shard_names = self.placement.shard_fragments
+        crashed = [
+            shard_names[index]
+            for index, _target, _canonical in transfers
+            if not self._live_replicas(index)
+        ] + [
+            shard_names[target]
+            for _source, target, _canonical in transfers
+            if not self._live_replicas(target)
+        ]
+        unstable = self._unstable_replicas()
+        if unstable or crashed:
+            restored = 0
+            for source, _target, canonical in transfers:
+                for source_node in self._live_replicas(source):
+                    merge_sjoin_state(source_node, canonical)
+                    source_node.invalidate_recovery_checkpoint()
+                restored += sum(len(items) for items in canonical.values())
+            reason = (
+                f"target crashed mid-transfer: {sorted(set(crashed))}"
+                if crashed
+                else f"deployment unstable: {unstable}"
+            )
+            record.setdefault("aborts", []).append(
+                {"at": now, "reason": reason, "restored_tuples": restored}
+            )
+            self.simulator.schedule_in(
+                max(self.config.bucket_size, self.sim_config.batch_interval),
+                lambda fire_time, p=plan, r=record, c=cut_stime: self._ship_join_state(
+                    p, c, r, fire_time
+                ),
+                kind=EventKind.INTERNAL,
+                description="rebalance handoff re-arm (transfer aborted)",
+            )
+            return
+        trimmed = 0
+        for _source, target, canonical in transfers:
+            for target_node in self._live_replicas(target):
+                trimmed += merge_sjoin_state(target_node, canonical)
+                target_node.invalidate_recovery_checkpoint()
+        self._note_trimmed(trimmed, record, count_in_record=True)
+        record["completed"] = True
+        record["completed_at"] = now
+        record["state_tuples_shipped"] = shipped
+        self._finish_handoff(record)
+
+    def _live_replicas(self, shard_index: int) -> list[ProcessingNode]:
+        """The non-crashed replicas of one shard fragment (possibly empty)."""
+        name = self.placement.shard_fragments[shard_index]
+        group = self.cluster.node_groups.get(name) or self.retired_groups.get(name, [])
+        return [replica for replica in group if not replica._crashed]
+
+    def _note_trimmed(self, trimmed: int, record: dict, count_in_record: bool) -> None:
+        """Surface shipped-state tuples the bounded join windows dropped.
+
+        Priced records carry the count directly; the legacy record shape is
+        pinned by golden summaries, so there the count goes to the
+        deployment-level total and a warning only.
+        """
+        self.handoff_trimmed_total += trimmed
+        if count_in_record:
+            record["state_tuples_trimmed"] = trimmed
+        if trimmed:
+            warnings.warn(
+                f"bucket handoff at t={record['applied_at']:.3f}: the target "
+                f"join's bounded state window trimmed {trimmed} shipped "
+                f"tuple(s) (oldest first)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def _finish_handoff(self, record: dict) -> None:
+        """Mark the in-flight handoff resolved and run any deferred scale-in."""
+        if self._pending_handoff is record:
+            self._pending_handoff = None
+        decommission = record.get("decommission")
+        if decommission is not None:
+            self._decommission(decommission, record)
+
+    # ------------------------------------------------------------------ elasticity
+    def scale_out(self, count: int = 1, tolerance: float = 0.10) -> dict:
+        """Attach ``count`` new shard fragments to the *running* deployment.
+
+        The full scale-out protocol, in order:
+
+        1. plan an incremental expansion (``ShardPlanner.expand``) against the
+           observed bucket loads, skipping decommissioned slots;
+        2. attach one relay fragment + replica group per new shard: build the
+           diagrams, register the replicas in the :class:`PeerRegistry`, wire
+           a fresh all-reject :class:`SubscriptionFilter` into the split's
+           producer-side routing, seed the input cursors from a live donor
+           shard's :class:`RecoveryCheckpoint` (``statexfer.seed_cursors``),
+           and widen every merge replica's fan-in SUnion by one port;
+        3. cut the moved buckets over with the existing epoch-advancing
+           filter machinery (:meth:`apply`), which also schedules the state
+           handoff old owner -> new owner.
+
+        Returns the reconfiguration record of the expansion plan.
+        """
+        assignment = self._require_sharded()
+        if not self.placement.filtered_routing:
+            raise ConfigurationError(
+                "scale-out needs filtered subscriptions; this deployment was "
+                "compiled with filtered_routing=False (multicast routing)"
+            )
+        if self.registry is None or not self.delay_budgets:
+            raise ConfigurationError(
+                "scale-out needs a deployment built by deploy_placement (the "
+                "attach path replays its wiring context)"
+            )
+        if self._pending_handoff is not None:
+            raise SimulationError(
+                "cannot scale out while a prior handoff is still pending"
+            )
+        unstable = self._unstable_replicas()
+        if unstable:
+            raise SimulationError(
+                f"cannot scale out while the deployment is handling a failure "
+                f"(non-stable replicas: {unstable})"
+            )
+        plan = ShardPlanner(assignment.spec).expand(
+            assignment,
+            count=count,
+            bucket_loads=self.observed_bucket_loads(),
+            tolerance=tolerance,
+            excluded=sorted(self.decommissioned),
+        )
+        base = assignment.spec.shards
+        added = [self._attach_shard_fragment(base + offset) for offset in range(count)]
+        self.current_assignment = plan.before
+        record = self.apply(plan)
+        record["scale_out"] = {"added": added, "shards": self.active_shards()}
+        self.scale_events.append(
+            {
+                "at": record["applied_at"],
+                "action": "scale-out",
+                "added": added,
+                "shards": self.active_shards(),
+            }
+        )
+        return record
+
+    def scale_in(self, shard: int, tolerance: float = 0.10) -> dict:
+        """Drain shard ``shard`` and decommission its fragment once it empties.
+
+        The drain plan moves every bucket off the shard (:meth:`apply` cuts
+        them over and ships the state); once the handoff completes, the
+        fragment is *actually* retired: the merge's fan-in arity is rewired
+        down one port, the split stops feeding the retired endpoints, and the
+        replicas are unregistered from the network, the peer registry, and
+        the cluster -- not left relaying punctuation as a ghost.
+        """
+        assignment = self._require_sharded()
+        shard_names = self.placement.shard_fragments
+        if not 0 <= shard < assignment.spec.shards:
+            raise ConfigurationError(
+                f"shard index {shard} out of range for {assignment.spec.shards} shards"
+            )
+        if shard in self.decommissioned:
+            raise ConfigurationError(
+                f"shard {shard_names[shard]!r} is already decommissioned"
+            )
+        if self.active_shards() <= 1:
+            raise ConfigurationError("cannot scale in the last active shard")
+        if self._pending_handoff is not None:
+            raise SimulationError(
+                "cannot scale in while a prior handoff is still pending"
+            )
+        plan = ShardPlanner(assignment.spec).drain(
+            assignment,
+            shard,
+            self.observed_bucket_loads(),
+            excluded=sorted(self.decommissioned),
+        )
+        record = self.apply(plan)
+        record["scale_in"] = {
+            "retired": shard_names[shard],
+            "shards": self.active_shards() - 1,
+        }
+        if record["completed"]:
+            # Already-empty shard: no handoff will fire, so schedule the
+            # decommission after the relay pipeline drains its punctuation.
+            settle = (
+                self.config.bucket_size
+                + 2 * self.sim_config.batch_interval
+                + 2 * self.sim_config.network_latency
+            )
+            self.simulator.schedule_in(
+                settle,
+                lambda fire_time, s=shard, r=record: self._decommission(s, r),
+                kind=EventKind.INTERNAL,
+                description=f"decommission drained shard {shard_names[shard]!r}",
+            )
+        else:
+            record["decommission"] = shard
+        self.scale_events.append(
+            {
+                "at": record["applied_at"],
+                "action": "scale-in",
+                "retired": shard_names[shard],
+                "shards": self.active_shards() - 1,
+            }
+        )
+        return record
+
+    def active_shards(self) -> int:
+        """Number of shard slots currently backed by a live fragment."""
+        assignment = self._require_sharded()
+        return assignment.spec.shards - len(self.decommissioned)
+
+    def _attach_shard_fragment(self, index: int) -> str:
+        """Attach one new shard fragment (replica group + wiring) at ``index``."""
+        from ..sim.cluster import relay_diagram
+
+        shard_names = self.placement.shard_fragments
+        split_name = self.placement.shard_producer
+        split_plan = self.placement.node_plan(split_name)
+        split_stream = split_plan.output_stream
+        template = self.placement.node_plan(shard_names[0])
+        merge_name = next(
+            plan.consumer
+            for plan in self.placement.subscriptions
+            if plan.producer == shard_names[0] and plan.kind == "node->node"
+        )
+        name = f"shard{index + 1}"
+        if name in self.cluster.node_groups or name in self.retired_groups:
+            raise ConfigurationError(f"shard fragment {name!r} already exists")
+
+        replica_names = tuple(name + "'" * r for r in range(len(template.replica_names)))
+        node_plan = NodePlan(
+            name=name,
+            fragment=FRAGMENT_RELAY,
+            inputs=(split_stream,),
+            output_stream=f"{name}.out",
+            replica_names=replica_names,
+            stateful=template.stateful,
+            has_select=True,
+            select_at="ingress",
+            is_sink=False,
+            shard_index=index,
+        )
+        self.placement = dataclass_replace(
+            self.placement,
+            nodes=self.placement.nodes + (node_plan,),
+            subscriptions=self.placement.subscriptions
+            + (
+                SubscriptionPlan(
+                    stream=split_stream,
+                    producer=split_name,
+                    consumer=name,
+                    kind="node->node",
+                    filtered=True,
+                    filter_name=f"{name}.slice",
+                ),
+                SubscriptionPlan(
+                    stream=node_plan.output_stream,
+                    producer=name,
+                    consumer=merge_name,
+                    kind="node->node",
+                ),
+            ),
+        )
+        # The fresh slice owns nothing until the cut installs its predicate.
+        slice_filter = SubscriptionFilter(lambda values: False, name=f"{name}.slice")
+        self.subscription_filters[name] = slice_filter
+
+        budget = self.delay_budgets.get(name, self.delay_budgets[shard_names[0]])
+        node_join = self.join_state_size if node_plan.stateful else None
+        group: list[ProcessingNode] = []
+        for node_name in replica_names:
+            diagram = relay_diagram(
+                node_name,
+                split_stream,
+                node_plan.output_stream,
+                bucket_size=self.config.bucket_size,
+                select=None,
+                join_state_size=node_join,
+            )
+            partners = [other for other in replica_names if other != node_name]
+            group.append(
+                ProcessingNode(
+                    name=node_name,
+                    diagram=diagram,
+                    simulator=self.simulator,
+                    network=self.network,
+                    config=self.config,
+                    sim_config=self.sim_config,
+                    assigned_delay=budget,
+                    replica_partners=partners,
+                    rng_seed=self.seed,
+                )
+            )
+        self.cluster.nodes.append(group)
+        self.cluster.node_groups[name] = group
+
+        now = self.simulator.now
+        split_group = self.cluster.node_group(split_name)
+        split_endpoints = [replica.endpoint for replica in split_group]
+        merge_group = self.cluster.node_group(merge_name)
+        donor_index = next(
+            i for i in range(len(shard_names)) if i not in self.decommissioned
+        )
+        donor = next(
+            (r for r in self.cluster.node_group(shard_names[donor_index]) if not r._crashed),
+            None,
+        )
+        for node in group:
+            node.register_input_stream(
+                split_stream,
+                producers=split_endpoints,
+                push_producers=split_endpoints if self.push_state else (),
+                subscription_filter=slice_filter,
+            )
+            split_group[0].register_subscriber(
+                split_stream, node.endpoint, subscription_filter=slice_filter
+            )
+            if self.push_state:
+                for upstream in split_group:
+                    upstream.add_state_watcher(node.endpoint)
+            self.registry.register_node(node)
+            node.statexfer_registry = self.registry
+        if donor is not None:
+            checkpoint = capture_checkpoint(donor, now)
+            for node in group:
+                seed_cursors(node, checkpoint, now)
+
+        # Widen the merge's fan-in by one port, live.
+        group_endpoints = [replica.endpoint for replica in group]
+        for merge_node in merge_group:
+            sunion_name = f"{merge_node.name}.sunion"
+            port = merge_node.diagram.operator(sunion_name).add_port()
+            merge_node.diagram.bind_input(node_plan.output_stream, sunion_name, port)
+            merge_node.register_input_stream(
+                node_plan.output_stream,
+                producers=group_endpoints,
+                push_producers=group_endpoints if self.push_state else (),
+            )
+            group[0].register_subscriber(node_plan.output_stream, merge_node.endpoint)
+            if self.push_state:
+                for node in group:
+                    node.add_state_watcher(merge_node.endpoint)
+            # The held checkpoint has the old port layout; adopting it after
+            # the rewiring would restore a short port_boundaries list.
+            merge_node.invalidate_recovery_checkpoint()
+        for node in group:
+            node.start()
+        return name
+
+    def _decommission(self, index: int, record: dict) -> None:
+        """Retire a drained shard fragment: rewire, unsubscribe, unregister."""
+        shard_names = self.placement.shard_fragments
+        name = shard_names[index]
+        group = self.cluster.node_groups.get(name)
+        if group is None:
+            return  # already decommissioned
+        split_name = self.placement.shard_producer
+        split_stream = self.placement.node_plan(split_name).output_stream
+        shard_stream = self.placement.node_plan(name).output_stream
+        merge_name = next(
+            plan.consumer
+            for plan in self.placement.subscriptions
+            if plan.producer == name and plan.kind == "node->node"
+        )
+        merge_group = self.cluster.node_group(merge_name)
+        endpoints = [replica.endpoint for replica in group]
+
+        # 1. Stop feeding the retired fragment (unsubscribe *before* the
+        #    endpoints leave the network: send_many rejects unknown receivers).
+        for split_node in self.cluster.node_group(split_name):
+            manager = split_node.data_path.output(split_stream)
+            for endpoint in endpoints:
+                manager.unsubscribe(endpoint)
+                split_node.remove_state_watcher(endpoint)
+
+        # 2. Rewire the merge's fan-in arity down one port, live.
+        for merge_node in merge_group:
+            binding = next(
+                b for b in merge_node.diagram.inputs if b.stream == shard_stream
+            )
+            merge_node.diagram.operator(binding.operator).remove_port(binding.port)
+            merge_node.diagram.inputs = [
+                b
+                if b.operator != binding.operator or b.port < binding.port
+                else InputBinding(b.stream, b.operator, b.port - 1)
+                for b in merge_node.diagram.inputs
+                if b.stream != shard_stream
+            ]
+            merge_node.deregister_input_stream(shard_stream)
+            merge_node.invalidate_recovery_checkpoint()
+
+        # 3. Retire the replicas: cancel their timers, leave the network.
+        for node in group:
+            for merge_node in merge_group:
+                node.data_path.output(shard_stream).unsubscribe(merge_node.endpoint)
+                node.remove_state_watcher(merge_node.endpoint)
+            if self.registry is not None:
+                self.registry.unregister_node(node.endpoint)
+            node.retire()
+
+        # 4. Forget the group; the NodePlan stays (positional shard indexing).
+        self.cluster.nodes.remove(group)
+        del self.cluster.node_groups[name]
+        self.retired_groups[name] = group
+        self.decommissioned.add(index)
+        self.drained.add(name)
+        record["decommissioned_at"] = self.simulator.now
 
     # ------------------------------------------------------------------ helpers
+    def _unstable_replicas(self) -> list[str]:
+        """Names of replicas currently not cleanly STABLE (quiesce check)."""
+        return [
+            node.name
+            for node in self.cluster.all_nodes()
+            if node.state is not NodeState.STABLE or node.fragment_dirty
+        ]
+
     def _require_sharded(self) -> ShardAssignment:
         if self.current_assignment is None:
             raise ConfigurationError(

@@ -23,6 +23,8 @@ from .dags import (
     fanin_sweep,
 )
 from .shards import (
+    autoscale_run,
+    autoscale_sweep,
     chain_throughput_run,
     equivalent_chain_depth,
     rebalance_run,
@@ -55,6 +57,8 @@ __all__ = [
     "format_table",
     "group_output_counts",
     "summarize_run",
+    "autoscale_run",
+    "autoscale_sweep",
     "chain_throughput_run",
     "equivalent_chain_depth",
     "rebalance_run",

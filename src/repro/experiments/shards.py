@@ -21,12 +21,15 @@ These runners exercise the two questions that shape asks:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..config import DelayPolicy, DPCConfig
 from ..runtime import ScenarioSpec
 from ..sharding import bucket_loads_from_keys
 from .harness import ExperimentResult, group_output_counts, summarize_run
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..deploy import AutoscalePolicy
 
 
 def shard_operator_count(shards: int) -> int:
@@ -303,6 +306,94 @@ def rebalance_run(
         for name in runtime.topology.node_names
     }
     return result
+
+
+def autoscale_run(
+    seed: int | None = 1,
+    *,
+    shards: int = 2,
+    skew: float = 1.2,
+    hot_keys: int = 64,
+    base_rate: float = 120.0,
+    surge_factor: float = 2.0,
+    surge_start: float = 14.0,
+    surge_end: float = 34.0,
+    duration: float = 55.0,
+    policy: "AutoscalePolicy | None" = None,
+) -> ExperimentResult:
+    """Elastic scale-out and scale-in driven by the autoscaler policy loop.
+
+    The zipfian hot-key workload runs at ``base_rate`` until ``surge_start``,
+    doubles (``surge_factor``) until ``surge_end``, then subsides.  The
+    autoscaler watches per-shard processing rates and reacts: the surge
+    pushes the mean past the high watermark (scale-out attaches fragments
+    live, seeds their state, cuts buckets over with a priced handoff), the
+    subsidence drops it below the low watermark (scale-in drains a shard and
+    decommissions its fragment).  The properties the benchmark asserts:
+
+    * the deployment actually scales out beyond its initial shard count and
+      back down to it, within one run;
+    * every handoff completes (no aborts on this failure-free schedule);
+    * the merged ledger is gap-free, duplicate-free, and ordered across all
+      of it -- elasticity loses and duplicates nothing.
+    """
+    from ..deploy import AutoscalePolicy
+    from ..workloads.generators import step_rate
+
+    config = DPCConfig(delay_policy=DelayPolicy.process_process())
+    spec = ScenarioSpec.sharded(
+        name=f"autoscale-{shards}",
+        shards=shards,
+        skew=skew,
+        hot_keys=hot_keys,
+        aggregate_rate=base_rate,
+        replicas_per_node=2,
+        config=config,
+        warmup=surge_start,
+        settle=duration - surge_start,
+        duration=duration,
+        seed=seed,
+        rate_profile=step_rate(surge_start, surge_factor, until=surge_end),
+        autoscale=policy
+        or AutoscalePolicy(
+            period=2.0,
+            high_watermark=200.0,
+            low_watermark=140.0,
+            min_shards=shards,
+            max_shards=shards + 2,
+            cooldown=8.0,
+            plan_budget=8,
+        ),
+    )
+    runtime = spec.run()
+    result = summarize_run(runtime, failure_duration=0.0)
+    deployment = runtime.deployment
+    aborts = sum(len(r.get("aborts", [])) for r in deployment.rebalances)
+    completed = sum(1 for r in deployment.rebalances if r.get("completed"))
+    result.extra["autoscale"] = {
+        "actions": list(runtime.autoscaler.actions),
+        "skipped": len(runtime.autoscaler.skipped),
+        "scale_events": list(deployment.scale_events),
+        "peak_shards": max(
+            [event["shards"] for event in deployment.scale_events],
+            default=deployment.active_shards(),
+        ),
+        "final_shards": deployment.active_shards(),
+        "handoffs_completed": completed,
+        "handoff_aborts": aborts,
+        "state_tuples_shipped": sum(
+            r.get("state_tuples_shipped", 0) for r in deployment.rebalances
+        ),
+        "state_tuples_trimmed": deployment.handoff_trimmed_total,
+    }
+    return result
+
+
+def autoscale_sweep(
+    seeds: Sequence[int] = (1, 2, 3), *, shards: int = 2, skew: float = 1.2
+) -> list[ExperimentResult]:
+    """The elastic surge-and-subside run across determinism seeds (the CLI table)."""
+    return [autoscale_run(seed, shards=shards, skew=skew) for seed in seeds]
 
 
 def rebalance_sweep(

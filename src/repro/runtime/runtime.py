@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 
-from ..deploy import Deployment, compile as compile_topology
+from ..deploy import Autoscaler, Deployment, compile as compile_topology
 from ..errors import SimulationError
 from ..metrics.consistency import duplicate_stable_values
 from ..sim.client import ClientApplication
@@ -76,6 +76,8 @@ class SimulationRuntime:
         )
         self.cluster: Cluster = self.deployment.cluster
         self._scenario = spec.as_scenario()
+        #: The elastic policy loop (armed at start when ``spec.autoscale``).
+        self.autoscaler: Autoscaler | None = None
         self.injected: list[FailureRecord] = []
         self._started = False
         self._completed = False
@@ -137,6 +139,9 @@ class SimulationRuntime:
                 kind=EventKind.INTERNAL,
                 description=f"scheduled rebalance (tolerance {self.spec.rebalance_tolerance:g})",
             )
+        if self.spec.autoscale is not None:
+            self.autoscaler = Autoscaler(self.deployment, self.spec.autoscale)
+            self.autoscaler.start()
         self.cluster.start()
         return self
 
@@ -206,6 +211,15 @@ class SimulationRuntime:
         ]
         if self.deployment.rebalances:
             data["rebalances"] = [dict(record) for record in self.deployment.rebalances]
+        # Only present on elastic runs, so legacy summaries (and the golden
+        # digests pinning them) keep their exact shape.
+        if self.autoscaler is not None:
+            autoscale = self.autoscaler.summary()
+            autoscale["scale_events"] = [
+                dict(event) for event in self.deployment.scale_events
+            ]
+            autoscale["final_shards"] = self.deployment.active_shards()
+            data["autoscale"] = autoscale
         recoveries = [
             dict(record, node=node.name)
             for group in self.cluster.nodes

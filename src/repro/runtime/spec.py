@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..config import DPCConfig, SimulationConfig
+from ..deploy.autoscaler import AutoscalePolicy
 from ..errors import ConfigurationError
 from ..topology import NodeSpec, Topology, as_topology
 from ..workloads.generators import PayloadFactory, default_payload_factory
@@ -89,6 +90,13 @@ class ScenarioSpec:
     rebalance_at: float | None = None
     #: Peak-to-mean tolerance handed to the planner by the mid-run rebalance.
     rebalance_tolerance: float = 0.10
+    #: Watermark policy of the elastic autoscaler loop (None disables it).
+    #: The runtime arms an :class:`~repro.deploy.Autoscaler` on the deployment,
+    #: which drives ``Deployment.scale_out`` / ``scale_in`` from per-shard
+    #: processing rates.  Requires a sharded topology with filtered routing,
+    #: and switches the DPC config to priced (non-instantaneous, abortable)
+    #: bucket handoffs.
+    autoscale: AutoscalePolicy | None = None
     #: Zipfian skew of the hot-key workload (set by ``sharded(skew=...)``).
     #: Resolved into a payload factory at build time so a later
     #: ``with_overrides(seed=...)`` re-seeds the key sequence too.
@@ -176,6 +184,25 @@ class ScenarioSpec:
                     )
         if self.rebalance_tolerance < 0:
             raise ConfigurationError("rebalance_tolerance cannot be negative")
+        if self.autoscale is not None:
+            self.autoscale.validate()
+            if topology.shard_assignment is None:
+                raise ConfigurationError(
+                    "autoscale requires a sharded topology (Topology.shard); "
+                    f"topology {topology.name!r} has no shard assignment"
+                )
+            if not self.filtered_routing:
+                raise ConfigurationError(
+                    "autoscale requires filtered_routing=True (elastic scale-out "
+                    "rides on producer-side subscription filters)"
+                )
+            initial = topology.shard_assignment.spec.shards
+            if initial < self.autoscale.min_shards:
+                raise ConfigurationError(
+                    f"autoscale min_shards={self.autoscale.min_shards} exceeds the "
+                    f"deployed shard count ({initial}); the loop could never "
+                    f"satisfy its own floor"
+                )
         if self.hot_key_skew is not None and self.hot_key_skew <= 0:
             raise ConfigurationError("hot_key_skew must be positive when given")
         if self.hot_key_count < 1:
@@ -247,6 +274,10 @@ class ScenarioSpec:
         config = self.config or DPCConfig()
         if self.checkpoint_interval != "inherit":
             config = config.with_(checkpoint_interval=self.checkpoint_interval)
+        if self.autoscale is not None and not config.handoff_pricing:
+            # Elastic runs always price their bucket handoffs: the transfer
+            # takes simulated time and a crash mid-transfer aborts cleanly.
+            config = config.with_(handoff_pricing=True)
         return config
 
     def simulation_config(self) -> SimulationConfig:

@@ -352,6 +352,7 @@ class ShardPlanner:
         assignment: ShardAssignment,
         bucket_loads: Mapping[int, float],
         tolerance: float = 0.10,
+        excluded: Iterable[int] = (),
     ) -> RebalancePlan:
         """Emit bucket moves until no shard exceeds ``mean * (1 + tolerance)``.
 
@@ -360,19 +361,29 @@ class ShardPlanner:
         maximum with the least loaded shard (never emptying a shard).  Every
         accepted move strictly decreases the sum of squared shard loads, so
         the loop terminates; if no bucket qualifies the plan stops early.
+
+        ``excluded`` names shards that must never *receive* buckets -- elastic
+        deployments pass their decommissioned shard indices so a drained
+        fragment stays empty.  Excluded shards are also left out of the load
+        mean, otherwise permanently-empty fragments would drag the target
+        down and make every live shard look overloaded.
         """
         if assignment.spec != self.spec:
             raise ConfigurationError("assignment was planned for a different shard spec")
         if tolerance < 0:
             raise ConfigurationError(f"tolerance cannot be negative, got {tolerance}")
+        barred = set(excluded)
+        if not set(range(self.spec.shards)) - barred:
+            raise ConfigurationError("every shard is excluded from rebalancing")
         imbalance_before = assignment.imbalance(bucket_loads)
         current = assignment
         moves: list[ShardMove] = []
         while True:
             loads = current.load_by_shard(bucket_loads)
-            mean = sum(loads) / len(loads)
+            eligible = [s for s in range(len(loads)) if s not in barred]
+            mean = sum(loads[s] for s in eligible) / len(eligible)
             donor = max(range(len(loads)), key=lambda s: (loads[s], -s))
-            recipient = min(range(len(loads)), key=lambda s: (loads[s], s))
+            recipient = min(eligible, key=lambda s: (loads[s], s))
             if donor == recipient or loads[donor] <= mean * (1.0 + tolerance):
                 break
             # A candidate move must strictly reduce the pairwise maximum
@@ -399,17 +410,64 @@ class ShardPlanner:
             imbalance_after=current.imbalance(bucket_loads),
         )
 
+    def expand(
+        self,
+        assignment: ShardAssignment,
+        count: int = 1,
+        bucket_loads: Mapping[int, float] | None = None,
+        tolerance: float = 0.10,
+        excluded: Iterable[int] = (),
+    ) -> RebalancePlan:
+        """Widen the scheme by ``count`` fresh shards and plan moves onto them.
+
+        The returned plan's ``before`` assignment is already the *widened*
+        one -- the fresh shards exist but own zero buckets (``allow_empty``),
+        which is exactly the instant after a scale-out attaches the new
+        fragments and before any data is cut over.  ``after`` populates them
+        via the same greedy rebalance used for skew correction.  With no
+        observed loads every bucket weighs 1, spreading buckets evenly by
+        count.  The plan (and its assignments) carry the widened spec; the
+        caller adopts it as the deployment's new sharding scheme.
+        """
+        if assignment.spec != self.spec:
+            raise ConfigurationError("assignment was planned for a different shard spec")
+        if count < 1:
+            raise ConfigurationError(f"expand count must be >= 1, got {count}")
+        wide_spec = ShardSpec(
+            shards=self.spec.shards + count,
+            key=self.spec.key,
+            buckets=self.spec.buckets,
+            group=self.spec.group,
+        )
+        before = ShardAssignment(
+            spec=wide_spec,
+            buckets_by_shard=assignment.buckets_by_shard + ((),) * count,
+            allow_empty=True,
+        )
+        loads = dict(bucket_loads or {})
+        if not loads:
+            loads = {
+                bucket: 1.0
+                for buckets in assignment.buckets_by_shard
+                for bucket in buckets
+            }
+        return ShardPlanner(wide_spec).rebalance(
+            before, loads, tolerance=tolerance, excluded=excluded
+        )
+
     def drain(
         self,
         assignment: ShardAssignment,
         shard: int,
         bucket_loads: Mapping[int, float] | None = None,
+        excluded: Iterable[int] = (),
     ) -> RebalancePlan:
         """Plan the complete evacuation of one shard (a decommission prelude).
 
-        Every bucket ``shard`` owns is reassigned to the remaining shards,
-        heaviest bucket first onto the currently least-loaded recipient (with
-        no observed loads, buckets spread evenly by count).  The resulting
+        Every bucket ``shard`` owns is reassigned to the remaining shards
+        (minus any ``excluded`` -- already-decommissioned fragments), heaviest
+        bucket first onto the currently least-loaded recipient (with no
+        observed loads, buckets spread evenly by count).  The resulting
         ``after`` assignment leaves ``shard`` empty (``allow_empty``): a
         deployment applying the plan stops routing data to the fragment, which
         then only relays punctuation and is no longer a meaningful failure
@@ -423,10 +481,15 @@ class ShardPlanner:
             )
         if self.spec.shards < 2:
             raise ConfigurationError("cannot drain the only shard of a deployment")
+        barred = set(excluded) | {shard}
         loads = dict(bucket_loads or {})
         imbalance_before = assignment.imbalance(loads)
         updated = [list(buckets) for buckets in assignment.buckets_by_shard]
-        recipients = [s for s in range(self.spec.shards) if s != shard]
+        recipients = [s for s in range(self.spec.shards) if s not in barred]
+        if not recipients:
+            raise ConfigurationError(
+                f"no recipient shard remains after excluding {sorted(barred)}"
+            )
         recipient_load = {
             s: sum(loads.get(b, 0.0) for b in updated[s]) for s in recipients
         }

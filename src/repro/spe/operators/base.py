@@ -70,6 +70,36 @@ class Operator:
         """Minimum boundary stime across all input ports (Equation 1)."""
         return min(self._port_boundaries)
 
+    # ------------------------------------------------------------------ live rewiring
+    def add_port(self) -> int:
+        """Grow the operator by one input port; returns the new port index.
+
+        Elastic deployments widen a fan-in operator when a shard fragment is
+        attached to a running dataflow.  The fresh port starts with no
+        boundary seen, so the watermark holds until the new input produces
+        its first punctuation -- exactly the startup behaviour of a port that
+        existed from the beginning.
+        """
+        port = self.arity
+        self.arity += 1
+        self._port_boundaries.append(float("-inf"))
+        return port
+
+    def remove_port(self, port: int) -> None:
+        """Drop one input port (scale-in decommissions the fragment feeding it).
+
+        Ports above ``port`` shift down by one; the watermark recomputes over
+        the survivors, so a retired port that was holding the minimum back no
+        longer gates emission.
+        """
+        self._check_port(port)
+        if self.arity <= 1:
+            raise OperatorError(
+                f"operator {self.name!r} cannot drop its only input port"
+            )
+        del self._port_boundaries[port]
+        self.arity -= 1
+
     # ------------------------------------------------------------------ public API
     def process(self, port: int, item: StreamTuple) -> list[StreamTuple]:
         """Process one input tuple and return the output tuples it triggers."""

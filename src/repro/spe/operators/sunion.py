@@ -156,6 +156,22 @@ class SUnion(Operator):
             return min(watermark, min(self._buckets) * self.bucket_size)
         return watermark
 
+    def remove_port(self, port: int) -> None:
+        """Drop one input port and renumber buffered entries to match.
+
+        Entries buffered from higher-numbered ports shift down with their
+        port (the intra-bucket sort orders by ``(stime, port, tuple_id)``, so
+        the renumbering must track the live wiring); entries from the removed
+        port itself -- already-cut data still awaiting stability -- keep
+        their original index, preserving a deterministic order that every
+        replica reproduces because each performs the identical removal.
+        """
+        super().remove_port(port)
+        for index, entries in self._buckets.items():
+            self._buckets[index] = [
+                (p - 1 if p > port else p, item) for p, item in entries
+            ]
+
     def release_held_buckets(self) -> list[StreamTuple]:
         """Emit every bucket the current watermark already stabilized.
 

@@ -13,8 +13,12 @@ this module, so the shipping logic exists exactly once:
   buckets' SJoin tuples old owner -> new owner through
   :func:`extract_sjoin_state` / :func:`merge_sjoin_state`
   (:meth:`repro.deploy.Deployment.apply`).
-* **Scale-out seeding** (future): attaching a new replica group to a running
-  deployment seeds it from the same :class:`RecoveryCheckpoint` containers.
+* **Scale-out seeding**: attaching a new replica group to a running
+  deployment seeds its input cursors from the same
+  :class:`RecoveryCheckpoint` containers (:func:`seed_cursors`), so the
+  fresh fragment subscribes from the donor's stable position instead of
+  replaying the whole retained log
+  (:meth:`repro.deploy.Deployment.scale_out`).
 
 Transfers are modelled as non-instantaneous: :func:`transfer_delay` prices a
 checkpoint by its item count (``checkpoint_cost`` fixed part plus
@@ -166,6 +170,24 @@ def adopt_checkpoint(node: "ProcessingNode", checkpoint: RecoveryCheckpoint, now
         node.data_path.output(stream).restore_state(state)
 
 
+def seed_cursors(node: "ProcessingNode", checkpoint: RecoveryCheckpoint, now: float) -> None:
+    """Seed a freshly attached node's input cursors from a donor's checkpoint.
+
+    Scale-out's half of the adoption path: the new fragment has no state or
+    downstream continuity to restore, it only needs to *subscribe from the
+    donor's stable position* instead of replaying the whole retained log.
+    Only streams the node actually consumes are touched; the boundary clock
+    starts now so the startup grace applies from attach time.
+    """
+    for stream, cursor in checkpoint.input_cursors.items():
+        monitor = node.cm.monitors.get(stream)
+        if monitor is None:
+            continue
+        monitor.stable_received = cursor.stable_received
+        monitor.source_position = cursor.source_position
+        monitor.last_boundary_arrival = now
+
+
 # --------------------------------------------------------------------------- peer discovery
 class PeerRegistry:
     """Zero-message lookup of the live peers a transfer can involve.
@@ -183,6 +205,10 @@ class PeerRegistry:
 
     def register_node(self, node: "ProcessingNode") -> None:
         self._nodes[node.endpoint] = node
+
+    def unregister_node(self, endpoint: str) -> None:
+        """Forget a decommissioned replica (scale-in retires its fragment)."""
+        self._nodes.pop(endpoint, None)
 
     def register_source(self, source: "DataSource") -> None:
         self._sources[source.stream] = source
@@ -222,9 +248,15 @@ def extract_sjoin_state(
     return extracted
 
 
-def merge_sjoin_state(node: "ProcessingNode", canonical: dict[int, list]) -> None:
-    """Merge the canonical moved-bucket tuples into each SJoin of ``node``."""
+def merge_sjoin_state(node: "ProcessingNode", canonical: dict[int, list]) -> int:
+    """Merge the canonical moved-bucket tuples into each SJoin of ``node``.
+
+    Returns the number of merged tuples the join's bounded state window
+    trimmed away (oldest first).  Callers surface the count -- silent
+    truncation of shipped bucket state is otherwise invisible.
+    """
     joins = [op for op in node.diagram if isinstance(op, SJoin)]
+    trimmed = 0
     for position, join in enumerate(joins):
         moved = canonical.get(position, [])
         if not moved:
@@ -235,6 +267,8 @@ def merge_sjoin_state(node: "ProcessingNode", canonical: dict[int, list]) -> Non
             key=lambda item: (item.stime, item.values.get("seq", item.tuple_id)),
         )
         if len(merged) > join.state_size:
+            trimmed += len(merged) - join.state_size
             merged = merged[len(merged) - join.state_size:]
         state["custom"]["state"] = merged
         join.restore(OperatorCheckpoint.capture(join.name, state))
+    return trimmed

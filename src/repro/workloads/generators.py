@@ -184,6 +184,35 @@ def bursty_rate(
     return profile
 
 
+def step_rate(
+    at: float,
+    factor: float = 2.0,
+    until: float | None = None,
+    base_factor: float = 1.0,
+) -> RateProfile:
+    """One load step: ``base_factor`` until ``at``, then ``factor``.
+
+    When ``until`` is given the rate steps back down to ``base_factor`` at
+    that time -- the surge-and-subside shape the autoscale experiments use to
+    drive one scale-out and one scale-in from a single profile.  Like every
+    profile, it is a pure function of the emission stime, so the interleaved
+    sources stay aligned and stime tie groups are preserved.
+    """
+    if at < 0:
+        raise ValueError(f"at must be non-negative, got {at}")
+    if factor <= 0 or base_factor <= 0:
+        raise ValueError("rate factors must be positive")
+    if until is not None and until <= at:
+        raise ValueError(f"until must lie beyond at={at}, got {until}")
+
+    def profile(now: float) -> float:
+        if now < at or (until is not None and now >= until):
+            return base_factor
+        return factor
+
+    return profile
+
+
 def diurnal_rate(
     day_length: float = 600.0, amplitude: float = 0.5, phase: float = 0.0
 ) -> RateProfile:

@@ -230,6 +230,7 @@ def test_shard_experiments_registered():
     assert "shard" in cli.EXPERIMENTS
     assert "shard-throughput" in cli.EXPERIMENTS
     assert "rebalance" in cli.EXPERIMENTS
+    assert "autoscale" in cli.EXPERIMENTS
 
 
 def test_scenario_live_rebalance_via_cli(capsys):
@@ -252,6 +253,34 @@ def test_scenario_rebalance_flags_require_shard_topology(capsys):
     code = cli.main(["scenario", "--topology", "diamond", "--skew", "1.2"])
     assert code == 2
     assert "--skew" in capsys.readouterr().err
+
+
+def test_scenario_autoscale_requires_shard_topology(capsys):
+    code = cli.main(["scenario", "--depth", "1", "--autoscale"])
+    assert code == 2
+    assert "--autoscale" in capsys.readouterr().err
+
+
+def test_scenario_surge_until_requires_surge_at(capsys):
+    code = cli.main(
+        ["scenario", "--topology", "shard", "--shards", "2", "--surge-until", "20"]
+    )
+    assert code == 2
+    assert "--surge-at" in capsys.readouterr().err
+
+
+def test_scenario_autoscale_via_cli(capsys):
+    code = cli.main(
+        ["scenario", "--topology", "shard", "--shards", "2", "--rate", "120",
+         "--skew", "1.2", "--autoscale", "--surge-at", "14", "--surge-until", "34",
+         "--surge-factor", "2", "--warmup", "14", "--settle", "41", "--seed", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "scale-out" in out
+    assert "scale-in" in out
+    assert "autoscale:" in out
+    assert "eventually consistent:                 True" in out
 
 
 # --------------------------------------------------------------------------- profile
