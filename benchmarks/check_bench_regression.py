@@ -188,6 +188,11 @@ def main(argv: list[str] | None = None) -> int:
                              "metrics (default 0.50 = 50%%; never fails the check)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="rewrite the baseline from the given results instead of checking")
+    parser.add_argument("--subset", action="store_true",
+                        help="compare only the benchmarks present in the current run; for "
+                             "jobs that deliberately run a slice of the suite (e.g. the "
+                             "live-smoke job), where the full-suite 'tracked benchmark "
+                             "missing' gate does not apply")
     args = parser.parse_args(argv)
 
     current = merge_metrics(args.results)
@@ -203,6 +208,8 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    if args.subset:
+        baseline = {test: extra for test, extra in baseline.items() if test in current}
     regressions, lines = compare(
         baseline, current, tolerance=args.tolerance, wall_tolerance=args.wall_tolerance
     )

@@ -320,6 +320,43 @@ def _run_shard_throughput(scale: str) -> list[ResultTable]:
     return [table]
 
 
+def _run_live_throughput(scale: str) -> list[ResultTable]:
+    """Wall-clock throughput of the live backend: chain vs shard fan-out.
+
+    Unlike every other experiment this one spends real wall-clock seconds
+    (worker processes over Unix sockets); the numbers are environment-bound
+    trend metrics, not deterministic figures.
+    """
+    from .deploy.placement import compile as compile_topology
+    from .live.supervisor import LiveBackendUnavailable, require_fork
+
+    table = ResultTable(
+        title="Live backend: wall-clock throughput, chain vs sharded fan-out",
+        row_label="deployment",
+        column_label="metric",
+    )
+    try:
+        require_fork()
+    except LiveBackendUnavailable as error:
+        table.set("unavailable", "reason", str(error))
+        return [table]
+    stop = 4.0 if scale != "full" else 8.0
+    rate = 240.0 if scale != "full" else 480.0
+    for label, topology in (("chain-2", Topology.chain(2)), ("shard-4", Topology.shard(4))):
+        placement = compile_topology(topology, replicas_per_node=2)
+        live = placement.deploy(
+            seed=1, aggregate_rate=rate, source_stop_time=stop, backend="live"
+        )
+        result = live.run(duration=stop + 1.0, drain_timeout=20.0)
+        stable = result.total_stable
+        table.set(label, "worker processes", len(result.nodes) + 1)
+        table.set(label, "stable tuples", stable)
+        table.set(label, "wall (s)", round(result.wall_seconds, 2))
+        table.set(label, "tuples/s (wall)", round(stable / result.wall_seconds, 1))
+        table.set(label, "consistent", result.eventually_consistent)
+    return [table]
+
+
 EXPERIMENTS: dict[str, ExperimentCommand] = {
     "table3": ExperimentCommand("table3", "Table III: Proc_new vs failure duration", _run_table3),
     "fig11a": ExperimentCommand("fig11a", "Figure 11(a): overlapping failures", _run_fig11(True)),
@@ -364,6 +401,11 @@ EXPERIMENTS: dict[str, ExperimentCommand] = {
         "recovery",
         "State transfer: checkpoint-shipped vs full-replay crash recovery",
         _run_recovery,
+    ),
+    "live-throughput": ExperimentCommand(
+        "live-throughput",
+        "Live backend: wall-clock throughput over real processes and sockets",
+        _run_live_throughput,
     ),
 }
 
@@ -413,10 +455,121 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if report.all_passed else 1
 
 
+def _cmd_scenario_live(args: argparse.Namespace) -> int:
+    """Run a scenario on the live backend (real processes, wall-clock time).
+
+    The live backend supports the failure model it can express -- SIGKILL of
+    one replica's worker process -- so only ``--failure crash`` (or no
+    failure) is accepted; disconnect/silence and the sharded control-plane
+    extras (skew, rebalance, autoscale, surge) remain simulator-only.
+    """
+    from .config import DPCConfig
+    from .deploy.placement import compile as compile_topology
+    from .errors import ConfigurationError, SimulationError
+    from .live.supervisor import LiveBackendUnavailable, LiveKill
+
+    for flag, value in (
+        ("--skew", args.skew),
+        ("--rebalance-at", args.rebalance_at),
+        ("--autoscale", args.autoscale or None),
+        ("--surge-at", args.surge_at),
+    ):
+        if value is not None:
+            print(
+                f"invalid scenario: {flag} is simulator-only (not supported "
+                "with --backend live)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.failure and args.failure != "crash":
+        print(
+            f"invalid scenario: --failure {args.failure} is simulator-only; "
+            "the live backend injects failures by SIGKILLing a replica's "
+            "worker process (--failure crash)",
+            file=sys.stderr,
+        )
+        return 2
+    streams = 3 if args.streams is None else args.streams
+    if args.topology == "shard":
+        topology = Topology.shard(args.shards, n_input_streams=streams)
+    elif args.topology == "diamond":
+        topology = Topology.diamond(n_input_streams=streams)
+    elif args.topology == "fanin":
+        topology = Topology.fanin()
+    else:
+        topology = Topology.chain(args.depth, n_input_streams=streams)
+    config = None
+    if args.checkpoint_interval is not None:
+        config = DPCConfig(
+            checkpoint_interval=(
+                None if args.checkpoint_interval <= 0 else args.checkpoint_interval
+            )
+        )
+    # Sources stop at warmup+settle; one extra wall second lets the last
+    # boundary cross the pipeline before the drain poll takes over.
+    stop = args.warmup + args.settle
+    kill = None
+    try:
+        placement = compile_topology(topology, replicas_per_node=args.replicas)
+        if args.failure == "crash":
+            if args.failure_node:
+                node_name = args.failure_node
+            else:
+                if not 0 <= args.failure_level < len(placement.nodes):
+                    raise ConfigurationError(
+                        f"--failure-level {args.failure_level} out of range for "
+                        f"{len(placement.nodes)} node(s)"
+                    )
+                node_name = placement.nodes[args.failure_level].name
+            kill = LiveKill(
+                node=node_name,
+                replica=args.failure_replica,
+                at=args.warmup,
+                downtime=args.failure_duration,
+            )
+        live = placement.deploy(
+            config,
+            seed=args.seed,
+            aggregate_rate=args.rate,
+            source_stop_time=stop,
+            backend="live",
+        )
+        print(
+            f"scenario {args.name!r} [live]: topology={topology.name} "
+            f"nodes={','.join(topology.node_names)} replicas={args.replicas} "
+            f"rate={args.rate:g} tuples/s seed={args.seed} "
+            f"(~{stop + 1.0:g} wall seconds plus drain)"
+        )
+        result = live.run(duration=stop + 1.0, kill=kill, drain_timeout=15.0)
+    except LiveBackendUnavailable as error:
+        print(f"live backend unavailable: {error}", file=sys.stderr)
+        return 2
+    except (ConfigurationError, SimulationError) as error:
+        print(f"invalid scenario: {error}", file=sys.stderr)
+        return 2
+    for record in result.kills:
+        print(f"  SIGKILL: {record['endpoint']} (worker {record['worker']}) "
+              f"at t={record['at']:.2f}s, respawned at t={record['respawned_at']:.2f}s")
+    for record in result.recoveries():
+        print(f"  recovery: {record['endpoint']} via {record['mode']}")
+    summary = result.client()["summary"]
+    print(f"workers: {len(result.nodes) + 1} processes over Unix sockets, "
+          f"{result.wall_seconds:.1f} s wall")
+    print(f"Proc_new (max latency of new results): {summary['proc_new']:.3f} s")
+    print(f"stable / tentative / undone:           {summary['total_stable']} / "
+          f"{summary['total_tentative']} / {summary['total_undos']}")
+    print(f"upstream switches:                     {summary['switches']}")
+    consistent = result.eventually_consistent
+    print(f"eventually consistent:                 {consistent}")
+    return 0 if consistent else 1
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from .errors import ConfigurationError, SimulationError
     from .runtime import ScenarioSpec
 
+    if args.backend == "live":
+        return _cmd_scenario_live(args)
     checkpoint_interval = "inherit"
     if args.checkpoint_interval is not None:
         # <= 0 disables recovery checkpoints (forces full-replay recovery).
@@ -781,6 +934,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "and forces full-replay crash recovery)")
     scenario.add_argument("--seed", type=int, default=None,
                           help="determinism seed (same seed => identical run)")
+    scenario.add_argument("--backend", choices=("sim", "live"), default="sim",
+                          help="sim runs the deterministic simulator; live runs the same "
+                               "compiled placement as real processes over Unix sockets "
+                               "in wall-clock time (crash failures only)")
     scenario.set_defaults(func=_cmd_scenario)
 
     profile = sub.add_parser(

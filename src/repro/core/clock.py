@@ -1,0 +1,84 @@
+"""Clock seam shared by the simulated and live execution backends.
+
+Every protocol component (nodes, consistency managers, data sources, client
+proxies) drives its timers and reads "now" through the interface below.  The
+discrete-event :class:`~repro.sim.event_loop.Simulator` has always exposed
+exactly this surface -- it *is* the canonical implementation -- so extracting
+the seam is a typing-only change: simulated runs execute the same bytecode
+and stay byte-identical (the golden digests pin this).
+
+The live backend's :class:`~repro.live.clock.LiveClock` implements the same
+protocol over an asyncio event loop and ``time.monotonic()``, which is what
+lets the identical node/SPE code run as real OS processes in wall-clock time
+(see DESIGN.md, "Live backend").
+
+Contract notes, shared by both implementations:
+
+* ``now`` is in seconds from the deployment's time origin (virtual time zero
+  for the simulator, the supervisor-chosen epoch for the live clock).
+* Callbacks receive the firing time as their single positional argument.
+* ``schedule_at`` / ``schedule_in`` return a cancellable handle; pass it to
+  :meth:`Clock.cancel` (one-shot timers).
+* ``schedule_periodic`` returns a handle whose ``cancel()`` stops the chain;
+  the first occurrence fires after ``start_delay`` (default: one period) and
+  the chain re-arms *after* the callback runs, so a callback cancelling its
+  own handle stops the chain immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from ..sim.events import EventKind
+
+#: Timer callback signature: receives the firing time.
+ClockCallback = Callable[[float], None]
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """Handle for a (periodic) timer chain; cancelling it stops the chain."""
+
+    cancelled: bool
+
+    def cancel(self) -> None: ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What protocol components require from their execution backend.
+
+    Structurally satisfied by :class:`~repro.sim.event_loop.Simulator`
+    (virtual time) and :class:`~repro.live.clock.LiveClock` (wall clock).
+    """
+
+    @property
+    def now(self) -> float: ...
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: ClockCallback,
+        kind: EventKind = EventKind.INTERNAL,
+        description: str = "",
+    ) -> Any: ...
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: ClockCallback,
+        kind: EventKind = EventKind.INTERNAL,
+        description: str = "",
+    ) -> Any: ...
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: ClockCallback,
+        kind: EventKind = EventKind.TIMER,
+        description: str = "",
+        start_delay: float | None = None,
+        stop_condition: Callable[[], bool] | None = None,
+    ) -> TimerHandle: ...
+
+    def cancel(self, event: Any) -> None: ...

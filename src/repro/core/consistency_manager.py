@@ -31,7 +31,7 @@ from typing import Mapping, Protocol, Sequence
 
 from ..config import DPCConfig
 from ..errors import ProtocolError
-from ..sim.event_loop import Simulator
+from .clock import Clock
 from ..sim.events import EventKind
 from ..sim.network import Message, Network
 from ..spe.tuples import StreamTuple
@@ -84,7 +84,7 @@ class ConsistencyManager:
     def __init__(
         self,
         owner: ConsistencyOwner,
-        simulator: Simulator,
+        simulator: Clock,
         network: Network,
         config: DPCConfig,
         replica_partners: Sequence[str] = (),

@@ -30,7 +30,7 @@ from typing import Mapping, Sequence
 
 from ..config import DPCConfig, ProcessingPolicy, SimulationConfig
 from ..errors import ProtocolError
-from ..sim.event_loop import Simulator
+from .clock import Clock
 from ..sim.events import EventKind
 from ..sim.network import Message, Network
 from ..spe.checkpoint import DiagramCheckpoint
@@ -67,7 +67,7 @@ class ProcessingNode:
         self,
         name: str,
         diagram: QueryDiagram,
-        simulator: Simulator,
+        simulator: Clock,
         network: Network,
         config: DPCConfig | None = None,
         sim_config: SimulationConfig | None = None,
@@ -952,9 +952,17 @@ class ProcessingNode:
             return False
         partner: str | None = None
         expected_items = 0
+        remote = getattr(registry, "remote", False)
         for candidate in self.cm.replica_partners:
             if not self.network.can_communicate(self.endpoint, candidate):
                 continue
+            if remote:
+                # Live backend: partners run in other processes, so there is
+                # nothing to peek at.  Ask the first reachable partner blind;
+                # an empty CHECKPOINT_RESPONSE (or a dead partner, via the
+                # fallback timer) degrades to full subscription replay.
+                partner = candidate
+                break
             peer = registry.node_of(candidate)
             if peer is None or peer._recovery_checkpoint is None:
                 continue

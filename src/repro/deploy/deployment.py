@@ -77,6 +77,7 @@ def deploy_placement(
     diagram_factory: "Callable[[str, Sequence[str], str], QueryDiagram] | None" = None,
     seed: int | None = None,
     rate_profile: Callable[[float], float] | None = None,
+    source_stop_time: float | None = None,
 ) -> "Deployment":
     """Instantiate ``placement`` on a fresh simulator.
 
@@ -143,6 +144,7 @@ def deploy_placement(
             batch_interval=sim_config.batch_interval,
             payload=payload_factory(plan.payload_index, len(placement.sources)),
             start_time=start_offset,
+            stop_time=source_stop_time,
             # The same profile object for every source: profiles are pure
             # functions of the emission stime, so shared use keeps the
             # interleaved sources aligned (tie groups stay intact).

@@ -261,8 +261,44 @@ class Placement:
         diagram_factory: "Callable[[str, Sequence[str], str], QueryDiagram] | None" = None,
         seed: int | None = None,
         rate_profile: "Callable[[float], float] | None" = None,
+        backend: str = "sim",
+        source_stop_time: float | None = None,
     ) -> "Deployment":
-        """Materialize this plan onto a fresh simulator (see :class:`Deployment`)."""
+        """Materialize this plan on an execution backend.
+
+        ``backend="sim"`` (the default) instantiates the plan on a fresh
+        discrete-event simulator and returns a :class:`Deployment` --
+        byte-identical to the historical behavior.  ``backend="live"``
+        returns a :class:`repro.live.supervisor.LiveDeployment` that runs
+        the same fragments as real OS processes over asyncio sockets in
+        wall-clock time (raises
+        :class:`~repro.live.supervisor.LiveBackendUnavailable` on platforms
+        without the ``fork`` multiprocessing start method).
+
+        ``source_stop_time`` bounds every source's production to stimes at
+        or below it (both backends), which is how the live/sim parity
+        harness pins a finite, backend-independent workload.
+        """
+        if backend == "live":
+            from ..live.supervisor import deploy_live
+
+            return deploy_live(
+                self,
+                config=config,
+                sim_config=sim_config,
+                aggregate_rate=aggregate_rate,
+                payload_factory=payload_factory,
+                join_state_size=join_state_size,
+                per_node_delay=per_node_delay,
+                diagram_factory=diagram_factory,
+                seed=seed,
+                rate_profile=rate_profile,
+                source_stop_time=source_stop_time,
+            )
+        if backend != "sim":
+            raise ConfigurationError(
+                f"unknown deployment backend {backend!r}; expected 'sim' or 'live'"
+            )
         from .deployment import deploy_placement
 
         return deploy_placement(
@@ -276,6 +312,7 @@ class Placement:
             diagram_factory=diagram_factory,
             seed=seed,
             rate_profile=rate_profile,
+            source_stop_time=source_stop_time,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,146 @@
+"""Wall-clock implementation of the :class:`~repro.core.clock.Clock` seam.
+
+:class:`LiveClock` drives the exact timer surface the discrete-event
+:class:`~repro.sim.event_loop.Simulator` exposes -- ``now``,
+``schedule_at``/``schedule_in``, ``schedule_periodic`` with the same
+re-arm-after-callback semantics -- but over a running asyncio event loop and
+``time.monotonic()``.  All live workers of one deployment share a monotonic
+*epoch* chosen by the supervisor, so ``now`` reads the same deployment-time
+axis in every process (``CLOCK_MONOTONIC`` is system-wide on Linux).
+
+Semantics mirrored from the simulator, pinned by the clock-seam tests:
+
+* callbacks receive the firing time (``self.now`` at dispatch) as their
+  single positional argument;
+* periodic chains first fire after ``start_delay`` (default one period),
+  check ``cancelled`` then ``stop_condition()`` *before* the callback, and
+  re-arm after it, so a callback cancelling its own handle stops the chain;
+* ``cancel`` accepts the handle returned by any ``schedule_*`` call.
+
+Deviation (documented in DESIGN.md): wall-clock timers have jitter, so
+unlike the simulator there is no guarantee that a callback fires at exactly
+its scheduled instant -- only at-or-after.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Optional
+
+from ..core.clock import ClockCallback
+from ..sim.events import EventKind
+
+
+class LiveTimer:
+    """One-shot timer handle; shape-compatible with a cancelled check."""
+
+    __slots__ = ("cancelled", "_timer")
+
+    def __init__(self, timer: asyncio.TimerHandle) -> None:
+        self.cancelled = False
+        self._timer = timer
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._timer.cancel()
+
+
+class LivePeriodicHandle:
+    """Handle for a periodic chain; mirrors sim ``PeriodicHandle``."""
+
+    __slots__ = ("cancelled", "_timer")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self._timer: Optional[asyncio.TimerHandle] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._timer is not None:
+            self._timer.cancel()
+
+
+class LiveClock:
+    """Clock over ``time.monotonic()`` and a running asyncio loop.
+
+    Must be constructed (and its timers scheduled) from within the worker's
+    event loop thread; the protocol stack is single-threaded per worker.
+    """
+
+    def __init__(self, epoch: float, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        self._epoch = epoch
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self.events_fired = 0
+
+    @property
+    def now(self) -> float:
+        # Clamp: workers may construct their stack slightly before the
+        # shared epoch; protocol code assumes time never goes negative.
+        return max(0.0, time.monotonic() - self._epoch)
+
+    # ------------------------------------------------------------------ one-shot
+    def schedule_at(
+        self,
+        time_: float,
+        callback: ClockCallback,
+        kind: EventKind = EventKind.INTERNAL,
+        description: str = "",
+    ) -> LiveTimer:
+        return self.schedule_in(time_ - self.now, callback, kind, description)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: ClockCallback,
+        kind: EventKind = EventKind.INTERNAL,
+        description: str = "",
+    ) -> LiveTimer:
+        handle_box: list[LiveTimer] = []
+
+        def fire() -> None:
+            if handle_box and handle_box[0].cancelled:
+                return
+            self.events_fired += 1
+            callback(self.now)
+
+        timer = self._loop.call_later(max(0.0, delay), fire)
+        handle = LiveTimer(timer)
+        handle_box.append(handle)
+        return handle
+
+    # ------------------------------------------------------------------ periodic
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: ClockCallback,
+        kind: EventKind = EventKind.TIMER,
+        description: str = "",
+        start_delay: float | None = None,
+        stop_condition: Callable[[], bool] | None = None,
+    ) -> LivePeriodicHandle:
+        handle = LivePeriodicHandle()
+        first_delay = period if start_delay is None else start_delay
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            if stop_condition is not None and stop_condition():
+                handle.cancelled = True
+                return
+            self.events_fired += 1
+            callback(self.now)
+            if not handle.cancelled:
+                handle._timer = self._loop.call_later(period, fire)
+
+        handle._timer = self._loop.call_later(max(0.0, first_delay), fire)
+        return handle
+
+    # ------------------------------------------------------------------ cancel
+    def cancel(self, event: object) -> None:
+        cancel = getattr(event, "cancel", None)
+        if callable(cancel):
+            cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LiveClock now={self.now:.3f} events_fired={self.events_fired}>"

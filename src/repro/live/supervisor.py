@@ -1,0 +1,347 @@
+"""Process supervisor for the live execution backend.
+
+:func:`deploy_live` (reached through ``Placement.deploy(backend="live")``)
+compiles a worker plan from the placement -- one worker process per node
+replica plus one *edge* worker hosting every data source and client proxy --
+and :meth:`LiveDeployment.run` orchestrates a wall-clock run:
+
+1. create a socket directory and the address book (endpoint -> worker ->
+   Unix socket path);
+2. pick a shared monotonic *epoch* about a second out and fork all workers;
+   each builds its fragment (see :mod:`repro.live.worker`), binds its
+   socket, and starts its protocol stack exactly at the epoch;
+3. optionally SIGKILL one replica's worker mid-run (:class:`LiveKill`) and
+   respawn it after a downtime with ``recovering={endpoint}``, which drives
+   the checkpoint-shipped statexfer recovery over real sockets;
+4. after the requested duration, poll the edge worker until every client's
+   ledger stops growing (the pipeline has drained), then collect results
+   from all workers and tear everything down.
+
+Failure injection is the *process* dying -- no cooperation from the victim,
+exactly the crash model of the paper -- which is why the supervisor, not the
+transport, owns it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from ..config import DPCConfig, SimulationConfig
+from ..deploy.placement import Placement
+from ..errors import ConfigurationError, ReproError, SimulationError
+from ..workloads.generators import PayloadFactory, default_payload_factory
+from .worker import WorkerSpec, worker_main
+
+#: Seconds between the fork and the shared epoch: every worker must have
+#: built its fragment and bound its socket by then.
+_STARTUP_DELAY = 1.0
+
+#: Consecutive identical ledger polls that count as "drained".
+_DRAIN_STABLE_POLLS = 3
+_DRAIN_POLL_INTERVAL = 0.3
+
+
+class LiveBackendUnavailable(ReproError):
+    """The platform cannot run the live backend (no ``fork`` start method)."""
+
+
+def require_fork() -> None:
+    """Raise :class:`LiveBackendUnavailable` unless ``fork`` is available.
+
+    The live backend forks workers so the compiled placement (closures,
+    payload generators) crosses by memory inheritance; ``spawn``-only
+    platforms (Windows, some macOS configurations) cannot run it.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise LiveBackendUnavailable(
+            "the live backend needs the 'fork' multiprocessing start method, "
+            f"which this platform does not offer (available: "
+            f"{multiprocessing.get_all_start_methods()}); use backend='sim'"
+        )
+
+
+@dataclass(frozen=True)
+class LiveKill:
+    """SIGKILL one replica's worker at deployment time ``at``, respawn after ``downtime``."""
+
+    node: str
+    replica: int = 0
+    at: float = 2.0
+    downtime: float = 1.0
+
+
+@dataclass
+class LiveRunResult:
+    """Merged results of one live run."""
+
+    duration: float
+    wall_seconds: float
+    #: client name -> {"summary", "stable_rows", "eventually_consistent"}
+    clients: dict = field(default_factory=dict)
+    #: replica endpoint -> {"statistics", "recoveries"}
+    nodes: dict = field(default_factory=dict)
+    #: source name -> tuples produced
+    sources: dict = field(default_factory=dict)
+    kills: list = field(default_factory=list)
+
+    @property
+    def eventually_consistent(self) -> bool:
+        return bool(self.clients) and all(
+            c["eventually_consistent"] for c in self.clients.values()
+        )
+
+    def client(self, name: str | None = None) -> dict:
+        if name is None:
+            name = sorted(self.clients)[0]
+        return self.clients[name]
+
+    def stable_rows(self, name: str | None = None) -> list:
+        return self.client(name)["stable_rows"]
+
+    def recoveries(self) -> list[dict]:
+        return [
+            dict(record, endpoint=endpoint)
+            for endpoint, node in sorted(self.nodes.items())
+            for record in node["recoveries"]
+        ]
+
+    @property
+    def total_stable(self) -> int:
+        return sum(len(c["stable_rows"]) for c in self.clients.values())
+
+
+class _WorkerHandle:
+    """One supervised worker process and its control pipe."""
+
+    def __init__(self, spec: WorkerSpec, process, conn) -> None:
+        self.spec = spec
+        self.process = process
+        self.conn = conn
+        self.killed = False
+
+
+class LiveDeployment:
+    """A placement bound to the live backend, ready to run."""
+
+    def __init__(
+        self,
+        placement: Placement,
+        config: DPCConfig,
+        sim_config: SimulationConfig,
+        deploy_kwargs: dict,
+    ) -> None:
+        require_fork()
+        self.placement = placement
+        self.config = config
+        self.sim_config = sim_config
+        #: kwargs forwarded verbatim to ``build_fragment_stack`` (minus the
+        #: per-worker clock/network/hosts, which each worker supplies).
+        self.deploy_kwargs = dict(deploy_kwargs)
+
+    # ------------------------------------------------------------------ worker plan
+    def _worker_plan(self, socket_dir: str, epoch: float) -> list[WorkerSpec]:
+        edge_endpoints = [plan.name for plan in self.placement.sources] + [
+            plan.name for plan in self.placement.clients
+        ]
+        hosted_by_worker: dict[str, list[str]] = {"edge": edge_endpoints}
+        for plan in self.placement.nodes:
+            for index, endpoint in enumerate(plan.replica_names):
+                hosted_by_worker[f"{plan.name}-r{index}"] = [endpoint]
+        worker_sockets = {
+            worker: os.path.join(socket_dir, f"{worker}.sock") for worker in hosted_by_worker
+        }
+        endpoint_worker = {
+            endpoint: worker
+            for worker, endpoints in hosted_by_worker.items()
+            for endpoint in endpoints
+        }
+        return [
+            WorkerSpec(
+                name=worker,
+                hosted=frozenset(endpoints),
+                socket_path=worker_sockets[worker],
+                worker_sockets=worker_sockets,
+                endpoint_worker=endpoint_worker,
+                epoch=epoch,
+            )
+            for worker, endpoints in hosted_by_worker.items()
+        ]
+
+    def _spawn(self, ctx, spec: WorkerSpec) -> _WorkerHandle:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=worker_main,
+            args=(spec, self.placement, self.deploy_kwargs, child_conn),
+            name=f"repro-live-{spec.name}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(spec, process, parent_conn)
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        duration: float,
+        kill: LiveKill | None = None,
+        drain_timeout: float = 15.0,
+        startup_delay: float = _STARTUP_DELAY,
+    ) -> LiveRunResult:
+        """Run the deployment for ``duration`` wall-clock seconds and collect.
+
+        ``kill`` injects one mid-run SIGKILL + respawn.  After ``duration``
+        the supervisor waits (bounded by ``drain_timeout``) for every
+        client's ledger to stop growing before stopping the workers, so
+        in-flight batches are not cut off mid-pipeline.
+        """
+        if kill is not None:
+            target_plan = self.placement.node_plan(kill.node)
+            if not 0 <= kill.replica < len(target_plan.replica_names):
+                raise ConfigurationError(
+                    f"node {kill.node!r} has {len(target_plan.replica_names)} "
+                    f"replica(s); cannot kill replica {kill.replica}"
+                )
+            if kill.at >= duration:
+                raise ConfigurationError(
+                    f"kill.at={kill.at} must fall inside the run (duration={duration})"
+                )
+        started_wall = time.monotonic()
+        ctx = multiprocessing.get_context("fork")
+        socket_dir = tempfile.mkdtemp(prefix="repro-live-")
+        epoch = time.monotonic() + startup_delay
+        specs = self._worker_plan(socket_dir, epoch)
+        handles = {spec.name: self._spawn(ctx, spec) for spec in specs}
+        result = LiveRunResult(duration=duration, wall_seconds=0.0)
+        try:
+            if kill is not None:
+                endpoint = self.placement.node_plan(kill.node).replica_names[kill.replica]
+                worker_name = next(
+                    spec.name for spec in specs if endpoint in spec.hosted
+                )
+                self._sleep_until(epoch + kill.at)
+                victim = handles[worker_name]
+                os.kill(victim.process.pid, signal.SIGKILL)
+                victim.killed = True
+                result.kills.append(
+                    {"endpoint": endpoint, "at": time.monotonic() - epoch, "worker": worker_name}
+                )
+                time.sleep(max(0.0, kill.downtime))
+                respawn_spec = WorkerSpec(
+                    name=victim.spec.name,
+                    hosted=victim.spec.hosted,
+                    socket_path=victim.spec.socket_path,
+                    worker_sockets=victim.spec.worker_sockets,
+                    endpoint_worker=victim.spec.endpoint_worker,
+                    epoch=victim.spec.epoch,
+                    recovering=frozenset({endpoint}),
+                )
+                victim.process.join(timeout=5.0)
+                handles[worker_name] = self._spawn(ctx, respawn_spec)
+                result.kills[-1]["respawned_at"] = time.monotonic() - epoch
+            self._sleep_until(epoch + duration)
+            self._await_drain(handles["edge"], drain_timeout)
+            for handle in handles.values():
+                self._collect(handle, result)
+            result.wall_seconds = time.monotonic() - started_wall
+            return result
+        finally:
+            for handle in handles.values():
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                handle.process.join(timeout=5.0)
+                if handle.process.is_alive():  # pragma: no cover - last resort
+                    handle.process.kill()
+                    handle.process.join(timeout=5.0)
+                handle.conn.close()
+            shutil.rmtree(socket_dir, ignore_errors=True)
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def _sleep_until(deadline: float) -> None:
+        delay = deadline - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+
+    def _request(self, handle: _WorkerHandle, request: str, timeout: float = 5.0):
+        handle.conn.send(request)
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if handle.conn.poll(0.05):
+                kind, payload = handle.conn.recv()
+                return payload
+        raise SimulationError(
+            f"live worker {handle.spec.name!r} did not answer {request!r} "
+            f"within {timeout}s"
+        )
+
+    def _await_drain(self, edge: _WorkerHandle, drain_timeout: float) -> None:
+        """Wait until every client ledger stops growing (pipeline drained)."""
+        deadline = time.monotonic() + drain_timeout
+        stable_polls = 0
+        last = None
+        while time.monotonic() < deadline and stable_polls < _DRAIN_STABLE_POLLS:
+            status = self._request(edge, "status")
+            counts = (status["ledgers"], status["stable"])
+            if counts == last:
+                stable_polls += 1
+            else:
+                stable_polls = 0
+                last = counts
+            time.sleep(_DRAIN_POLL_INTERVAL)
+
+    def _collect(self, handle: _WorkerHandle, result: LiveRunResult) -> None:
+        try:
+            payload = self._request(handle, "stop", timeout=10.0)
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise SimulationError(
+                f"live worker {handle.spec.name!r} died before reporting results "
+                f"(exitcode={handle.process.exitcode})"
+            ) from exc
+        result.clients.update(payload["clients"])
+        result.nodes.update(payload["nodes"])
+        result.sources.update(payload["sources"])
+
+
+# --------------------------------------------------------------------------- entry point
+def deploy_live(
+    placement: Placement,
+    config: DPCConfig | None = None,
+    sim_config: SimulationConfig | None = None,
+    *,
+    aggregate_rate: float = 300.0,
+    payload_factory: PayloadFactory = default_payload_factory,
+    join_state_size: int | None = 100,
+    per_node_delay: float | None = None,
+    diagram_factory=None,
+    seed: int | None = None,
+    rate_profile=None,
+    source_stop_time: float | None = None,
+) -> LiveDeployment:
+    """Bind ``placement`` to the live backend (compare ``deploy_placement``)."""
+    config = config or DPCConfig()
+    sim_config = sim_config or SimulationConfig()
+    config.validate()
+    sim_config.validate()
+    return LiveDeployment(
+        placement,
+        config,
+        sim_config,
+        deploy_kwargs=dict(
+            config=config,
+            sim_config=sim_config,
+            aggregate_rate=aggregate_rate,
+            payload_factory=payload_factory,
+            join_state_size=join_state_size,
+            per_node_delay=per_node_delay,
+            diagram_factory=diagram_factory,
+            seed=seed,
+            rate_profile=rate_profile,
+            source_stop_time=source_stop_time,
+        ),
+    )

@@ -1,0 +1,298 @@
+"""Asyncio transport presenting the simulated ``Network`` surface.
+
+Each live worker owns one :class:`LiveTransport`.  Protocol components call
+the same API the simulated :class:`~repro.sim.network.Network` exposes
+(``register``/``send``/``send_many``/``can_communicate``/...), and the
+transport routes each message either
+
+* **locally** -- the receiver's handler lives in this process; delivery is
+  deferred through ``loop.call_soon`` so a send never re-enters the protocol
+  stack synchronously (the simulator likewise never delivers inside
+  ``send``), or
+* **remotely** -- the message is framed by :mod:`repro.live.wire` with a
+  4-byte big-endian length prefix and queued on the outbound link to the
+  worker hosting the receiver.  One Unix-domain-socket connection per worker
+  pair keeps every link FIFO, matching the paper's reliable in-order
+  assumption (TCP, Section 2.2).
+
+Failure semantics: a dead peer worker is indistinguishable from a crashed
+simulated endpoint -- frames queued to it are silently discarded after the
+connect/write fails (counted as ``dropped``), and the writer keeps retrying
+the socket path so a respawned worker (same path) is picked up
+automatically.  ``can_communicate`` is always True: live mode has no
+partition oracle; real liveness is whatever the sockets deliver, which is
+exactly the information DPC's failure detection is designed to work from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import struct
+from typing import Any, Callable, Sequence
+
+from ..errors import NetworkError
+from ..sim.network import Message, NetworkStats
+from . import wire
+
+MessageHandler = Callable[[Message, float], None]
+
+_LENGTH = struct.Struct(">I")
+
+#: Cap per-link buffered frames; beyond it the oldest frames are dropped.
+#: Live mode has real backpressure on sockets; this bound only matters while
+#: a peer is down, where dropping mirrors the simulator's crashed-endpoint
+#: semantics.
+_MAX_QUEUED_FRAMES = 20000
+
+#: Delay between reconnect attempts to a peer socket that refuses/conn-resets.
+_RECONNECT_DELAY = 0.05
+
+
+class PeerLink:
+    """Outbound FIFO link to one peer worker (one socket, one writer task)."""
+
+    def __init__(self, path: str, loop: asyncio.AbstractEventLoop) -> None:
+        self.path = path
+        self._loop = loop
+        self._queue: asyncio.Queue[bytes] = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+        self._closed = False
+        self.dropped_frames = 0
+        #: Optimistic until a connect/write fails; once False, senders treat
+        #: the peer like a crashed simulated endpoint (outputs stay buffered,
+        #: source cursors stop advancing) until a connect succeeds again.
+        self.connected = True
+
+    def enqueue(self, frame: bytes) -> None:
+        if self._closed:
+            return
+        while self._queue.qsize() >= _MAX_QUEUED_FRAMES:
+            try:
+                self._queue.get_nowait()
+                self.dropped_frames += 1
+            except asyncio.QueueEmpty:  # pragma: no cover - race-free in one loop
+                break
+        self._queue.put_nowait(frame)
+        if self._task is None or self._task.done():
+            self._task = self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        writer: asyncio.StreamWriter | None = None
+        try:
+            while not self._closed:
+                frame = await self._queue.get()
+                while not self._closed:
+                    if writer is None:
+                        try:
+                            _, writer = await asyncio.open_unix_connection(self.path)
+                            self.connected = True
+                        except OSError:
+                            # Peer not up (yet / anymore).  Drop this frame --
+                            # the peer is "crashed" from our point of view --
+                            # and retry the socket for the next one.
+                            self.connected = False
+                            self.dropped_frames += 1
+                            frame = None
+                            await asyncio.sleep(_RECONNECT_DELAY)
+                            break
+                    try:
+                        writer.write(_LENGTH.pack(len(frame)) + frame)
+                        await writer.drain()
+                        break
+                    except (ConnectionError, OSError):
+                        self.connected = False
+                        try:
+                            writer.close()
+                        except Exception:  # pragma: no cover - best effort
+                            pass
+                        writer = None
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):  # pragma: no cover
+                pass
+
+
+class LiveTransport:
+    """Network-surface-compatible message fabric over Unix-domain sockets."""
+
+    def __init__(
+        self,
+        worker: str,
+        socket_path: str,
+        endpoint_worker: dict[str, str],
+        worker_sockets: dict[str, str],
+        clock,
+        default_latency: float = 0.0,
+    ) -> None:
+        self.worker = worker
+        self.socket_path = socket_path
+        self._endpoint_worker = dict(endpoint_worker)
+        self._worker_sockets = dict(worker_sockets)
+        self.clock = clock
+        self.default_latency = default_latency
+        self._loop = asyncio.get_event_loop()
+        self._handlers: dict[str, MessageHandler] = {}
+        self._links: dict[str, PeerLink] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._reader_tasks: set[asyncio.Task] = set()
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Bind this worker's Unix socket and start accepting peer frames."""
+        try:
+            # A SIGKILLed predecessor leaves its socket file behind; the
+            # respawned worker rebinds the same path.
+            os.unlink(self.socket_path)
+        except FileNotFoundError:
+            pass
+        self._server = await asyncio.start_unix_server(self._on_connection, path=self.socket_path)
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._reader_tasks):
+            task.cancel()
+        for link in self._links.values():
+            await link.close()
+        self._links.clear()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+        try:
+            while True:
+                header = await reader.readexactly(_LENGTH.size)
+                (length,) = _LENGTH.unpack(header)
+                frame = await reader.readexactly(length)
+                self._on_frame(frame)
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    def _on_frame(self, frame: bytes) -> None:
+        try:
+            sender, receiver, kind, payload = wire.decode_envelope(frame)
+        except wire.WireError:
+            self.stats.dropped += 1
+            return
+        self._deliver_local(Message(sender, receiver, kind, payload, sent_at=self.clock.now))
+
+    # ------------------------------------------------------------------ topology
+    def register(self, name: str, handler: MessageHandler) -> None:
+        if name in self._handlers:
+            raise NetworkError(f"endpoint {name!r} already registered")
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._endpoint_worker)
+
+    def set_link_latency(self, sender: str, receiver: str, latency: float) -> None:
+        """No-op: live links have real latency, not a configured one."""
+
+    def latency(self, sender: str, receiver: str) -> float:
+        return self.default_latency
+
+    # ------------------------------------------------------------------ failures
+    # Live failures are injected at the process level (SIGKILL) by the
+    # supervisor; the transport has no partition or crash oracle.
+    def partition(self, a: str, b: str) -> None:  # pragma: no cover - API parity
+        raise NetworkError("live transport cannot inject partitions; SIGKILL a worker instead")
+
+    def heal_partition(self, a: str, b: str) -> None:  # pragma: no cover - API parity
+        pass
+
+    def crash(self, name: str) -> None:
+        """No-op: a live endpoint 'crashes' by its process dying."""
+
+    def recover(self, name: str) -> None:
+        """No-op: a live endpoint recovers by its process being respawned."""
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return False
+
+    def is_down(self, name: str) -> bool:
+        return False
+
+    def can_communicate(self, sender: str, receiver: str) -> bool:
+        # The honest answer is "unknown until the socket says otherwise".
+        # Optimistic True matches what a real deployment can know at send
+        # time and lets the protocol's own failure detection do its job.
+        return True
+
+    # ------------------------------------------------------------------ messaging
+    def send(self, sender: str, receiver: str, kind: str, payload: Any) -> bool:
+        return bool(self.send_many(sender, (receiver,), kind, payload))
+
+    def send_many(
+        self, sender: str, receivers: Sequence[str], kind: str, payload: Any
+    ) -> list[str]:
+        for receiver in receivers:
+            if receiver not in self._endpoint_worker:
+                raise NetworkError(f"unknown endpoint {receiver!r}")
+        now = self.clock.now
+        on_the_wire: list[str] = []
+        remote_frames: dict[str, bytes] = {}
+        for receiver in receivers:
+            self.stats.sent += 1
+            self.stats.record(kind, "sent")
+            target_worker = self._endpoint_worker[receiver]
+            if target_worker == self.worker:
+                message = Message(sender, receiver, kind, payload, sent_at=now)
+                self._loop.call_soon(self._deliver_local, message)
+            else:
+                frame = remote_frames.get(receiver)
+                if frame is None:
+                    frame = wire.encode_envelope(sender, receiver, kind, payload)
+                    remote_frames[receiver] = frame
+                link = self._link_to(target_worker)
+                link.enqueue(frame)
+                if not link.connected:
+                    # Mirror the simulator's crashed-endpoint semantics: a
+                    # peer whose socket last refused us is not credited with
+                    # delivery, so outputs stay buffered and source cursors
+                    # hold until the respawned worker reconnects.
+                    self.stats.dropped += 1
+                    self.stats.record(kind, "dropped")
+                    continue
+            on_the_wire.append(receiver)
+        return on_the_wire
+
+    def broadcast(self, sender: str, receivers: list[str], kind: str, payload: Any) -> int:
+        return len(self.send_many(sender, receivers, kind, payload))
+
+    def _link_to(self, worker: str) -> PeerLink:
+        link = self._links.get(worker)
+        if link is None:
+            link = PeerLink(self._worker_sockets[worker], self._loop)
+            self._links[worker] = link
+        return link
+
+    def _deliver_local(self, message: Message) -> None:
+        handler = self._handlers.get(message.receiver)
+        if handler is None:
+            self.stats.dropped += 1
+            self.stats.record(message.kind, "dropped")
+            return
+        self.stats.delivered += 1
+        self.stats.record(message.kind, "delivered")
+        handler(message, self.clock.now)

@@ -1,0 +1,652 @@
+"""Versioned wire codec for the live execution backend.
+
+Everything that crosses a socket between live workers is framed by this
+module: :class:`~repro.spe.tuples.StreamTuple`,
+:class:`~repro.core.protocol.DataBatch` and every control message of
+``repro.core.protocol``.  The format is compact (zigzag varints for
+integers, IEEE-754 doubles for floats, length-prefixed UTF-8 for strings)
+and **round-trip exact**: ``decode(encode(x)) == x`` for every payload the
+protocol produces, which the Hypothesis property suite pins.
+
+Every frame starts with a single version byte (:data:`WIRE_VERSION`);
+decoding any other version raises :class:`WireError` so incompatible
+workers fail loudly instead of mis-parsing each other.
+
+Two payload kinds cannot be encoded field-by-field:
+
+* **Subscription filters** hold closure predicates, so they travel *by
+  name*: each worker process rebuilds the deployment's filters from the
+  (fork-inherited) placement and registers them with
+  :func:`register_filter`; decoding resolves the name against that
+  process-local registry.  Filter epochs only advance during a simulated
+  rebalance, so name-identified filters stay equivalent across workers.
+* **Recovery checkpoints** (:class:`~repro.statexfer.RecoveryCheckpoint`)
+  carry operator state of arbitrary shape; they are pickled inside the
+  frame with a filter-aware pickler (filters inside a checkpoint also
+  travel by name).  This is a documented deviation from the
+  field-exact encoding (see DESIGN.md, "Live backend").
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import struct
+from typing import Any, Callable
+
+from ..core.protocol import (
+    CHECKPOINT_REQUEST,
+    CHECKPOINT_RESPONSE,
+    DATA,
+    HEARTBEAT_REQUEST,
+    HEARTBEAT_RESPONSE,
+    RECONCILE_REPLY,
+    RECONCILE_REQUEST,
+    SOURCE_RESUBSCRIBE,
+    SUBSCRIBE,
+    UNSUBSCRIBE,
+    CheckpointRequest,
+    CheckpointResponse,
+    DataBatch,
+    HeartbeatRequest,
+    HeartbeatResponse,
+    ReconcileReply,
+    ReconcileRequest,
+    SourceResubscribe,
+    SubscribeRequest,
+    UnsubscribeRequest,
+)
+from ..core.states import NodeState
+from ..deploy.filters import SubscriptionFilter
+from ..errors import ReproError
+from ..spe.tuples import StreamTuple, TupleType
+
+#: Current wire format version; bump on any incompatible change.
+WIRE_VERSION = 1
+
+
+class WireError(ReproError):
+    """A frame could not be encoded or decoded."""
+
+
+# --------------------------------------------------------------------------- enum tables
+#: Fixed on-wire order of tuple types (index = wire byte).  Append-only.
+_TUPLE_TYPES: tuple[TupleType, ...] = (
+    TupleType.INSERTION,
+    TupleType.TENTATIVE,
+    TupleType.BOUNDARY,
+    TupleType.UNDO,
+    TupleType.REC_DONE,
+    TupleType.UP_FAILURE,
+    TupleType.REC_REQUEST,
+)
+_TUPLE_TYPE_INDEX = {member: index for index, member in enumerate(_TUPLE_TYPES)}
+
+#: Fixed on-wire order of node states (0 is reserved for "absent").
+_NODE_STATES: tuple[NodeState, ...] = (
+    NodeState.STABLE,
+    NodeState.UP_FAILURE,
+    NodeState.STABILIZATION,
+    NodeState.FAILURE,
+)
+_NODE_STATE_INDEX = {member: index + 1 for index, member in enumerate(_NODE_STATES)}
+
+_FLOAT = struct.Struct(">d")
+
+
+# --------------------------------------------------------------------------- primitives
+def _w_uvarint(out: io.BytesIO, value: int) -> None:
+    if value < 0:
+        raise WireError(f"uvarint cannot encode negative value {value}")
+    while value >= 0x80:
+        out.write(bytes((value & 0x7F | 0x80,)))
+        value >>= 7
+    out.write(bytes((value,)))
+
+
+def _r_uvarint(buf: memoryview, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise WireError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _w_zigzag(out: io.BytesIO, value: int) -> None:
+    # Arbitrary-precision zigzag (payload ints are unbounded Python ints).
+    _w_uvarint(out, value << 1 if value >= 0 else ((-value) << 1) - 1)
+
+
+def _r_zigzag(buf: memoryview, pos: int) -> tuple[int, int]:
+    raw, pos = _r_uvarint(buf, pos)
+    return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1), pos
+
+
+def _w_float(out: io.BytesIO, value: float) -> None:
+    out.write(_FLOAT.pack(value))
+
+
+def _r_float(buf: memoryview, pos: int) -> tuple[float, int]:
+    if pos + 8 > len(buf):
+        raise WireError("truncated float")
+    return _FLOAT.unpack_from(buf, pos)[0], pos + 8
+
+
+def _w_str(out: io.BytesIO, value: str) -> None:
+    data = value.encode("utf-8")
+    _w_uvarint(out, len(data))
+    out.write(data)
+
+
+def _r_str(buf: memoryview, pos: int) -> tuple[str, int]:
+    length, pos = _r_uvarint(buf, pos)
+    if pos + length > len(buf):
+        raise WireError("truncated string")
+    return bytes(buf[pos:pos + length]).decode("utf-8"), pos + length
+
+
+def _w_bytes(out: io.BytesIO, value: bytes) -> None:
+    _w_uvarint(out, len(value))
+    out.write(value)
+
+
+def _r_bytes(buf: memoryview, pos: int) -> tuple[bytes, int]:
+    length, pos = _r_uvarint(buf, pos)
+    if pos + length > len(buf):
+        raise WireError("truncated bytes")
+    return bytes(buf[pos:pos + length]), pos + length
+
+
+# --------------------------------------------------------------------------- values
+# Payload values are overwhelmingly ints / floats / strs; a tag byte plus a
+# pickle escape hatch covers the rest without inflating the common case.
+_V_NONE, _V_FALSE, _V_TRUE, _V_INT, _V_FLOAT, _V_STR, _V_PICKLE = range(7)
+
+
+def _w_value(out: io.BytesIO, value: Any) -> None:
+    if value is None:
+        out.write(bytes((_V_NONE,)))
+    elif value is False:
+        out.write(bytes((_V_FALSE,)))
+    elif value is True:
+        out.write(bytes((_V_TRUE,)))
+    elif type(value) is int:
+        out.write(bytes((_V_INT,)))
+        _w_zigzag(out, value)
+    elif type(value) is float:
+        out.write(bytes((_V_FLOAT,)))
+        _w_float(out, value)
+    elif type(value) is str:
+        out.write(bytes((_V_STR,)))
+        _w_str(out, value)
+    else:
+        out.write(bytes((_V_PICKLE,)))
+        _w_bytes(out, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _r_value(buf: memoryview, pos: int) -> tuple[Any, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == _V_NONE:
+        return None, pos
+    if tag == _V_FALSE:
+        return False, pos
+    if tag == _V_TRUE:
+        return True, pos
+    if tag == _V_INT:
+        return _r_zigzag(buf, pos)
+    if tag == _V_FLOAT:
+        return _r_float(buf, pos)
+    if tag == _V_STR:
+        return _r_str(buf, pos)
+    if tag == _V_PICKLE:
+        data, pos = _r_bytes(buf, pos)
+        return pickle.loads(data), pos
+    raise WireError(f"unknown value tag {tag}")
+
+
+def _w_opt_state(out: io.BytesIO, state: NodeState | None) -> None:
+    out.write(bytes((0 if state is None else _NODE_STATE_INDEX[state],)))
+
+
+def _r_opt_state(buf: memoryview, pos: int) -> tuple[NodeState | None, int]:
+    index = buf[pos]
+    pos += 1
+    if index == 0:
+        return None, pos
+    if index > len(_NODE_STATES):
+        raise WireError(f"unknown node state index {index}")
+    return _NODE_STATES[index - 1], pos
+
+
+# --------------------------------------------------------------------------- filter registry
+#: Process-local registry of the deployment's subscription filters.  Filters
+#: hold closure predicates, so they cross the wire by name; each worker
+#: rebuilds the full set from its fork-inherited placement and registers it
+#: here before any frame is decoded.
+_FILTERS: dict[str, SubscriptionFilter] = {}
+
+
+def register_filter(filter: SubscriptionFilter) -> None:
+    """Make ``filter`` resolvable by name when frames are decoded."""
+    _FILTERS[filter.name] = filter
+
+
+def resolve_filter(name: str) -> SubscriptionFilter:
+    try:
+        return _FILTERS[name]
+    except KeyError:
+        raise WireError(
+            f"subscription filter {name!r} is not registered in this process; "
+            f"known filters: {sorted(_FILTERS)}"
+        ) from None
+
+
+def clear_filters() -> None:
+    """Reset the registry (tests, or between deployments in one process)."""
+    _FILTERS.clear()
+
+
+def _w_filter(out: io.BytesIO, filter: object | None) -> None:
+    if filter is None:
+        out.write(b"\x00")
+        return
+    name = getattr(filter, "name", None)
+    if not isinstance(name, str) or not name:
+        raise WireError(f"cannot serialize subscription filter without a name: {filter!r}")
+    out.write(b"\x01")
+    _w_str(out, name)
+
+
+def _r_filter(buf: memoryview, pos: int) -> tuple[object | None, int]:
+    flag = buf[pos]
+    pos += 1
+    if flag == 0:
+        return None, pos
+    name, pos = _r_str(buf, pos)
+    return resolve_filter(name), pos
+
+
+# --------------------------------------------------------------------------- checkpoints
+class _CheckpointPickler(pickle.Pickler):
+    """Pickler that externalizes subscription filters by name."""
+
+    def persistent_id(self, obj: Any) -> Any:  # noqa: D102 - pickle hook
+        if isinstance(obj, SubscriptionFilter):
+            return ("subscription-filter", obj.name)
+        return None
+
+
+class _CheckpointUnpickler(pickle.Unpickler):
+    def persistent_load(self, pid: Any) -> Any:  # noqa: D102 - pickle hook
+        if isinstance(pid, tuple) and len(pid) == 2 and pid[0] == "subscription-filter":
+            return resolve_filter(pid[1])
+        raise WireError(f"unknown persistent id in checkpoint frame: {pid!r}")
+
+
+def _dumps_checkpoint(checkpoint: Any) -> bytes:
+    out = io.BytesIO()
+    _CheckpointPickler(out, protocol=pickle.HIGHEST_PROTOCOL).dump(checkpoint)
+    return out.getvalue()
+
+
+def _loads_checkpoint(data: bytes) -> Any:
+    return _CheckpointUnpickler(io.BytesIO(data)).load()
+
+
+# --------------------------------------------------------------------------- tuples
+def _w_tuple(out: io.BytesIO, item: StreamTuple) -> None:
+    try:
+        type_index = _TUPLE_TYPE_INDEX[item.tuple_type]
+    except KeyError:
+        raise WireError(f"unknown tuple type {item.tuple_type!r}") from None
+    flags = (item.undo_from_id is not None) | ((item.stable_seq is not None) << 1)
+    out.write(bytes((type_index, flags)))
+    _w_zigzag(out, item.tuple_id)
+    _w_float(out, item.stime)
+    if item.undo_from_id is not None:
+        _w_zigzag(out, item.undo_from_id)
+    if item.stable_seq is not None:
+        _w_zigzag(out, item.stable_seq)
+    _w_uvarint(out, len(item.values))
+    for key, value in item.values.items():
+        _w_str(out, key)
+        _w_value(out, value)
+
+
+def _r_tuple(buf: memoryview, pos: int) -> tuple[StreamTuple, int]:
+    type_index = buf[pos]
+    flags = buf[pos + 1]
+    pos += 2
+    if type_index >= len(_TUPLE_TYPES):
+        raise WireError(f"unknown tuple type index {type_index}")
+    tuple_id, pos = _r_zigzag(buf, pos)
+    stime, pos = _r_float(buf, pos)
+    undo_from_id: int | None = None
+    stable_seq: int | None = None
+    if flags & 1:
+        undo_from_id, pos = _r_zigzag(buf, pos)
+    if flags & 2:
+        stable_seq, pos = _r_zigzag(buf, pos)
+    count, pos = _r_uvarint(buf, pos)
+    values: dict[str, Any] = {}
+    for _ in range(count):
+        key, pos = _r_str(buf, pos)
+        values[key], pos = _r_value(buf, pos)
+    return (
+        StreamTuple(
+            tuple_type=_TUPLE_TYPES[type_index],
+            tuple_id=tuple_id,
+            stime=stime,
+            values=values,
+            undo_from_id=undo_from_id,
+            stable_seq=stable_seq,
+        ),
+        pos,
+    )
+
+
+def encode_tuple(item: StreamTuple) -> bytes:
+    """Standalone versioned encoding of one tuple (tests, debugging)."""
+    out = io.BytesIO()
+    out.write(bytes((WIRE_VERSION,)))
+    _w_tuple(out, item)
+    return out.getvalue()
+
+
+def decode_tuple(data: bytes) -> StreamTuple:
+    buf = memoryview(data)
+    _check_version(buf)
+    item, pos = _r_tuple(buf, 1)
+    _check_consumed(buf, pos)
+    return item
+
+
+# --------------------------------------------------------------------------- payload codecs
+def _w_batch(out: io.BytesIO, batch: DataBatch) -> None:
+    _w_str(out, batch.stream)
+    _w_str(out, batch.producer)
+    _w_opt_state(out, batch.producer_node_state)
+    _w_opt_state(out, batch.producer_stream_state)
+    out.write(b"\x01" if batch.replay else b"\x00")
+    _w_uvarint(out, len(batch.tuples))
+    for item in batch.tuples:
+        _w_tuple(out, item)
+
+
+def _r_batch(buf: memoryview, pos: int) -> tuple[DataBatch, int]:
+    stream, pos = _r_str(buf, pos)
+    producer, pos = _r_str(buf, pos)
+    node_state, pos = _r_opt_state(buf, pos)
+    stream_state, pos = _r_opt_state(buf, pos)
+    replay = bool(buf[pos])
+    pos += 1
+    count, pos = _r_uvarint(buf, pos)
+    tuples = []
+    for _ in range(count):
+        item, pos = _r_tuple(buf, pos)
+        tuples.append(item)
+    return (
+        DataBatch(
+            stream=stream,
+            tuples=tuple(tuples),
+            producer=producer,
+            producer_node_state=node_state,
+            producer_stream_state=stream_state,
+            replay=replay,
+        ),
+        pos,
+    )
+
+
+def _w_subscribe(out: io.BytesIO, request: SubscribeRequest) -> None:
+    _w_str(out, request.stream)
+    _w_str(out, request.subscriber)
+    _w_zigzag(out, request.last_stable_seq)
+    out.write(bytes(((request.had_tentative) | (request.replay_tentative << 1),)))
+    _w_filter(out, request.filter)
+
+
+def _r_subscribe(buf: memoryview, pos: int) -> tuple[SubscribeRequest, int]:
+    stream, pos = _r_str(buf, pos)
+    subscriber, pos = _r_str(buf, pos)
+    last_stable_seq, pos = _r_zigzag(buf, pos)
+    flags = buf[pos]
+    pos += 1
+    filter, pos = _r_filter(buf, pos)
+    return (
+        SubscribeRequest(
+            stream=stream,
+            subscriber=subscriber,
+            last_stable_seq=last_stable_seq,
+            had_tentative=bool(flags & 1),
+            replay_tentative=bool(flags & 2),
+            filter=filter,
+        ),
+        pos,
+    )
+
+
+def _w_unsubscribe(out: io.BytesIO, request: UnsubscribeRequest) -> None:
+    _w_str(out, request.stream)
+    _w_str(out, request.subscriber)
+
+
+def _r_unsubscribe(buf: memoryview, pos: int) -> tuple[UnsubscribeRequest, int]:
+    stream, pos = _r_str(buf, pos)
+    subscriber, pos = _r_str(buf, pos)
+    return UnsubscribeRequest(stream=stream, subscriber=subscriber), pos
+
+
+def _w_heartbeat_request(out: io.BytesIO, request: HeartbeatRequest) -> None:
+    _w_str(out, request.requester)
+    _w_uvarint(out, len(request.streams))
+    for stream in request.streams:
+        _w_str(out, stream)
+
+
+def _r_heartbeat_request(buf: memoryview, pos: int) -> tuple[HeartbeatRequest, int]:
+    requester, pos = _r_str(buf, pos)
+    count, pos = _r_uvarint(buf, pos)
+    streams = []
+    for _ in range(count):
+        stream, pos = _r_str(buf, pos)
+        streams.append(stream)
+    return HeartbeatRequest(requester=requester, streams=tuple(streams)), pos
+
+
+def _w_heartbeat_response(out: io.BytesIO, response: HeartbeatResponse) -> None:
+    _w_str(out, response.responder)
+    _w_opt_state(out, response.node_state)
+    _w_uvarint(out, len(response.stream_states))
+    for stream, state in response.stream_states.items():
+        _w_str(out, stream)
+        _w_opt_state(out, state)
+
+
+def _r_heartbeat_response(buf: memoryview, pos: int) -> tuple[HeartbeatResponse, int]:
+    responder, pos = _r_str(buf, pos)
+    node_state, pos = _r_opt_state(buf, pos)
+    if node_state is None:
+        raise WireError("heartbeat response without a node state")
+    count, pos = _r_uvarint(buf, pos)
+    stream_states: dict[str, NodeState] = {}
+    for _ in range(count):
+        stream, pos = _r_str(buf, pos)
+        state, pos = _r_opt_state(buf, pos)
+        if state is None:
+            raise WireError(f"heartbeat response stream {stream!r} without a state")
+        stream_states[stream] = state
+    return (
+        HeartbeatResponse(
+            responder=responder, node_state=node_state, stream_states=stream_states
+        ),
+        pos,
+    )
+
+
+def _w_reconcile_request(out: io.BytesIO, request: ReconcileRequest) -> None:
+    _w_str(out, request.requester)
+    _w_zigzag(out, request.request_id)
+
+
+def _r_reconcile_request(buf: memoryview, pos: int) -> tuple[ReconcileRequest, int]:
+    requester, pos = _r_str(buf, pos)
+    request_id, pos = _r_zigzag(buf, pos)
+    return ReconcileRequest(requester=requester, request_id=request_id), pos
+
+
+def _w_reconcile_reply(out: io.BytesIO, reply: ReconcileReply) -> None:
+    _w_str(out, reply.responder)
+    _w_zigzag(out, reply.request_id)
+    out.write(b"\x01" if reply.granted else b"\x00")
+
+
+def _r_reconcile_reply(buf: memoryview, pos: int) -> tuple[ReconcileReply, int]:
+    responder, pos = _r_str(buf, pos)
+    request_id, pos = _r_zigzag(buf, pos)
+    granted = bool(buf[pos])
+    pos += 1
+    return ReconcileReply(responder=responder, request_id=request_id, granted=granted), pos
+
+
+def _w_checkpoint_request(out: io.BytesIO, request: CheckpointRequest) -> None:
+    _w_str(out, request.requester)
+
+
+def _r_checkpoint_request(buf: memoryview, pos: int) -> tuple[CheckpointRequest, int]:
+    requester, pos = _r_str(buf, pos)
+    return CheckpointRequest(requester=requester), pos
+
+
+def _w_checkpoint_response(out: io.BytesIO, response: CheckpointResponse) -> None:
+    _w_str(out, response.responder)
+    if response.checkpoint is None:
+        out.write(b"\x00")
+    else:
+        out.write(b"\x01")
+        _w_bytes(out, _dumps_checkpoint(response.checkpoint))
+
+
+def _r_checkpoint_response(buf: memoryview, pos: int) -> tuple[CheckpointResponse, int]:
+    responder, pos = _r_str(buf, pos)
+    flag = buf[pos]
+    pos += 1
+    checkpoint = None
+    if flag:
+        data, pos = _r_bytes(buf, pos)
+        checkpoint = _loads_checkpoint(data)
+    return CheckpointResponse(responder=responder, checkpoint=checkpoint), pos
+
+
+def _w_source_resubscribe(out: io.BytesIO, request: SourceResubscribe) -> None:
+    _w_str(out, request.stream)
+    _w_str(out, request.subscriber)
+    _w_zigzag(out, request.after_tuple_id)
+
+
+def _r_source_resubscribe(buf: memoryview, pos: int) -> tuple[SourceResubscribe, int]:
+    stream, pos = _r_str(buf, pos)
+    subscriber, pos = _r_str(buf, pos)
+    after_tuple_id, pos = _r_zigzag(buf, pos)
+    return (
+        SourceResubscribe(stream=stream, subscriber=subscriber, after_tuple_id=after_tuple_id),
+        pos,
+    )
+
+
+#: kind -> (wire index, encoder, decoder).  The index is the on-wire byte;
+#: the table order is frozen (append-only) so workers of one version agree.
+_CODECS: dict[str, tuple[int, Callable, Callable]] = {
+    DATA: (0, _w_batch, _r_batch),
+    SUBSCRIBE: (1, _w_subscribe, _r_subscribe),
+    UNSUBSCRIBE: (2, _w_unsubscribe, _r_unsubscribe),
+    HEARTBEAT_REQUEST: (3, _w_heartbeat_request, _r_heartbeat_request),
+    HEARTBEAT_RESPONSE: (4, _w_heartbeat_response, _r_heartbeat_response),
+    RECONCILE_REQUEST: (5, _w_reconcile_request, _r_reconcile_request),
+    RECONCILE_REPLY: (6, _w_reconcile_reply, _r_reconcile_reply),
+    CHECKPOINT_REQUEST: (7, _w_checkpoint_request, _r_checkpoint_request),
+    CHECKPOINT_RESPONSE: (8, _w_checkpoint_response, _r_checkpoint_response),
+    SOURCE_RESUBSCRIBE: (9, _w_source_resubscribe, _r_source_resubscribe),
+}
+_KIND_BY_INDEX = {index: kind for kind, (index, _, _) in _CODECS.items()}
+
+
+def _check_version(buf: memoryview) -> None:
+    if len(buf) == 0:
+        raise WireError("empty frame")
+    if buf[0] != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {buf[0]} (this process speaks {WIRE_VERSION})"
+        )
+
+
+def _check_consumed(buf: memoryview, pos: int) -> None:
+    if pos != len(buf):
+        raise WireError(f"{len(buf) - pos} trailing bytes after decoded frame")
+
+
+# --------------------------------------------------------------------------- public API
+def encode_message(kind: str, payload: Any) -> bytes:
+    """Encode one protocol message as a versioned frame."""
+    try:
+        index, encoder, _ = _CODECS[kind]
+    except KeyError:
+        raise WireError(f"unknown message kind {kind!r}") from None
+    out = io.BytesIO()
+    out.write(bytes((WIRE_VERSION, index)))
+    encoder(out, payload)
+    return out.getvalue()
+
+
+def decode_message(data: bytes) -> tuple[str, Any]:
+    """Decode a frame produced by :func:`encode_message`."""
+    buf = memoryview(data)
+    _check_version(buf)
+    if len(buf) < 2:
+        raise WireError("truncated frame: missing message kind")
+    kind = _KIND_BY_INDEX.get(buf[1])
+    if kind is None:
+        raise WireError(f"unknown message kind index {buf[1]}")
+    _, _, decoder = _CODECS[kind]
+    payload, pos = decoder(buf, 2)
+    _check_consumed(buf, pos)
+    return kind, payload
+
+
+def encode_envelope(sender: str, receiver: str, kind: str, payload: Any) -> bytes:
+    """Encode an addressed frame (sender/receiver prefix + message)."""
+    try:
+        index, encoder, _ = _CODECS[kind]
+    except KeyError:
+        raise WireError(f"unknown message kind {kind!r}") from None
+    out = io.BytesIO()
+    out.write(bytes((WIRE_VERSION,)))
+    _w_str(out, sender)
+    _w_str(out, receiver)
+    out.write(bytes((index,)))
+    encoder(out, payload)
+    return out.getvalue()
+
+
+def decode_envelope(data: bytes) -> tuple[str, str, str, Any]:
+    """Decode a frame produced by :func:`encode_envelope`."""
+    buf = memoryview(data)
+    _check_version(buf)
+    sender, pos = _r_str(buf, 1)
+    receiver, pos = _r_str(buf, pos)
+    if pos >= len(buf):
+        raise WireError("truncated envelope: missing message kind")
+    kind = _KIND_BY_INDEX.get(buf[pos])
+    if kind is None:
+        raise WireError(f"unknown message kind index {buf[pos]}")
+    _, _, decoder = _CODECS[kind]
+    payload, end = decoder(buf, pos + 1)
+    _check_consumed(buf, end)
+    return sender, receiver, kind, payload

@@ -19,7 +19,7 @@ from ..core.consistency_manager import ConsistencyManager
 from ..core.protocol import DATA, TupleBatch
 from ..core.states import NodeState
 from ..metrics.collector import MetricsCollector
-from ..sim.event_loop import Simulator
+from ..core.clock import Clock
 from ..sim.network import Message, Network
 from ..spe.tuples import StreamTuple
 
@@ -31,7 +31,7 @@ class ClientApplication:
         self,
         name: str,
         stream: str,
-        simulator: Simulator,
+        simulator: Clock,
         network: Network,
         config: DPCConfig | None = None,
         sequence_attribute: str = "seq",

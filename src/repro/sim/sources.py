@@ -26,7 +26,7 @@ from ..core.protocol import DATA, SOURCE_RESUBSCRIBE, SourceResubscribe, TupleBa
 from ..errors import SimulationError
 from ..spe.streams import StreamLog, StreamWriter
 from ..spe.tuples import StreamTuple
-from .event_loop import Simulator
+from ..core.clock import Clock
 from .events import EventKind
 from .network import Network
 
@@ -49,7 +49,7 @@ class DataSource:
         self,
         name: str,
         stream: str,
-        simulator: Simulator,
+        simulator: Clock,
         network: Network,
         rate: float = 100.0,
         boundary_interval: float = 0.1,
@@ -206,7 +206,13 @@ class DataSource:
         return self.stop_time is not None and now >= self.stop_time
 
     def _tick(self, now: float) -> None:
-        self._produce_until(now)
+        # Clamp production at stop_time: the set of tuples ever produced is
+        # then a pure function of (start_time, rate, stop_time), independent
+        # of where the final tick lands.  The simulator's grid-aligned ticks
+        # and the live backend's jittered wall-clock ticks produce the exact
+        # same finite log, which the live/sim parity harness relies on.
+        horizon = now if self.stop_time is None else min(now, self.stop_time)
+        self._produce_until(horizon)
         self._flush()
         if not self._stopped(now):
             self.simulator.schedule_at(

@@ -1,0 +1,84 @@
+"""Regression tests for the Clock seam extraction.
+
+The :class:`~repro.core.clock.Clock` protocol is a typing-only seam: the
+discrete-event :class:`~repro.sim.event_loop.Simulator` must satisfy it
+structurally (no adapter, no wrapper), and extracting the seam must leave
+the sim backend's behavior byte-identical -- same event counts, same golden
+summary digests.  These tests pin both halves.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.clock import Clock, TimerHandle
+from repro.runtime import ScenarioSpec
+from repro.sim.event_loop import PeriodicHandle, Simulator
+
+
+def test_simulator_satisfies_clock_protocol():
+    simulator = Simulator()
+    assert isinstance(simulator, Clock)
+    handle = simulator.schedule_periodic(1.0, lambda now: None)
+    assert isinstance(handle, PeriodicHandle)
+    assert isinstance(handle, TimerHandle)
+    assert handle.cancelled is False
+    handle.cancel()
+    assert handle.cancelled is True
+
+
+def test_live_clock_satisfies_clock_protocol():
+    from repro.live.clock import LiveClock
+
+    assert isinstance(LiveClock, type)
+    # Structural conformance is checked without an event loop: the protocol
+    # is satisfied by the class surface, instances need a running loop.
+    for attr in ("schedule_at", "schedule_in", "schedule_periodic", "cancel"):
+        assert callable(getattr(LiveClock, attr)), attr
+    assert isinstance(getattr(LiveClock, "now"), property)
+
+
+def test_sim_event_counts_identical_across_runs():
+    """The seam must not introduce any nondeterminism into the simulator."""
+
+    def run():
+        spec = ScenarioSpec.chain(
+            2, name="seam-chain", aggregate_rate=90.0, settle=10.0, seed=3
+        ).with_failure("disconnect", start=4.0, duration=3.0)
+        runtime = spec.run()
+        summary = runtime.summary()
+        return summary["events_fired"], json.dumps(summary, sort_keys=True, default=str)
+
+    first_events, first_summary = run()
+    second_events, second_summary = run()
+    assert first_events == second_events
+    assert first_summary == second_summary
+    assert first_events > 0
+
+
+def test_golden_summaries_unchanged_by_seam():
+    """Byte-identical golden digest for one representative scenario.
+
+    The full integration suite re-checks every scenario; this test keeps the
+    seam-specific evidence local so a future clock change that breaks the sim
+    backend fails *here* with a pointed message.
+    """
+    import importlib.util
+    from pathlib import Path
+
+    golden_module_path = (
+        Path(__file__).resolve().parents[1] / "integration" / "test_golden_summaries.py"
+    )
+    spec = importlib.util.spec_from_file_location("_golden_summaries", golden_module_path)
+    goldens = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(goldens)
+
+    name = "chain2-disconnect"
+    golden = goldens.load_goldens()[name]["1"]
+    current = goldens.scenario_digest(goldens.SCENARIOS[name](1).run())
+    assert current["events_fired"] == golden["events_fired"], (
+        "clock seam changed the simulator's event schedule"
+    )
+    assert current["summary_sha256"] == golden["summary_sha256"], (
+        "clock seam changed simulated behavior byte-identically pinned by goldens"
+    )

@@ -1,0 +1,135 @@
+"""Live-backend integration tests: parity oracle and SIGKILL recovery.
+
+These spawn real worker processes and run for wall-clock seconds, so they
+are **not** tier-1: they only run with ``REPRO_LIVE_TESTS=1`` (the CI
+live-smoke job sets it).  The deterministic simulator stays the consistency
+oracle -- a live no-failure run must produce the byte-identical stable
+ledger, in replica-independent row form, at the same seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import DPCConfig
+from repro.deploy.placement import compile as compile_topology
+from repro.live.supervisor import LiveKill, require_fork
+from repro.live.worker import stable_ledger_rows
+from repro.topology import Topology
+
+#: Applied to every test that spawns worker processes; the cheap error-path
+#: tests at the bottom run in tier-1 untagged.
+live_only = pytest.mark.skipif(
+    os.environ.get("REPRO_LIVE_TESTS") != "1",
+    reason="live-backend tests spawn processes and take wall-clock time; "
+    "set REPRO_LIVE_TESTS=1 to run them",
+)
+
+#: Sources stop producing at this stime; both backends then hold the exact
+#: same finite workload (see DataSource._tick's stop_time clamp).
+STOP = 4.0
+RATE = 90.0
+
+
+def _fork_available() -> bool:
+    try:
+        require_fork()
+    except Exception:
+        return False
+    return True
+
+
+def _sim_stable_rows(placement, seed: int, *, rate: float = RATE, config=None) -> list:
+    deployment = placement.deploy(
+        config, seed=seed, aggregate_rate=rate, source_stop_time=STOP
+    )
+    deployment.start()
+    # Generous drain: production stops at STOP, stabilization needs only the
+    # in-flight buckets after it.
+    deployment.run_for(STOP + 6.0)
+    return stable_ledger_rows(deployment.clients[0])
+
+
+@live_only
+@pytest.mark.skipif(not _fork_available(), reason="no fork start method")
+@pytest.mark.parametrize("seed", [1, 2])
+def test_live_chain_parity_with_simulator(seed):
+    placement = compile_topology(Topology.chain(2), replicas_per_node=2)
+    sim_rows = _sim_stable_rows(placement, seed)
+    assert sim_rows, "oracle run produced no stable output"
+
+    live = placement.deploy(
+        seed=seed, aggregate_rate=RATE, source_stop_time=STOP, backend="live"
+    )
+    result = live.run(duration=STOP + 1.0, drain_timeout=15.0)
+    assert result.eventually_consistent
+    assert result.stable_rows() == sim_rows
+
+
+@live_only
+@pytest.mark.skipif(not _fork_available(), reason="no fork start method")
+@pytest.mark.parametrize("seed", [1, 2])
+def test_live_shard4_parity_with_simulator(seed):
+    placement = compile_topology(Topology.shard(4), replicas_per_node=2)
+    sim_rows = _sim_stable_rows(placement, seed, rate=120.0)
+    assert sim_rows
+
+    live = placement.deploy(
+        seed=seed, aggregate_rate=120.0, source_stop_time=STOP, backend="live"
+    )
+    result = live.run(duration=STOP + 1.0, drain_timeout=15.0)
+    assert result.eventually_consistent
+    assert result.stable_rows() == sim_rows
+
+
+@live_only
+@pytest.mark.skipif(not _fork_available(), reason="no fork start method")
+def test_live_sigkill_recovery_checkpoint_path():
+    """SIGKILL one replica mid-run; it must rejoin via the statexfer
+    checkpoint shipped from its partner over real sockets, and the merged
+    ledger must stay gap-free and duplicate-free."""
+    placement = compile_topology(Topology.chain(2), replicas_per_node=2)
+    config = DPCConfig(checkpoint_interval=0.5)
+    stop = 6.0
+    live = placement.deploy(
+        config, seed=1, aggregate_rate=RATE, source_stop_time=stop, backend="live"
+    )
+    target = placement.nodes[0]
+    result = live.run(
+        duration=stop + 1.5,
+        kill=LiveKill(node=target.name, replica=0, at=2.5, downtime=1.0),
+        drain_timeout=15.0,
+    )
+    assert result.kills and result.kills[0]["endpoint"] == target.replica_names[0]
+    modes = [(r["endpoint"], r["mode"]) for r in result.recoveries()]
+    assert (target.replica_names[0], "checkpoint") in modes, modes
+
+    rows = result.stable_rows()
+    seqs = [row[0] for row in rows]
+    assert seqs, "no stable output after recovery"
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs), "duplicate stable rows"
+    assert set(range(min(seqs), max(seqs) + 1)) == set(seqs), "gap in stable rows"
+    assert result.eventually_consistent
+
+
+def test_fork_unavailable_raises_cleanly(monkeypatch):
+    """Platforms without fork get a typed, actionable error (runs untagged)."""
+    import multiprocessing
+
+    from repro.live.supervisor import LiveBackendUnavailable
+
+    monkeypatch.setattr(multiprocessing, "get_all_start_methods", lambda: ["spawn"])
+    placement = compile_topology(Topology.chain(1), replicas_per_node=2)
+    with pytest.raises(LiveBackendUnavailable, match="fork"):
+        placement.deploy(backend="live")
+
+
+def test_unknown_backend_rejected():
+    from repro.errors import ConfigurationError
+
+    placement = compile_topology(Topology.chain(1), replicas_per_node=2)
+    with pytest.raises(ConfigurationError, match="unknown deployment backend"):
+        placement.deploy(backend="quantum")

@@ -1,0 +1,307 @@
+"""Round-trip property tests for the live backend's wire codec.
+
+The codec must be round-trip *exact*: for every payload the protocol can
+produce, ``decode(encode(x)) == x``.  Hypothesis drives randomized tuples,
+batches and control messages through the codec; deterministic cases pin the
+versioning and filter-registry behavior.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import (
+    CHECKPOINT_REQUEST,
+    CHECKPOINT_RESPONSE,
+    DATA,
+    HEARTBEAT_REQUEST,
+    HEARTBEAT_RESPONSE,
+    RECONCILE_REPLY,
+    RECONCILE_REQUEST,
+    SOURCE_RESUBSCRIBE,
+    SUBSCRIBE,
+    UNSUBSCRIBE,
+    CheckpointRequest,
+    CheckpointResponse,
+    DataBatch,
+    HeartbeatRequest,
+    HeartbeatResponse,
+    ReconcileReply,
+    ReconcileRequest,
+    SourceResubscribe,
+    SubscribeRequest,
+    UnsubscribeRequest,
+)
+from repro.core.states import NodeState
+from repro.deploy.filters import SubscriptionFilter
+from repro.live import wire
+from repro.spe.tuples import DATA_TYPES, StreamTuple, TupleType
+
+COMMON = settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+# ---------------------------------------------------------------------- strategies
+# Finite floats only: stime/payload floats in this system are arithmetic on
+# finite inputs, and NaN breaks == comparison, not the codec.
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+names = st.text(min_size=0, max_size=12)
+payload_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    finite_floats,
+    st.text(max_size=20),
+    st.tuples(st.integers(), st.text(max_size=5)),  # exercises the pickle escape hatch
+)
+payloads = st.dictionaries(st.text(max_size=10), payload_values, max_size=6)
+
+node_states = st.sampled_from(list(NodeState))
+opt_node_states = st.one_of(st.none(), node_states)
+
+
+@st.composite
+def stream_tuples(draw):
+    tuple_type = draw(st.sampled_from(list(TupleType)))
+    tuple_id = draw(st.integers(min_value=-(2**40), max_value=2**40))
+    stime = draw(finite_floats)
+    values = draw(payloads) if tuple_type in DATA_TYPES else {}
+    undo_from_id = (
+        draw(st.integers(min_value=-(2**40), max_value=2**40))
+        if tuple_type is TupleType.UNDO
+        else None
+    )
+    stable_seq = (
+        draw(st.one_of(st.none(), st.integers(min_value=0, max_value=2**40)))
+        if tuple_type in DATA_TYPES
+        else None
+    )
+    return StreamTuple(
+        tuple_type=tuple_type,
+        tuple_id=tuple_id,
+        stime=stime,
+        values=values,
+        undo_from_id=undo_from_id,
+        stable_seq=stable_seq,
+    )
+
+
+@st.composite
+def data_batches(draw):
+    return DataBatch(
+        stream=draw(names),
+        tuples=tuple(draw(st.lists(stream_tuples(), max_size=8))),
+        producer=draw(names),
+        producer_node_state=draw(opt_node_states),
+        producer_stream_state=draw(opt_node_states),
+        replay=draw(st.booleans()),
+    )
+
+
+# ---------------------------------------------------------------------- tuples
+@COMMON
+@given(stream_tuples())
+def test_tuple_round_trip(item):
+    assert wire.decode_tuple(wire.encode_tuple(item)) == item
+
+
+@COMMON
+@given(stream_tuples())
+def test_tuple_round_trip_preserves_flags(item):
+    decoded = wire.decode_tuple(wire.encode_tuple(item))
+    assert decoded.tuple_type is item.tuple_type
+    assert decoded.is_stable == item.is_stable
+    assert decoded.is_tentative == item.is_tentative
+    assert decoded.stable_seq == item.stable_seq
+    assert decoded.undo_from_id == item.undo_from_id
+
+
+def test_tuple_float_exactness():
+    # IEEE doubles must survive bit-exactly, including awkward values.
+    for stime in (0.1 + 0.2, 1e-308, math.pi, -0.0, 1e300):
+        item = StreamTuple.insertion(1, stime, {"v": stime})
+        decoded = wire.decode_tuple(wire.encode_tuple(item))
+        assert decoded.stime == stime and repr(decoded.stime) == repr(stime)
+        assert decoded.values["v"] == stime
+
+
+def test_shared_payload_not_required_to_stay_shared():
+    # as_stable() shares the values dict between two tuples; decoding may
+    # materialize separate dicts, but equality must hold for both.
+    base = StreamTuple.tentative(3, 1.5, {"k": 7})
+    stable = base.as_stable()
+    batch = DataBatch.of("s", (base, stable), "p")
+    _, decoded = wire.decode_message(wire.encode_message(DATA, batch))
+    assert decoded == batch
+
+
+# ---------------------------------------------------------------------- batches
+@COMMON
+@given(data_batches())
+def test_batch_round_trip(batch):
+    kind, decoded = wire.decode_message(wire.encode_message(DATA, batch))
+    assert kind == DATA
+    assert decoded == batch
+    assert decoded.replay == batch.replay
+
+
+@COMMON
+@given(data_batches(), names, names)
+def test_envelope_round_trip(batch, sender, receiver):
+    frame = wire.encode_envelope(sender, receiver, DATA, batch)
+    assert wire.decode_envelope(frame) == (sender, receiver, DATA, batch)
+
+
+# ---------------------------------------------------------------------- control messages
+@st.composite
+def control_messages(draw):
+    kind = draw(
+        st.sampled_from(
+            [
+                SUBSCRIBE,
+                UNSUBSCRIBE,
+                HEARTBEAT_REQUEST,
+                HEARTBEAT_RESPONSE,
+                RECONCILE_REQUEST,
+                RECONCILE_REPLY,
+                CHECKPOINT_REQUEST,
+                CHECKPOINT_RESPONSE,
+                SOURCE_RESUBSCRIBE,
+            ]
+        )
+    )
+    if kind == SUBSCRIBE:
+        payload = SubscribeRequest(
+            stream=draw(names),
+            subscriber=draw(names),
+            last_stable_seq=draw(st.integers(min_value=-1, max_value=2**40)),
+            had_tentative=draw(st.booleans()),
+            replay_tentative=draw(st.booleans()),
+        )
+    elif kind == UNSUBSCRIBE:
+        payload = UnsubscribeRequest(stream=draw(names), subscriber=draw(names))
+    elif kind == HEARTBEAT_REQUEST:
+        payload = HeartbeatRequest(
+            requester=draw(names), streams=tuple(draw(st.lists(names, max_size=5)))
+        )
+    elif kind == HEARTBEAT_RESPONSE:
+        payload = HeartbeatResponse(
+            responder=draw(names),
+            node_state=draw(node_states),
+            stream_states=draw(st.dictionaries(names, node_states, max_size=5)),
+        )
+    elif kind == RECONCILE_REQUEST:
+        payload = ReconcileRequest(
+            requester=draw(names), request_id=draw(st.integers(min_value=0, max_value=2**40))
+        )
+    elif kind == RECONCILE_REPLY:
+        payload = ReconcileReply(
+            responder=draw(names),
+            request_id=draw(st.integers(min_value=0, max_value=2**40)),
+            granted=draw(st.booleans()),
+        )
+    elif kind == CHECKPOINT_REQUEST:
+        payload = CheckpointRequest(requester=draw(names))
+    elif kind == CHECKPOINT_RESPONSE:
+        payload = CheckpointResponse(responder=draw(names), checkpoint=None)
+    else:
+        payload = SourceResubscribe(
+            stream=draw(names),
+            subscriber=draw(names),
+            after_tuple_id=draw(st.integers(min_value=-1, max_value=2**40)),
+        )
+    return kind, payload
+
+
+@COMMON
+@given(control_messages())
+def test_control_message_round_trip(message):
+    kind, payload = message
+    decoded_kind, decoded = wire.decode_message(wire.encode_message(kind, payload))
+    assert decoded_kind == kind
+    if kind == HEARTBEAT_RESPONSE:
+        # stream_states is typed Mapping; compare contents.
+        assert decoded.responder == payload.responder
+        assert decoded.node_state is payload.node_state
+        assert dict(decoded.stream_states) == dict(payload.stream_states)
+    else:
+        assert decoded == payload
+
+
+# ---------------------------------------------------------------------- filters
+def test_subscribe_filter_travels_by_name():
+    wire.clear_filters()
+    try:
+        f = SubscriptionFilter(lambda item: item.values.get("k", 0) > 0, name="sink.slice")
+        wire.register_filter(f)
+        request = SubscribeRequest(stream="s", subscriber="sink", filter=f)
+        _, decoded = wire.decode_message(wire.encode_message(SUBSCRIBE, request))
+        assert decoded.filter is f
+    finally:
+        wire.clear_filters()
+
+
+def test_unregistered_filter_rejected():
+    wire.clear_filters()
+    f = SubscriptionFilter(lambda item: True, name="nobody.slice")
+    frame = wire.encode_message(SUBSCRIBE, SubscribeRequest("s", "sub", filter=f))
+    with pytest.raises(wire.WireError, match="not registered"):
+        wire.decode_message(frame)
+
+
+# ---------------------------------------------------------------------- checkpoints
+def test_checkpoint_response_round_trip():
+    from repro.statexfer import RecoveryCheckpoint, StreamCursor
+
+    checkpoint = RecoveryCheckpoint(
+        created_at=4.5,
+        owner="n1",
+        operator_order=("u", "j"),
+        operator_states=(),
+        input_cursors={"s": StreamCursor(stable_received=3, source_position=17)},
+        output_states={"out": {"next_seq": 9}},
+        item_count=12,
+    )
+    response = CheckpointResponse(responder="n1'", checkpoint=checkpoint)
+    kind, decoded = wire.decode_message(wire.encode_message(CHECKPOINT_RESPONSE, response))
+    assert kind == CHECKPOINT_RESPONSE
+    assert decoded.responder == "n1'"
+    assert decoded.checkpoint == checkpoint
+
+
+# ---------------------------------------------------------------------- versioning / robustness
+def test_unknown_version_rejected():
+    frame = bytearray(wire.encode_message(CHECKPOINT_REQUEST, CheckpointRequest("r")))
+    frame[0] = wire.WIRE_VERSION + 1
+    with pytest.raises(wire.WireError, match="unsupported wire version"):
+        wire.decode_message(bytes(frame))
+    with pytest.raises(wire.WireError, match="unsupported wire version"):
+        wire.decode_envelope(bytes(frame))
+    with pytest.raises(wire.WireError, match="unsupported wire version"):
+        wire.decode_tuple(bytes(frame))
+
+
+def test_empty_and_truncated_frames_rejected():
+    with pytest.raises(wire.WireError):
+        wire.decode_message(b"")
+    good = wire.encode_message(DATA, DataBatch.of("s", (StreamTuple.boundary(1, 2.0),), "p"))
+    with pytest.raises(wire.WireError):
+        wire.decode_message(good[:-1])
+
+
+def test_trailing_bytes_rejected():
+    good = wire.encode_message(CHECKPOINT_REQUEST, CheckpointRequest("r"))
+    with pytest.raises(wire.WireError, match="trailing"):
+        wire.decode_message(good + b"\x00")
+
+
+def test_unknown_kind_rejected():
+    frame = bytearray(wire.encode_message(CHECKPOINT_REQUEST, CheckpointRequest("r")))
+    frame[1] = 250
+    with pytest.raises(wire.WireError, match="unknown message kind"):
+        wire.decode_message(bytes(frame))
+
+
+def test_unknown_encode_kind_rejected():
+    with pytest.raises(wire.WireError, match="unknown message kind"):
+        wire.encode_message("gossip", None)

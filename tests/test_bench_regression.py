@@ -139,6 +139,21 @@ def test_main_round_trip(tmp_path):
     assert cbr.main([str(results), "--baseline", str(tmp_path / "nope.json")]) == 2
 
 
+def test_subset_compares_only_benchmarks_present(tmp_path):
+    """``--subset``: a deliberate partial run (the live-smoke job) skips the
+    missing-benchmark gate for benchmarks it never attempted."""
+    baseline = tmp_path / "baseline.json"
+    full = bench_json(
+        tmp_path / "full.json", {"t": {"x_events": 100}, "live": {"x_wall_ms": 50.0}}
+    )
+    assert cbr.main([str(full), "--baseline", str(baseline), "--write-baseline"]) == 0
+    partial = bench_json(tmp_path / "partial.json", {"live": {"x_wall_ms": 60.0}})
+    # Without --subset the tracked benchmark 't' is flagged as missing.
+    assert cbr.main([str(partial), "--baseline", str(baseline)]) == 1
+    # With --subset only the benchmarks actually run are compared.
+    assert cbr.main([str(partial), "--baseline", str(baseline), "--subset"]) == 0
+
+
 def test_repo_baseline_matches_benchmark_metric_names():
     """The checked-in baseline must track the metrics the benchmarks emit."""
     baseline = json.loads(
