@@ -1,0 +1,126 @@
+"""Live backend under injected network faults: recovery trend metrics.
+
+Deploys the chain and sharded placements with ``backend="live"`` and runs
+each under a compiled :class:`~repro.live.faults.FaultPlan` -- a stream
+disconnect for the chain, a full partition of one shard group for the
+fan-out -- measuring how the hardened transport rides through the outage.
+
+The hard metrics are the deterministic ones: ``*_stable_tuples`` pins the
+finite workload every run must fully deliver (the ledger is byte-identical
+to the simulator oracle at the same seed; see the ``REPRO_LIVE_TESTS``
+parity suite).  Wall-clock readings -- total run time, the span of the
+tentative phase, and how long after the heal the last tentative output
+appears -- are environment-bound and recorded as warn-only ``*_wall_ms``
+trend metrics; reconnect/drop counters ride along untracked for the job
+log.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import full_sweep, print_results
+
+from repro.deploy.placement import compile as compile_topology
+from repro.live.faults import compile_failures
+from repro.live.supervisor import LiveBackendUnavailable, require_fork
+from repro.topology import Topology
+from repro.workloads.scenarios import FailureSpec
+
+STOP_QUICK = 4.0
+STOP_FULL = 8.0
+ONSET = 1.5
+OUTAGE = 1.0
+SEED = 1
+
+
+def _fork_available() -> bool:
+    try:
+        require_fork()
+    except LiveBackendUnavailable:
+        return False
+    return True
+
+
+def _faulted_run(label: str, topology, rate: float, stop: float, failures) -> dict:
+    placement = compile_topology(topology, replicas_per_node=2)
+    plan, kills = compile_failures(placement, failures, seed=SEED)
+    assert not kills
+    live = placement.deploy(
+        seed=SEED, aggregate_rate=rate, source_stop_time=stop, backend="live"
+    )
+    result = live.run(duration=stop + 1.5, faults=plan, drain_timeout=20.0)
+    phases = [p for p in result.tentative_phase.values() if p.get("count")]
+    tentative_span = max(
+        (p["last"] - p["first"] for p in phases), default=0.0
+    )
+    heal_at = max((rule["end"] for rule in plan.describe()), default=0.0)
+    recovery = max(
+        (p["last"] - heal_at for p in phases), default=0.0
+    )
+    return {
+        "label": label,
+        "stable_tuples": result.total_stable,
+        "tentative_tuples": result.total_tentative,
+        "injected": sum(result.injected_faults().values()),
+        "wall_seconds": result.wall_seconds,
+        "tentative_span_s": tentative_span,
+        "recovery_s": max(recovery, 0.0),
+        "reconnect_attempts": result.reconnect_attempts,
+        "reconnects": result.reconnects,
+        "dropped_frames": result.dropped_frames,
+        "dead_letters": result.dead_letters,
+        "eventually_consistent": result.eventually_consistent,
+    }
+
+
+@pytest.mark.skipif(not _fork_available(), reason="no fork start method")
+def test_live_faults(run_once, benchmark):
+    stop = STOP_FULL if full_sweep() else STOP_QUICK
+
+    def sweep():
+        return [
+            _faulted_run(
+                "chain2_disconnect", Topology.chain(2), 90.0, stop,
+                [FailureSpec("disconnect", ONSET, OUTAGE)],
+            ),
+            _faulted_run(
+                "shard4_partition", Topology.shard(4), 120.0, stop,
+                [FailureSpec("partition", ONSET, OUTAGE,
+                             node="shard1", node_replica=-1)],
+            ),
+        ]
+
+    rows = run_once(sweep)
+    print_results(
+        "Live fault injection: outage ride-through on real processes",
+        [
+            (
+                f"{row['label']:<17} stable={row['stable_tuples']:>6} "
+                f"tentative={row['tentative_tuples']:>5} "
+                f"injected={row['injected']:>4} wall={row['wall_seconds']:.2f}s "
+                f"recovery={row['recovery_s']:.2f}s "
+                f"reconnects={row['reconnects']}/{row['reconnect_attempts']} "
+                f"consistent={'yes' if row['eventually_consistent'] else 'NO'}"
+            )
+            for row in rows
+        ],
+    )
+
+    for row in rows:
+        label = row["label"]
+        # Hard: the finite workload is fully delivered despite the outage.
+        benchmark.extra_info[f"{label}_stable_tuples"] = row["stable_tuples"]
+        # Warn-only wall-clock trajectory of the outage and its recovery.
+        benchmark.extra_info[f"{label}_wall_ms"] = round(row["wall_seconds"] * 1000, 3)
+        benchmark.extra_info[f"{label}_tentative_wall_ms"] = round(
+            row["tentative_span_s"] * 1000, 3
+        )
+        benchmark.extra_info[f"{label}_recovery_wall_ms"] = round(
+            row["recovery_s"] * 1000, 3
+        )
+        # Untracked context for the job log.
+        benchmark.extra_info[f"{label}_reconnect_attempts"] = row["reconnect_attempts"]
+        benchmark.extra_info[f"{label}_injected_faults"] = row["injected"]
+        assert row["eventually_consistent"], label
+        assert row["tentative_tuples"] > 0, f"{label}: outage never went tentative"
+        assert row["dead_letters"] == 0, f"{label}: transport dead-lettered frames"

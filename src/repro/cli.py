@@ -357,6 +357,65 @@ def _run_live_throughput(scale: str) -> list[ResultTable]:
     return [table]
 
 
+def _run_live_faults(scale: str) -> list[ResultTable]:
+    """Network-fault parity: live runs under a compiled FaultPlan vs the sim.
+
+    Each case builds one failure schedule from the shared ``FailureSpec``
+    vocabulary, runs it on the simulator for the oracle ledger, compiles the
+    same schedule into a deterministic wire-level :class:`FaultPlan`, and
+    replays it on real worker processes.  "ledger matches sim" is the parity
+    claim: byte-identical stable rows in replica-independent form.
+    """
+    from .deploy.placement import compile as compile_topology
+    from .live.faults import compile_failures
+    from .live.supervisor import LiveBackendUnavailable, require_fork
+    from .live.worker import stable_ledger_rows
+    from .workloads.scenarios import FailureSpec, Scenario
+
+    table = ResultTable(
+        title="Live fault injection: disconnect/partition parity with the simulator",
+        row_label="scenario",
+        column_label="metric",
+    )
+    try:
+        require_fork()
+    except LiveBackendUnavailable as error:
+        table.set("unavailable", "reason", str(error))
+        return [table]
+    stop = 4.0 if scale != "full" else 8.0
+    onset, outage = 1.5, 1.0
+    cases = [
+        ("chain-2 disconnect", Topology.chain(2), 90.0,
+         [FailureSpec("disconnect", onset, outage)]),
+        ("shard-4 partition", Topology.shard(4), 120.0,
+         [FailureSpec("partition", onset, outage, node="shard1", node_replica=-1)]),
+    ]
+    for label, topology, rate, failures in cases:
+        placement = compile_topology(topology, replicas_per_node=2)
+        oracle = placement.deploy(seed=1, aggregate_rate=rate, source_stop_time=stop)
+        Scenario(failures=failures).inject(oracle.cluster)
+        oracle.start()
+        oracle.run_for(stop + 6.0)
+        sim_rows = stable_ledger_rows(oracle.clients[0])
+
+        plan, kills = compile_failures(placement, failures, seed=1)
+        live = placement.deploy(
+            seed=1, aggregate_rate=rate, source_stop_time=stop, backend="live"
+        )
+        result = live.run(
+            duration=stop + 1.5, kill=list(kills) or None, faults=plan,
+            drain_timeout=20.0,
+        )
+        table.set(label, "stable tuples", result.total_stable)
+        table.set(label, "tentative tuples", result.total_tentative)
+        table.set(label, "injected faults", sum(result.injected_faults().values()))
+        table.set(label, "dead letters", result.dead_letters)
+        table.set(label, "reconnects", result.reconnects)
+        table.set(label, "consistent", result.eventually_consistent)
+        table.set(label, "ledger matches sim", result.stable_rows() == sim_rows)
+    return [table]
+
+
 EXPERIMENTS: dict[str, ExperimentCommand] = {
     "table3": ExperimentCommand("table3", "Table III: Proc_new vs failure duration", _run_table3),
     "fig11a": ExperimentCommand("fig11a", "Figure 11(a): overlapping failures", _run_fig11(True)),
@@ -406,6 +465,11 @@ EXPERIMENTS: dict[str, ExperimentCommand] = {
         "live-throughput",
         "Live backend: wall-clock throughput over real processes and sockets",
         _run_live_throughput,
+    ),
+    "live-faults": ExperimentCommand(
+        "live-faults",
+        "Live fault injection: disconnect/partition parity against the sim oracle",
+        _run_live_faults,
     ),
 }
 
@@ -458,15 +522,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_scenario_live(args: argparse.Namespace) -> int:
     """Run a scenario on the live backend (real processes, wall-clock time).
 
-    The live backend supports the failure model it can express -- SIGKILL of
-    one replica's worker process -- so only ``--failure crash`` (or no
-    failure) is accepted; disconnect/silence and the sharded control-plane
+    Crash failures SIGKILL a replica's worker process; disconnect and
+    partition schedules compile into a deterministic
+    :class:`~repro.live.faults.FaultPlan` enforced at the socket layer, so
+    the same ``--failure``/``--disconnect-at``/``--partition-at`` flags run
+    on either backend.  Boundary silence and the sharded control-plane
     extras (skew, rebalance, autoscale, surge) remain simulator-only.
     """
     from .config import DPCConfig
     from .deploy.placement import compile as compile_topology
     from .errors import ConfigurationError, SimulationError
+    from .live.faults import compile_failures
     from .live.supervisor import LiveBackendUnavailable, LiveKill
+    from .workloads.scenarios import FailureSpec
 
     for flag, value in (
         ("--skew", args.skew),
@@ -481,11 +549,11 @@ def _cmd_scenario_live(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    if args.failure and args.failure != "crash":
+    if args.failure == "silence":
         print(
-            f"invalid scenario: --failure {args.failure} is simulator-only; "
-            "the live backend injects failures by SIGKILLing a replica's "
-            "worker process (--failure crash)",
+            "invalid scenario: --failure silence is simulator-only; the live "
+            "backend injects crash (SIGKILL), disconnect, and partition "
+            "failures",
             file=sys.stderr,
         )
         return 2
@@ -509,24 +577,53 @@ def _cmd_scenario_live(args: argparse.Namespace) -> int:
     # boundary cross the pipeline before the drain poll takes over.
     stop = args.warmup + args.settle
     kill = None
+
+    def _target_node(placement):
+        if args.failure_node:
+            return args.failure_node
+        if not 0 <= args.failure_level < len(placement.nodes):
+            raise ConfigurationError(
+                f"--failure-level {args.failure_level} out of range for "
+                f"{len(placement.nodes)} node(s)"
+            )
+        return placement.nodes[args.failure_level].name
+
     try:
         placement = compile_topology(topology, replicas_per_node=args.replicas)
         if args.failure == "crash":
-            if args.failure_node:
-                node_name = args.failure_node
-            else:
-                if not 0 <= args.failure_level < len(placement.nodes):
-                    raise ConfigurationError(
-                        f"--failure-level {args.failure_level} out of range for "
-                        f"{len(placement.nodes)} node(s)"
-                    )
-                node_name = placement.nodes[args.failure_level].name
             kill = LiveKill(
-                node=node_name,
+                node=_target_node(placement),
                 replica=args.failure_replica,
                 at=args.warmup,
                 downtime=args.failure_duration,
             )
+        failure_specs = []
+        if args.failure == "disconnect":
+            failure_specs.append(FailureSpec(
+                "disconnect", args.warmup, args.failure_duration,
+                stream_index=args.failure_stream,
+            ))
+        if args.disconnect_at is not None:
+            failure_specs.append(FailureSpec(
+                "disconnect", args.disconnect_at, args.failure_duration,
+                stream_index=args.failure_stream,
+            ))
+        if args.failure == "partition":
+            failure_specs.append(FailureSpec(
+                "partition", args.warmup, args.failure_duration,
+                node=_target_node(placement), node_replica=args.failure_replica,
+            ))
+        if args.partition_at is not None:
+            failure_specs.append(FailureSpec(
+                "partition", args.partition_at, args.failure_duration,
+                node=_target_node(placement), node_replica=args.failure_replica,
+            ))
+        faults = None
+        if failure_specs:
+            faults, plan_kills = compile_failures(
+                placement, failure_specs, seed=args.seed or 0
+            )
+            kill = kill or (plan_kills[0] if plan_kills else None)
         live = placement.deploy(
             config,
             seed=args.seed,
@@ -540,7 +637,13 @@ def _cmd_scenario_live(args: argparse.Namespace) -> int:
             f"rate={args.rate:g} tuples/s seed={args.seed} "
             f"(~{stop + 1.0:g} wall seconds plus drain)"
         )
-        result = live.run(duration=stop + 1.0, kill=kill, drain_timeout=15.0)
+        if faults is not None:
+            for rule in faults.describe():
+                window = f"t={rule['start']:g}s..{rule['end']:g}s"
+                print(f"  fault rule: {rule['kind']} on {rule['link']} {window}")
+        result = live.run(
+            duration=stop + 1.0, kill=kill, faults=faults, drain_timeout=15.0
+        )
     except LiveBackendUnavailable as error:
         print(f"live backend unavailable: {error}", file=sys.stderr)
         return 2
@@ -552,6 +655,10 @@ def _cmd_scenario_live(args: argparse.Namespace) -> int:
               f"at t={record['at']:.2f}s, respawned at t={record['respawned_at']:.2f}s")
     for record in result.recoveries():
         print(f"  recovery: {record['endpoint']} via {record['mode']}")
+    injected = result.injected_faults()
+    if injected:
+        counts = ", ".join(f"{kind}={n}" for kind, n in sorted(injected.items()))
+        print(f"  injected faults: {counts}")
     summary = result.client()["summary"]
     print(f"workers: {len(result.nodes) + 1} processes over Unix sockets, "
           f"{result.wall_seconds:.1f} s wall")
@@ -559,6 +666,10 @@ def _cmd_scenario_live(args: argparse.Namespace) -> int:
     print(f"stable / tentative / undone:           {summary['total_stable']} / "
           f"{summary['total_tentative']} / {summary['total_undos']}")
     print(f"upstream switches:                     {summary['switches']}")
+    print(f"frames dropped / dead-lettered:        {result.dropped_frames} / "
+          f"{result.dead_letters}")
+    print(f"reconnect attempts / reconnects:       {result.reconnect_attempts} / "
+          f"{result.reconnects}")
     consistent = result.eventually_consistent
     print(f"eventually consistent:                 {consistent}")
     return 0 if consistent else 1
@@ -585,10 +696,15 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         seed=args.seed,
         checkpoint_interval=checkpoint_interval,
     )
-    if args.failure_node and args.failure != "crash":
+    if (
+        args.failure_node
+        and args.failure not in ("crash", "partition")
+        and args.partition_at is None
+    ):
         print(
-            "invalid scenario: --failure-node only applies to --failure crash "
-            "(disconnect/silence target a source stream via --failure-stream)",
+            "invalid scenario: --failure-node only applies to crash/partition "
+            "failures (disconnect/silence target a source stream via "
+            "--failure-stream)",
             file=sys.stderr,
         )
         return 2
@@ -668,17 +784,17 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 n_input_streams=3 if streams is None else streams,
                 **common,
             )
-        if args.failure == "crash":
+        if args.failure in ("crash", "partition"):
             if args.failure_node:
                 spec = spec.with_failure(
-                    "crash",
+                    args.failure,
                     duration=args.failure_duration,
                     node=args.failure_node,
                     node_replica=args.failure_replica,
                 )
             else:
                 spec = spec.with_failure(
-                    "crash",
+                    args.failure,
                     duration=args.failure_duration,
                     node_level=args.failure_level,
                     node_replica=args.failure_replica,
@@ -686,6 +802,21 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         elif args.failure:
             spec = spec.with_failure(
                 args.failure, duration=args.failure_duration, stream_index=args.failure_stream
+            )
+        if args.disconnect_at is not None:
+            spec = spec.with_failure(
+                "disconnect",
+                start=args.disconnect_at,
+                duration=args.failure_duration,
+                stream_index=args.failure_stream,
+            )
+        if args.partition_at is not None:
+            spec = spec.with_partition(
+                node=args.failure_node,
+                node_level=args.failure_level,
+                replica=args.failure_replica,
+                start=args.partition_at,
+                duration=args.failure_duration,
             )
         if args.surge_at is not None:
             from .workloads.generators import step_rate
@@ -916,8 +1047,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="aggregate source rate in tuples per simulated second")
     scenario.add_argument("--warmup", type=float, default=5.0, help="seconds before the failure")
     scenario.add_argument("--settle", type=float, default=30.0, help="seconds after the failure")
-    scenario.add_argument("--failure", choices=("disconnect", "silence", "crash"),
+    scenario.add_argument("--failure", choices=("disconnect", "silence", "crash", "partition"),
                           help="failure to inject at the end of the warmup (omit for none)")
+    scenario.add_argument("--disconnect-at", type=float, default=None,
+                          help="disconnect the --failure-stream source at this time for "
+                               "--failure-duration seconds (both backends; shorthand for "
+                               "--failure disconnect with an explicit start)")
+    scenario.add_argument("--partition-at", type=float, default=None,
+                          help="partition the --failure-node/--failure-level replicas "
+                               "(--failure-replica, -1 for all) at this time for "
+                               "--failure-duration seconds (both backends)")
     scenario.add_argument("--failure-duration", type=float, default=10.0,
                           help="failure length in simulated seconds")
     scenario.add_argument("--failure-stream", type=int, default=0,

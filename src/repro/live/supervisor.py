@@ -30,12 +30,14 @@ import shutil
 import signal
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 from ..config import DPCConfig, SimulationConfig
 from ..deploy.placement import Placement
 from ..errors import ConfigurationError, ReproError, SimulationError
 from ..workloads.generators import PayloadFactory, default_payload_factory
+from .faults import FaultPlan
 from .worker import WorkerSpec, worker_main
 
 #: Seconds between the fork and the shared epoch: every worker must have
@@ -75,6 +77,51 @@ class LiveKill:
     at: float = 2.0
     downtime: float = 1.0
 
+    def __post_init__(self) -> None:
+        # Validate at the API seam, not just in the CLI: a negative schedule
+        # or replica is a configuration bug, never a runtime condition.
+        if self.at < 0:
+            raise ConfigurationError(f"LiveKill.at must be >= 0, got {self.at!r}")
+        if self.downtime < 0:
+            raise ConfigurationError(
+                f"LiveKill.downtime must be >= 0, got {self.downtime!r}"
+            )
+        if self.replica < 0:
+            raise ConfigurationError(
+                f"LiveKill.replica must be a concrete replica index >= 0, got "
+                f"{self.replica!r} (use faults.compile_failures to expand "
+                f"replica=-1 schedules into one kill per replica)"
+            )
+
+
+@dataclass(frozen=True)
+class LivePause:
+    """SIGSTOP one replica's worker at ``at``, SIGCONT after ``duration``.
+
+    A paused process is silent but not dead: its heartbeats stop, peers must
+    raise *suspicion*, and on resume -- within the transport's confirmation
+    grace -- the suspicion must clear without any crash declaration or
+    recovery.  This is the liveness-detector probe, not a failure.
+    """
+
+    node: str
+    replica: int = 0
+    at: float = 2.0
+    duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(f"LivePause.at must be >= 0, got {self.at!r}")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"LivePause.duration must be > 0, got {self.duration!r}"
+            )
+        if self.replica < 0:
+            raise ConfigurationError(
+                f"LivePause.replica must be a concrete replica index >= 0, got "
+                f"{self.replica!r}"
+            )
+
 
 @dataclass
 class LiveRunResult:
@@ -89,6 +136,13 @@ class LiveRunResult:
     #: source name -> tuples produced
     sources: dict = field(default_factory=dict)
     kills: list = field(default_factory=list)
+    pauses: list = field(default_factory=list)
+    #: Digest of the enforced fault plan (``FaultPlan.describe()``).
+    faults: list = field(default_factory=list)
+    #: worker name -> transport hardening/fault counters.
+    transport: dict = field(default_factory=dict)
+    #: client name -> {"first", "last", "count"} wall window of tentative output.
+    tentative_phase: dict = field(default_factory=dict)
 
     @property
     def eventually_consistent(self) -> bool:
@@ -114,6 +168,66 @@ class LiveRunResult:
     @property
     def total_stable(self) -> int:
         return sum(len(c["stable_rows"]) for c in self.clients.values())
+
+    @property
+    def total_tentative(self) -> int:
+        return sum(
+            c["summary"].get("total_tentative", 0) for c in self.clients.values()
+        )
+
+    # ---- transport hardening aggregates --------------------------------------
+    def _link_total(self, key: str) -> int:
+        return sum(
+            link.get(key, 0)
+            for stats in self.transport.values()
+            for link in stats.get("links", {}).values()
+        )
+
+    @property
+    def dead_letters(self) -> int:
+        """Frames that exhausted the bounded retry budget, all links."""
+        return self._link_total("dead_letters")
+
+    @property
+    def dropped_frames(self) -> int:
+        """Frames shed while a peer's socket was down (replay-healed)."""
+        return self._link_total("dropped_frames")
+
+    @property
+    def reconnects(self) -> int:
+        return self._link_total("reconnects")
+
+    @property
+    def reconnect_attempts(self) -> int:
+        return self._link_total("reconnect_attempts")
+
+    def injected_faults(self) -> dict:
+        """Injected-fault counts by kind, summed over all workers."""
+        totals: dict = {}
+        for stats in self.transport.values():
+            for kind, count in stats.get("injected", {}).items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
+    def fault_trace(self) -> list[dict]:
+        """Merged injected-fault events (worker-tagged, time-ordered)."""
+        events = [
+            dict(event, worker=worker)
+            for worker, stats in self.transport.items()
+            for event in stats.get("fault_events", [])
+        ]
+        events.sort(key=lambda event: (event["at"], event["worker"]))
+        return events
+
+    def peer_transitions(self) -> list[dict]:
+        """Merged liveness transitions (observer-tagged, time-ordered)."""
+        transitions = [
+            dict(record, observer=worker)
+            for worker, stats in self.transport.items()
+            for record in stats.get("peer_transitions", [])
+        ]
+        transitions.sort(key=lambda record: (record["at"], record["observer"]))
+        return transitions
 
 
 class _WorkerHandle:
@@ -145,7 +259,9 @@ class LiveDeployment:
         self.deploy_kwargs = dict(deploy_kwargs)
 
     # ------------------------------------------------------------------ worker plan
-    def _worker_plan(self, socket_dir: str, epoch: float) -> list[WorkerSpec]:
+    def _worker_plan(
+        self, socket_dir: str, epoch: float, fault_plan: FaultPlan
+    ) -> list[WorkerSpec]:
         edge_endpoints = [plan.name for plan in self.placement.sources] + [
             plan.name for plan in self.placement.clients
         ]
@@ -169,6 +285,7 @@ class LiveDeployment:
                 worker_sockets=worker_sockets,
                 endpoint_worker=endpoint_worker,
                 epoch=epoch,
+                fault_plan=fault_plan,
             )
             for worker, endpoints in hosted_by_worker.items()
         ]
@@ -185,65 +302,137 @@ class LiveDeployment:
         child_conn.close()
         return _WorkerHandle(spec, process, parent_conn)
 
+    # ------------------------------------------------------------------ validation
+    def _validate_kills(
+        self, kill: "LiveKill | Sequence[LiveKill] | None", duration: float
+    ) -> list[LiveKill]:
+        if kill is None:
+            kills: list = []
+        elif isinstance(kill, LiveKill):
+            kills = [kill]
+        elif isinstance(kill, (list, tuple)):
+            kills = list(kill)
+        else:
+            raise ConfigurationError(
+                f"live failure schedules must be LiveKill instances, got "
+                f"{type(kill).__name__}; compile sim failure specs with "
+                f"repro.live.faults.compile_failures first"
+            )
+        for item in kills:
+            if not isinstance(item, LiveKill):
+                raise ConfigurationError(
+                    f"live failure schedules must be LiveKill instances, got "
+                    f"{type(item).__name__}"
+                )
+            target_plan = self.placement.node_plan(item.node)
+            if item.replica >= len(target_plan.replica_names):
+                raise ConfigurationError(
+                    f"node {item.node!r} has {len(target_plan.replica_names)} "
+                    f"replica(s); cannot kill replica {item.replica}"
+                )
+            if item.at >= duration:
+                raise ConfigurationError(
+                    f"kill.at={item.at} must fall inside the run (duration={duration})"
+                )
+        return kills
+
+    def _validate_pauses(
+        self, pause: "LivePause | Sequence[LivePause] | None", duration: float
+    ) -> list[LivePause]:
+        if pause is None:
+            pauses: list = []
+        elif isinstance(pause, LivePause):
+            pauses = [pause]
+        elif isinstance(pause, (list, tuple)):
+            pauses = list(pause)
+        else:
+            raise ConfigurationError(
+                f"pause schedules must be LivePause instances, got {type(pause).__name__}"
+            )
+        for item in pauses:
+            if not isinstance(item, LivePause):
+                raise ConfigurationError(
+                    f"pause schedules must be LivePause instances, got "
+                    f"{type(item).__name__}"
+                )
+            target_plan = self.placement.node_plan(item.node)
+            if item.replica >= len(target_plan.replica_names):
+                raise ConfigurationError(
+                    f"node {item.node!r} has {len(target_plan.replica_names)} "
+                    f"replica(s); cannot pause replica {item.replica}"
+                )
+            if item.at + item.duration >= duration:
+                raise ConfigurationError(
+                    f"pause window [{item.at:g}, {item.at + item.duration:g}) must "
+                    f"end inside the run (duration={duration})"
+                )
+        return pauses
+
+    def _validate_faults(self, faults: FaultPlan | None, duration: float) -> FaultPlan:
+        if faults is None:
+            return FaultPlan()
+        if not isinstance(faults, FaultPlan):
+            raise ConfigurationError(
+                f"faults must be a repro.live.faults.FaultPlan, got "
+                f"{type(faults).__name__}"
+            )
+        faults.validate()
+        from .faults import WINDOW_KINDS
+
+        for rule in faults.rules:
+            # A disconnect/partition window that outlives the run would end
+            # mid-failure: the ledger never reconciles and every consistency
+            # assertion is vacuous.  (Open-ended *wire* rules are fine -- the
+            # retry/dedup machinery keeps the run convergent under them.)
+            if rule.kind in WINDOW_KINDS and rule.end > duration + 1e-9:
+                raise ConfigurationError(
+                    f"fault window {rule.kind!r} runs until t={rule.end:g}s but "
+                    f"the run is only {duration:g}s; it would never heal"
+                )
+        return faults
+
     # ------------------------------------------------------------------ run
     def run(
         self,
         duration: float,
-        kill: LiveKill | None = None,
+        kill: "LiveKill | Sequence[LiveKill] | None" = None,
         drain_timeout: float = 15.0,
         startup_delay: float = _STARTUP_DELAY,
+        faults: FaultPlan | None = None,
+        pause: "LivePause | Sequence[LivePause] | None" = None,
     ) -> LiveRunResult:
         """Run the deployment for ``duration`` wall-clock seconds and collect.
 
-        ``kill`` injects one mid-run SIGKILL + respawn.  After ``duration``
-        the supervisor waits (bounded by ``drain_timeout``) for every
-        client's ledger to stop growing before stopping the workers, so
-        in-flight batches are not cut off mid-pipeline.
+        ``kill`` injects mid-run SIGKILLs + respawns (one or a schedule),
+        ``pause`` SIGSTOP/SIGCONT probes, and ``faults`` a wire-level
+        :class:`~repro.live.faults.FaultPlan` every worker's transport
+        enforces.  After ``duration`` the supervisor waits (bounded by
+        ``drain_timeout``) for every client's ledger to stop growing before
+        stopping the workers, so in-flight batches are not cut off
+        mid-pipeline.
         """
-        if kill is not None:
-            target_plan = self.placement.node_plan(kill.node)
-            if not 0 <= kill.replica < len(target_plan.replica_names):
-                raise ConfigurationError(
-                    f"node {kill.node!r} has {len(target_plan.replica_names)} "
-                    f"replica(s); cannot kill replica {kill.replica}"
-                )
-            if kill.at >= duration:
-                raise ConfigurationError(
-                    f"kill.at={kill.at} must fall inside the run (duration={duration})"
-                )
+        kills = self._validate_kills(kill, duration)
+        pauses = self._validate_pauses(pause, duration)
+        plan = self._validate_faults(faults, duration)
         started_wall = time.monotonic()
         ctx = multiprocessing.get_context("fork")
         socket_dir = tempfile.mkdtemp(prefix="repro-live-")
         epoch = time.monotonic() + startup_delay
-        specs = self._worker_plan(socket_dir, epoch)
+        specs = self._worker_plan(socket_dir, epoch, plan)
         handles = {spec.name: self._spawn(ctx, spec) for spec in specs}
         result = LiveRunResult(duration=duration, wall_seconds=0.0)
+        result.faults = plan.describe()
+        timeline = sorted(
+            [(k.at, 0, "kill", k) for k in kills]
+            + [(k.at + k.downtime, 1, "respawn", k) for k in kills]
+            + [(p.at, 0, "pause", p) for p in pauses]
+            + [(p.at + p.duration, 1, "resume", p) for p in pauses],
+            key=lambda event: (event[0], event[1]),
+        )
         try:
-            if kill is not None:
-                endpoint = self.placement.node_plan(kill.node).replica_names[kill.replica]
-                worker_name = next(
-                    spec.name for spec in specs if endpoint in spec.hosted
-                )
-                self._sleep_until(epoch + kill.at)
-                victim = handles[worker_name]
-                os.kill(victim.process.pid, signal.SIGKILL)
-                victim.killed = True
-                result.kills.append(
-                    {"endpoint": endpoint, "at": time.monotonic() - epoch, "worker": worker_name}
-                )
-                time.sleep(max(0.0, kill.downtime))
-                respawn_spec = WorkerSpec(
-                    name=victim.spec.name,
-                    hosted=victim.spec.hosted,
-                    socket_path=victim.spec.socket_path,
-                    worker_sockets=victim.spec.worker_sockets,
-                    endpoint_worker=victim.spec.endpoint_worker,
-                    epoch=victim.spec.epoch,
-                    recovering=frozenset({endpoint}),
-                )
-                victim.process.join(timeout=5.0)
-                handles[worker_name] = self._spawn(ctx, respawn_spec)
-                result.kills[-1]["respawned_at"] = time.monotonic() - epoch
+            for at, _, action, directive in timeline:
+                self._sleep_until(epoch + at)
+                self._apply_action(ctx, handles, epoch, action, directive, result)
             self._sleep_until(epoch + duration)
             self._await_drain(handles["edge"], drain_timeout)
             for handle in handles.values():
@@ -260,6 +449,60 @@ class LiveDeployment:
                     handle.process.join(timeout=5.0)
                 handle.conn.close()
             shutil.rmtree(socket_dir, ignore_errors=True)
+
+    # ------------------------------------------------------------------ actions
+    def _endpoint_and_worker(self, node: str, replica: int) -> tuple[str, str]:
+        endpoint = self.placement.node_plan(node).replica_names[replica]
+        return endpoint, f"{node}-r{replica}"
+
+    def _apply_action(
+        self, ctx, handles: dict, epoch: float, action: str, directive, result: LiveRunResult
+    ) -> None:
+        if action == "kill":
+            endpoint, worker_name = self._endpoint_and_worker(
+                directive.node, directive.replica
+            )
+            victim = handles[worker_name]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            victim.killed = True
+            result.kills.append(
+                {"endpoint": endpoint, "at": time.monotonic() - epoch, "worker": worker_name}
+            )
+        elif action == "respawn":
+            endpoint, worker_name = self._endpoint_and_worker(
+                directive.node, directive.replica
+            )
+            victim = handles[worker_name]
+            respawn_spec = replace(
+                victim.spec,
+                recovering=frozenset({endpoint}),
+                # Bump the incarnation so peers reject any frame a zombie
+                # predecessor connection might still deliver.
+                generation=victim.spec.generation + 1,
+            )
+            victim.process.join(timeout=5.0)
+            handles[worker_name] = self._spawn(ctx, respawn_spec)
+            for record in result.kills:
+                if record["worker"] == worker_name and "respawned_at" not in record:
+                    record["respawned_at"] = time.monotonic() - epoch
+                    break
+        elif action == "pause":
+            endpoint, worker_name = self._endpoint_and_worker(
+                directive.node, directive.replica
+            )
+            os.kill(handles[worker_name].process.pid, signal.SIGSTOP)
+            result.pauses.append(
+                {"endpoint": endpoint, "at": time.monotonic() - epoch, "worker": worker_name}
+            )
+        elif action == "resume":
+            endpoint, worker_name = self._endpoint_and_worker(
+                directive.node, directive.replica
+            )
+            os.kill(handles[worker_name].process.pid, signal.SIGCONT)
+            for record in result.pauses:
+                if record["worker"] == worker_name and "resumed_at" not in record:
+                    record["resumed_at"] = time.monotonic() - epoch
+                    break
 
     # ------------------------------------------------------------------ helpers
     @staticmethod
@@ -306,6 +549,10 @@ class LiveDeployment:
         result.clients.update(payload["clients"])
         result.nodes.update(payload["nodes"])
         result.sources.update(payload["sources"])
+        result.tentative_phase.update(payload.get("tentative_phase", {}))
+        transport = payload.get("transport")
+        if transport is not None:
+            result.transport[handle.spec.name] = transport
 
 
 # --------------------------------------------------------------------------- entry point

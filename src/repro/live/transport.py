@@ -9,19 +9,39 @@ transport routes each message either
   deferred through ``loop.call_soon`` so a send never re-enters the protocol
   stack synchronously (the simulator likewise never delivers inside
   ``send``), or
-* **remotely** -- the message is framed by :mod:`repro.live.wire` with a
-  4-byte big-endian length prefix and queued on the outbound link to the
+* **remotely** -- the message is framed by :mod:`repro.live.wire`, wrapped in
+  a transport header ``(frame type, sender generation, link sequence)`` and a
+  4-byte big-endian length prefix, then queued on the outbound link to the
   worker hosting the receiver.  One Unix-domain-socket connection per worker
   pair keeps every link FIFO, matching the paper's reliable in-order
   assumption (TCP, Section 2.2).
 
-Failure semantics: a dead peer worker is indistinguishable from a crashed
-simulated endpoint -- frames queued to it are silently discarded after the
-connect/write fails (counted as ``dropped``), and the writer keeps retrying
-the socket path so a respawned worker (same path) is picked up
-automatically.  ``can_communicate`` is always True: live mode has no
-partition oracle; real liveness is whatever the sockets deliver, which is
-exactly the information DPC's failure detection is designed to work from.
+**Fault injection** (:mod:`repro.live.faults`): an optional frozen
+:class:`~repro.live.faults.FaultPlan` is enforced here.  *Window* rules
+(disconnect/partition) deny delivery credit in :meth:`send_many` -- the
+blocked receiver is left out of the returned list, so source cursors and
+node output buffers hold exactly as they do for a crashed simulated
+endpoint, and replay-on-heal falls out of the existing protocol.  *Wire*
+rules (drop/delay/duplicate/reorder/throttle) act on the outbound link:
+reorder swaps queued frames **before** sequence stamping (so receiver-side
+FIFO checking still holds), duplicate rewrites the **same** stamped bytes
+(so the receiver sheds the copy), drop consumes one bounded send retry, and
+delay/throttle only stretch wall time.  Every probabilistic decision flows
+through :meth:`FaultPlan.decision` -- a pure CRC-32 hash of (seed, rule,
+link, counter) -- never a wall-clock RNG.
+
+**Hardening.** Reconnects use capped exponential backoff with seeded jitter
+(:func:`~repro.live.faults.backoff_delay`) instead of a fixed delay; writes
+carry a per-send timeout and a bounded retry budget, with frames that
+exhaust it counted as *dead letters* (frames shed while a peer's socket is
+plainly down are ``dropped_frames`` -- the expected, replay-healed case).
+Frames carry the sender's *generation* (bumped by the supervisor on every
+respawn) and a per-link sequence number: receivers reject stale-generation
+frames (a predecessor's zombie writes) and non-monotonic sequences
+(injected duplicates).  Worker-to-worker heartbeat frames ride the same
+fault pipeline, driving a typed ``ALIVE -> SUSPECT -> DOWN`` peer-liveness
+state machine whose DOWN verdict feeds ``can_communicate`` -- the same
+signal DPC's failure detection reads in the simulator.
 """
 
 from __future__ import annotations
@@ -29,15 +49,31 @@ from __future__ import annotations
 import asyncio
 import os
 import struct
-from typing import Any, Callable, Sequence
+from collections import Counter
+from enum import Enum
+from typing import Any, Callable, NamedTuple, Sequence
 
 from ..errors import NetworkError
 from ..sim.network import Message, NetworkStats
 from . import wire
+from .faults import (
+    DELAY,
+    DROP,
+    DUPLICATE,
+    PARTITION,
+    REORDER,
+    THROTTLE,
+    FaultPlan,
+    backoff_delay,
+)
 
 MessageHandler = Callable[[Message, float], None]
 
 _LENGTH = struct.Struct(">I")
+#: Transport frame header: frame type, sender generation, link sequence.
+_HEADER = struct.Struct(">BIQ")
+_FT_ENVELOPE = 0
+_FT_HEARTBEAT = 1
 
 #: Cap per-link buffered frames; beyond it the oldest frames are dropped.
 #: Live mode has real backpressure on sockets; this bound only matters while
@@ -45,26 +81,72 @@ _LENGTH = struct.Struct(">I")
 #: semantics.
 _MAX_QUEUED_FRAMES = 20000
 
-#: Delay between reconnect attempts to a peer socket that refuses/conn-resets.
-_RECONNECT_DELAY = 0.05
+#: Reconnect backoff: first retry after ~_BACKOFF_BASE, doubling to _BACKOFF_CAP.
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 2.0
+
+#: Per-send write timeout and bounded retry budget before dead-lettering.
+_SEND_TIMEOUT = 5.0
+_SEND_RETRIES = 4
+
+#: Heartbeat cadence and liveness thresholds (seconds of silence).
+_HEARTBEAT_INTERVAL = 0.25
+_SUSPECT_AFTER = 0.75
+_DOWN_AFTER = 2.5
+
+#: Cap on the retained injected-fault event list (counts are unbounded).
+_MAX_FAULT_EVENTS = 4000
+
+
+class PeerState(str, Enum):
+    """Typed liveness verdict for one peer worker."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DOWN = "down"
+
+
+class _Entry(NamedTuple):
+    """One queued outbound frame, pre-stamping (see reorder semantics)."""
+
+    ftype: int
+    sender: str
+    receiver: str
+    kind: str
+    body: bytes
 
 
 class PeerLink:
     """Outbound FIFO link to one peer worker (one socket, one writer task)."""
 
-    def __init__(self, path: str, loop: asyncio.AbstractEventLoop) -> None:
+    def __init__(self, peer: str, path: str, transport: "LiveTransport") -> None:
+        self.peer = peer
         self.path = path
-        self._loop = loop
-        self._queue: asyncio.Queue[bytes] = asyncio.Queue()
+        self._transport = transport
+        self._loop = transport._loop
+        self._queue: asyncio.Queue[_Entry] = asyncio.Queue()
         self._task: asyncio.Task | None = None
+        self._writer: asyncio.StreamWriter | None = None
         self._closed = False
-        self.dropped_frames = 0
+        #: Next sequence number stamped on this link's frames.
+        self._seq = 0
+        self._connect_failures = 0
+        self._next_connect_at = 0.0
+        self._last_write = 0.0
+        # ---- counters surfaced in worker stats -------------------------------
+        self.frames_sent = 0
+        self.dropped_frames = 0  # shed while the peer's socket was down
+        self.dead_letters = 0  # exhausted the bounded retry budget
+        self.retries = 0
+        self.reconnect_attempts = 0
+        self.reconnects = 0
         #: Optimistic until a connect/write fails; once False, senders treat
         #: the peer like a crashed simulated endpoint (outputs stay buffered,
         #: source cursors stop advancing) until a connect succeeds again.
         self.connected = True
 
-    def enqueue(self, frame: bytes) -> None:
+    # ------------------------------------------------------------------ producer
+    def enqueue(self, ftype: int, sender: str, receiver: str, kind: str, body: bytes) -> None:
         if self._closed:
             return
         while self._queue.qsize() >= _MAX_QUEUED_FRAMES:
@@ -73,43 +155,192 @@ class PeerLink:
                 self.dropped_frames += 1
             except asyncio.QueueEmpty:  # pragma: no cover - race-free in one loop
                 break
-        self._queue.put_nowait(frame)
+        self._queue.put_nowait(_Entry(ftype, sender, receiver, kind, body))
         if self._task is None or self._task.done():
             self._task = self._loop.create_task(self._drain())
 
+    # ------------------------------------------------------------------ writer task
     async def _drain(self) -> None:
-        writer: asyncio.StreamWriter | None = None
         try:
             while not self._closed:
-                frame = await self._queue.get()
-                while not self._closed:
-                    if writer is None:
-                        try:
-                            _, writer = await asyncio.open_unix_connection(self.path)
-                            self.connected = True
-                        except OSError:
-                            # Peer not up (yet / anymore).  Drop this frame --
-                            # the peer is "crashed" from our point of view --
-                            # and retry the socket for the next one.
-                            self.connected = False
-                            self.dropped_frames += 1
-                            frame = None
-                            await asyncio.sleep(_RECONNECT_DELAY)
-                            break
-                    try:
-                        writer.write(_LENGTH.pack(len(frame)) + frame)
-                        await writer.drain()
-                        break
-                    except (ConnectionError, OSError):
-                        self.connected = False
-                        try:
-                            writer.close()
-                        except Exception:  # pragma: no cover - best effort
-                            pass
-                        writer = None
+                entry = await self._queue.get()
+                for item in self._maybe_reorder(entry):
+                    await self._send_entry(item)
         finally:
-            if writer is not None:
-                writer.close()
+            self._close_writer()
+
+    def _maybe_reorder(self, entry: _Entry) -> list[_Entry]:
+        """Swap with the next queued frame *before* sequence stamping.
+
+        Stamping afterwards keeps on-wire sequences monotonic, so the
+        receiver's duplicate check never misfires on an injected reorder --
+        the reorder is real (a later-submitted frame travels first) but FIFO
+        numbering is assigned at departure, like a retransmitting TCP stack.
+        """
+        plan = self._transport._plan
+        if plan.is_empty or self._queue.empty():
+            return [entry]
+        now = self._transport.clock.now
+        link = f"{entry.sender}>{entry.receiver}"
+        for rule in plan.wire_rules(entry.sender, entry.receiver, now):
+            if rule.kind != REORDER:
+                continue
+            if plan.decision(rule, link, self._transport._next_counter(REORDER)) < rule.probability:
+                try:
+                    swapped = self._queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - checked above
+                    return [entry]
+                self._transport._record_injected(REORDER, entry.sender, entry.receiver)
+                return [swapped, entry]
+        return [entry]
+
+    async def _send_entry(self, entry: _Entry) -> None:
+        transport = self._transport
+        plan = transport._plan
+        link = f"{entry.sender}>{entry.receiver}"
+        rules = (
+            plan.wire_rules(entry.sender, entry.receiver, transport.clock.now)
+            if not plan.is_empty
+            else ()
+        )
+        # Injected latency, then throttling, both before the frame departs.
+        for rule in rules:
+            if rule.kind == DELAY:
+                roll = plan.decision(rule, link, transport._next_counter(DELAY))
+                if roll < rule.probability:
+                    extra = rule.delay + rule.jitter * plan.decision(
+                        rule, link, transport._next_counter(DELAY)
+                    )
+                    transport._record_injected(DELAY, entry.sender, entry.receiver)
+                    await asyncio.sleep(extra)
+            elif rule.kind == THROTTLE and rule.min_interval > 0:
+                wait = self._last_write + rule.min_interval - self._loop.time()
+                if wait > 0:
+                    transport._record_injected(THROTTLE, entry.sender, entry.receiver)
+                    await asyncio.sleep(wait)
+        seq = self._seq
+        self._seq += 1
+        frame = _HEADER.pack(entry.ftype, transport.generation, seq) + entry.body
+        payload = _LENGTH.pack(len(frame)) + frame
+
+        attempts = 0
+        while not self._closed:
+            # An injected drop is a lost write: it consumes one bounded retry,
+            # so chaos-level drop rates are absorbed and only a pathological
+            # streak dead-letters a frame.
+            dropped = False
+            for rule in rules:
+                if rule.kind == DROP and plan.decision(
+                    rule, link, transport._next_counter(DROP)
+                ) < rule.probability:
+                    dropped = True
+                    break
+            if dropped:
+                transport._record_injected(DROP, entry.sender, entry.receiver)
+                attempts += 1
+                if attempts > _SEND_RETRIES:
+                    self.dead_letters += 1
+                    return
+                self.retries += 1
+                continue
+            if not await self._ensure_connection():
+                # Peer not up (yet / anymore).  Shed the frame -- the peer is
+                # "crashed" from our point of view, delivery was never
+                # credited, and resubscription replay heals the gap.
+                self.dropped_frames += 1
+                return
+            try:
+                assert self._writer is not None
+                self._writer.write(payload)
+                await asyncio.wait_for(self._writer.drain(), _SEND_TIMEOUT)
+                self.frames_sent += 1
+                self._last_write = self._loop.time()
+                break
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                self._close_writer()
+                self.connected = False
+                attempts += 1
+                if attempts > _SEND_RETRIES:
+                    self.dead_letters += 1
+                    return
+                self.retries += 1
+                await asyncio.sleep(
+                    backoff_delay(
+                        attempts - 1,
+                        base=_BACKOFF_BASE,
+                        cap=_BACKOFF_CAP,
+                        seed=plan.seed,
+                        link=self.peer,
+                    )
+                )
+        else:
+            return
+        # Duplicate *after* stamping: the copy carries the same sequence
+        # number, so the receiver's monotonic check sheds it -- the injection
+        # proves the dedup path, not a delivery bug.
+        for rule in rules:
+            if rule.kind == DUPLICATE and plan.decision(
+                rule, link, transport._next_counter(DUPLICATE)
+            ) < rule.probability:
+                transport._record_injected(DUPLICATE, entry.sender, entry.receiver)
+                try:
+                    assert self._writer is not None
+                    self._writer.write(payload)
+                    await asyncio.wait_for(self._writer.drain(), _SEND_TIMEOUT)
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    self._close_writer()
+                    self.connected = False
+                break
+
+    async def _ensure_connection(self) -> bool:
+        """Connect if needed, honouring the capped-exponential backoff window."""
+        if self._writer is not None:
+            return True
+        if self._loop.time() < self._next_connect_at:
+            return False
+        if not self.connected:
+            self.reconnect_attempts += 1
+        try:
+            _, writer = await asyncio.wait_for(
+                asyncio.open_unix_connection(self.path), _SEND_TIMEOUT
+            )
+        except (OSError, asyncio.TimeoutError):
+            self.connected = False
+            self._connect_failures += 1
+            self._next_connect_at = self._loop.time() + backoff_delay(
+                self._connect_failures - 1,
+                base=_BACKOFF_BASE,
+                cap=_BACKOFF_CAP,
+                seed=self._transport._plan.seed,
+                link=self.peer,
+            )
+            return False
+        self._writer = writer
+        if not self.connected:
+            self.reconnects += 1
+        self.connected = True
+        self._connect_failures = 0
+        self._next_connect_at = 0.0
+        return True
+
+    def _close_writer(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:  # pragma: no cover - best effort
+                pass
+            self._writer = None
+
+    def stats(self) -> dict:
+        return {
+            "frames_sent": self.frames_sent,
+            "dropped_frames": self.dropped_frames,
+            "dead_letters": self.dead_letters,
+            "retries": self.retries,
+            "reconnect_attempts": self.reconnect_attempts,
+            "reconnects": self.reconnects,
+            "connected": self.connected,
+        }
 
     async def close(self) -> None:
         self._closed = True
@@ -119,6 +350,7 @@ class PeerLink:
                 await self._task
             except (asyncio.CancelledError, Exception):  # pragma: no cover
                 pass
+        self._close_writer()
 
 
 class LiveTransport:
@@ -132,19 +364,50 @@ class LiveTransport:
         worker_sockets: dict[str, str],
         clock,
         default_latency: float = 0.0,
+        generation: int = 0,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.worker = worker
         self.socket_path = socket_path
+        self.generation = generation
         self._endpoint_worker = dict(endpoint_worker)
         self._worker_sockets = dict(worker_sockets)
         self.clock = clock
         self.default_latency = default_latency
+        self._plan = fault_plan if fault_plan is not None else FaultPlan()
+        self._plan.validate()
         self._loop = asyncio.get_event_loop()
         self._handlers: dict[str, MessageHandler] = {}
         self._links: dict[str, PeerLink] = {}
         self._server: asyncio.AbstractServer | None = None
         self._reader_tasks: set[asyncio.Task] = set()
+        self._heartbeat_task: asyncio.Task | None = None
+        self._closed = False
         self.stats = NetworkStats()
+        # ---- hosted-endpoint index (for worker-granular heartbeat blocking) --
+        hosted: dict[str, list[str]] = {}
+        for endpoint, owner in self._endpoint_worker.items():
+            hosted.setdefault(owner, []).append(endpoint)
+        self._hosted_by = {owner: tuple(sorted(names)) for owner, names in hosted.items()}
+        # ---- receive-side frame hardening ------------------------------------
+        self._peer_generation: dict[str, int] = {}
+        self._peer_seq: dict[str, int] = {}
+        self.stale_rejected = 0
+        self.duplicates_rejected = 0
+        # ---- peer liveness ---------------------------------------------------
+        self._last_heard: dict[str, float] = {}
+        self._peer_state: dict[str, PeerState] = {}
+        self.peer_transitions: list[dict] = []
+        self.suspicions = 0
+        self.confirmations = 0
+        self.heartbeats_sent = 0
+        self.heartbeats_received = 0
+        self.heartbeats_suppressed = 0
+        # ---- injected-fault accounting ---------------------------------------
+        self.injected: Counter = Counter()
+        self.fault_events: list[dict] = []
+        self._fault_events_dropped = 0
+        self._decision_counters: Counter = Counter()
 
     # ------------------------------------------------------------------ lifecycle
     async def start(self) -> None:
@@ -156,8 +419,18 @@ class LiveTransport:
         except FileNotFoundError:
             pass
         self._server = await asyncio.start_unix_server(self._on_connection, path=self.socket_path)
+        if len(self._worker_sockets) > 1:
+            self._heartbeat_task = self._loop.create_task(self._heartbeat_loop())
 
     async def close(self) -> None:
+        self._closed = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except (asyncio.CancelledError, Exception):  # pragma: no cover
+                pass
+            self._heartbeat_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -186,13 +459,138 @@ class LiveTransport:
         finally:
             writer.close()
 
+    # ------------------------------------------------------------------ receive path
     def _on_frame(self, frame: bytes) -> None:
+        if len(frame) < _HEADER.size:
+            self.stats.dropped += 1
+            return
+        ftype, generation, seq = _HEADER.unpack_from(frame)
+        body = frame[_HEADER.size :]
+        now = self.clock.now
+        if ftype == _FT_HEARTBEAT:
+            try:
+                peer = body.decode("utf-8")
+            except UnicodeDecodeError:  # pragma: no cover - corrupt frame
+                self.stats.dropped += 1
+                return
+            if self._admit_frame(peer, generation, seq):
+                self.heartbeats_received += 1
+                self._note_alive(peer, now)
+            return
         try:
-            sender, receiver, kind, payload = wire.decode_envelope(frame)
+            sender, receiver, kind, payload = wire.decode_envelope(body)
         except wire.WireError:
             self.stats.dropped += 1
             return
-        self._deliver_local(Message(sender, receiver, kind, payload, sent_at=self.clock.now))
+        peer = self._endpoint_worker.get(sender, sender)
+        if not self._admit_frame(peer, generation, seq):
+            self.stats.dropped += 1
+            self.stats.record(kind, "dropped")
+            return
+        self._note_alive(peer, now)
+        self._deliver_local(Message(sender, receiver, kind, payload, sent_at=now))
+
+    def _admit_frame(self, peer: str, generation: int, seq: int) -> bool:
+        """Stale-generation and duplicate-sequence rejection for one link.
+
+        A respawned sender announces a higher generation (the supervisor
+        bumps it), which resets the expected sequence; frames stamped with an
+        older generation are a predecessor's leftovers and are rejected, as
+        is any non-increasing sequence within a generation (injected or real
+        duplicates -- each worker pair shares one FIFO socket).
+        """
+        known = self._peer_generation.get(peer)
+        if known is not None and generation < known:
+            self.stale_rejected += 1
+            return False
+        if known is None or generation > known:
+            self._peer_generation[peer] = generation
+            self._peer_seq[peer] = -1
+        if seq <= self._peer_seq.get(peer, -1):
+            self.duplicates_rejected += 1
+            return False
+        self._peer_seq[peer] = seq
+        return True
+
+    # ------------------------------------------------------------------ heartbeats
+    async def _heartbeat_loop(self) -> None:
+        while not self._closed:
+            await asyncio.sleep(_HEARTBEAT_INTERVAL)
+            self._heartbeat_tick(self.clock.now)
+
+    def _heartbeat_tick(self, now: float) -> None:
+        mine = self._hosted_by.get(self.worker, ())
+        body = self.worker.encode("utf-8")
+        for peer in self._worker_sockets:
+            if peer == self.worker:
+                continue
+            if not self._plan.is_empty and self._plan.blocked_worker(
+                mine, self._hosted_by.get(peer, ()), now
+            ):
+                # A partition isolating every endpoint pair between the two
+                # workers silences the heartbeat too: the peer *should* start
+                # suspecting us, exactly like a real network split.
+                self.heartbeats_suppressed += 1
+                continue
+            self._link_to(peer).enqueue(_FT_HEARTBEAT, self.worker, peer, "heartbeat", body)
+            self.heartbeats_sent += 1
+        self._sweep_liveness(now)
+
+    def _sweep_liveness(self, now: float) -> None:
+        for peer in self._worker_sockets:
+            if peer == self.worker:
+                continue
+            last = self._last_heard.get(peer)
+            if last is None:
+                # First sighting of the peer set: arm the silence clock now so
+                # startup staggering never produces an instant suspicion.
+                self._last_heard[peer] = now
+                continue
+            silence = now - last
+            if silence >= _DOWN_AFTER:
+                state = PeerState.DOWN
+            elif silence >= _SUSPECT_AFTER:
+                state = PeerState.SUSPECT
+            else:
+                state = PeerState.ALIVE
+            self._set_peer_state(peer, state, now)
+
+    def _note_alive(self, peer: str, now: float) -> None:
+        if peer == self.worker or peer not in self._worker_sockets:
+            return
+        self._last_heard[peer] = now
+        self._set_peer_state(peer, PeerState.ALIVE, now)
+
+    def _set_peer_state(self, peer: str, state: PeerState, now: float) -> None:
+        previous = self._peer_state.get(peer, PeerState.ALIVE)
+        if state is previous:
+            return
+        self._peer_state[peer] = state
+        self.peer_transitions.append(
+            {"peer": peer, "from": previous.value, "to": state.value, "at": now}
+        )
+        if state is PeerState.SUSPECT:
+            self.suspicions += 1
+        elif state is PeerState.DOWN:
+            self.confirmations += 1
+
+    def peer_state(self, peer: str) -> PeerState:
+        return self._peer_state.get(peer, PeerState.ALIVE)
+
+    # ------------------------------------------------------------------ fault accounting
+    def _next_counter(self, kind: str) -> int:
+        value = self._decision_counters[kind]
+        self._decision_counters[kind] = value + 1
+        return value
+
+    def _record_injected(self, kind: str, sender: str, receiver: str) -> None:
+        self.injected[kind] += 1
+        if len(self.fault_events) < _MAX_FAULT_EVENTS:
+            self.fault_events.append(
+                {"at": self.clock.now, "kind": kind, "sender": sender, "receiver": receiver}
+            )
+        else:
+            self._fault_events_dropped += 1
 
     # ------------------------------------------------------------------ topology
     def register(self, name: str, handler: MessageHandler) -> None:
@@ -213,10 +611,15 @@ class LiveTransport:
         return self.default_latency
 
     # ------------------------------------------------------------------ failures
-    # Live failures are injected at the process level (SIGKILL) by the
-    # supervisor; the transport has no partition or crash oracle.
+    # Live failures are scheduled, not imperative: crash windows become
+    # supervisor SIGKILLs, disconnect/partition windows live in the FaultPlan
+    # enforced on the send path.  The imperative oracle mutators therefore
+    # stay unsupported.
     def partition(self, a: str, b: str) -> None:  # pragma: no cover - API parity
-        raise NetworkError("live transport cannot inject partitions; SIGKILL a worker instead")
+        raise NetworkError(
+            "live transport cannot partition imperatively; schedule the window "
+            "in a FaultPlan (repro.live.faults) and pass it to the deployment"
+        )
 
     def heal_partition(self, a: str, b: str) -> None:  # pragma: no cover - API parity
         pass
@@ -228,16 +631,29 @@ class LiveTransport:
         """No-op: a live endpoint recovers by its process being respawned."""
 
     def is_partitioned(self, a: str, b: str) -> bool:
+        if self._plan.is_empty:
+            return False
+        now = self.clock.now
+        for sender, receiver in ((a, b), (b, a)):
+            rule = self._plan.blocked(sender, receiver, now)
+            if rule is not None and rule.kind == PARTITION:
+                return True
         return False
 
     def is_down(self, name: str) -> bool:
-        return False
+        owner = self._endpoint_worker.get(name)
+        if owner is None or owner == self.worker:
+            return False
+        return self._peer_state.get(owner) is PeerState.DOWN
 
     def can_communicate(self, sender: str, receiver: str) -> bool:
-        # The honest answer is "unknown until the socket says otherwise".
-        # Optimistic True matches what a real deployment can know at send
-        # time and lets the protocol's own failure detection do its job.
-        return True
+        # Scheduled windows answer first (they are the experiment's oracle);
+        # otherwise heartbeat-confirmed DOWN peers are unreachable, and the
+        # rest is optimistic True -- what a real deployment can know at send
+        # time, letting the protocol's own failure detection do its job.
+        if not self._plan.is_empty and self._plan.blocked(sender, receiver, self.clock.now):
+            return False
+        return not (self.is_down(sender) or self.is_down(receiver))
 
     # ------------------------------------------------------------------ messaging
     def send(self, sender: str, receiver: str, kind: str, payload: Any) -> bool:
@@ -250,22 +666,29 @@ class LiveTransport:
             if receiver not in self._endpoint_worker:
                 raise NetworkError(f"unknown endpoint {receiver!r}")
         now = self.clock.now
+        check_windows = not self._plan.is_empty
         on_the_wire: list[str] = []
-        remote_frames: dict[str, bytes] = {}
         for receiver in receivers:
             self.stats.sent += 1
             self.stats.record(kind, "sent")
+            if check_windows:
+                rule = self._plan.blocked(sender, receiver, now)
+                if rule is not None:
+                    # Credit denial is the whole mechanism: the sender's
+                    # cursors/buffers hold, exactly like the simulator
+                    # skipping a crashed or partitioned endpoint.
+                    self.stats.dropped += 1
+                    self.stats.record(kind, "dropped")
+                    self._record_injected(rule.kind, sender, receiver)
+                    continue
             target_worker = self._endpoint_worker[receiver]
             if target_worker == self.worker:
                 message = Message(sender, receiver, kind, payload, sent_at=now)
                 self._loop.call_soon(self._deliver_local, message)
             else:
-                frame = remote_frames.get(receiver)
-                if frame is None:
-                    frame = wire.encode_envelope(sender, receiver, kind, payload)
-                    remote_frames[receiver] = frame
+                body = wire.encode_envelope(sender, receiver, kind, payload)
                 link = self._link_to(target_worker)
-                link.enqueue(frame)
+                link.enqueue(_FT_ENVELOPE, sender, receiver, kind, body)
                 if not link.connected:
                     # Mirror the simulator's crashed-endpoint semantics: a
                     # peer whose socket last refused us is not credited with
@@ -283,7 +706,7 @@ class LiveTransport:
     def _link_to(self, worker: str) -> PeerLink:
         link = self._links.get(worker)
         if link is None:
-            link = PeerLink(self._worker_sockets[worker], self._loop)
+            link = PeerLink(worker, self._worker_sockets[worker], self)
             self._links[worker] = link
         return link
 
@@ -296,3 +719,26 @@ class LiveTransport:
         self.stats.delivered += 1
         self.stats.record(message.kind, "delivered")
         handler(message, self.clock.now)
+
+    # ------------------------------------------------------------------ reporting
+    def transport_stats(self) -> dict:
+        """Hardening + fault-injection counters for this worker's result."""
+        return {
+            "worker": self.worker,
+            "generation": self.generation,
+            "links": {peer: link.stats() for peer, link in sorted(self._links.items())},
+            "stale_rejected": self.stale_rejected,
+            "duplicates_rejected": self.duplicates_rejected,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_received": self.heartbeats_received,
+            "heartbeats_suppressed": self.heartbeats_suppressed,
+            "suspicions": self.suspicions,
+            "confirmations": self.confirmations,
+            "peer_states": {
+                peer: state.value for peer, state in sorted(self._peer_state.items())
+            },
+            "peer_transitions": list(self.peer_transitions),
+            "injected": dict(self.injected),
+            "fault_events": list(self.fault_events),
+            "fault_events_dropped": self._fault_events_dropped,
+        }

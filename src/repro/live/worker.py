@@ -42,6 +42,7 @@ from ..sim.sources import DataSource
 from ..statexfer import PeerRegistry
 from . import wire
 from .clock import LiveClock
+from .faults import FaultPlan
 from .transport import LiveTransport
 
 #: Seconds between control-pipe polls inside a worker's asyncio loop.
@@ -76,6 +77,11 @@ class WorkerSpec:
     epoch: float
     #: Endpoints that must run ``recover()`` right after starting (respawn).
     recovering: frozenset[str] = frozenset()
+    #: Incarnation number; the supervisor bumps it on every respawn so peers
+    #: can reject stale-generation frames from a SIGKILLed predecessor.
+    generation: int = 0
+    #: Scheduled wire/window faults this worker's transport enforces.
+    fault_plan: FaultPlan = FaultPlan()
 
 
 @dataclass
@@ -332,7 +338,7 @@ def _client_result(client: ClientApplication) -> dict:
     }
 
 
-def _status(stack: FragmentStack, clock: LiveClock) -> dict:
+def _status(stack: FragmentStack, clock: LiveClock, transport: LiveTransport) -> dict:
     return {
         "now": clock.now,
         "ledgers": {
@@ -343,10 +349,26 @@ def _status(stack: FragmentStack, clock: LiveClock) -> dict:
             name: sum(1 for item in client.metrics.consistency.ledger if item.is_stable)
             for name, client in stack.clients.items()
         },
+        "peers": {
+            peer: transport.peer_state(peer).value for peer in transport._worker_sockets
+        },
     }
 
 
-def _result(stack: FragmentStack, clock: LiveClock) -> dict:
+def _tentative_phase(client: ClientApplication) -> dict:
+    """Wall-clock window of tentative output in the client trace (seconds)."""
+    first = last = None
+    count = 0
+    for entry in client.metrics.trace:
+        if entry.tuple_type == "tentative":
+            count += 1
+            last = entry.time
+            if first is None:
+                first = entry.time
+    return {"first": first, "last": last, "count": count}
+
+
+def _result(stack: FragmentStack, clock: LiveClock, transport: LiveTransport) -> dict:
     return {
         "now": clock.now,
         "events_fired": clock.events_fired,
@@ -356,6 +378,10 @@ def _result(stack: FragmentStack, clock: LiveClock) -> dict:
             for endpoint, node in stack.nodes.items()
         },
         "clients": {name: _client_result(c) for name, c in stack.clients.items()},
+        "tentative_phase": {
+            name: _tentative_phase(c) for name, c in stack.clients.items()
+        },
+        "transport": transport.transport_stats(),
     }
 
 
@@ -380,6 +406,8 @@ async def _worker_async(
         endpoint_worker=dict(spec.endpoint_worker),
         worker_sockets=dict(spec.worker_sockets),
         clock=clock,
+        generation=spec.generation,
+        fault_plan=spec.fault_plan,
     )
     await transport.start()
     stack = build_fragment_stack(
@@ -417,10 +445,10 @@ async def _worker_async(
                 except EOFError:
                     return
                 if request == "status":
-                    conn.send(("status", _status(stack, clock)))
+                    conn.send(("status", _status(stack, clock, transport)))
                     handled = True
                 elif request == "stop":
-                    conn.send(("result", _result(stack, clock)))
+                    conn.send(("result", _result(stack, clock, transport)))
                     return
             await asyncio.sleep(_CONTROL_POLL if not handled else 0.0)
     finally:

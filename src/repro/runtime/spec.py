@@ -218,15 +218,15 @@ class ScenarioSpec:
                         f"failure {spec.kind!r} targets stream {spec.stream_index}, but the "
                         f"scenario has {n_sources} input streams"
                     )
-            elif spec.kind == "crash":
+            elif spec.kind in ("crash", "partition"):
                 if spec.node is not None:
                     target = spec.node
                 else:
                     order = topology.node_names
                     if not 0 <= spec.node_level < len(order):
                         raise ConfigurationError(
-                            f"crash targets node level {spec.node_level}, but the topology "
-                            f"has {len(order)} node(s)"
+                            f"{spec.kind} targets node level {spec.node_level}, but the "
+                            f"topology has {len(order)} node(s)"
                         )
                     target = order[spec.node_level]
                 topology.validate_failure_target(
@@ -351,6 +351,31 @@ class ScenarioSpec:
         """
         return self.with_failure(
             "crash", start=start, duration=duration, node=node, node_replica=-1
+        )
+
+    def with_partition(
+        self,
+        node: str | None = None,
+        replica: int = 0,
+        duration: float = 10.0,
+        start: float | None = None,
+        node_level: int = 0,
+    ) -> "ScenarioSpec":
+        """Isolate one replica of ``node`` from the network for ``duration``.
+
+        A network split, not a crash: the replica keeps processing but
+        nothing crosses the partition in either direction until it heals
+        (``replica=-1`` isolates every replica).  Both backends honour it --
+        the simulator through ``FailureInjector.isolate_endpoint``, the live
+        backend through the compiled :class:`~repro.live.faults.FaultPlan`.
+        """
+        return self.with_failure(
+            "partition",
+            start=start,
+            duration=duration,
+            node=node,
+            node_level=node_level,
+            node_replica=replica,
         )
 
     def with_shard_kill(

@@ -184,6 +184,39 @@ class FailureInjector:
         )
         return record
 
+    def isolate_endpoint(self, endpoint: str, start: float, duration: float) -> FailureRecord:
+        """Partition ``endpoint`` from every other endpoint for ``duration`` seconds.
+
+        This is the network-split analogue of a branch crash: the endpoint
+        keeps running but nothing reaches it and nothing it sends arrives, so
+        downstream consumers go tentative and reconcile on heal.  The peer
+        set is captured at *fire* time (a mid-run reconfiguration may have
+        added or removed endpoints since scheduling), and exactly the
+        captured pairs are healed.
+        """
+        self._check_times(start, duration)
+        record = FailureRecord(FailureType.PARTITION, f"{endpoint}<->*", start, duration)
+        self.history.append(record)
+        isolated: list[str] = []
+
+        def cut(now: float) -> None:
+            for other in self.network.endpoints():
+                if other != endpoint:
+                    self.network.partition(endpoint, other)
+                    isolated.append(other)
+
+        def heal(now: float) -> None:
+            for other in isolated:
+                self.network.heal_partition(endpoint, other)
+
+        self.simulator.schedule_at(
+            start, cut, kind=EventKind.FAILURE, description=f"isolate {endpoint}"
+        )
+        self.simulator.schedule_at(
+            start + duration, heal, kind=EventKind.RECOVERY, description=f"rejoin {endpoint}"
+        )
+        return record
+
     # ------------------------------------------------------------------ helpers
     def _check_times(self, start: float, duration: float) -> None:
         if start < self.simulator.now:

@@ -172,9 +172,14 @@ class Network:
 
     def _deliver(self, messages: list[Message], now: float) -> None:
         for message in messages:
-            # The receiver may have crashed, or a partition may have appeared,
-            # while the message was in flight.
-            if not self.can_communicate(message.sender, message.receiver):
+            # An endpoint may have crashed while the message was in flight; a
+            # crash drops the message (the crashed node's state is wiped and
+            # recovery resubscribes/replays, so delivering would be wrong).  A
+            # partition that appeared mid-flight does NOT drop it: the message
+            # was credited to the sender at send time, and on a reliable
+            # in-order link a credited message is delivered -- dropping it
+            # here would silently lose data that nothing ever replays.
+            if self.is_down(message.sender) or self.is_down(message.receiver):
                 self.stats.dropped += 1
                 self.stats.record(message.kind, "dropped")
                 continue

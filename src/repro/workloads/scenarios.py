@@ -21,7 +21,10 @@ class FailureSpec:
       replayed after healing), the mechanism of the Section 5/6.1 experiments;
     * ``"silence"`` -- the source keeps sending data but stops producing
       boundary tuples, the mechanism of the Section 6.2 chain experiments;
-    * ``"crash"`` -- a processing node crashes (fail-stop) and recovers.
+    * ``"crash"`` -- a processing node crashes (fail-stop) and recovers;
+    * ``"partition"`` -- a network split isolates a node replica from every
+      other endpoint (the replica keeps running; nothing it sends arrives
+      and nothing reaches it until the window heals).
 
     A crash names its target either by logical node name (``node``, the
     canonical addressing for DAG topologies) or, for the chain experiments,
@@ -101,6 +104,18 @@ class Scenario:
                             spec.start,
                             spec.duration,
                             guard=lambda c=cluster, g=group: c.assert_kill_target_live(g),
+                        )
+                    )
+            elif spec.kind == "partition":
+                target = spec.node if spec.node is not None else spec.node_level
+                if spec.node_replica == -1:
+                    victims = cluster.node_group(target)
+                else:
+                    victims = [cluster.node(target, spec.node_replica)]
+                for node in victims:
+                    records.append(
+                        cluster.failures.isolate_endpoint(
+                            node.endpoint, spec.start, spec.duration
                         )
                     )
             else:

@@ -1,0 +1,196 @@
+"""Tier-1 tests for deterministic wire-level fault plans.
+
+Everything here is pure planning and validation -- no worker processes are
+spawned -- so these run untagged in tier-1.  The live enforcement of the
+plans is covered by the ``REPRO_LIVE_TESTS``-gated suite in
+``test_live_faults.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.deploy.placement import compile as compile_topology
+from repro.errors import ConfigurationError
+from repro.live.faults import (
+    DELAY,
+    DISCONNECT,
+    DROP,
+    PARTITION,
+    FaultPlan,
+    LinkRule,
+    backoff_delay,
+    chaos_plan,
+    compile_failures,
+)
+from repro.live.supervisor import LiveKill, LivePause
+from repro.topology import Topology
+from repro.workloads.scenarios import FailureSpec
+
+
+@pytest.fixture
+def chain_placement():
+    return compile_topology(Topology.chain(2), replicas_per_node=2)
+
+
+@pytest.fixture
+def shard_placement():
+    return compile_topology(Topology.shard(4), replicas_per_node=2)
+
+
+# --------------------------------------------------------------------------- determinism
+def _decision_stream(plan: FaultPlan, n: int = 200) -> list[float]:
+    rule = plan.rules[0]
+    return [plan.decision(rule, "a>b", counter) for counter in range(n)]
+
+
+def test_compiled_plan_is_deterministic(chain_placement):
+    failures = [FailureSpec("disconnect", 1.5, 1.0)]
+    plan_a, kills_a = compile_failures(chain_placement, failures, seed=1)
+    plan_b, kills_b = compile_failures(chain_placement, failures, seed=1)
+    assert plan_a.describe() == plan_b.describe()
+    assert kills_a == kills_b
+    assert _decision_stream(plan_a) == _decision_stream(plan_b)
+
+
+def test_decisions_vary_with_seed(chain_placement):
+    failures = [FailureSpec("disconnect", 1.5, 1.0)]
+    plan_a, _ = compile_failures(chain_placement, failures, seed=1)
+    plan_b, _ = compile_failures(chain_placement, failures, seed=2)
+    assert _decision_stream(plan_a) != _decision_stream(plan_b)
+
+
+def test_chaos_plan_deterministic_and_seed_sensitive():
+    assert chaos_plan(7).describe() == chaos_plan(7).describe()
+    assert chaos_plan(7).describe() != chaos_plan(8).describe()
+    kinds = {rule.kind for rule in chaos_plan(7).rules}
+    assert DROP in kinds and DELAY in kinds
+
+
+# --------------------------------------------------------------------------- compilation
+def test_disconnect_compiles_one_way_rules(chain_placement):
+    plan, kills = compile_failures(
+        chain_placement, [FailureSpec("disconnect", 2.0, 3.0)], seed=1
+    )
+    assert kills == ()
+    assert plan.rules and all(r.kind == DISCONNECT for r in plan.rules)
+    # One rule per consumer replica of the disconnected stream, one-way.
+    consumers = {rule.receiver for rule in plan.rules}
+    assert consumers == {"node1", "node1'"}
+    assert all(not rule.bidirectional for rule in plan.rules)
+    # Blocked exactly inside the window, in the source->consumer direction only.
+    sender = plan.rules[0].sender
+    assert plan.blocked(sender, "node1", 2.5) is not None
+    assert plan.blocked("node1", sender, 2.5) is None
+    assert plan.blocked(sender, "node1", 5.5) is None
+
+
+def test_partition_compiles_bidirectional_isolation(shard_placement):
+    failures = [FailureSpec("partition", 1.0, 2.0, node="shard1", node_replica=-1)]
+    plan, kills = compile_failures(shard_placement, failures, seed=1)
+    assert kills == ()
+    assert {rule.sender for rule in plan.rules} == {"shard1", "shard1'"}
+    assert all(rule.kind == PARTITION and rule.bidirectional for rule in plan.rules)
+    # Both directions are cut during the window, for every peer.
+    assert plan.blocked("shard1", "merge", 1.5) is not None
+    assert plan.blocked("merge", "shard1", 1.5) is not None
+    assert plan.blocked("merge", "shard2", 1.5) is None
+    assert plan.blocked("shard1", "merge", 3.5) is None
+
+
+def test_blocked_worker_requires_every_pair_blocked(shard_placement):
+    failures = [FailureSpec("partition", 1.0, 2.0, node="shard1", node_replica=0)]
+    plan, _ = compile_failures(shard_placement, failures, seed=1)
+    # A worker hosting only the isolated endpoint is silenced ...
+    assert plan.blocked_worker(("shard1",), ("merge", "split"), 1.5)
+    # ... but not one that still has a reachable endpoint.
+    assert not plan.blocked_worker(("shard1", "shard2"), ("merge",), 1.5)
+    assert not plan.blocked_worker(("shard1",), ("merge",), 3.5)
+
+
+def test_crash_compiles_to_live_kills(chain_placement):
+    failures = [FailureSpec("crash", 2.0, 1.5, node="node1", node_replica=-1)]
+    plan, kills = compile_failures(chain_placement, failures, seed=1)
+    assert plan.is_empty
+    assert [(k.node, k.replica, k.at, k.downtime) for k in kills] == [
+        ("node1", 0, 2.0, 1.5),
+        ("node1", 1, 2.0, 1.5),
+    ]
+
+
+def test_silence_is_simulator_only(chain_placement):
+    with pytest.raises(ConfigurationError, match="sim"):
+        compile_failures(chain_placement, [FailureSpec("silence", 2.0, 1.0)], seed=1)
+
+
+def test_unresolved_start_rejected(chain_placement):
+    with pytest.raises(ConfigurationError, match="start"):
+        compile_failures(chain_placement, [FailureSpec("disconnect", None, 1.0)], seed=1)
+
+
+# --------------------------------------------------------------------------- rule validation
+def test_link_rule_validation():
+    with pytest.raises(ConfigurationError):
+        LinkRule(kind="meteor-strike").validate()
+    with pytest.raises(ConfigurationError):
+        LinkRule(kind=DROP, probability=1.5).validate()
+    with pytest.raises(ConfigurationError):
+        LinkRule(kind=PARTITION, start=3.0, end=1.0).validate()
+    with pytest.raises(ConfigurationError):
+        LinkRule(kind=DELAY, delay=-0.1).validate()
+
+
+def test_fault_plan_validate_covers_rules():
+    plan = FaultPlan(seed=1, rules=(LinkRule(kind=DROP, probability=2.0),))
+    with pytest.raises(ConfigurationError):
+        plan.validate()
+
+
+# --------------------------------------------------------------------------- backoff
+def test_backoff_delay_deterministic_and_capped():
+    delays = [backoff_delay(i, seed=3, link="a>b") for i in range(12)]
+    assert delays == [backoff_delay(i, seed=3, link="a>b") for i in range(12)]
+    assert all(d <= 2.0 for d in delays)
+    # Exponential growth up to the cap, jittered into [0.5, 1.0) of the raw value.
+    for attempt, delay in enumerate(delays):
+        raw = min(2.0, 0.05 * 2**attempt)
+        assert 0.5 * raw <= delay < raw or math.isclose(delay, raw)
+    assert delays != [backoff_delay(i, seed=4, link="a>b") for i in range(12)]
+
+
+# --------------------------------------------------------------------------- schedule validation
+def test_live_kill_rejects_bad_schedules():
+    with pytest.raises(ConfigurationError):
+        LiveKill(node="node1", at=-1.0)
+    with pytest.raises(ConfigurationError):
+        LiveKill(node="node1", downtime=-0.5)
+    with pytest.raises(ConfigurationError, match="compile_failures"):
+        LiveKill(node="node1", replica=-1)
+
+
+def test_live_pause_rejects_bad_schedules():
+    with pytest.raises(ConfigurationError):
+        LivePause(node="node1", at=-1.0)
+    with pytest.raises(ConfigurationError):
+        LivePause(node="node1", duration=0.0)
+
+
+def test_run_rejects_non_kill_schedule(chain_placement):
+    live = chain_placement.deploy(
+        seed=1, aggregate_rate=60.0, source_stop_time=1.0, backend="live"
+    )
+    # Validation fires before any worker spawns, so this is tier-1 safe.
+    with pytest.raises(ConfigurationError, match="LiveKill"):
+        live.run(duration=2.0, kill="node1")
+    with pytest.raises(ConfigurationError, match="compile_failures"):
+        live.run(duration=2.0, kill=FailureSpec("crash", 0.5, 0.5, node="node1"))
+    with pytest.raises(ConfigurationError, match="FaultPlan"):
+        live.run(duration=2.0, faults=[("drop", "a", "b")])
+    # A window rule that outlives the run would silently never heal.
+    late = FaultPlan(seed=1, rules=(LinkRule(kind=PARTITION, start=1.0, end=99.0),))
+    with pytest.raises(ConfigurationError, match="window"):
+        live.run(duration=2.0, faults=late)
+    with pytest.raises(ConfigurationError):
+        live.run(duration=2.0, kill=LiveKill(node="node1", at=5.0))

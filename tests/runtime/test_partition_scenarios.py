@@ -1,0 +1,62 @@
+"""Network-partition scenarios on the simulator.
+
+A partition isolates a replica (or a whole node group) at the network layer
+while the victim keeps running -- the split-brain analogue of the crash
+scenarios.  These runs are the oracle shapes the live backend's FaultPlan
+tests compare against byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import ScenarioSpec
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_chain_whole_node_partition_reconciles(seed):
+    """Cut both replicas of node1: downstream goes tentative during the
+    window and the ledger converges after the heal."""
+    spec = ScenarioSpec.chain(2, seed=seed).with_partition(
+        node="node1", replica=-1, duration=6.0
+    )
+    runtime = spec.run()
+    client = runtime.client
+    assert client.n_tentative > 0, "partition window produced no tentative output"
+    assert runtime.eventually_consistent()
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_shard_whole_group_partition_reconciles(seed):
+    spec = ScenarioSpec.sharded(shards=4, seed=seed).with_partition(
+        node="shard1", replica=-1, duration=6.0
+    )
+    runtime = spec.run()
+    assert runtime.client.n_tentative > 0
+    assert runtime.eventually_consistent()
+
+
+def test_single_replica_partition_is_masked():
+    """Isolating one replica of a replicated node is masked by its partner:
+    consumers switch upstream, so the client never sees tentative data."""
+    spec = ScenarioSpec.chain(2, seed=1).with_partition(
+        node="node1", replica=0, duration=6.0
+    )
+    runtime = spec.run()
+    assert runtime.client.n_tentative == 0
+    assert runtime.eventually_consistent()
+
+
+def test_partition_records_failure_history():
+    spec = ScenarioSpec.chain(2, seed=1).with_partition(
+        node="node1", replica=-1, duration=4.0
+    )
+    runtime = spec.run()
+    targets = {record.target for record in runtime.injected}
+    assert targets == {"node1<->*", "node1'<->*"}
+
+
+def test_partition_validation_rejects_unknown_node():
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec.chain(2).with_partition(node="ghost", duration=4.0).run()

@@ -80,11 +80,29 @@ def test_crashed_endpoint_neither_sends_nor_receives():
     assert len(inbox["b"]) == 1
 
 
-def test_in_flight_message_dropped_if_partition_appears():
+def test_in_flight_message_survives_partition_onset():
+    """A message credited at send time is delivered even when a partition
+    appears while it is in flight: the sender's cursor already advanced, so
+    nothing would ever replay it -- dropping it would silently lose data on
+    what is modelled as a reliable in-order link."""
+    sim, net, inbox = setup()
+    net.set_link_latency("a", "b", 0.5)
+    assert net.send("a", "b", "data", 1)
+    net.partition("a", "b")
+    sim.run_until(1.0)
+    assert [msg.payload for msg, _now in inbox["b"]] == [1]
+    # New sends across the live partition are refused credit and dropped.
+    assert not net.send("a", "b", "data", 2)
+    assert net.stats.dropped >= 1
+
+
+def test_in_flight_message_dropped_if_receiver_crashes():
+    """A crash wipes the receiver's state and recovery resubscribes, so
+    messages in flight at crash time are dropped, not delivered."""
     sim, net, inbox = setup()
     net.set_link_latency("a", "b", 0.5)
     net.send("a", "b", "data", 1)
-    net.partition("a", "b")
+    net.crash("b")
     sim.run_until(1.0)
     assert inbox["b"] == []
     assert net.stats.dropped >= 1

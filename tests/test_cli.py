@@ -307,3 +307,52 @@ def test_profile_shard_sort_by_tottime(capsys):
     assert code == 0
     assert "top 4 by tottime" in out
     assert "Ordered by: internal time" in out
+
+
+# --------------------------------------------------------------------------- network faults
+def test_scenario_partition_via_cli(capsys):
+    code = cli.main(
+        ["scenario", "--depth", "2", "--rate", "60", "--failure", "partition",
+         "--failure-node", "node1", "--failure-replica", "-1",
+         "--failure-duration", "4", "--warmup", "2", "--settle", "18", "--seed", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.count("partition on node1") == 2  # both replicas isolated
+    assert "eventually consistent:                 True" in out
+
+
+def test_scenario_partition_at_flag(capsys):
+    code = cli.main(
+        ["scenario", "--depth", "2", "--rate", "60", "--partition-at", "3",
+         "--failure-node", "node1", "--failure-replica", "-1",
+         "--failure-duration", "4", "--warmup", "2", "--settle", "18", "--seed", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "partition on node1<->* at t=3s for 4s" in out
+    assert "eventually consistent:                 True" in out
+
+
+def test_scenario_disconnect_at_flag(capsys):
+    code = cli.main(
+        ["scenario", "--depth", "1", "--rate", "60", "--disconnect-at", "3",
+         "--failure-duration", "4", "--warmup", "2", "--settle", "15", "--seed", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "stream_disconnect" in out
+    assert "at t=3s for 4s" in out
+
+
+def test_scenario_live_rejects_silence(capsys):
+    # Rejected at the flag seam, before any worker process spawns.
+    code = cli.main(["scenario", "--backend", "live", "--failure", "silence"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "silence" in err and "simulator-only" in err
+
+
+def test_live_faults_experiment_registered():
+    assert "live-faults" in cli.EXPERIMENTS
+    assert "parity" in cli.EXPERIMENTS["live-faults"].description
